@@ -1,0 +1,64 @@
+"""Ablation: the beta hyper-parameter (prior strength).
+
+Runs Algorithm 1 at a weak and at the paper's strong beta and compares the
+designs' over-clocking exposure.  The prior is the only channel through
+which beta acts, so this isolates the value of penalising error-prone
+coefficient values during sampling.
+"""
+
+import numpy as np
+
+from repro.circuits.domains import Domain
+from repro.eval.report import render_table
+
+from .conftest import run_once
+
+
+def _evaluate(ctx, result):
+    rows = []
+    for d in result.designs:
+        ev = ctx.framework.evaluate(d, ctx.x_test, Domain.ACTUAL)
+        rows.append(
+            {
+                "wordlengths": d.wordlengths,
+                "area": ev.area_le,
+                "actual_mse": ev.mse,
+                "oc_term": d.metadata["overclocking_term"],
+            }
+        )
+    return rows
+
+
+def test_beta_controls_overclocking_exposure(ctx, benchmark):
+    def run():
+        weak = ctx.of_result(beta=0.2)
+        strong = ctx.of_result(beta=4.0)
+        return _evaluate(ctx, weak), _evaluate(ctx, strong)
+
+    weak_rows, strong_rows = run_once(benchmark, run)
+
+    print()
+    table = [
+        ("beta=0.2", str(r["wordlengths"]), r["area"], r["actual_mse"], r["oc_term"])
+        for r in weak_rows
+    ] + [
+        ("beta=4.0", str(r["wordlengths"]), r["area"], r["actual_mse"], r["oc_term"])
+        for r in strong_rows
+    ]
+    print(
+        render_table(
+            ["run", "wordlengths", "area LE", "actual MSE", "predicted OC term"],
+            table,
+            title="Ablation: prior strength beta",
+        )
+    )
+
+    # The strong prior never *selects* a higher predicted over-clocking
+    # exposure than the weak one.
+    weak_oc = np.mean([r["oc_term"] for r in weak_rows])
+    strong_oc = np.mean([r["oc_term"] for r in strong_rows])
+    assert strong_oc <= weak_oc + 1e-12
+
+    # And its designs remain well-behaved on the device.
+    strong_best = min(r["actual_mse"] for r in strong_rows)
+    assert strong_best < 1e-2

@@ -1,0 +1,92 @@
+"""Ablation: constant-coefficient multipliers (the predecessor [7]'s
+component) vs generic multipliers (this paper's component).
+
+Quantifies the scaling argument of paper Sec. II: a CCM's structure
+depends on the coefficient value, so a CCM-based flow must characterise
+one circuit per coefficient value per word-length, while the generic-
+multiplier flow characterises one circuit per word-length and covers all
+values by enumeration of the fixed operand.
+"""
+
+from repro.eval.report import render_table
+from repro.netlist.ccm import ccm_multiplier
+from repro.netlist.multipliers import unsigned_array_multiplier
+from repro.synthesis import SynthesisFlow
+
+from .conftest import run_once
+
+
+def test_ccm_vs_generic_characterisation_cost(ctx, benchmark):
+    wordlengths = ctx.settings.coeff_wordlengths
+    w_data = ctx.settings.input_wordlength
+
+    def run():
+        flow = SynthesisFlow(ctx.device)
+        rows = []
+        for wl in wordlengths:
+            generic = flow.run(
+                unsigned_array_multiplier(w_data, wl), anchor=(0, 0), seed=0
+            )
+            # CCM structure varies per coefficient: sample the spread.
+            ccm_areas = []
+            ccm_fmax = []
+            for coeff in {1, (1 << wl) - 1, (1 << wl) // 2, (1 << (wl - 1)) + 1}:
+                placed = flow.run(ccm_multiplier(coeff, w_data), anchor=(0, 0), seed=0)
+                ccm_areas.append(placed.area.logic_elements)
+                ccm_fmax.append(placed.device_sta().fmax_mhz)
+            rows.append(
+                {
+                    "wl": wl,
+                    "ccm_circuits_needed": 1 << wl,
+                    "generic_circuits_needed": 1,
+                    "generic_le": generic.area.logic_elements,
+                    "ccm_le_min": min(ccm_areas),
+                    "ccm_le_max": max(ccm_areas),
+                    "ccm_fmax_spread": max(ccm_fmax) - min(ccm_fmax),
+                }
+            )
+        return rows
+
+    rows = run_once(benchmark, run)
+
+    print()
+    print(
+        render_table(
+            [
+                "wl",
+                "CCM circuits to characterise",
+                "generic circuits",
+                "generic LE",
+                "CCM LE min",
+                "CCM LE max",
+                "CCM Fmax spread MHz",
+            ],
+            [
+                (
+                    r["wl"],
+                    r["ccm_circuits_needed"],
+                    r["generic_circuits_needed"],
+                    r["generic_le"],
+                    r["ccm_le_min"],
+                    r["ccm_le_max"],
+                    r["ccm_fmax_spread"],
+                )
+                for r in rows
+            ],
+            title="Ablation: CCM [7] vs generic multiplier characterisation",
+        )
+    )
+    total_ccm = sum(r["ccm_circuits_needed"] for r in rows)
+    total_gen = sum(r["generic_circuits_needed"] for r in rows)
+    print(f"total circuits: CCM flow {total_ccm} vs generic flow {total_gen}")
+
+    # "By reducing the number of circuits, a significant speed up of the
+    # performance characterisation step is obtained" (Sec. II).
+    assert total_gen == len(wordlengths)
+    assert total_ccm > 100 * total_gen
+
+    for r in rows:
+        # CCM structure (and thus timing) is coefficient-dependent —
+        # exactly why it does not scale.
+        assert r["ccm_le_max"] > r["ccm_le_min"]
+        assert r["ccm_fmax_spread"] > 0

@@ -1,0 +1,59 @@
+"""Ablation: location sensitivity of the characterisation.
+
+The paper characterises at multiple locations because placement changes
+the error behaviour (Fig. 4).  This bench quantifies that: an error model
+built at one corner of the die is compared against the behaviour observed
+at the opposite corner.
+"""
+
+import numpy as np
+
+from repro.characterization import CharacterizationConfig, characterize_multiplier
+from repro.eval.report import render_table
+
+from .conftest import run_once
+
+
+def test_error_model_is_location_specific(ctx, benchmark):
+    freqs = (290.0, 310.0, 330.0)
+
+    def run():
+        cfg = CharacterizationConfig(
+            freqs_mhz=freqs,
+            n_samples=max(150, ctx.settings.n_characterization),
+            multiplicands=tuple(range(0, 256, 5)),
+            n_locations=2,  # harness probes opposite regions of the die
+        )
+        return characterize_multiplier(ctx.device, 8, 8, cfg, seed=ctx.seed)
+
+    result = run_once(benchmark, run)
+
+    v0 = result.variance[0]  # (M, F) at location 0
+    v1 = result.variance[1]
+    rows = [
+        (
+            f"{f:.0f}",
+            float(v0[:, i].mean()),
+            float(v1[:, i].mean()),
+        )
+        for i, f in enumerate(result.freqs_mhz)
+    ]
+    print()
+    print(
+        render_table(
+            ["freq MHz", f"mean var @ {result.locations[0]}", f"mean var @ {result.locations[1]}"],
+            rows,
+            title="Ablation: per-location error behaviour",
+        )
+    )
+
+    # The two locations' error grids genuinely differ...
+    assert not np.allclose(v0, v1)
+    # ...but share the gross structure (correlation over cells with any
+    # error at the top frequency).
+    top0, top1 = v0[:, -1], v1[:, -1]
+    active = (top0 > 0) | (top1 > 0)
+    if active.sum() > 10:
+        corr = np.corrcoef(top0[active], top1[active])[0, 1]
+        print(f"cross-location correlation of E(m, f_top): {corr:.3f}")
+        assert corr > 0.3

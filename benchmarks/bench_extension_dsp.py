@@ -1,0 +1,79 @@
+"""Extension bench: embedded DSP blocks vs LUT-based generic multipliers.
+
+The paper keeps embedded multipliers out of scope but notes the framework
+extends to them (Secs. I, VI).  This bench characterises both component
+types on the same die with the same procedure and compares their
+over-clocking landscapes: the hard macro clocks substantially faster and
+its error onset sits far above the LUT multiplier's, with far weaker
+multiplicand dependence.
+"""
+
+import numpy as np
+
+from repro.characterization import CharacterizationConfig, characterize_multiplier
+from repro.dsp import DspBlockModel, characterize_dsp_multiplier
+from repro.eval.report import render_table
+from repro.netlist.multipliers import unsigned_array_multiplier
+from repro.synthesis import SynthesisFlow
+
+from .conftest import run_once
+
+
+def test_dsp_block_extension(ctx, benchmark):
+    freqs = (280.0, 340.0, 400.0, 460.0, 520.0)
+
+    def run():
+        cfg = CharacterizationConfig(
+            freqs_mhz=freqs,
+            n_samples=300,
+            multiplicands=tuple(range(0, 256, 8)),
+            n_locations=1,
+        )
+        lut = characterize_multiplier(ctx.device, 8, 8, cfg, seed=ctx.seed)
+        dsp = characterize_dsp_multiplier(ctx.device, 8, 8, cfg, seed=ctx.seed)
+        lut_fmax = (
+            SynthesisFlow(ctx.device)
+            .run(unsigned_array_multiplier(8, 8), anchor=(0, 0), seed=ctx.seed)
+            .device_sta()
+            .fmax_mhz
+        )
+        dsp_fmax = DspBlockModel(ctx.device, width=8).sta_fmax_mhz()
+        return lut, dsp, lut_fmax, dsp_fmax
+
+    lut, dsp, lut_fmax, dsp_fmax = run_once(benchmark, run)
+
+    rows = []
+    for fi, f in enumerate(lut.freqs_mhz):
+        rows.append(
+            (
+                f"{f:.0f}",
+                float(lut.variance[:, :, fi].mean()),
+                float(dsp.variance[:, :, fi].mean()),
+            )
+        )
+    print()
+    print(
+        render_table(
+            ["freq MHz", "LUT mult mean E(m,f)", "DSP block mean E(m,f)"],
+            rows,
+            title="Extension: LUT vs embedded-DSP over-clocking landscape",
+        )
+    )
+    print(f"STA Fmax: LUT {lut_fmax:.0f} MHz vs DSP block {dsp_fmax:.0f} MHz")
+
+    # The hard macro is faster and errs later.
+    assert dsp_fmax > lut_fmax
+    lut_means = lut.variance.mean(axis=(0, 1))
+    dsp_means = dsp.variance.mean(axis=(0, 1))
+    assert lut_means[-1] > 0
+    assert dsp_means[2] <= lut_means[2]  # mid-sweep: DSP cleaner
+
+    # And its multiplicand dependence is far weaker: relative spread of
+    # E(m, f_top) across multiplicands (only meaningful once both err).
+    top_lut = lut.variance[:, :, -1].mean(axis=0)
+    top_dsp = dsp.variance[:, :, -1].mean(axis=0)
+    if top_dsp.max() > 0:
+        lut_cv = top_lut.std() / max(top_lut.mean(), 1e-12)
+        dsp_cv = top_dsp.std() / max(top_dsp.mean(), 1e-12)
+        print(f"multiplicand dependence (CV of E at top freq): LUT {lut_cv:.2f} vs DSP {dsp_cv:.2f}")
+        assert dsp_cv < lut_cv

@@ -1,0 +1,49 @@
+"""Fig. 10 bench: predicted vs simulated vs actual MSE-vs-area for the
+optimisation framework's designs at the 310 MHz target.
+
+Prints the three-domain rows and asserts the paper's reading: the error
+model is valid (prediction tracks reality), simulation and device agree
+closely for small designs, and the discrepancy grows with design size.
+"""
+
+from repro.eval.figures import fig10
+from repro.eval.report import render_table
+
+from .conftest import run_once
+
+
+def test_fig10_three_domains(ctx, benchmark):
+    result = run_once(benchmark, fig10, ctx)
+
+    print()
+    rows = [
+        (
+            str(r["wordlengths"]),
+            r["area_le"],
+            r["predicted_mse"],
+            r["simulated_mse"],
+            r["actual_mse"],
+        )
+        for r in result["rows"]
+    ]
+    print(
+        render_table(
+            ["wordlengths", "area LE", "predicted", "simulated", "actual"],
+            rows,
+            title=f"Fig. 10: OF designs @ {result['freq_mhz']:.0f} MHz (beta={result['beta']})",
+        )
+    )
+
+    assert len(result["rows"]) == ctx.settings.q
+    for r in result["rows"]:
+        # The error model is usable: no order-of-magnitude surprises.
+        assert r["actual_mse"] < 30 * r["predicted_mse"] + 1e-4
+        assert r["simulated_mse"] < 30 * r["predicted_mse"] + 1e-4
+
+    # Paper: "for designs with small area, the simulation and actual
+    # results are very close".
+    smallest = min(result["rows"], key=lambda r: r["area_le"])
+    rel = abs(smallest["actual_mse"] - smallest["simulated_mse"]) / max(
+        smallest["simulated_mse"], 1e-300
+    )
+    assert rel < 0.5

@@ -1,0 +1,38 @@
+"""Fig. 1 bench: error rate vs clock frequency; the fA < fB < fC regimes.
+
+Prints the series the paper's conceptual Fig. 1 plots and asserts the
+regime ordering: the tool limit fA sits below the error-free bound fB,
+which sits below the point of meaningless results fC.
+"""
+
+from repro.eval.figures import fig1
+from repro.eval.report import render_series
+
+from .conftest import run_once
+
+
+def test_fig1_regimes(ctx, benchmark):
+    result = run_once(benchmark, fig1, ctx)
+
+    print()
+    print(
+        render_series(
+            "Fig. 1: erroneous results vs clock",
+            [f"{f:.0f}" for f in result["freqs_mhz"]],
+            [f"{e:.2f}" for e in result["error_rate_percent"]],
+            "freq MHz",
+            "error %",
+        )
+    )
+    print(
+        f"fA (tool) = {result['fA_tool_mhz']:.1f} MHz, "
+        f"fB (error-free) = {result['fB_error_free_mhz']:.1f} MHz, "
+        f"fC (meaningless) = {result['fC_meaningless_mhz']:.1f} MHz"
+    )
+
+    assert result["fA_tool_mhz"] < result["fB_error_free_mhz"]
+    assert result["fB_error_free_mhz"] < result["fC_meaningless_mhz"]
+    # The error-free regime Delta-f1 is a substantial over-clocking window.
+    assert result["fB_error_free_mhz"] / result["fA_tool_mhz"] > 1.3
+    rates = result["error_rate_percent"]
+    assert all(a <= b + 1e-9 for a, b in zip(rates, rates[1:]))

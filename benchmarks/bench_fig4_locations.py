@@ -1,0 +1,42 @@
+"""Fig. 4 bench: error traces of multiplicand 222 at 320 MHz, two locations.
+
+Prints the first errors and the error histograms per location and asserts
+the paper's observation that placement changes the error pattern.
+"""
+
+import numpy as np
+
+from repro.eval.figures import fig4
+from repro.eval.report import render_table
+
+from .conftest import run_once
+
+
+def test_fig4_two_locations(ctx, benchmark):
+    result = run_once(benchmark, fig4, ctx)
+
+    print()
+    for name, loc in result["locations"].items():
+        errs = np.asarray(loc["first_errors"])
+        nz = errs[errs != 0]
+        print(
+            f"{name} @ anchor {loc['anchor']}: rate={loc['error_rate']:.4f} "
+            f"variance={loc['error_variance']:.3e} "
+            f"first nonzero errors: {nz[:8].tolist()}"
+        )
+    r1 = result["locations"]["loc 1"]
+    rows = list(
+        zip(
+            [f"{e:.0f}" for e in r1["histogram_edges"][:-1]],
+            r1["histogram_counts"],
+        )
+    )
+    print(render_table(["error bin >=", "count (loc 1)"], rows))
+
+    # Over-clocking at 320 MHz produces errors (paper Fig. 4 regime)...
+    assert max(l["error_rate"] for l in result["locations"].values()) > 0
+    # ...and the two placements behave differently.
+    assert result["locations_differ"]
+    # Errors are large in magnitude (MSbs fail first; paper notes the
+    # "high error values are expected").
+    assert max(abs(e) for e in r1["histogram_edges"]) > 1000

@@ -1,0 +1,49 @@
+"""Fig. 5 bench: the E(m, f) error-model heat map of an 8x8 multiplier.
+
+Prints the mean variance per frequency and per multiplicand popcount and
+asserts the paper's two observations: variance grows with frequency, and
+multiplicands with few '1' bits err less.
+"""
+
+import numpy as np
+
+from repro.eval.figures import fig5
+from repro.eval.report import render_table
+
+from .conftest import run_once
+
+
+def test_fig5_error_model_structure(ctx, benchmark):
+    result = run_once(benchmark, fig5, ctx)
+
+    print()
+    print(
+        render_table(
+            ["freq MHz", "mean variance over all multiplicands"],
+            list(zip(result["freqs_mhz"], result["mean_variance_per_freq"])),
+            title="Fig. 5: E(m, f) frequency profile",
+        )
+    )
+    print(
+        render_table(
+            ["popcount(m)", "mean variance (top freq)"],
+            sorted(result["mean_variance_by_popcount"].items()),
+            title="Fig. 5: popcount effect",
+        )
+    )
+
+    per_freq = result["mean_variance_per_freq"]
+    assert per_freq[-1] > per_freq[0]
+    assert all(a <= b + 1e-9 for a, b in zip(per_freq, per_freq[1:]))
+
+    by_pop = result["mean_variance_by_popcount"]
+    assert by_pop[8] > by_pop[1]
+    # Broad monotone trend over popcount (paper: "multiplicands with few
+    # '1' bits in their binary representation have less errors").
+    lows = np.mean([by_pop[c] for c in (0, 1, 2)])
+    highs = np.mean([by_pop[c] for c in (6, 7, 8)])
+    assert highs > 2 * lows
+
+    grid = result["variance_grid"]
+    assert grid.shape == (256, len(result["freqs_mhz"]))
+    assert np.all(grid >= 0)

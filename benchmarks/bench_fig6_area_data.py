@@ -1,0 +1,33 @@
+"""Fig. 6 bench: the raw area-model data — LE vs word-length scatter.
+
+Prints mean LE and run-to-run spread per word-length and asserts the
+monotone growth and the presence of synthesis-run scatter.
+"""
+
+from repro.eval.figures import fig6
+from repro.eval.report import render_table
+
+from .conftest import run_once
+
+
+def test_fig6_area_data(ctx, benchmark):
+    result = run_once(benchmark, fig6, ctx, n_runs=6)
+
+    print()
+    rows = [
+        (wl, result["mean_le_by_wordlength"][wl], result["spread_le_by_wordlength"][wl])
+        for wl in sorted(result["mean_le_by_wordlength"])
+    ]
+    print(
+        render_table(
+            ["wordlength", "mean LE", "run spread (max-min)"],
+            rows,
+            title="Fig. 6: MAC-block area vs word-length across placements",
+        )
+    )
+
+    means = [r[1] for r in rows]
+    assert means == sorted(means)
+    assert means[-1] > 2 * means[0]
+    # Multiple placements/synthesis runs scatter (the figure's point).
+    assert any(r[2] > 0 for r in rows)

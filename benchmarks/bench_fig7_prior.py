@@ -1,0 +1,47 @@
+"""Fig. 7 bench: the coefficient prior at beta in {0.1, 1.0, 4.0}.
+
+Prints summary statistics of the three priors and asserts the paper's
+reading of the figure: beta = 0.1 is nearly flat, beta = 4.0 gives
+error-prone coefficient values essentially zero sampling probability.
+"""
+
+from repro.eval.figures import fig7
+from repro.eval.report import render_table
+
+from .conftest import run_once
+
+
+def test_fig7_prior_shapes(ctx, benchmark):
+    result = run_once(benchmark, fig7, ctx)
+
+    print()
+    rows = [
+        (
+            beta,
+            info["entropy"],
+            info["mass_ratio_max_min"],
+        )
+        for beta, info in sorted(result["betas"].items())
+    ]
+    print(
+        render_table(
+            ["beta", "entropy (nats)", "max/min prior mass"],
+            rows,
+            title=f"Fig. 7: prior over {result['wordlength']}-bit coefficients @ {result['freq_mhz']} MHz",
+        )
+    )
+
+    b = result["betas"]
+    # beta = 0.1: "almost the same probability of being sampled" — within
+    # one order of magnitude across the whole grid, versus tens of orders
+    # at beta = 4 (the raw variances span ~9 decades).
+    assert b[0.1]["mass_ratio_max_min"] < 10.0
+    # beta = 4.0: "high over-clocking errors have low probability".
+    assert b[4.0]["mass_ratio_max_min"] > 100.0
+    # Entropy strictly decreasing in beta.
+    es = [b[x]["entropy"] for x in (0.1, 1.0, 4.0)]
+    assert es == sorted(es, reverse=True)
+    # Every prior is a proper distribution over the same grid.
+    for info in b.values():
+        assert abs(sum(info["mass"]) - 1.0) < 1e-9
+        assert len(info["mass"]) == len(info["values"])

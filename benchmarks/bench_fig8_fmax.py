@@ -1,0 +1,58 @@
+"""Fig. 8 bench: maximum clock frequencies vs coefficient word-length.
+
+Prints the Tool-Fmax / data-path-Fmax / error-onset rows for the KLT
+design at every word-length and asserts the paper's structure, including
+the headline: the 310 MHz target is a deep over-clock of the 9-bit design
+(paper: 1.85x the tool report).
+"""
+
+from repro.eval.figures import fig8
+from repro.eval.report import render_table
+
+from .conftest import run_once
+
+
+def test_fig8_fmax_vs_wordlength(ctx, benchmark):
+    result = run_once(benchmark, fig8, ctx)
+
+    print()
+    rows = [
+        (
+            r["wordlength"],
+            r["tool_fmax_mhz"],
+            r["device_sta_fmax_mhz"],
+            r["datapath_fmax_mhz"],
+            r["error_onset_range_mhz"][1],
+        )
+        for r in result["rows"]
+    ]
+    print(
+        render_table(
+            ["wl", "Tool Fmax", "device STA Fmax", "data-path Fmax", "fC"],
+            rows,
+            title="Fig. 8: maximum clock frequencies vs word-length (KLT design)",
+        )
+    )
+    print(
+        f"target {result['target_freq_mhz']:.0f} MHz = "
+        f"{result['overclock_factor_vs_9bit_tool']:.2f}x the 9-bit Tool Fmax "
+        "(paper: 1.85x)"
+    )
+
+    for r in result["rows"]:
+        # Tool report < device STA bound <= measured error-free Fmax.
+        assert r["tool_fmax_mhz"] < r["device_sta_fmax_mhz"]
+        assert r["datapath_fmax_mhz"] >= r["device_sta_fmax_mhz"] * 0.85
+
+    tools = [r["tool_fmax_mhz"] for r in result["rows"]]
+    assert tools == sorted(tools, reverse=True)  # Fmax falls with wl
+
+    # Headline factor: same regime as the paper's 1.85x.
+    assert 1.5 < result["overclock_factor_vs_9bit_tool"] < 2.6
+
+    # At the target clock, the largest designs operate in the error regime
+    # while the smallest are still error-free (paper Sec. VI-D).
+    target = result["target_freq_mhz"]
+    onset = {r["wordlength"]: r["datapath_fmax_mhz"] for r in result["rows"]}
+    assert onset[9] < target
+    assert onset[3] > target

@@ -1,0 +1,39 @@
+"""Fig. 9 bench: area-model predictions vs fresh synthesis observations.
+
+Prints predicted vs actual LE counts with the 95% band verdict and asserts
+the paper's criterion: "most of the data points fall inside the 95%
+confidence interval".
+"""
+
+from repro.eval.figures import fig9
+from repro.eval.report import render_table
+
+from .conftest import run_once
+
+
+def test_fig9_area_model_validation(ctx, benchmark):
+    result = run_once(benchmark, fig9, ctx, n_validation_runs=6)
+
+    print()
+    rows = [
+        (r["wordlength"], r["predicted_le"], r["actual_le"], r["within_95ci"])
+        for r in result["rows"]
+    ]
+    print(
+        render_table(
+            ["wl", "predicted LE", "actual LE", "within 95% CI"],
+            rows,
+            title="Fig. 9: area model vs actual circuit area",
+        )
+    )
+    print(
+        f"coverage = {result['coverage']:.2f}  "
+        f"(relative residual sigma = {result['residual_sigma']:.3f})"
+    )
+
+    # "Most of the data points fall inside the 95% confidence interval."
+    assert result["coverage"] >= 0.75
+    # The model is accurate, not merely covered: predictions within ~15%.
+    for r in result["rows"]:
+        rel = abs(r["predicted_le"] - r["actual_le"]) / r["actual_le"]
+        assert rel < 0.15

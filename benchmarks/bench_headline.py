@@ -1,0 +1,54 @@
+"""The abstract's headline claim, as one table.
+
+"Experiments demonstrate that the proposed framework is able to generate
+Linear Projection designs that achieve higher throughput (up to 1.85
+times) while producing less errors than typical implementation
+methodologies."
+
+Three operating points on the same device and data: the 9-bit KLT design
+at its safe (tool-signed) clock, the same design forced to the 310 MHz
+target, and the optimisation framework's best design at the target.
+"""
+
+from repro.eval.figures import headline
+from repro.eval.report import render_table
+
+from .conftest import run_once
+
+
+def test_headline_throughput_and_errors(ctx, benchmark):
+    result = run_once(benchmark, headline, ctx)
+
+    print()
+    print(
+        render_table(
+            ["configuration", "clock MHz", "actual MSE", "area LE", "worst lane err rate"],
+            [
+                (r["configuration"], r["freq_mhz"], r["mse"], r["area_le"], r["worst_lane_error_rate"])
+                for r in result["rows"]
+            ],
+            title="Headline: throughput vs errors (paper: 1.85x, fewer errors)",
+        )
+    )
+    print(
+        f"throughput gain over the tool-limited design: "
+        f"{result['throughput_gain']:.2f}x (paper: up to 1.85x); "
+        f"at the target clock the OF design's MSE is "
+        f"{result['of_vs_klt_at_target_mse_ratio']:.1f}x lower than the KLT's"
+    )
+
+    safe, klt_fast, of_fast = result["rows"]
+
+    # Deep over-clock factor in the paper's regime.
+    assert 1.5 < result["throughput_gain"] < 2.6
+    # The safe KLT point is error-free (that is what "safe" means)...
+    assert safe["worst_lane_error_rate"] == 0.0
+    # ...the same design at the target clock errs...
+    assert klt_fast["worst_lane_error_rate"] > 0.0
+    assert klt_fast["mse"] > safe["mse"]
+    # ...and the OF design at the SAME fast clock produces fewer errors
+    # ("less errors than typical implementation methodologies").
+    assert of_fast["mse"] < klt_fast["mse"]
+    assert of_fast["worst_lane_error_rate"] <= klt_fast["worst_lane_error_rate"]
+    # Its quality at 2x the clock stays comparable to the safe baseline.
+    assert of_fast["mse"] < 10 * safe["mse"]

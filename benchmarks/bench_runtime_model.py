@@ -1,0 +1,50 @@
+"""Sec. VI-E bench: the run-time model, eqs. (7)-(8).
+
+Checks the paper's worked example ("1 hour and 44 minutes"), measures this
+reproduction's per-word-length sampling times, refits the exponential
+model and asserts the *shape* transfers: sampling cost grows with
+word-length and eq. 7's structural factor holds exactly.
+"""
+
+from repro.eval.report import render_table
+from repro.eval.tables import runtime_model_table
+
+from .conftest import run_once
+
+
+def test_runtime_model(ctx, benchmark):
+    result = run_once(benchmark, runtime_model_table, ctx)
+
+    print()
+    rows = sorted(result["measured_vector_seconds_by_wl"].items())
+    print(
+        render_table(
+            ["wordlength", "measured seconds / projection vector"],
+            rows,
+            title="Run-time investigation (Sec. VI-E)",
+        )
+    )
+    print(
+        f"paper model R(wl) = {result['paper_model']['scale']} * "
+        f"exp({result['paper_model']['rate']} * wl); worked example = "
+        f"{result['paper_example_seconds']:.0f} s (quote: {result['paper_example_quote']})"
+    )
+    if result["fitted_model"]:
+        fm = result["fitted_model"]
+        print(
+            f"fitted on this machine: R(wl) = {fm['scale']:.4g} * exp({fm['rate']:.4g} * wl)"
+        )
+    print(
+        f"measured total sampling time: {result['measured_total_seconds']:.2f} s "
+        f"over {result['n_vector_samplings']} vector samplings"
+    )
+
+    # Eq. 7 worked example reproduces the paper's quoted duration.
+    assert abs(result["paper_example_seconds"] - 6240) / 6240 < 0.05
+    # Eq. 7 structure: #wl * (1 + Q(K-1)) samplings, exactly.
+    assert result["n_vector_samplings"] == result["expected_vector_samplings"]
+    # Shape: cost grows with word-length (grid doubles per extra bit).
+    times = [t for _, t in rows]
+    assert times[-1] > times[0]
+    assert result["fitted_model"] is not None
+    assert result["fitted_model"]["rate"] > 0

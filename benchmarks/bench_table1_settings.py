@@ -1,0 +1,45 @@
+"""Table I bench: the case-study settings.
+
+Prints the paper's settings next to the bench context's scaled settings
+and asserts the library defaults reproduce Table I exactly.
+"""
+
+from dataclasses import asdict
+
+from repro.config import TableISettings
+from repro.eval.report import render_table
+from repro.eval.tables import table1
+
+from .conftest import run_once
+
+
+def test_table1_settings(ctx, benchmark):
+    result = run_once(benchmark, table1, ctx.settings)
+
+    print()
+    rows = [
+        (key, result["paper"][key], result["used"][key])
+        for key in sorted(result["paper"])
+    ]
+    print(
+        render_table(
+            ["parameter", "paper (Table I)", "this bench run"],
+            rows,
+            title="Table I: case-study settings",
+        )
+    )
+
+    paper = result["paper"]
+    assert paper["p"] == 6 and paper["k"] == 3
+    assert paper["n_characterization"] == 4900
+    assert paper["n_train"] == 100
+    assert paper["n_test"] == 5000
+    assert tuple(paper["betas"]) == (4.0, 8.0)
+    assert paper["q"] == 5
+    assert paper["clock_frequency_mhz"] == 310.0
+    assert paper["input_wordlength"] == 9
+    assert (paper["min_coeff_wordlength"], paper["max_coeff_wordlength"]) == (3, 9)
+    assert paper["burn_in"] == 1000
+    assert paper["n_samples"] == 3000
+    # The library default IS the paper's Table I.
+    assert asdict(TableISettings()) == paper

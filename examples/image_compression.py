@@ -1,0 +1,132 @@
+#!/usr/bin/env python
+"""Patch-based image compression on the over-clocked projection datapath.
+
+A classic linear-projection workload (paper Sec. IV: "a large number of
+applications can be found in computer vision, image processing"): a
+synthetic image is cut into 4x4 patches, every patch is projected to K
+coefficients on the device at the target clock, and the image is
+reconstructed from the coefficients.  Compression quality is reported as
+PSNR for the classical KLT designs and the optimisation framework's
+designs.
+
+    python examples/image_compression.py [--scale 0.05] [--freq 340]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+import numpy as np
+
+from repro import Domain, OptimizationFramework, TableISettings, make_device
+from repro.characterization import CharacterizationConfig
+from repro.eval.report import render_table
+from repro.framework import default_frequency_grid
+
+
+def synthetic_image(size: int, rng: np.random.Generator) -> np.ndarray:
+    """A smooth synthetic image in [-1, 1] (sum of 2-D cosine gratings)."""
+    y, x = np.mgrid[0:size, 0:size].astype(float) / size
+    img = np.zeros((size, size))
+    for _ in range(6):
+        fy, fx = rng.integers(1, 5, 2)
+        phase = rng.uniform(0, 2 * np.pi)
+        img += rng.normal() * np.cos(2 * np.pi * (fy * y + fx * x) + phase)
+    img += 0.05 * rng.normal(size=img.shape)
+    return img / np.abs(img).max()
+
+
+def to_patches(img: np.ndarray, ps: int) -> np.ndarray:
+    """Cut an image into non-overlapping ps x ps patches, one per column."""
+    h, w = img.shape
+    patches = (
+        img[: h - h % ps, : w - w % ps]
+        .reshape(h // ps, ps, w // ps, ps)
+        .transpose(0, 2, 1, 3)
+        .reshape(-1, ps * ps)
+        .T
+    )
+    return patches
+
+
+def psnr(reference: np.ndarray, reconstructed: np.ndarray) -> float:
+    """Peak signal-to-noise ratio over the [-1, 1] dynamic range."""
+    mse = float(((reference - reconstructed) ** 2).mean())
+    if mse == 0:
+        return float("inf")
+    return 10.0 * np.log10(4.0 / mse)  # peak-to-peak = 2 -> peak^2 = 4
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=0.05)
+    parser.add_argument("--serial", type=int, default=11)
+    parser.add_argument("--freq", type=float, default=340.0)
+    parser.add_argument("--size", type=int, default=64, help="image side length")
+    args = parser.parse_args()
+
+    ps = 4  # patch side -> P = 16
+    k = 3
+    base = TableISettings().scaled(args.scale)
+    settings = TableISettings(
+        p=ps * ps,
+        k=k,
+        clock_frequency_mhz=args.freq,
+        n_characterization=base.n_characterization,
+        n_train=base.n_train,
+        n_test=base.n_test,
+        burn_in=base.burn_in,
+        n_samples=base.n_samples,
+        q=3,
+        min_coeff_wordlength=4,
+        max_coeff_wordlength=9,
+    )
+    device = make_device(args.serial)
+    char = CharacterizationConfig(
+        freqs_mhz=default_frequency_grid(args.freq),
+        n_samples=settings.n_characterization,
+        n_locations=1,
+    )
+    fw = OptimizationFramework(device, settings, char_config=char, seed=args.serial)
+
+    rng = np.random.default_rng(3)
+    train_img = synthetic_image(args.size, rng)
+    test_img = synthetic_image(args.size, np.random.default_rng(17))
+    x_train = to_patches(train_img, ps)
+    x_test = to_patches(test_img, ps)
+    ratio = (ps * ps) / k
+    print(
+        f"compressing {args.size}x{args.size} image: {x_test.shape[1]} patches, "
+        f"{ps * ps} -> {k} coefficients ({ratio:.1f}x), datapath @ {args.freq:.0f} MHz"
+    )
+
+    print("characterising + optimising ...")
+    of_best = fw.optimize(x_train, beta=4.0).best_design()
+    klt = fw.klt_baselines(x_train)
+
+    rows = []
+    for name, design in [("OF", of_best)] + [
+        (f"KLT-{d.wordlengths[0]}", d) for d in klt
+    ]:
+        ev = fw.evaluate(design, x_test, Domain.ACTUAL)
+        rows.append(
+            (
+                name,
+                f"{ev.area_le:.0f}",
+                ev.mse,
+                f"{psnr(x_test, x_test) if ev.mse == 0 else 10.0 * np.log10(4.0 / ev.mse):.1f} dB",
+                f"{max(ev.extra['lane_error_rates']):.3f}",
+            )
+        )
+    print()
+    print(
+        render_table(
+            ["design", "area LE", "patch MSE", "PSNR", "worst lane error rate"],
+            rows,
+            title=f"Image compression quality @ {args.freq:.0f} MHz",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,174 @@
+"""The characterisation circuit: Fig. 3 assembled.
+
+One :class:`CharacterizationCircuit` owns a placed design under test on a
+specific device plus the supportive modules (stream BRAMs, FSM, PLL).  Its
+:meth:`run` executes one test: load the stimulus, clock the DUT at the
+requested (PLL-achievable) frequency, capture the outputs, return them to
+the host side.
+
+The heavy lifting — what the silicon does — is the transition timing
+simulation plus the jittered register-capture model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import CharacterizationError
+from ..fabric.device import FPGADevice
+from ..netlist.core import bits_from_ints
+from ..netlist.multipliers import unsigned_array_multiplier
+from ..synthesis.flow import PlacedDesign, SynthesisFlow
+from ..timing.capture import capture_stream
+from ..timing.simulator import TransitionTimingResult, simulate_transitions
+from .fsm import CharacterizationFSM
+from .stream import InputStreamBRAM, OutputStreamBRAM
+
+__all__ = ["CharacterizationCircuit", "TestRun"]
+
+
+@dataclass(frozen=True)
+class TestRun:
+    """Host-retrieved outcome of one characterisation run.
+
+    Attributes
+    ----------
+    multiplicand:
+        The fixed operand value of this run.
+    freq_mhz:
+        The achieved (PLL) DUT clock frequency.
+    captured:
+        The products the output BRAM recorded, one per capture cycle.
+    expected:
+        The exact products for the same stimulus.
+    """
+
+    multiplicand: int
+    freq_mhz: float
+    captured: np.ndarray
+    expected: np.ndarray
+
+    @property
+    def errors(self) -> np.ndarray:
+        """Signed numeric error per capture cycle."""
+        return self.captured - self.expected
+
+    @property
+    def error_rate(self) -> float:
+        return float((self.captured != self.expected).mean()) if self.captured.size else 0.0
+
+    @property
+    def error_variance(self) -> float:
+        return float(self.errors.var()) if self.captured.size else 0.0
+
+    @property
+    def error_mean(self) -> float:
+        return float(self.errors.mean()) if self.captured.size else 0.0
+
+
+class CharacterizationCircuit:
+    """A placed multiplier-under-test with its supportive harness.
+
+    Parameters
+    ----------
+    device:
+        The die hosting the circuit.
+    w_data:
+        Width of the streamed (random) operand.
+    w_coeff:
+        Width of the fixed operand (the multiplicand under test).
+    anchor:
+        Placement location of the DUT — the sweep variable of Fig. 4.
+    seed:
+        Synthesis seed for this instantiation.
+    """
+
+    def __init__(
+        self,
+        device: FPGADevice,
+        w_data: int,
+        w_coeff: int,
+        anchor: tuple[int, int] = (0, 0),
+        seed: int = 0,
+        fsm_clk_mhz: float = 50.0,
+        max_stream_depth: int = 32768,
+    ) -> None:
+        self.device = device
+        self.w_data = int(w_data)
+        self.w_coeff = int(w_coeff)
+        netlist = unsigned_array_multiplier(self.w_data, self.w_coeff)
+        self.placed: PlacedDesign = SynthesisFlow(device).run(
+            netlist, anchor=anchor, seed=seed
+        )
+        self.fsm = CharacterizationFSM(fsm_clk_mhz=fsm_clk_mhz)
+        self.input_bram = InputStreamBRAM(width=self.w_data, depth=max_stream_depth)
+        self.output_bram = OutputStreamBRAM(
+            width=self.w_data + self.w_coeff, depth=max_stream_depth
+        )
+        self.pll = device.family.pll
+
+    # ------------------------------------------------------------------
+    def simulate_stream(self, multiplicand: int, stimulus: np.ndarray) -> TransitionTimingResult:
+        """Run the DUT-side timing simulation for one fixed multiplicand.
+
+        Exposed separately so the harness can reuse one (expensive)
+        simulation across a whole frequency sweep — the physical analogue
+        being that the logic's settling behaviour does not depend on the
+        capture clock.
+        """
+        if not (0 <= multiplicand < (1 << self.w_coeff)):
+            raise CharacterizationError(
+                f"multiplicand {multiplicand} outside {self.w_coeff}-bit range"
+            )
+        self.input_bram.load(stimulus)
+        data = self.input_bram.read_all()
+        if data.shape[0] < 2:
+            raise CharacterizationError("stimulus must contain at least 2 words")
+        inputs = {
+            "a": bits_from_ints(data, self.w_data),
+            "b": bits_from_ints(np.full(data.shape[0], multiplicand), self.w_coeff),
+        }
+        return simulate_transitions(
+            self.placed.netlist, inputs, self.placed.node_delay, self.placed.edge_delay
+        )
+
+    def capture(
+        self,
+        timing: TransitionTimingResult,
+        multiplicand: int,
+        freq_mhz: float,
+        capture_rng: np.random.Generator,
+    ) -> TestRun:
+        """Capture a simulated stream at one (PLL-achievable) frequency."""
+        self.fsm.validate_dut_clock(freq_mhz)
+        clock = self.pll.synthesize(freq_mhz)
+        self.fsm.run_sequence()
+        result = capture_stream(
+            timing,
+            "p",
+            clock.achieved_mhz,
+            setup_ns=self.placed.setup_ns,
+            jitter=self.pll.jitter,
+            rng=capture_rng,
+        )
+        self.output_bram.write_all(result.captured_ints())
+        captured = self.output_bram.retrieve()
+        return TestRun(
+            multiplicand=multiplicand,
+            freq_mhz=clock.achieved_mhz,
+            captured=captured,
+            expected=result.ideal_ints(),
+        )
+
+    def run(
+        self,
+        multiplicand: int,
+        stimulus: np.ndarray,
+        freq_mhz: float,
+        capture_rng: np.random.Generator,
+    ) -> TestRun:
+        """Convenience: simulate and capture a single run."""
+        timing = self.simulate_stream(multiplicand, stimulus)
+        return self.capture(timing, multiplicand, freq_mhz, capture_rng)

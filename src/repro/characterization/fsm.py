@@ -1,0 +1,107 @@
+"""Controller FSM of the characterisation circuit (Fig. 3).
+
+The FSM lives in the safe ``fsm_clk`` domain and sequences one test run:
+
+``IDLE -> LOAD -> ARM -> RUN -> DRAIN -> DONE``
+
+The paper stresses that "special care has been given ... to ensure that
+the critical path is always within the design under test" (Sec. III-B): the
+supportive modules must stay comfortably error-free while the DUT clock is
+swept deep into the error regime.  The model enforces that invariant
+explicitly — configuring an ``fsm_clk`` above the supportive-logic Fmax is
+a hard error, because measurements taken that way would be garbage.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from ..errors import CharacterizationError
+
+__all__ = ["FSMState", "CharacterizationFSM"]
+
+#: STA Fmax of the supportive logic (counters, BRAM interface) — shallow
+#: logic on dedicated paths, far above any interesting DUT frequency.
+SUPPORT_LOGIC_FMAX_MHZ = 450.0
+
+
+class FSMState(enum.Enum):
+    IDLE = "idle"
+    LOAD = "load"
+    ARM = "arm"
+    RUN = "run"
+    DRAIN = "drain"
+    DONE = "done"
+
+
+_TRANSITIONS: dict[FSMState, FSMState] = {
+    FSMState.IDLE: FSMState.LOAD,
+    FSMState.LOAD: FSMState.ARM,
+    FSMState.ARM: FSMState.RUN,
+    FSMState.RUN: FSMState.DRAIN,
+    FSMState.DRAIN: FSMState.DONE,
+    FSMState.DONE: FSMState.IDLE,
+}
+
+
+@dataclass
+class CharacterizationFSM:
+    """Test-sequencing FSM with an enforced safe clock domain.
+
+    Parameters
+    ----------
+    fsm_clk_mhz:
+        Frequency of the control/BRAM clock domain.  Must not exceed the
+        supportive-logic Fmax.
+    """
+
+    fsm_clk_mhz: float = 50.0
+    state: FSMState = field(default=FSMState.IDLE)
+    completed_runs: int = 0
+
+    def __post_init__(self) -> None:
+        if self.fsm_clk_mhz <= 0:
+            raise CharacterizationError("fsm clock must be positive")
+        if self.fsm_clk_mhz > SUPPORT_LOGIC_FMAX_MHZ:
+            raise CharacterizationError(
+                f"fsm clock {self.fsm_clk_mhz} MHz exceeds supportive-logic "
+                f"Fmax {SUPPORT_LOGIC_FMAX_MHZ} MHz; measurements would be "
+                "corrupted by the controller itself"
+            )
+
+    def advance(self) -> FSMState:
+        """Advance to the next state of the run sequence."""
+        self.state = _TRANSITIONS[self.state]
+        if self.state == FSMState.DONE:
+            self.completed_runs += 1
+        return self.state
+
+    def require(self, expected: FSMState) -> None:
+        """Assert the FSM is in ``expected`` (protocol guard)."""
+        if self.state is not expected:
+            raise CharacterizationError(
+                f"FSM protocol violation: expected {expected.value}, "
+                f"in {self.state.value}"
+            )
+
+    def run_sequence(self) -> list[FSMState]:
+        """Drive one complete test sequence, returning the visited states."""
+        self.require(FSMState.IDLE)
+        visited = []
+        while True:
+            st = self.advance()
+            visited.append(st)
+            if st is FSMState.DONE:
+                break
+        self.advance()  # back to IDLE
+        return visited
+
+    def validate_dut_clock(self, mult_clk_mhz: float) -> None:
+        """Sanity-check a DUT clock request.
+
+        The DUT clock may exceed the support Fmax (that is the point), but
+        it must be a physical frequency.
+        """
+        if mult_clk_mhz <= 0:
+            raise CharacterizationError("DUT clock must be positive")

@@ -1,0 +1,225 @@
+"""Characterisation sweeps: frequency x location x multiplicand.
+
+Implements the paper's measurement procedure (Sec. III-C): one multiplier
+operand is enumerated through (a subset of) its possible values, the other
+is stimulated with a uniform random stream; the circuit is re-placed at
+several device locations; the capture clock is swept across and beyond the
+tool-reported Fmax.
+
+Performance notes (per the hpc-parallel guides): the transition timing
+simulation is the hot path and is independent of the capture frequency,
+so each simulated stream is reused across the whole frequency sweep; and
+multiple multiplicand segments are concatenated into one stream so the
+per-call overhead of the level loop is amortised.  Segment-boundary
+transitions (where the fixed operand artificially "switches") are masked
+out of the statistics — in hardware the constant is set between runs, not
+streamed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import CharacterizationError
+from ..fabric.device import FPGADevice
+from ..netlist.core import bits_from_ints
+from ..rng import SeedTree
+from ..synthesis.flow import SynthesisFlow
+from ..timing.simulator import simulate_transitions
+from .circuit import CharacterizationCircuit, TestRun
+from .results import CharacterizationResult
+
+__all__ = ["CharacterizationConfig", "characterize_multiplier", "error_trace"]
+
+
+@dataclass(frozen=True)
+class CharacterizationConfig:
+    """Sweep configuration.
+
+    Attributes
+    ----------
+    freqs_mhz:
+        Clock frequencies to request from the PLL.
+    n_samples:
+        Capture cycles per (multiplicand, location) cell.  The paper used
+        29 400; benches scale this down.
+    multiplicands:
+        Fixed-operand values; ``None`` enumerates the full coefficient
+        range (the paper's procedure).
+    n_locations:
+        Number of placement anchors probed across the die.
+    segment_chunk:
+        Multiplicand segments fused into one timing simulation.
+    """
+
+    freqs_mhz: tuple[float, ...] = (270.0, 290.0, 310.0, 330.0, 350.0)
+    n_samples: int = 1000
+    multiplicands: tuple[int, ...] | None = None
+    n_locations: int = 2
+    segment_chunk: int = 8
+
+    def __post_init__(self) -> None:
+        if not self.freqs_mhz:
+            raise CharacterizationError("at least one frequency required")
+        if any(f <= 0 for f in self.freqs_mhz):
+            raise CharacterizationError("frequencies must be positive")
+        if self.n_samples < 2:
+            raise CharacterizationError("n_samples must be >= 2")
+        if self.n_locations < 1:
+            raise CharacterizationError("n_locations must be >= 1")
+        if self.segment_chunk < 1:
+            raise CharacterizationError("segment_chunk must be >= 1")
+
+
+def _resolve_multiplicands(config: CharacterizationConfig, w_coeff: int) -> np.ndarray:
+    if config.multiplicands is None:
+        return np.arange(1 << w_coeff, dtype=np.int64)
+    m = np.asarray(config.multiplicands, dtype=np.int64)
+    if m.size == 0:
+        raise CharacterizationError("empty multiplicand list")
+    if m.min() < 0 or m.max() >= (1 << w_coeff):
+        raise CharacterizationError(
+            f"multiplicands outside the {w_coeff}-bit range"
+        )
+    return m
+
+
+def characterize_multiplier(
+    device: FPGADevice,
+    w_data: int,
+    w_coeff: int,
+    config: CharacterizationConfig = CharacterizationConfig(),
+    seed: int = 0,
+) -> CharacterizationResult:
+    """Run a full characterisation sweep of one multiplier geometry.
+
+    Returns the per-(location, multiplicand, frequency) error-statistic
+    grids.  Deterministic in ``(device.serial, seed, config)``.
+    """
+    tree = SeedTree(seed).child("characterization", f"{w_data}x{w_coeff}")
+    multiplicands = _resolve_multiplicands(config, w_coeff)
+
+    # The PLL can only hit a frequency grid; distinct requests may collapse
+    # onto one achievable clock.  Dedupe up front (keep the first request)
+    # so the result's frequency axis is strictly ascending.
+    pll0 = device.family.pll
+    seen: set[float] = set()
+    freq_requests: list[float] = []
+    for f in sorted(config.freqs_mhz):
+        achieved_f = round(pll0.synthesize(f).achieved_mhz, 6)
+        if achieved_f not in seen:
+            seen.add(achieved_f)
+            freq_requests.append(f)
+    config = CharacterizationConfig(
+        freqs_mhz=tuple(freq_requests),
+        n_samples=config.n_samples,
+        multiplicands=config.multiplicands,
+        n_locations=config.n_locations,
+        segment_chunk=config.segment_chunk,
+    )
+
+    flow = SynthesisFlow(device)
+    probe = CharacterizationCircuit(device, w_data, w_coeff, anchor=(0, 0), seed=seed)
+    locations = tuple(
+        flow.available_anchors(probe.placed.netlist, config.n_locations)
+    )
+
+    n_f = len(config.freqs_mhz)
+    n_m = multiplicands.shape[0]
+    n_l = len(locations)
+    variance = np.zeros((n_l, n_m, n_f))
+    mean = np.zeros((n_l, n_m, n_f))
+    rate = np.zeros((n_l, n_m, n_f))
+
+    seg_len = config.n_samples + 1  # one extra word to form n_samples transitions
+    pll = device.family.pll
+    achieved = [pll.synthesize(f).achieved_mhz for f in config.freqs_mhz]
+
+    for li, loc in enumerate(locations):
+        # The harness fuses several multiplicand segments into one stream
+        # (a software batching optimisation); size the stream buffers for
+        # the fused length — in hardware each segment is its own BRAM
+        # fill, so no single run exceeds the physical depth.
+        circuit = CharacterizationCircuit(
+            device,
+            w_data,
+            w_coeff,
+            anchor=loc,
+            seed=seed + li,
+            max_stream_depth=max(32768, seg_len * config.segment_chunk),
+        )
+        stim_rng = tree.rng("stimulus", str(loc))
+        for start in range(0, n_m, config.segment_chunk):
+            chunk = multiplicands[start : start + config.segment_chunk]
+            # Build one fused stream: each multiplicand gets its own
+            # contiguous segment of uniform random data.
+            stream = stim_rng.integers(
+                0, 1 << w_data, size=seg_len * chunk.shape[0], dtype=np.int64
+            )
+            b_stream = np.repeat(chunk, seg_len)
+            inputs = {
+                "a": bits_from_ints(stream, w_data),
+                "b": bits_from_ints(b_stream, w_coeff),
+            }
+            timing = simulate_transitions(
+                circuit.placed.netlist,
+                inputs,
+                circuit.placed.node_delay,
+                circuit.placed.edge_delay,
+            )
+            # Valid capture cycles: all transitions except each segment's
+            # first (the artificial multiplicand switch).
+            n_tr = seg_len * chunk.shape[0] - 1
+            valid = np.ones(n_tr, dtype=bool)
+            boundaries = np.arange(1, chunk.shape[0]) * seg_len - 1
+            valid[boundaries] = False
+            seg_of_transition = np.arange(n_tr) // seg_len
+
+            for fi, f in enumerate(config.freqs_mhz):
+                cap_rng = tree.rng("capture", str(loc), f"{f}", str(start))
+                run_all = circuit.capture(timing, int(chunk[0]), f, cap_rng)
+                errors = run_all.captured - run_all.expected
+                for ci in range(chunk.shape[0]):
+                    sel = valid & (seg_of_transition == ci)
+                    e = errors[sel]
+                    mi = start + ci
+                    variance[li, mi, fi] = float(e.var())
+                    mean[li, mi, fi] = float(e.mean())
+                    rate[li, mi, fi] = float((e != 0).mean())
+
+    freqs = np.asarray(achieved, dtype=float)
+    return CharacterizationResult(
+        w_data=w_data,
+        w_coeff=w_coeff,
+        device_serial=device.serial,
+        freqs_mhz=freqs,
+        multiplicands=multiplicands,
+        locations=locations,
+        variance=variance,
+        mean=mean,
+        error_rate=rate,
+        n_samples=config.n_samples,
+    )
+
+
+def error_trace(
+    device: FPGADevice,
+    multiplicand: int,
+    freq_mhz: float,
+    n_samples: int,
+    w_data: int = 8,
+    w_coeff: int = 8,
+    location: tuple[int, int] = (0, 0),
+    seed: int = 0,
+) -> TestRun:
+    """Single-run error trace for one multiplicand/frequency/location.
+
+    This is the paper's Fig. 4 measurement: the per-cycle error sequence
+    (and, from it, the error histogram) of one over-clocked run.
+    """
+    circuit = CharacterizationCircuit(device, w_data, w_coeff, anchor=location, seed=seed)
+    tree = SeedTree(seed).child("trace", str(location))
+    stim = tree.rng("stimulus").integers(0, 1 << w_data, size=n_samples + 1, dtype=np.int64)
+    return circuit.run(multiplicand, stim, freq_mhz, tree.rng("capture", f"{freq_mhz}"))

@@ -1,0 +1,154 @@
+"""Characterisation result containers and persistence.
+
+The central product is the grid of error statistics per
+``(location, multiplicand, frequency)`` — the raw material for the error
+model E(m, f) of paper Fig. 5 and the prior of Sec. V-B.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from ..errors import CharacterizationError
+
+__all__ = ["CharacterizationRecord", "CharacterizationResult"]
+
+
+@dataclass(frozen=True)
+class CharacterizationRecord:
+    """Error statistics of one (location, multiplicand, frequency) cell."""
+
+    location: tuple[int, int]
+    multiplicand: int
+    freq_mhz: float
+    variance: float
+    mean: float
+    error_rate: float
+    n_samples: int
+
+
+@dataclass(frozen=True)
+class CharacterizationResult:
+    """Full characterisation sweep of one multiplier geometry on one die.
+
+    Attributes
+    ----------
+    w_data, w_coeff:
+        Multiplier geometry (streamed operand x fixed operand widths).
+    device_serial:
+        Which die the data belongs to — the data is *device specific*.
+    freqs_mhz:
+        Achieved clock frequencies, shape ``(F,)``.
+    multiplicands:
+        Fixed-operand values characterised, shape ``(M,)``.
+    locations:
+        Placement anchors characterised, length ``L``.
+    variance, mean, error_rate:
+        Statistic grids of shape ``(L, M, F)``.
+    n_samples:
+        Capture cycles contributing to each cell.
+    """
+
+    w_data: int
+    w_coeff: int
+    device_serial: int
+    freqs_mhz: np.ndarray
+    multiplicands: np.ndarray
+    locations: tuple[tuple[int, int], ...]
+    variance: np.ndarray
+    mean: np.ndarray
+    error_rate: np.ndarray
+    n_samples: int
+
+    def __post_init__(self) -> None:
+        l, m, f = len(self.locations), len(self.multiplicands), len(self.freqs_mhz)
+        for name in ("variance", "mean", "error_rate"):
+            arr = getattr(self, name)
+            if arr.shape != (l, m, f):
+                raise CharacterizationError(
+                    f"{name} grid shape {arr.shape} != ({l}, {m}, {f})"
+                )
+
+    # ------------------------------------------------------------------
+    def location_index(self, location: tuple[int, int]) -> int:
+        try:
+            return self.locations.index(tuple(location))
+        except ValueError:
+            raise CharacterizationError(
+                f"location {location} not characterised; have {self.locations}"
+            ) from None
+
+    def variance_grid(self, location: tuple[int, int] | None = None) -> np.ndarray:
+        """E(m, f) variance grid, shape ``(M, F)``.
+
+        ``location=None`` averages over locations (a whole-device model);
+        otherwise the grid for the given anchor is returned (a placement-
+        specific model).
+        """
+        if location is None:
+            return self.variance.mean(axis=0)
+        return self.variance[self.location_index(location)]
+
+    def mean_grid(self, location: tuple[int, int] | None = None) -> np.ndarray:
+        if location is None:
+            return self.mean.mean(axis=0)
+        return self.mean[self.location_index(location)]
+
+    def records(self) -> list[CharacterizationRecord]:
+        """Flatten the grids into per-cell records."""
+        out = []
+        for li, loc in enumerate(self.locations):
+            for mi, m in enumerate(self.multiplicands):
+                for fi, f in enumerate(self.freqs_mhz):
+                    out.append(
+                        CharacterizationRecord(
+                            location=loc,
+                            multiplicand=int(m),
+                            freq_mhz=float(f),
+                            variance=float(self.variance[li, mi, fi]),
+                            mean=float(self.mean[li, mi, fi]),
+                            error_rate=float(self.error_rate[li, mi, fi]),
+                            n_samples=self.n_samples,
+                        )
+                    )
+        return out
+
+    # ------------------------------------------------------------------
+    def save(self, path: str | Path) -> None:
+        """Persist to an ``.npz`` archive."""
+        np.savez_compressed(
+            Path(path),
+            w_data=self.w_data,
+            w_coeff=self.w_coeff,
+            device_serial=self.device_serial,
+            freqs_mhz=self.freqs_mhz,
+            multiplicands=self.multiplicands,
+            locations=np.asarray(self.locations, dtype=np.int64),
+            variance=self.variance,
+            mean=self.mean,
+            error_rate=self.error_rate,
+            n_samples=self.n_samples,
+        )
+
+    @classmethod
+    def load(cls, path: str | Path) -> "CharacterizationResult":
+        """Load a result saved with :meth:`save`."""
+        p = Path(path)
+        if not p.exists():
+            raise CharacterizationError(f"no characterisation archive at {p}")
+        with np.load(p) as z:
+            return cls(
+                w_data=int(z["w_data"]),
+                w_coeff=int(z["w_coeff"]),
+                device_serial=int(z["device_serial"]),
+                freqs_mhz=z["freqs_mhz"],
+                multiplicands=z["multiplicands"],
+                locations=tuple(tuple(int(v) for v in row) for row in z["locations"]),
+                variance=z["variance"],
+                mean=z["mean"],
+                error_rate=z["error_rate"],
+                n_samples=int(z["n_samples"]),
+            )

@@ -1,0 +1,106 @@
+"""Stream BRAM models (the "input stream" / "output stream" blocks of Fig. 3).
+
+A Cyclone III memory block (M9K) holds 9 216 bits; a stream wider or deeper
+than one block stitches several blocks together.  The models enforce
+capacity and word-width like the real blocks would, count the M9K budget,
+and hand data across the two clock domains (the real circuit uses the
+BRAMs' true-dual-port mode for exactly this hand-off).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import CharacterizationError
+
+__all__ = ["M9K_BITS", "InputStreamBRAM", "OutputStreamBRAM"]
+
+#: Capacity of one Cyclone III M9K block in bits.
+M9K_BITS = 9216
+
+
+def _blocks_needed(depth: int, width: int) -> int:
+    """M9K blocks required for a ``depth`` x ``width`` stream buffer."""
+    if depth < 1 or width < 1:
+        raise CharacterizationError("stream dimensions must be >= 1")
+    return max(1, -(-(depth * width) // M9K_BITS))  # ceil division
+
+
+@dataclass
+class InputStreamBRAM:
+    """Stimulus buffer: preloaded by the host, drained by the DUT clock.
+
+    Parameters
+    ----------
+    width:
+        Word width in bits.
+    depth:
+        Number of words the buffer can hold.
+    """
+
+    width: int
+    depth: int
+    _data: np.ndarray | None = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        self.n_blocks = _blocks_needed(self.depth, self.width)
+
+    def load(self, words: np.ndarray) -> None:
+        """Host-side preload over JTAG.  Words must fit width and depth."""
+        w = np.asarray(words, dtype=np.int64)
+        if w.ndim != 1:
+            raise CharacterizationError("stream data must be one-dimensional")
+        if w.shape[0] > self.depth:
+            raise CharacterizationError(
+                f"stream of {w.shape[0]} words exceeds BRAM depth {self.depth}"
+            )
+        if w.size and (w.min() < 0 or w.max() >= (1 << self.width)):
+            raise CharacterizationError(
+                f"stream values outside [0, 2^{self.width})"
+            )
+        self._data = w.copy()
+
+    @property
+    def loaded(self) -> bool:
+        return self._data is not None
+
+    def read_all(self) -> np.ndarray:
+        """DUT-side sequential read-out of the loaded stimulus."""
+        if self._data is None:
+            raise CharacterizationError("input BRAM read before load")
+        return self._data
+
+    def clear(self) -> None:
+        self._data = None
+
+
+@dataclass
+class OutputStreamBRAM:
+    """Capture buffer: filled at the DUT clock, drained by the host."""
+
+    width: int
+    depth: int
+    _data: np.ndarray | None = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        self.n_blocks = _blocks_needed(self.depth, self.width)
+
+    def write_all(self, words: np.ndarray) -> None:
+        """DUT-side capture of a whole run."""
+        w = np.asarray(words, dtype=np.int64)
+        if w.shape[0] > self.depth:
+            raise CharacterizationError(
+                f"capture of {w.shape[0]} words exceeds BRAM depth {self.depth}"
+            )
+        # Width check is modular: the physical port truncates.
+        self._data = (w & ((1 << self.width) - 1)).copy()
+
+    def retrieve(self) -> np.ndarray:
+        """Host-side retrieval over JTAG; clears the buffer."""
+        if self._data is None:
+            raise CharacterizationError("output BRAM retrieved before any capture")
+        out = self._data
+        self._data = None
+        return out

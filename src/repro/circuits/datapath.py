@@ -1,0 +1,168 @@
+"""The linear-projection datapath on the fabric.
+
+Architecture (paper Sec. V: one MAC per output dimension, coefficients of
+a possibly different word-length per column):
+
+* input samples stream in one component ``x_p`` per cycle;
+* K MAC lanes run in parallel, lane ``k`` multiplying the current ``x_p``
+  magnitude by the magnitude of coefficient ``lambda_pk``;
+* the generic multiplier inside each lane is the timing-critical,
+  over-clocked component; the accumulator stage sits behind a pipeline
+  register on the fast dedicated carry chain and never limits the clock
+  ("the generic multipliers ... are the arithmetic operators with the most
+  critical paths in the data path").
+
+Each lane's multiplier is synthesised and placed separately, so the
+actual-domain behaviour inherits placement-and-routing variation per lane.
+"""
+
+from __future__ import annotations
+
+import math
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.design import LinearProjectionDesign
+from ..errors import DesignError
+from ..fabric.device import FPGADevice
+from ..netlist.core import bits_from_ints
+from ..netlist.multipliers import unsigned_array_multiplier
+from ..synthesis.flow import PlacedDesign, SynthesisFlow
+from ..timing.capture import capture_stream
+from ..timing.simulator import simulate_transitions
+
+__all__ = ["ProjectionDatapath", "LaneRun"]
+
+
+@dataclass(frozen=True)
+class LaneRun:
+    """Captured multiplier outputs of one MAC lane over a test stream."""
+
+    lane: int
+    captured_products: np.ndarray  # (n_mults,) ints
+    exact_products: np.ndarray  # (n_mults,) ints
+
+    @property
+    def error_rate(self) -> float:
+        if self.captured_products.size == 0:
+            return 0.0
+        return float((self.captured_products != self.exact_products).mean())
+
+
+class ProjectionDatapath:
+    """A design's K multiplier lanes placed on a device.
+
+    Parameters
+    ----------
+    design:
+        The linear-projection design to implement.
+    device:
+        The die to place on.
+    anchor:
+        Bottom-left corner of the datapath region; lanes tile rightwards.
+    seed:
+        Synthesis seed for the lanes.
+    """
+
+    def __init__(
+        self,
+        design: LinearProjectionDesign,
+        device: FPGADevice,
+        anchor: tuple[int, int] = (0, 0),
+        seed: int = 0,
+    ) -> None:
+        self.design = design
+        self.device = device
+        self.anchor = anchor
+        self.seed = seed
+        flow = SynthesisFlow(device)
+        self.lanes: list[PlacedDesign] = []
+        x, y = anchor
+        row_height = 0
+        for k, wl in enumerate(design.wordlengths):
+            netlist = unsigned_array_multiplier(design.w_data, wl).compile()
+
+            side = max(2, math.ceil(math.sqrt(netlist.n_nodes / 0.55)))
+            if x + side > device.cols:  # wrap to the next lane row
+                x = anchor[0]
+                y += row_height + 2
+                row_height = 0
+            if y + side > device.rows:
+                raise DesignError(
+                    "datapath lanes do not fit the device at this anchor"
+                )
+            placed = flow.run(netlist, anchor=(x, y), seed=seed + k)
+            self.lanes.append(placed)
+            x += placed.placement.region[0] + 2
+            row_height = max(row_height, placed.placement.region[1])
+
+    # ------------------------------------------------------------------
+    @property
+    def total_area_le(self) -> int:
+        """Synthesis-reported area of all lanes (the 'actual area')."""
+        return sum(l.area.logic_elements for l in self.lanes)
+
+    def tool_fmax_mhz(self) -> float:
+        """The conservative tool Fmax of the slowest lane."""
+        return min(l.tool_report.fmax_mhz for l in self.lanes)
+
+    def device_fmax_mhz(self) -> float:
+        """Device-true STA Fmax of the slowest lane (error-free bound)."""
+        return min(l.device_sta().fmax_mhz for l in self.lanes)
+
+    def run_lane(
+        self,
+        lane: int,
+        x_magnitudes: np.ndarray,
+        freq_mhz: float,
+        rng: np.random.Generator,
+    ) -> LaneRun:
+        """Run one lane's multiplier over the full test stream.
+
+        Parameters
+        ----------
+        x_magnitudes:
+            Input-data magnitudes, shape ``(P, N)``; the lane consumes
+            them column-major (p fastest), exactly the streaming order of
+            the hardware.
+        freq_mhz:
+            Over-clocked operating frequency.
+        rng:
+            Jitter randomness.
+        """
+        placed = self.lanes[lane]
+        wl = self.design.wordlengths[lane]
+        p, n = x_magnitudes.shape
+        if p != self.design.p:
+            raise DesignError(
+                f"x magnitudes have P={p}, design has P={self.design.p}"
+            )
+        a_stream = x_magnitudes.T.reshape(-1)  # sample-major, p fastest
+        b_stream = np.tile(self.design.magnitudes[:, lane], n)
+        # Pipeline priming word so every real multiplication has a
+        # predecessor transition.
+        a_stream = np.concatenate([[0], a_stream])
+        b_stream = np.concatenate([[0], b_stream])
+        inputs = {
+            "a": bits_from_ints(a_stream, self.design.w_data),
+            "b": bits_from_ints(b_stream, wl),
+        }
+        timing = simulate_transitions(
+            placed.netlist, inputs, placed.node_delay, placed.edge_delay
+        )
+        clock = self.device.family.pll.synthesize(freq_mhz)
+        cap = capture_stream(
+            timing,
+            "p",
+            clock.achieved_mhz,
+            setup_ns=placed.setup_ns,
+            jitter=self.device.family.pll.jitter,
+            rng=rng,
+        )
+        return LaneRun(
+            lane=lane,
+            captured_products=cap.captured_ints(),
+            exact_products=cap.ideal_ints(),
+        )

@@ -1,0 +1,31 @@
+"""Evaluation-domain definitions (paper Sec. VI)."""
+
+from __future__ import annotations
+
+import enum
+
+__all__ = ["Domain"]
+
+
+class Domain(enum.Enum):
+    """The three evaluation domains of the paper's methodology.
+
+    PREDICTED
+        The optimisation framework's own estimate: reconstruction MSE of
+        the quantised basis on data plus the error model's variance term.
+        No randomness beyond the data.
+    SIMULATED
+        Software execution of the fixed-point datapath with errors
+        injected per the characterised (mean, variance) of each
+        coefficient at the target frequency.  "Provides an insight of the
+        quality of the error model" (Sec. VI).
+    ACTUAL
+        Execution on the device model: every multiplication runs through
+        the placed multiplier's transition timing simulation with jittered
+        register capture.  Deviates from SIMULATED through placement and
+        routing variation, exactly as on real silicon.
+    """
+
+    PREDICTED = "predicted"
+    SIMULATED = "simulated"
+    ACTUAL = "actual"

@@ -1,0 +1,219 @@
+"""Design evaluation in the predicted / simulated / actual domains.
+
+The three domains share the test data and differ only in where the
+over-clocking errors come from:
+
+* PREDICTED: the error model's variance term added to the quantised
+  basis's reconstruction MSE (no sampling);
+* SIMULATED: zero-mean Gaussian errors with the characterised per-
+  coefficient variance injected into each multiplication of a software
+  fixed-point execution;
+* ACTUAL: the placed datapath's multipliers run through the timing
+  simulation; captured products are centred by the characterised error
+  mean (the paper's subtract-a-constant trick) and accumulated.
+
+MSE is always the reconstruction error in the original data space
+(paper Fig. 10/11 y-axis).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.design import LinearProjectionDesign
+from ..core.objective import objective_t
+from ..core.quantize import quantize_data
+from ..errors import DesignError
+from ..fabric.device import FPGADevice
+from ..models.error_model import ErrorModelSet
+from ..rng import SeedTree
+from .datapath import ProjectionDatapath
+from .domains import Domain
+
+__all__ = ["DomainEvaluation", "evaluate_design", "evaluate_domains"]
+
+
+@dataclass(frozen=True)
+class DomainEvaluation:
+    """A design's measured performance in one domain."""
+
+    domain: Domain
+    mse: float
+    area_le: float
+    freq_mhz: float
+    extra: dict = field(default_factory=dict, compare=False)
+
+
+def _dual_reconstruct(design: LinearProjectionDesign, factors: np.ndarray) -> np.ndarray:
+    """Host-side reconstruction ``X_hat = Lambda (Lambda^T Lambda)^-1 F``.
+
+    The hardware emits ``F = Lambda^T X`` (plus errors); the dual basis is
+    the natural least-squares reconstruction and coincides with plain
+    ``Lambda F`` exactly when the basis is orthonormal — the paper's
+    working assumption (Sec. V-A).
+    """
+    lam = design.values
+    gram = lam.T @ lam
+    eps = 1e-12 * max(1.0, float(np.trace(gram)))
+    return lam @ np.linalg.solve(gram + eps * np.eye(design.k), factors)
+
+
+def _check_test_data(design: LinearProjectionDesign, x_test: np.ndarray) -> np.ndarray:
+    x = np.asarray(x_test, dtype=float)
+    if x.ndim != 2 or x.shape[0] != design.p:
+        raise DesignError(
+            f"test data must be ({design.p}, N), got {x.shape}"
+        )
+    return x
+
+
+def _fixed_point_products(
+    design: LinearProjectionDesign, x_test: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, float]:
+    """Exact fixed-point per-multiplication values and factor matrix.
+
+    Returns ``(products, factors, peak)`` where ``products[p, k, i]`` is
+    the signed value of multiplication ``lambda_pk * x_pi`` and
+    ``factors = products.sum(axis=0)`` is the exact fixed-point ``F``.
+    """
+    q = quantize_data(x_test, design.w_data)
+    peak = float(np.abs(x_test).max()) if x_test.size else 0.0
+    # Integer products and their value scaling.
+    prods = np.empty((design.p, design.k, x_test.shape[1]))
+    for k, wl in enumerate(design.wordlengths):
+        scale = peak * 2.0 ** (-(design.w_data + wl))
+        mag = q.magnitudes * design.magnitudes[:, k][:, None]  # (P, N) ints
+        sign = q.signs * design.signs[:, k][:, None]
+        prods[:, k, :] = sign * mag * scale
+    factors = prods.sum(axis=0)  # (K, N)
+    return prods, factors, peak
+
+
+def evaluate_design(
+    design: LinearProjectionDesign,
+    x_test: np.ndarray,
+    domain: Domain,
+    error_models: ErrorModelSet | None = None,
+    device: FPGADevice | None = None,
+    anchor: tuple[int, int] = (0, 0),
+    seed: int = 0,
+) -> DomainEvaluation:
+    """Evaluate one design in one domain.
+
+    ``error_models`` is required for PREDICTED and SIMULATED;
+    ``device`` is required for ACTUAL.
+    """
+    x = _check_test_data(design, x_test)
+    freq = design.freq_mhz
+    area = float(design.area_le) if design.area_le is not None else float("nan")
+
+    if domain is Domain.PREDICTED:
+        if error_models is None:
+            raise DesignError("PREDICTED domain needs error models")
+        parts = objective_t(design, x, error_models)
+        return DomainEvaluation(
+            domain=domain,
+            mse=parts["objective_t"],
+            area_le=area,
+            freq_mhz=freq,
+            extra=parts,
+        )
+
+    if domain is Domain.SIMULATED:
+        if error_models is None:
+            raise DesignError("SIMULATED domain needs error models")
+        rng = SeedTree(seed).rng("simulated", design.method, str(design.wordlengths))
+        _, factors, peak = _fixed_point_products(design, x)
+        noisy = factors.copy()
+        rates = []
+        for k, wl in enumerate(design.wordlengths):
+            model = error_models.model(wl)
+            var_int = model.query(design.magnitudes[:, k], freq)  # (P,)
+            val_scale = (peak * 2.0 ** (-(design.w_data + wl))) ** 2
+            var_val = var_int * val_scale
+            # One zero-mean draw per multiplication, summed over p.
+            eps = rng.normal(size=(design.p, x.shape[1])) * np.sqrt(var_val)[:, None]
+            noisy[k] += eps.sum(axis=0)
+            rates.append(float(np.count_nonzero(var_int > 0)) / design.p)
+        x_hat = _dual_reconstruct(design, noisy)
+        mse = float(((x - x_hat) ** 2).mean())
+        return DomainEvaluation(
+            domain=domain,
+            mse=mse,
+            area_le=area,
+            freq_mhz=freq,
+            extra={"erroneous_coeff_fraction": float(np.mean(rates))},
+        )
+
+    if domain is Domain.ACTUAL:
+        if device is None:
+            raise DesignError("ACTUAL domain needs a device")
+        datapath = ProjectionDatapath(design, device, anchor=anchor, seed=seed)
+        q = quantize_data(x, design.w_data)
+        peak = float(np.abs(x).max()) if x.size else 0.0
+        n = x.shape[1]
+        tree = SeedTree(seed).child("actual", design.method)
+        factors = np.empty((design.k, n))
+        lane_rates = []
+        for k, wl in enumerate(design.wordlengths):
+            run = datapath.run_lane(
+                k, q.magnitudes, freq, tree.rng(f"lane{k}", "jitter")
+            )
+            prod_int = run.captured_products.astype(float)
+            if error_models is not None:
+                # Zero-mean correction: subtract the characterised error
+                # mean of each coefficient (a constant in the circuit).
+                mean_all = error_models.model(wl).mean_at(freq)
+                mean_per_p = mean_all[design.magnitudes[:, k]]
+                prod_int -= np.tile(mean_per_p, n)
+            sign = (q.signs * design.signs[:, k][:, None]).T.reshape(-1)
+            val = sign * prod_int * peak * 2.0 ** (-(design.w_data + wl))
+            factors[k] = val.reshape(n, design.p).sum(axis=1)
+            lane_rates.append(run.error_rate)
+        x_hat = _dual_reconstruct(design, factors)
+        mse = float(((x - x_hat) ** 2).mean())
+        return DomainEvaluation(
+            domain=domain,
+            mse=mse,
+            area_le=float(datapath.total_area_le),
+            freq_mhz=freq,
+            extra={
+                "lane_error_rates": lane_rates,
+                "tool_fmax_mhz": datapath.tool_fmax_mhz(),
+                "device_fmax_mhz": datapath.device_fmax_mhz(),
+            },
+        )
+
+    raise DesignError(f"unknown domain {domain!r}")
+
+
+def evaluate_domains(
+    design: LinearProjectionDesign,
+    x_test: np.ndarray,
+    error_models: ErrorModelSet,
+    device: FPGADevice,
+    anchor: tuple[int, int] = (0, 0),
+    seed: int = 0,
+) -> dict[Domain, DomainEvaluation]:
+    """Evaluate a design in all three domains (paper Fig. 10).
+
+    The predicted and simulated rows reuse the actual run's synthesis-
+    reported area, matching the paper's note that "all area results refer
+    to the actual area utilised by the design".
+    """
+    actual = evaluate_design(
+        design, x_test, Domain.ACTUAL, error_models, device, anchor, seed
+    )
+    out = {Domain.ACTUAL: actual}
+    for domain in (Domain.PREDICTED, Domain.SIMULATED):
+        ev = evaluate_design(design, x_test, domain, error_models, seed=seed)
+        out[domain] = DomainEvaluation(
+            domain=domain,
+            mse=ev.mse,
+            area_le=actual.area_le,
+            freq_mhz=ev.freq_mhz,
+            extra=ev.extra,
+        )
+    return out

@@ -1,0 +1,180 @@
+"""Command-line entry point: ``repro-experiment <name>``.
+
+Runs one of the paper's experiments at a configurable scale and prints
+the figure's numeric series as ASCII tables.
+
+Examples
+--------
+::
+
+    repro-experiment fig5 --scale 0.05 --seed 42
+    repro-experiment fig11 --scale 0.1
+    repro-experiment table1
+    repro-experiment runtime
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+import numpy as np
+
+from .eval import figures, tables
+from .eval.context import ExperimentContext
+from .eval.report import render_table
+
+__all__ = ["main"]
+
+_FIGURES = {
+    "fig1": figures.fig1,
+    "fig4": figures.fig4,
+    "fig5": figures.fig5,
+    "fig6": figures.fig6,
+    "fig7": figures.fig7,
+    "fig8": figures.fig8,
+    "fig9": figures.fig9,
+    "fig10": figures.fig10,
+    "fig11": figures.fig11,
+    "headline": figures.headline,
+}
+
+
+def _print_result(name: str, result: dict) -> None:
+    if name == "headline":
+        rows = [
+            (r["configuration"], r["freq_mhz"], r["mse"], r["area_le"])
+            for r in result["rows"]
+        ]
+        print(
+            render_table(
+                ["configuration", "clock MHz", "actual MSE", "area LE"],
+                rows,
+                title="Headline: throughput vs errors",
+            )
+        )
+        print(
+            f"throughput gain {result['throughput_gain']:.2f}x; OF vs KLT @ "
+            f"target MSE ratio {result['of_vs_klt_at_target_mse_ratio']:.1f}x"
+        )
+        return
+    if name == "fig8":
+        rows = [
+            (
+                r["wordlength"],
+                r["tool_fmax_mhz"],
+                r["device_sta_fmax_mhz"],
+                r["datapath_fmax_mhz"],
+                r["error_onset_range_mhz"][1],
+            )
+            for r in result["rows"]
+        ]
+        print(
+            render_table(
+                ["wl", "tool Fmax", "STA Fmax", "data-path Fmax", "fC"],
+                rows,
+                title="Fig. 8: maximum clock frequencies vs word-length",
+            )
+        )
+        print(
+            f"target {result['target_freq_mhz']} MHz = "
+            f"{result['overclock_factor_vs_9bit_tool']:.2f}x the 9-bit tool Fmax"
+        )
+        return
+    if name == "fig10":
+        rows = [
+            (
+                str(r["wordlengths"]),
+                r["area_le"],
+                r["predicted_mse"],
+                r["simulated_mse"],
+                r["actual_mse"],
+            )
+            for r in result["rows"]
+        ]
+        print(
+            render_table(
+                ["wordlengths", "area LE", "predicted", "simulated", "actual"],
+                rows,
+                title=f"Fig. 10: domains @ {result['freq_mhz']} MHz (beta={result['beta']})",
+            )
+        )
+        return
+    if name == "fig11":
+        rows = [
+            ("OF", str(r["wordlengths"]), r["area_le"], r["actual_mse"])
+            for r in result["of_rows"]
+        ] + [
+            ("KLT", r["wordlength"], r["area_le"], r["actual_mse"])
+            for r in result["klt_rows"]
+        ]
+        print(
+            render_table(
+                ["family", "wl", "area LE", "actual MSE"],
+                rows,
+                title=f"Fig. 11: OF vs KLT @ {result['freq_mhz']} MHz",
+            )
+        )
+        print(
+            f"geometric-mean improvement at comparable area: "
+            f"{result['geometric_mean_improvement']:.1f}x"
+        )
+        return
+    # Generic fallback: JSON (numpy arrays summarised).
+    def default(o: object) -> object:
+        if isinstance(o, np.ndarray):
+            return {
+                "shape": list(o.shape),
+                "mean": float(o.mean()),
+                "min": float(o.min()),
+                "max": float(o.max()),
+            }
+        if isinstance(o, (np.integer, np.floating)):
+            return o.item()
+        return str(o)
+
+    print(json.dumps(result, indent=2, default=default))
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="repro-experiment",
+        description="Regenerate a figure/table of the IPDPSW'14 over-clocked "
+        "linear-projection paper.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(_FIGURES) + ["table1", "runtime", "all"],
+        help="which experiment to run",
+    )
+    parser.add_argument("--seed", type=int, default=42, help="root seed / device serial")
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=0.05,
+        help="fraction of the paper's Table-I sample counts (1.0 = full)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.experiment == "table1":
+        _print_result("table1", tables.table1())
+        return 0
+
+    ctx = ExperimentContext.get(seed=args.seed, scale=args.scale)
+    if args.experiment == "runtime":
+        _print_result("runtime", tables.runtime_model_table(ctx))
+        return 0
+    if args.experiment == "all":
+        for name, fn in _FIGURES.items():
+            print(f"==== {name} ====")
+            _print_result(name, fn(ctx))
+        _print_result("runtime", tables.runtime_model_table(ctx))
+        return 0
+    _print_result(args.experiment, _FIGURES[args.experiment](ctx))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

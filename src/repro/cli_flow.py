@@ -1,0 +1,181 @@
+"""Shell workflow for the per-device flow: ``repro-flow``.
+
+The paper's deployment story as shell steps, with artefacts persisted in a
+:class:`~repro.workspace.Workspace` so each stage can run in its own
+session (or on another machine):
+
+::
+
+    repro-flow init      WS --serial 42 --scale 0.1
+    repro-flow characterize WS
+    repro-flow fit-area  WS
+    repro-flow optimize  WS --beta 4.0 --name run1
+    repro-flow evaluate  WS --name run1 --domain actual
+    repro-flow status    WS
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from .characterization.harness import CharacterizationConfig, characterize_multiplier
+from .circuits.domains import Domain
+from .config import TableISettings
+from .datasets import low_rank_gaussian
+from .eval.report import render_table
+from .fabric.device import make_device
+from .framework import default_frequency_grid
+from .models.area_model import collect_area_samples, fit_area_model
+from .workspace import Workspace
+
+__all__ = ["main"]
+
+
+def _cmd_init(args: argparse.Namespace) -> int:
+    ws = Workspace(args.workspace)
+    settings = TableISettings().scaled(args.scale)
+    device = make_device(args.serial)
+    ws.initialize(device, settings, seed=args.serial)
+    print(f"initialised workspace {ws.root} for device serial {args.serial} "
+          f"({settings.n_characterization} characterisation cases/cell)")
+    return 0
+
+
+def _cmd_characterize(args: argparse.Namespace) -> int:
+    ws = Workspace(args.workspace)
+    device = ws.device()
+    settings = ws.settings()
+    cfg = CharacterizationConfig(
+        freqs_mhz=default_frequency_grid(settings.clock_frequency_mhz),
+        n_samples=settings.n_characterization,
+        n_locations=2,
+    )
+    for wl in settings.coeff_wordlengths:
+        print(f"characterising {settings.input_wordlength}x{wl} ...", flush=True)
+        result = characterize_multiplier(
+            device, settings.input_wordlength, wl, cfg, seed=ws.seed()
+        )
+        path = ws.save_characterization(wl, result)
+        print(f"  -> {path}")
+    return 0
+
+
+def _cmd_fit_area(args: argparse.Namespace) -> int:
+    ws = Workspace(args.workspace)
+    settings = ws.settings()
+    samples = collect_area_samples(
+        ws.device(),
+        settings.coeff_wordlengths,
+        w_data=settings.input_wordlength,
+        n_runs=6,
+        seed=ws.seed(),
+    )
+    degree = max(1, min(2, len(set(settings.coeff_wordlengths)) - 1))
+    model = fit_area_model(samples, degree=degree)
+    path = ws.save_area_model(model)
+    print(f"fitted area model (relative sigma {model.residual_sigma:.1%}) -> {path}")
+    return 0
+
+
+def _training_data(ws: Workspace) -> tuple[np.ndarray, np.ndarray]:
+    settings = ws.settings()
+    x = low_rank_gaussian(
+        settings.p,
+        settings.k,
+        settings.n_train + settings.n_test,
+        np.random.default_rng(ws.seed()),
+        noise=0.02,
+    )
+    return x[:, : settings.n_train], x[:, settings.n_train :]
+
+
+def _cmd_optimize(args: argparse.Namespace) -> int:
+    ws = Workspace(args.workspace)
+    fw = ws.framework()
+    x_train, _ = _training_data(ws)
+    result = fw.optimize(x_train, beta=args.beta)
+    path = ws.save_design_set(args.name, result.designs)
+    print(f"Algorithm 1 produced {len(result.designs)} designs "
+          f"(beta={args.beta}) -> {path}")
+    for d in sorted(result.designs, key=lambda d: d.area_le or 0):
+        print(f"  {d.describe()} T={d.metadata['objective_t']:.3e}")
+    return 0
+
+
+def _cmd_evaluate(args: argparse.Namespace) -> int:
+    ws = Workspace(args.workspace)
+    fw = ws.framework()
+    _, x_test = _training_data(ws)
+    designs = ws.load_design_set(args.name)
+    domain = Domain(args.domain)
+    rows = []
+    for d in sorted(designs, key=lambda d: d.area_le or 0):
+        ev = fw.evaluate(d, x_test, domain)
+        rows.append((str(d.wordlengths), f"{ev.area_le:.0f}", ev.mse))
+    print(render_table(
+        ["wordlengths", "area LE", f"{domain.value} MSE"],
+        rows,
+        title=f"design set {args.name!r} @ {ws.settings().clock_frequency_mhz:.0f} MHz",
+    ))
+    return 0
+
+
+def _cmd_status(args: argparse.Namespace) -> int:
+    ws = Workspace(args.workspace)
+    meta = ws.device().report()
+    print(f"workspace: {ws.root}")
+    print(f"device: {meta['family']} serial {meta['serial']}")
+    wls = ws.characterized_wordlengths()
+    print(f"characterised word-lengths: {wls or 'none'}")
+    print(f"area model: {'fitted' if ws.area_model_path.exists() else 'missing'}")
+    print(f"design sets: {ws.design_sets() or 'none'}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-flow",
+        description="Per-device optimisation flow with persistent artefacts.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("init", help="create a workspace for one device")
+    p.add_argument("workspace")
+    p.add_argument("--serial", type=int, default=42)
+    p.add_argument("--scale", type=float, default=0.05,
+                   help="fraction of Table I's sample counts")
+    p.set_defaults(fn=_cmd_init)
+
+    p = sub.add_parser("characterize", help="run the multiplier characterisation")
+    p.add_argument("workspace")
+    p.set_defaults(fn=_cmd_characterize)
+
+    p = sub.add_parser("fit-area", help="fit the LE-cost model")
+    p.add_argument("workspace")
+    p.set_defaults(fn=_cmd_fit_area)
+
+    p = sub.add_parser("optimize", help="run Algorithm 1")
+    p.add_argument("workspace")
+    p.add_argument("--beta", type=float, default=4.0)
+    p.add_argument("--name", default="run1", help="design-set name")
+    p.set_defaults(fn=_cmd_optimize)
+
+    p = sub.add_parser("evaluate", help="evaluate a stored design set")
+    p.add_argument("workspace")
+    p.add_argument("--name", default="run1")
+    p.add_argument("--domain", choices=[d.value for d in Domain], default="actual")
+    p.set_defaults(fn=_cmd_evaluate)
+
+    p = sub.add_parser("status", help="show workspace contents")
+    p.add_argument("workspace")
+    p.set_defaults(fn=_cmd_status)
+
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

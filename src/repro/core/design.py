@@ -1,0 +1,135 @@
+"""Design records: the artefacts Algorithm 1 produces and evaluates.
+
+A :class:`LinearProjectionDesign` is a fully specified hardware-ready
+projection: quantised coefficient values, their integer magnitudes and
+signs (what the datapath's multipliers actually see), per-column
+word-lengths, the data word-length and the target clock.
+
+A :class:`DesignPoint` pairs a design with its evaluated metrics in one
+evaluation domain (predicted / simulated / actual) for the Pareto plots
+of Figs. 10-11.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from ..errors import DesignError
+
+__all__ = ["LinearProjectionDesign", "DesignPoint"]
+
+
+@dataclass(frozen=True)
+class LinearProjectionDesign:
+    """A quantised linear-projection design.
+
+    Attributes
+    ----------
+    values:
+        Quantised coefficient values, shape ``(P, K)``.
+    magnitudes, signs:
+        Sign-magnitude decomposition of ``values`` (integer magnitudes in
+        the per-column word-length ranges; signs ``+-1``).
+    wordlengths:
+        Magnitude word-length per column, length ``K``.
+    w_data:
+        Input-data magnitude word-length.
+    freq_mhz:
+        Target clock frequency the design is meant to run at.
+    area_le:
+        Estimated (area-model) logic-element cost; ``None`` if not yet
+        estimated.
+    method:
+        Provenance tag (``"klt"``, ``"of"``, ...).
+    """
+
+    values: np.ndarray
+    magnitudes: np.ndarray
+    signs: np.ndarray
+    wordlengths: tuple[int, ...]
+    w_data: int
+    freq_mhz: float
+    area_le: float | None = None
+    method: str = "of"
+    metadata: dict = field(default_factory=dict, compare=False)
+
+    def __post_init__(self) -> None:
+        v = np.asarray(self.values)
+        if v.ndim != 2:
+            raise DesignError(f"values must be (P, K), got {v.shape}")
+        p, k = v.shape
+        if len(self.wordlengths) != k:
+            raise DesignError(
+                f"{k} columns but {len(self.wordlengths)} wordlengths"
+            )
+        if self.magnitudes.shape != (p, k) or self.signs.shape != (p, k):
+            raise DesignError("magnitude/sign shapes do not match values")
+        for j, wl in enumerate(self.wordlengths):
+            if wl < 1:
+                raise DesignError(f"column {j} has invalid wordlength {wl}")
+            col = self.magnitudes[:, j]
+            if col.size and (col.min() < 0 or col.max() >= (1 << wl)):
+                raise DesignError(
+                    f"column {j} magnitudes exceed {wl}-bit range"
+                )
+        if self.w_data < 1:
+            raise DesignError("w_data must be >= 1")
+        if self.freq_mhz <= 0:
+            raise DesignError("freq_mhz must be positive")
+
+    # ------------------------------------------------------------------
+    @property
+    def p(self) -> int:
+        return int(self.values.shape[0])
+
+    @property
+    def k(self) -> int:
+        return int(self.values.shape[1])
+
+    @property
+    def lambda_matrix(self) -> np.ndarray:
+        """The quantised projection matrix (alias for ``values``)."""
+        return self.values
+
+    def column(self, j: int) -> np.ndarray:
+        return self.values[:, j]
+
+    def project(self, x: np.ndarray) -> np.ndarray:
+        """Ideal (float) projection ``F = Lambda^T X`` (paper eq. 1)."""
+        return self.values.T @ np.asarray(x, dtype=float)
+
+    def reconstruct(self, f: np.ndarray) -> np.ndarray:
+        """Ideal (float) reconstruction ``X_hat = Lambda F`` (eq. 2)."""
+        return self.values @ np.asarray(f, dtype=float)
+
+    def with_area(self, area_le: float) -> "LinearProjectionDesign":
+        return replace(self, area_le=float(area_le))
+
+    def describe(self) -> str:
+        """One-line human summary."""
+        wls = ",".join(str(w) for w in self.wordlengths)
+        area = f"{self.area_le:.0f} LE" if self.area_le is not None else "?"
+        return (
+            f"<{self.method} design P={self.p} K={self.k} wl=[{wls}] "
+            f"@ {self.freq_mhz:.0f} MHz, {area}>"
+        )
+
+
+@dataclass(frozen=True)
+class DesignPoint:
+    """A design with metrics from one evaluation domain."""
+
+    design: LinearProjectionDesign
+    domain: str
+    mse: float
+    area_le: float
+    freq_mhz: float
+    extra: dict = field(default_factory=dict, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.mse < 0:
+            raise DesignError("MSE cannot be negative")
+        if self.area_le < 0:
+            raise DesignError("area cannot be negative")

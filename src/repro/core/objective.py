@@ -1,0 +1,143 @@
+"""The objective function T (paper eq. 5 and Sec. V-A).
+
+``T = tr E[(X - X_hat)^T (X - X_hat)]`` decomposes, for zero-mean
+uncorrelated multiplier errors and an (approximately) orthonormal basis,
+into
+
+``T = reconstruction_MSE + sum_j var(epsilon_j)``
+
+— the dimensionality-reduction error plus the total over-clocking error
+variance, in one scalar, "without any need to formulate a problem using a
+multi-objective function".
+
+Unit convention: we report T normalised per matrix element (divide by
+P*N), as Algorithm 1 does for its MSE term; the over-clocking term is then
+``sum_j var(eps_j) / P``.  Variances from the error model are converted
+from integer-product units to value units by ``2**(-2*(w_data + wl))``
+(both operands are fixed-point fractions).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import DesignError, ModelError
+from ..models.error_model import ErrorModelSet
+from .design import LinearProjectionDesign
+
+__all__ = [
+    "reconstruction_mse",
+    "overclocking_variance",
+    "objective_t",
+    "ls_factors",
+    "dual_gram_diagonal",
+]
+
+
+def ls_factors(lam: np.ndarray, x: np.ndarray) -> np.ndarray:
+    """Least-squares factors ``F = (Lambda^T Lambda)^-1 Lambda^T X``.
+
+    This is Algorithm 1's factor estimate; it tolerates the slightly
+    non-orthonormal bases that quantisation produces.
+    """
+    lam = np.asarray(lam, dtype=float)
+    x = np.asarray(x, dtype=float)
+    if lam.ndim != 2 or x.ndim != 2 or lam.shape[0] != x.shape[0]:
+        raise DesignError(
+            f"shape mismatch: Lambda {lam.shape} vs X {x.shape}"
+        )
+    gram = lam.T @ lam
+    # Regularise all-zero columns so degenerate candidates evaluate
+    # instead of crashing (they simply explain nothing).
+    eps = 1e-12 * max(1.0, float(np.trace(gram)))
+    gram = gram + eps * np.eye(gram.shape[0])
+    return np.linalg.solve(gram, lam.T @ x)
+
+
+def reconstruction_mse(lam: np.ndarray, x: np.ndarray) -> float:
+    """Per-element reconstruction MSE of data ``x`` through basis ``lam``."""
+    f = ls_factors(lam, x)
+    err = x - lam @ f
+    return float((err**2).sum() / err.size)
+
+
+def magnitude_variances(
+    magnitudes: np.ndarray,
+    wordlength: int,
+    w_data: int,
+    freq_mhz: float,
+    error_models: ErrorModelSet,
+) -> np.ndarray:
+    """Per-coefficient over-clocking variance in *value* units.
+
+    ``magnitudes`` holds one column's integer magnitudes.
+    """
+    model = error_models.model(wordlength)
+    if model.w_data != w_data:
+        raise ModelError(
+            f"error model characterised for w_data={model.w_data}, "
+            f"design uses {w_data}"
+        )
+    var_int = model.query(np.asarray(magnitudes, dtype=np.int64), freq_mhz)
+    scale = 2.0 ** (-2 * (w_data + wordlength))
+    return var_int * scale
+
+
+def overclocking_variance(
+    design: LinearProjectionDesign,
+    error_models: ErrorModelSet,
+    freq_mhz: float | None = None,
+) -> np.ndarray:
+    """``var(epsilon_j)`` per column (value units), shape ``(K,)``.
+
+    Multiplier errors are assumed uncorrelated (paper Sec. V-A), so a
+    column's factor-error variance is the sum of its P per-coefficient
+    variances.
+    """
+    f = design.freq_mhz if freq_mhz is None else freq_mhz
+    out = np.empty(design.k)
+    for j, wl in enumerate(design.wordlengths):
+        per_coeff = magnitude_variances(
+            design.magnitudes[:, j], wl, design.w_data, f, error_models
+        )
+        out[j] = per_coeff.sum()
+    return out
+
+
+def dual_gram_diagonal(lam: np.ndarray) -> np.ndarray:
+    """Diagonal of ``(Lambda^T Lambda)^-1`` — the error amplification of
+    the dual-basis reconstruction.
+
+    For an orthonormal basis this is all ones and the objective reduces
+    to the paper's eq. (5) form; quantised/sampled bases deviate slightly
+    and the weight keeps the predicted over-clocking term faithful to
+    what the host-side reconstruction actually amplifies.
+    """
+    lam = np.asarray(lam, dtype=float)
+    gram = lam.T @ lam
+    eps = 1e-12 * max(1.0, float(np.trace(gram)))
+    return np.diag(np.linalg.inv(gram + eps * np.eye(gram.shape[0]))).copy()
+
+
+def objective_t(
+    design: LinearProjectionDesign,
+    x: np.ndarray,
+    error_models: ErrorModelSet,
+    freq_mhz: float | None = None,
+) -> dict[str, float]:
+    """Evaluate the full objective T for a design on data ``x``.
+
+    Returns the decomposition: per-element reconstruction MSE, the
+    over-clocking term (per element, dual-amplification weighted), and
+    their sum T.
+    """
+    x = np.asarray(x, dtype=float)
+    mse = reconstruction_mse(design.values, x)
+    var_cols = overclocking_variance(design, error_models, freq_mhz)
+    amp = dual_gram_diagonal(design.values)
+    oc_term = float((var_cols * amp).sum()) / design.p
+    return {
+        "reconstruction_mse": mse,
+        "overclocking_term": oc_term,
+        "objective_t": mse + oc_term,
+    }

@@ -1,0 +1,83 @@
+"""Pareto extraction and Q-bin survivor selection (Algorithm 1).
+
+Algorithm 1 keeps, at each dimension step, the candidate projections on
+the (area, MSE) Pareto front ("min MSE for a given area"), splits the MSE
+span into Q bins, and extracts the least-MSE candidate from each bin —
+preserving diversity along the trade-off curve instead of keeping Q
+near-identical best designs.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence, TypeVar
+
+import numpy as np
+
+from ..errors import OptimizationError
+
+__all__ = ["pareto_front", "select_q_bins"]
+
+T = TypeVar("T")
+
+
+def pareto_front(
+    items: Sequence[T],
+    area_of: Callable[[T], float],
+    mse_of: Callable[[T], float],
+) -> list[T]:
+    """Items not dominated in (area, mse), both minimised.
+
+    Ties: an item is kept unless some other item is <= in both metrics
+    and < in at least one.  Output is sorted by ascending area.
+    """
+    if not items:
+        return []
+    areas = np.asarray([area_of(i) for i in items], dtype=float)
+    mses = np.asarray([mse_of(i) for i in items], dtype=float)
+    if np.any(~np.isfinite(areas)) or np.any(~np.isfinite(mses)):
+        raise OptimizationError("non-finite metric in Pareto extraction")
+    order = np.lexsort((mses, areas))  # by area, then mse
+    front: list[int] = []
+    best_mse = np.inf
+    for idx in order:
+        if mses[idx] < best_mse:
+            front.append(int(idx))
+            best_mse = mses[idx]
+    return [items[i] for i in front]
+
+
+def select_q_bins(
+    items: Sequence[T],
+    q: int,
+    mse_of: Callable[[T], float],
+) -> list[T]:
+    """Extract up to Q candidates, one per MSE bin (Alg. 1).
+
+    Bins partition ``[MSE_min, MSE_max]`` evenly; from each non-empty bin
+    the least-MSE item survives.  If fewer than Q bins are populated the
+    selection is padded by the globally best remaining items, so exactly
+    ``min(q, len(items))`` candidates return.
+    """
+    if q < 1:
+        raise OptimizationError("Q must be >= 1 (Alg. 1 'Require' clause)")
+    if not items:
+        return []
+    mses = np.asarray([mse_of(i) for i in items], dtype=float)
+    if np.any(~np.isfinite(mses)):
+        raise OptimizationError("non-finite MSE in bin selection")
+    lo, hi = float(mses.min()), float(mses.max())
+    if hi <= lo or len(items) <= q:
+        order = np.argsort(mses)[: min(q, len(items))]
+        return [items[int(i)] for i in order]
+
+    edges = np.linspace(lo, hi, q + 1)
+    bins = np.clip(np.digitize(mses, edges[1:-1]), 0, q - 1)
+    chosen: list[int] = []
+    for b in range(q):
+        in_bin = np.nonzero(bins == b)[0]
+        if in_bin.size:
+            chosen.append(int(in_bin[np.argmin(mses[in_bin])]))
+    if len(chosen) < q:
+        rest = [i for i in np.argsort(mses) if int(i) not in set(chosen)]
+        chosen.extend(int(i) for i in rest[: q - len(chosen)])
+    return [items[i] for i in chosen[:q]]

@@ -1,0 +1,131 @@
+"""Sign-magnitude fixed-point quantisation.
+
+Coefficients and input data both use sign-magnitude representation: a
+``wl``-bit *magnitude* plus a separate sign bit.  The magnitude is what
+feeds the characterised unsigned generic multiplier, so the error model
+E(m, f), indexed by magnitude, applies to both signs of a coefficient
+(the sign path is a single XOR and never timing-critical).
+
+Value convention: a magnitude ``m`` at word-length ``wl`` represents
+``m / 2**wl``; representable values therefore span ``(-1, 1)`` with step
+``2**-wl``, and an exact ±1.0 saturates to ±(2**wl - 1)/2**wl.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import DesignError
+
+__all__ = [
+    "QuantizedMatrix",
+    "quantize_coefficients",
+    "quantize_data",
+    "dequantize_magnitudes",
+]
+
+
+@dataclass(frozen=True)
+class QuantizedMatrix:
+    """A matrix quantised to sign-magnitude fixed point.
+
+    Attributes
+    ----------
+    values:
+        The representable values actually stored (floats).
+    magnitudes:
+        Integer magnitudes in ``[0, 2**wl)``.
+    signs:
+        ``+1``/``-1`` per entry (zero magnitudes keep sign ``+1``).
+    wordlength:
+        Magnitude word-length.
+    """
+
+    values: np.ndarray
+    magnitudes: np.ndarray
+    signs: np.ndarray
+    wordlength: int
+
+    def __post_init__(self) -> None:
+        if not (self.values.shape == self.magnitudes.shape == self.signs.shape):
+            raise DesignError("quantised matrix component shapes differ")
+        if self.magnitudes.size and (
+            self.magnitudes.min() < 0 or self.magnitudes.max() >= (1 << self.wordlength)
+        ):
+            raise DesignError("magnitudes outside word-length range")
+
+    @property
+    def quantization_step(self) -> float:
+        return 2.0 ** (-self.wordlength)
+
+
+def quantize_coefficients(values: np.ndarray, wordlength: int) -> QuantizedMatrix:
+    """Quantise real values in [-1, 1] to ``wordlength``-bit sign-magnitude.
+
+    Rounds to nearest; magnitudes saturate at ``2**wl - 1``.
+
+    Raises
+    ------
+    DesignError
+        If any |value| exceeds 1 by more than the saturation headroom
+        (the projection formulation guarantees |lambda| <= 1).
+    """
+    if wordlength < 1:
+        raise DesignError("wordlength must be >= 1")
+    v = np.asarray(values, dtype=float)
+    if v.size and np.abs(v).max() > 1.0 + 1e-9:
+        raise DesignError(
+            f"coefficients must lie in [-1, 1]; max |v| = {np.abs(v).max():.4f}"
+        )
+    scale = float(1 << wordlength)
+    signs = np.where(v < 0, -1, 1).astype(np.int64)
+    mags = np.rint(np.abs(v) * scale).astype(np.int64)
+    np.clip(mags, 0, (1 << wordlength) - 1, out=mags)
+    signs = np.where(mags == 0, 1, signs)
+    return QuantizedMatrix(
+        values=signs * mags / scale,
+        magnitudes=mags,
+        signs=signs,
+        wordlength=wordlength,
+    )
+
+
+def quantize_data(x: np.ndarray, w_data: int) -> QuantizedMatrix:
+    """Quantise input data to ``w_data``-bit sign-magnitude.
+
+    The data is scaled by its own max-abs so the full input range maps
+    onto [-1, 1) — the word-length assignment the paper fixes at 9 bits
+    (Table I).  Zero data quantises to zeros.
+    """
+    if w_data < 1:
+        raise DesignError("w_data must be >= 1")
+    x = np.asarray(x, dtype=float)
+    peak = float(np.abs(x).max()) if x.size else 0.0
+    if peak == 0.0:
+        z = np.zeros_like(x)
+        return QuantizedMatrix(
+            values=z,
+            magnitudes=z.astype(np.int64),
+            signs=np.ones_like(x, dtype=np.int64),
+            wordlength=w_data,
+        )
+    scaled = x / peak
+    q = quantize_coefficients(scaled, w_data)
+    # Values are returned in the *original* data scale.
+    return QuantizedMatrix(
+        values=q.values * peak,
+        magnitudes=q.magnitudes,
+        signs=q.signs,
+        wordlength=w_data,
+    )
+
+
+def dequantize_magnitudes(
+    magnitudes: np.ndarray, signs: np.ndarray, wordlength: int
+) -> np.ndarray:
+    """Map integer magnitudes + signs back to real values."""
+    if wordlength < 1:
+        raise DesignError("wordlength must be >= 1")
+    return np.asarray(signs) * np.asarray(magnitudes) / float(1 << wordlength)

@@ -1,0 +1,109 @@
+"""Synthetic datasets for training, testing and characterisation.
+
+The paper's Z^6 -> Z^3 case study is dataset-agnostic (Table I only fixes
+the case counts), so the reproduction generates controlled synthetic data:
+
+* :func:`low_rank_gaussian` — data with a known intrinsic dimensionality,
+  the canonical linear-projection workload;
+* :func:`face_like_patches` — smooth 2-D "eigenface" mixtures for the
+  image/vision application examples the paper's introduction motivates;
+* :func:`uniform_stream` — the uniform stimulus of the characterisation
+  procedure (Sec. III-C).
+
+All continuous datasets are returned scaled into [-1, 1] (max-abs), the
+range the fixed-point datapath and the optimiser expect.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .errors import ConfigError
+
+__all__ = ["low_rank_gaussian", "face_like_patches", "uniform_stream", "scale_to_unit"]
+
+
+def scale_to_unit(x: np.ndarray) -> np.ndarray:
+    """Scale an array by its max-abs into [-1, 1] (zero data unchanged)."""
+    x = np.asarray(x, dtype=float)
+    peak = float(np.abs(x).max()) if x.size else 0.0
+    return x / peak if peak > 0 else x
+
+
+def low_rank_gaussian(
+    p: int,
+    k_true: int,
+    n: int,
+    rng: np.random.Generator,
+    noise: float = 0.05,
+    decay: float = 0.6,
+) -> np.ndarray:
+    """Zero-mean data of shape ``(p, n)`` with ~``k_true`` strong modes.
+
+    ``X = A Z + noise`` with orthonormal ``A`` (p, k_true), latent
+    variances decaying geometrically by ``decay``, and isotropic Gaussian
+    noise; finally max-abs scaled to [-1, 1].
+    """
+    if not (1 <= k_true <= p):
+        raise ConfigError(f"require 1 <= k_true <= p, got {k_true}, {p}")
+    if n < 2:
+        raise ConfigError("need n >= 2")
+    if noise < 0 or not (0 < decay <= 1):
+        raise ConfigError("invalid noise/decay")
+    a = np.linalg.qr(rng.normal(size=(p, k_true)))[0]
+    latent_std = decay ** np.arange(k_true)
+    z = rng.normal(size=(k_true, n)) * latent_std[:, None]
+    x = a @ z + noise * rng.normal(size=(p, n))
+    x -= x.mean(axis=1, keepdims=True)
+    return scale_to_unit(x)
+
+
+def face_like_patches(
+    height: int,
+    width: int,
+    n: int,
+    rng: np.random.Generator,
+    n_modes: int = 4,
+    noise: float = 0.03,
+) -> np.ndarray:
+    """Smooth image patches of shape ``(height * width, n)``.
+
+    Each patch is a random mixture of low-spatial-frequency cosine modes
+    (an "eigenface"-style generative model), vectorised column-wise and
+    scaled to [-1, 1].  Used by the face-recognition example (the paper's
+    Sec. V motivation: "applications with high dimensions (i.e. face
+    recognition)").
+    """
+    if height < 2 or width < 2:
+        raise ConfigError("patch dimensions must be >= 2")
+    if n_modes < 1:
+        raise ConfigError("need at least one mode")
+    yy, xx = np.mgrid[0:height, 0:width]
+    modes = []
+    k = 0
+    fy = fx = 0
+    while len(modes) < n_modes:
+        fy, fx = k // 3, k % 3
+        k += 1
+        if fy == 0 and fx == 0:
+            continue
+        mode = np.cos(np.pi * fy * yy / height) * np.cos(np.pi * fx * xx / width)
+        modes.append(mode.ravel())
+    basis = np.stack(modes, axis=1)  # (h*w, n_modes)
+    basis /= np.linalg.norm(basis, axis=0, keepdims=True)
+    coeff_std = 0.7 ** np.arange(n_modes)
+    coeffs = rng.normal(size=(n_modes, n)) * coeff_std[:, None]
+    x = basis @ coeffs + noise * rng.normal(size=(height * width, n))
+    x -= x.mean(axis=1, keepdims=True)
+    return scale_to_unit(x)
+
+
+def uniform_stream(
+    width_bits: int, n: int, rng: np.random.Generator
+) -> np.ndarray:
+    """Uniform integer stimulus in ``[0, 2**width_bits)`` of length ``n``."""
+    if width_bits < 1:
+        raise ConfigError("width_bits must be >= 1")
+    if n < 1:
+        raise ConfigError("n must be >= 1")
+    return rng.integers(0, 1 << width_bits, size=n, dtype=np.int64)

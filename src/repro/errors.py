@@ -1,0 +1,45 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything from this package with a single ``except`` clause while
+still being able to discriminate by subsystem.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class ConfigError(ReproError):
+    """An invalid configuration value or combination was supplied."""
+
+
+class NetlistError(ReproError):
+    """A structural problem with a netlist (cycle, dangling net, bad arity)."""
+
+
+class PlacementError(ReproError):
+    """Placement could not be completed (region too small, out of bounds)."""
+
+
+class TimingError(ReproError):
+    """A timing analysis or timing simulation precondition was violated."""
+
+
+class CharacterizationError(ReproError):
+    """The characterisation harness was misused or produced no data."""
+
+
+class ModelError(ReproError):
+    """An analytical model (error/area/prior/runtime) was queried outside
+    its supported domain or fitted from insufficient data."""
+
+
+class OptimizationError(ReproError):
+    """The design-space exploration (Algorithm 1) failed to make progress."""
+
+
+class DesignError(ReproError):
+    """A linear-projection design is structurally invalid or inconsistent."""

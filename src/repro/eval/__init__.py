@@ -1,0 +1,29 @@
+"""Experiment drivers regenerating every figure/table of the paper.
+
+Each ``figN``/``tableN`` driver returns a plain-dict result holding the
+numeric rows/series the corresponding paper figure plots, and
+:mod:`repro.eval.report` renders them as ASCII tables.  The benchmark
+suite wraps these drivers one-to-one.
+"""
+
+from .context import ExperimentContext
+from .figures import fig1, fig4, fig5, fig6, fig7, fig8, fig9, fig10, fig11
+from .tables import runtime_model_table, table1
+from .report import render_series, render_table
+
+__all__ = [
+    "ExperimentContext",
+    "fig1",
+    "fig4",
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10",
+    "fig11",
+    "table1",
+    "runtime_model_table",
+    "render_series",
+    "render_table",
+]

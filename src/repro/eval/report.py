@@ -1,0 +1,53 @@
+"""ASCII rendering of experiment results.
+
+The benches print the same rows/series the paper's figures plot; these
+helpers keep that output consistent and readable.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["render_table", "render_series", "format_value"]
+
+
+def format_value(v: object) -> str:
+    """Human formatting: sensible significant digits for floats."""
+    if isinstance(v, bool):
+        return str(v)
+    if isinstance(v, float):
+        if v == 0:
+            return "0"
+        if abs(v) >= 1000 or abs(v) < 1e-3:
+            return f"{v:.3e}"
+        return f"{v:.4g}"
+    return str(v)
+
+
+def render_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]], title: str | None = None
+) -> str:
+    """Render a fixed-width ASCII table."""
+    cells = [[format_value(c) for c in row] for row in rows]
+    widths = [
+        max(len(h), *(len(r[i]) for r in cells)) if cells else len(h)
+        for i, h in enumerate(headers)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in cells:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_series(
+    name: str, xs: Sequence[object], ys: Sequence[object], x_label: str = "x", y_label: str = "y"
+) -> str:
+    """Render one figure series as a two-column table."""
+    return render_table(
+        [x_label, y_label], list(zip(xs, ys)), title=f"series: {name}"
+    )

@@ -1,0 +1,76 @@
+"""Drivers for the paper's Table I and the run-time investigation (Sec. VI-E)."""
+
+from __future__ import annotations
+
+from dataclasses import asdict
+
+import numpy as np
+
+from ..config import TableISettings
+from ..models.runtime import PAPER_RUNTIME_MODEL, RuntimeModel
+from .context import ExperimentContext
+
+__all__ = ["table1", "runtime_model_table"]
+
+
+def table1(settings: TableISettings | None = None) -> dict:
+    """Table I: the case-study settings, as configured vs as in the paper."""
+    paper = TableISettings()
+    used = settings or paper
+    return {
+        "paper": asdict(paper),
+        "used": asdict(used),
+        "matches_paper": asdict(paper) == asdict(used),
+    }
+
+
+def runtime_model_table(ctx: ExperimentContext, beta: float | None = None) -> dict:
+    """Sec. VI-E: the paper's run-time model vs this reproduction's timings.
+
+    * evaluates eq. (7)/(8) at the paper's worked example (expected
+      ~1 h 44 m on the authors' Core-i7);
+    * aggregates this run's measured per-word-length sampling times from
+      the Algorithm-1 record;
+    * refits the eq. (8) constants on the measurements and reports both
+      exponential fits, so the *shape* (exponential growth in wl) can be
+      compared even though the absolute constants are machine-specific.
+    """
+    settings = ctx.settings
+    paper_example_seconds = PAPER_RUNTIME_MODEL.total_seconds(
+        wordlengths=list(range(3, 10)), k=3, q=5, n_hyperparams=2, n_freqs=1
+    )
+
+    result = ctx.of_result(beta)
+    by_wl: dict[int, list[float]] = {}
+    for _, wl, seconds in result.sampling_times:
+        by_wl.setdefault(wl, []).append(seconds)
+    measured = {wl: float(np.mean(v)) for wl, v in sorted(by_wl.items())}
+
+    fitted: RuntimeModel | None = None
+    if len(measured) >= 2 and all(v > 0 for v in measured.values()):
+        fitted = RuntimeModel.fit(list(measured), list(measured.values()))
+
+    predicted_total = None
+    if fitted is not None:
+        predicted_total = fitted.total_seconds(
+            settings.coeff_wordlengths,
+            settings.k,
+            settings.q,
+            n_hyperparams=1,
+            n_freqs=1,
+        )
+
+    return {
+        "paper_model": {"scale": PAPER_RUNTIME_MODEL.scale, "rate": PAPER_RUNTIME_MODEL.rate},
+        "paper_example_seconds": paper_example_seconds,
+        "paper_example_quote": "1 hour and 44 minutes",
+        "measured_vector_seconds_by_wl": measured,
+        "measured_total_seconds": result.total_sampling_seconds,
+        "fitted_model": None
+        if fitted is None
+        else {"scale": fitted.scale, "rate": fitted.rate},
+        "predicted_total_seconds_fitted": predicted_total,
+        "n_vector_samplings": len(result.sampling_times),
+        "expected_vector_samplings": len(settings.coeff_wordlengths)
+        * (1 + settings.q * (settings.k - 1)),
+    }

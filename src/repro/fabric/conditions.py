@@ -1,0 +1,90 @@
+"""Operating conditions (temperature, supply voltage, aging) → delay scaling.
+
+The paper pins the device at 14 °C with a cooling element to suppress
+thermal variation (Sec. III-C) and names voltage scaling as future work
+(Sec. VII).  Both knobs are first-class here so the future-work experiment
+is runnable: raising temperature or lowering Vdd slows the fabric, moving
+the error-onset frequency fB downwards.
+
+The models are standard first-order approximations:
+
+* temperature: linear delay coefficient per Kelvin around a 25 °C nominal;
+* voltage: alpha-power law ``delay ∝ Vdd / (Vdd - Vth)^alpha``;
+* aging: NBTI-style saturating drift, a few percent over years (paper
+  Sec. II: vendors add margin for aging; re-characterisation compensates).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..errors import ConfigError
+
+__all__ = ["OperatingConditions"]
+
+_NOMINAL_TEMP_C = 25.0
+_NOMINAL_VDD = 1.2  # Cyclone III core supply
+_VTH = 0.4
+_ALPHA = 1.3
+_TEMP_COEFF_PER_C = 0.0012  # +0.12 %/°C
+_AGING_MAX_FRACTION = 0.06  # saturating total slowdown
+_AGING_TIME_CONSTANT_YEARS = 5.0
+
+
+@dataclass(frozen=True)
+class OperatingConditions:
+    """A set of environmental conditions applied to a device.
+
+    Attributes
+    ----------
+    temperature_c:
+        Junction temperature in Celsius.  Paper's characterisation used a
+        cooled 14 °C.
+    vdd:
+        Core supply voltage in volts (nominal 1.2 V for Cyclone III).
+    aging_years:
+        Equivalent years of stress; scales delays by a saturating drift.
+    """
+
+    temperature_c: float = 14.0
+    vdd: float = _NOMINAL_VDD
+    aging_years: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not (-55.0 <= self.temperature_c <= 150.0):
+            raise ConfigError(f"temperature out of range: {self.temperature_c} C")
+        if not (_VTH + 0.05 <= self.vdd <= 2.0):
+            raise ConfigError(f"vdd out of supported range: {self.vdd} V")
+        if self.aging_years < 0:
+            raise ConfigError("aging_years must be non-negative")
+
+    @classmethod
+    def nominal(cls) -> "OperatingConditions":
+        """Data-sheet nominal conditions (25 °C, 1.2 V, fresh device)."""
+        return cls(temperature_c=_NOMINAL_TEMP_C, vdd=_NOMINAL_VDD, aging_years=0.0)
+
+    @classmethod
+    def paper_characterization(cls) -> "OperatingConditions":
+        """Paper Sec. III-C conditions: cooled to 14 °C, nominal supply."""
+        return cls(temperature_c=14.0, vdd=_NOMINAL_VDD, aging_years=0.0)
+
+    def temperature_scale(self) -> float:
+        """Delay factor contributed by temperature alone."""
+        return 1.0 + _TEMP_COEFF_PER_C * (self.temperature_c - _NOMINAL_TEMP_C)
+
+    def voltage_scale(self) -> float:
+        """Delay factor contributed by supply voltage (alpha-power law)."""
+        nominal = _NOMINAL_VDD / (_NOMINAL_VDD - _VTH) ** _ALPHA
+        actual = self.vdd / (self.vdd - _VTH) ** _ALPHA
+        return actual / nominal
+
+    def aging_scale(self) -> float:
+        """Delay factor contributed by device aging (saturating drift)."""
+        return 1.0 + _AGING_MAX_FRACTION * (
+            1.0 - math.exp(-self.aging_years / _AGING_TIME_CONSTANT_YEARS)
+        )
+
+    def delay_scale(self) -> float:
+        """Total multiplicative delay factor for these conditions."""
+        return self.temperature_scale() * self.voltage_scale() * self.aging_scale()

@@ -1,0 +1,165 @@
+"""Device family and device-instance models.
+
+A :class:`DeviceFamily` is what the synthesis tool knows: grid geometry and
+*worst-case* timing for every die that will ever be sold.  An
+:class:`FPGADevice` is one fabricated die: the family plus a realised
+process-variation field and the operating conditions it currently sits in.
+
+The gap between the family's conservative numbers and a specific die's
+actual numbers is the entire opportunity the paper exploits (Fig. 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from ..config import TimingConfig
+from ..errors import ConfigError
+from ..rng import SeedTree
+from .conditions import OperatingConditions
+from .jitter import JitterModel
+from .pll import PLL, PLLConfig
+from .routing import RoutingModel
+from .variation import VariationConfig, VariationField, generate_variation_field
+
+__all__ = ["DeviceFamily", "FPGADevice", "CYCLONE_III_3C16", "make_device"]
+
+
+@dataclass(frozen=True)
+class DeviceFamily:
+    """Family-wide (data-sheet) description of a device.
+
+    Attributes
+    ----------
+    name:
+        Marketing name, e.g. ``"Cyclone III EP3C16"``.
+    rows, cols:
+        Logic-element grid dimensions; ``rows * cols`` approximates the
+        family's LE count.
+    timing:
+        Nominal delay constants and the tool's pessimism factors.
+    variation:
+        The statistical description of intra-die variation used when
+        fabricating (i.e. sampling) a die of this family.
+    routing:
+        The routing-delay model shared by all dies of the family.
+    pll:
+        The PLL resource available on dies of this family.
+    """
+
+    name: str
+    rows: int
+    cols: int
+    timing: TimingConfig = TimingConfig()
+    variation: VariationConfig = VariationConfig()
+    routing: RoutingModel = field(default_factory=RoutingModel)
+    pll: PLL = field(default_factory=lambda: PLL(PLLConfig(), JitterModel()))
+
+    def __post_init__(self) -> None:
+        if self.rows < 1 or self.cols < 1:
+            raise ConfigError("device grid must be at least 1x1")
+
+    @property
+    def le_count(self) -> int:
+        return self.rows * self.cols
+
+    def worst_case_lut_delay_ns(self) -> float:
+        """The per-LUT delay the synthesis tool assumes for the family.
+
+        Slow process corner on top of nominal: no die the tool signs off
+        may ever be slower than this.
+        """
+        return self.timing.lut_delay_ns * self.timing.slow_corner_factor
+
+
+#: Preset approximating the Altera Cyclone III EP3C16 on a DE0 board
+#: (15 408 LEs; we model a 120 x 128 = 15 360 LE grid).
+CYCLONE_III_3C16 = DeviceFamily(name="Cyclone III EP3C16 (DE0)", rows=120, cols=128)
+
+
+@dataclass(frozen=True)
+class FPGADevice:
+    """One fabricated die of a family, under specific operating conditions.
+
+    Construct with :func:`make_device`; the ``serial`` seed selects the die
+    (its variation field), so two devices with different serials genuinely
+    differ — the premise of per-device optimisation.
+    """
+
+    family: DeviceFamily
+    serial: int
+    variation: VariationField
+    conditions: OperatingConditions = field(
+        default_factory=OperatingConditions.paper_characterization
+    )
+
+    @property
+    def rows(self) -> int:
+        return self.family.rows
+
+    @property
+    def cols(self) -> int:
+        return self.family.cols
+
+    def with_conditions(self, conditions: OperatingConditions) -> "FPGADevice":
+        """The same die under different environmental conditions."""
+        return replace(self, conditions=conditions)
+
+    def lut_delay_at(self, x: int | np.ndarray, y: int | np.ndarray) -> np.ndarray:
+        """Actual LUT delay(s) at grid location(s) ``(x, y)`` in ns.
+
+        Combines the family nominal delay, this die's variation factor at
+        the location, and the current operating-condition scaling.
+        Vectorised over ``x``/``y`` arrays.
+        """
+        xa = np.asarray(x, dtype=int)
+        ya = np.asarray(y, dtype=int)
+        if np.any(xa < 0) or np.any(ya < 0) or np.any(xa >= self.cols) or np.any(ya >= self.rows):
+            raise ConfigError("LE coordinates outside device grid")
+        base = self.family.timing.lut_delay_ns
+        scale = self.conditions.delay_scale()
+        return base * self.variation.factors[ya, xa] * scale
+
+    def routing_rng(self, placement_seed: int) -> np.random.Generator:
+        """Deterministic routing-noise stream for one placement of this die."""
+        return SeedTree(self.serial).rng("routing", str(placement_seed))
+
+    def report(self) -> dict[str, object]:
+        """Human-oriented summary (used by examples and the CLI)."""
+        v = self.variation.summary()
+        return {
+            "family": self.family.name,
+            "serial": self.serial,
+            "grid": f"{self.cols}x{self.rows}",
+            "le_count": self.family.le_count,
+            "variation_std": v["std"],
+            "variation_corner_to_corner": v["corner_to_corner"],
+            "conditions": {
+                "temperature_c": self.conditions.temperature_c,
+                "vdd": self.conditions.vdd,
+                "aging_years": self.conditions.aging_years,
+            },
+        }
+
+
+def make_device(
+    serial: int,
+    family: DeviceFamily = CYCLONE_III_3C16,
+    conditions: OperatingConditions | None = None,
+) -> FPGADevice:
+    """Fabricate die number ``serial`` of ``family``.
+
+    The serial number seeds the variation field: it *is* the die identity.
+    """
+    tree = SeedTree(serial)
+    fieldv = generate_variation_field(
+        family.rows, family.cols, family.variation, tree.rng("fabric", "variation")
+    )
+    return FPGADevice(
+        family=family,
+        serial=serial,
+        variation=fieldv,
+        conditions=conditions or OperatingConditions.paper_characterization(),
+    )

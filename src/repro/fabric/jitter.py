@@ -1,0 +1,67 @@
+"""Clock-jitter model.
+
+The paper attributes the run-to-run variation of the error counts at high
+frequencies to clock jitter (Sec. III-C).  We model cycle-to-cycle jitter as
+a truncated Gaussian on the capture period: in cycle ``i`` the effective
+period available to the data path is ``T - j_i`` with ``j_i ~ N(0, sigma)``
+clipped to ``±bound``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ConfigError
+
+__all__ = ["JitterModel"]
+
+
+@dataclass(frozen=True)
+class JitterModel:
+    """Truncated-Gaussian cycle-to-cycle jitter.
+
+    Attributes
+    ----------
+    sigma_ns:
+        Standard deviation of the per-cycle jitter in nanoseconds.  The
+        default (15 ps) is typical of an FPGA PLL output.
+    bound_ns:
+        Hard truncation bound (peak jitter).
+    """
+
+    sigma_ns: float = 0.015
+    bound_ns: float = 0.060
+
+    def __post_init__(self) -> None:
+        if self.sigma_ns < 0 or self.bound_ns < 0:
+            raise ConfigError("jitter parameters must be non-negative")
+        if self.sigma_ns > 0 and self.bound_ns < self.sigma_ns:
+            raise ConfigError("bound_ns should be at least sigma_ns")
+
+    @classmethod
+    def ideal(cls) -> "JitterModel":
+        """A jitter-free clock (useful for deterministic tests)."""
+        return cls(sigma_ns=0.0, bound_ns=0.0)
+
+    def sample(self, n_cycles: int, rng: np.random.Generator) -> np.ndarray:
+        """Sample per-cycle jitter values (ns), shape ``(n_cycles,)``.
+
+        Positive values *shorten* the effective capture period.
+        """
+        if n_cycles < 0:
+            raise ConfigError("n_cycles must be non-negative")
+        if self.sigma_ns == 0.0:
+            return np.zeros(n_cycles)
+        j = rng.normal(scale=self.sigma_ns, size=n_cycles)
+        np.clip(j, -self.bound_ns, self.bound_ns, out=j)
+        return j
+
+    def effective_periods(
+        self, period_ns: float, n_cycles: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Per-cycle effective capture periods ``T - j_i`` (ns)."""
+        if period_ns <= 0:
+            raise ConfigError("period must be positive")
+        return period_ns - self.sample(n_cycles, rng)

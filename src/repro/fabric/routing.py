@@ -1,0 +1,92 @@
+"""Routing-delay model.
+
+Every net from a driving logic element to a sinking logic element pays
+
+``delay = base + per_hop * manhattan_distance + noise``
+
+where the noise term is log-normal and *seeded per placement*, modelling the
+paper's observation (Sec. III-C) that re-placing the same circuit yields a
+different routing solution and therefore a different error pattern — the
+router's choices are deterministic for one placement but effectively random
+across placements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..config import TimingConfig
+from ..errors import ConfigError
+
+__all__ = ["RoutingModel"]
+
+
+@dataclass(frozen=True)
+class RoutingModel:
+    """Distance/fanout routing-delay model for a device family.
+
+    Attributes
+    ----------
+    timing:
+        Family nominal delay constants.
+    noise_sigma:
+        Sigma of the log-normal multiplicative noise applied to each net's
+        variable (distance) component.
+    fanout_penalty_ns:
+        Extra delay per additional sink on the driving net (buffering).
+    """
+
+    timing: TimingConfig = TimingConfig()
+    noise_sigma: float = 0.20
+    fanout_penalty_ns: float = 0.008
+
+    def __post_init__(self) -> None:
+        if self.noise_sigma < 0 or self.fanout_penalty_ns < 0:
+            raise ConfigError("routing noise/fanout parameters must be non-negative")
+
+    def nominal_delay(self, distance: np.ndarray | float, fanout: np.ndarray | int = 1) -> np.ndarray:
+        """Deterministic (noise-free) net delay for given Manhattan distance.
+
+        Vectorised over ``distance`` and ``fanout``.
+        """
+        d = np.asarray(distance, dtype=float)
+        f = np.asarray(fanout, dtype=float)
+        if np.any(d < 0) or np.any(f < 1):
+            raise ConfigError("distance must be >= 0 and fanout >= 1")
+        return (
+            self.timing.routing_base_delay_ns
+            + self.timing.routing_delay_per_hop_ns * d
+            + self.fanout_penalty_ns * (f - 1.0)
+        )
+
+    def routed_delay(
+        self,
+        distance: np.ndarray | float,
+        fanout: np.ndarray | int,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        """Net delay with placement-specific routing noise.
+
+        The noise multiplies only the variable component so zero-distance
+        local nets keep their fixed local-interconnect delay.
+        """
+        d = np.asarray(distance, dtype=float)
+        base = self.timing.routing_base_delay_ns
+        variable = self.nominal_delay(d, fanout) - base
+        if self.noise_sigma > 0:
+            noise = rng.lognormal(mean=0.0, sigma=self.noise_sigma, size=variable.shape)
+        else:
+            noise = np.ones_like(variable)
+        return base + variable * noise
+
+    def worst_case_delay(self, distance: np.ndarray | float, fanout: np.ndarray | int = 1) -> np.ndarray:
+        """The family-wide pessimistic delay the synthesis tool assumes.
+
+        Two-sigma log-normal upper bound on the variable component — the
+        tool must cover essentially every routing outcome on every die.
+        """
+        base = self.timing.routing_base_delay_ns
+        variable = self.nominal_delay(distance, fanout) - base
+        return base + variable * float(np.exp(2.0 * self.noise_sigma))

@@ -1,0 +1,220 @@
+"""The Optimisation Framework (OF) — the paper's Fig. 2 design flow, end to end.
+
+``OptimizationFramework`` wires the whole pipeline together for a single
+device:
+
+1. :meth:`characterize` — run the multiplier characterisation for every
+   coefficient word-length in the sweep and distil the error models;
+2. :meth:`fit_area_model` — synthesise MAC blocks across word-lengths and
+   locations and fit the LE-cost model;
+3. :meth:`optimize` — run Algorithm 1 for a given beta on training data;
+4. :meth:`klt_baselines` — the existing-methodology designs (KLT then
+   quantise) for comparison;
+5. :meth:`evaluate` — measure designs on test data in any of the three
+   domains.
+
+Everything is deterministic in ``(device.serial, seed)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .characterization.harness import CharacterizationConfig, characterize_multiplier
+from .circuits.domains import Domain
+from .circuits.executor import DomainEvaluation, evaluate_design, evaluate_domains
+from .config import TableISettings
+from .core.design import DesignPoint, LinearProjectionDesign
+from .core.klt import klt_reference_design
+from .core.optimizer import OptimizationResult, OptimizerConfig, optimize_designs
+from .errors import OptimizationError
+from .fabric.device import FPGADevice
+from .models.area_model import AreaModel, collect_area_samples, fit_area_model
+from .models.error_model import ErrorModel, ErrorModelSet, build_error_model
+
+__all__ = ["OptimizationFramework", "default_frequency_grid"]
+
+
+def default_frequency_grid(target_mhz: float) -> tuple[float, ...]:
+    """A characterisation frequency grid bracketing a target clock.
+
+    Covers from well below the error onset to well above the target so the
+    error model can answer queries across the whole over-clocking regime.
+    """
+    lo = max(40.0, target_mhz * 0.7)
+    hi = target_mhz * 1.35
+    step = max(10.0, (hi - lo) / 8)
+    grid = [lo]
+    while grid[-1] + step < hi:
+        grid.append(grid[-1] + step)
+    grid.append(hi)
+    if not any(abs(g - target_mhz) < 1e-6 for g in grid):
+        grid.append(target_mhz)
+    return tuple(sorted(grid))
+
+
+@dataclass
+class OptimizationFramework:
+    """End-to-end per-device optimisation flow (paper Fig. 2).
+
+    Parameters
+    ----------
+    device:
+        The target die.
+    settings:
+        Case-study settings; defaults to the paper's Table I.
+    char_config:
+        Characterisation sweep settings; ``None`` derives a default from
+        ``settings`` (full multiplicand enumeration, Table I sample count,
+        a frequency grid bracketing the target clock).
+    seed:
+        Root seed of the whole flow.
+    """
+
+    device: FPGADevice
+    settings: TableISettings = field(default_factory=TableISettings)
+    char_config: CharacterizationConfig | None = None
+    seed: int = 0
+    _error_models: ErrorModelSet | None = field(default=None, repr=False)
+    _area_model: AreaModel | None = field(default=None, repr=False)
+
+    # ------------------------------------------------------------------
+    def _characterization_config(self) -> CharacterizationConfig:
+        if self.char_config is not None:
+            return self.char_config
+        return CharacterizationConfig(
+            freqs_mhz=default_frequency_grid(self.settings.clock_frequency_mhz),
+            n_samples=self.settings.n_characterization,
+            multiplicands=None,  # full enumeration, as in the paper
+            n_locations=2,
+        )
+
+    def characterize(self, verbose: bool = False) -> ErrorModelSet:
+        """Characterise every word-length's multiplier geometry (cached)."""
+        if self._error_models is not None:
+            return self._error_models
+        cfg = self._characterization_config()
+        models: dict[int, ErrorModel] = {}
+        for wl in self.settings.coeff_wordlengths:
+            if verbose:
+                print(f"[characterize] {self.settings.input_wordlength}x{wl} ...")
+            result = characterize_multiplier(
+                self.device,
+                self.settings.input_wordlength,
+                wl,
+                cfg,
+                seed=self.seed,
+            )
+            models[wl] = build_error_model(result)
+        self._error_models = ErrorModelSet(models)
+        return self._error_models
+
+    def fit_area_model(self, n_runs: int = 6) -> AreaModel:
+        """Fit the LE-cost model from synthesis runs (cached)."""
+        if self._area_model is not None:
+            return self._area_model
+        samples = collect_area_samples(
+            self.device,
+            self.settings.coeff_wordlengths,
+            w_data=self.settings.input_wordlength,
+            n_runs=n_runs,
+            seed=self.seed,
+        )
+        # A narrow word-length sweep cannot support the default quadratic.
+        degree = min(2, len(set(self.settings.coeff_wordlengths)) - 1)
+        self._area_model = fit_area_model(samples, degree=max(1, degree))
+        return self._area_model
+
+    # ------------------------------------------------------------------
+    def optimize(self, x_train: np.ndarray, beta: float | None = None) -> OptimizationResult:
+        """Run Algorithm 1 on training data (characterises/fits if needed)."""
+        betas = self.settings.betas
+        b = beta if beta is not None else betas[0]
+        config = OptimizerConfig(
+            settings=self.settings,
+            error_models=self.characterize(),
+            area_model=self.fit_area_model(),
+            beta=b,
+        )
+        return optimize_designs(x_train, config, seed=self.seed)
+
+    def optimize_all_betas(self, x_train: np.ndarray) -> list[OptimizationResult]:
+        """One Algorithm-1 run per configured beta (Table I: {4, 8})."""
+        return [self.optimize(x_train, beta=b) for b in self.settings.betas]
+
+    def klt_baselines(self, x_train: np.ndarray) -> list[LinearProjectionDesign]:
+        """The existing-methodology designs: KLT quantised at each wl."""
+        area = self.fit_area_model()
+        designs = []
+        for wl in self.settings.coeff_wordlengths:
+            d = klt_reference_design(
+                x_train,
+                self.settings.k,
+                wl,
+                self.settings.input_wordlength,
+                self.settings.clock_frequency_mhz,
+                area_le=area.design_area(wl, self.settings.k),
+            )
+            designs.append(d)
+        return designs
+
+    # ------------------------------------------------------------------
+    def evaluate(
+        self,
+        design: LinearProjectionDesign,
+        x_test: np.ndarray,
+        domain: Domain,
+        anchor: tuple[int, int] = (0, 0),
+    ) -> DomainEvaluation:
+        """Evaluate one design in one domain on this framework's device."""
+        return evaluate_design(
+            design,
+            x_test,
+            domain,
+            error_models=self.characterize(),
+            device=self.device,
+            anchor=anchor,
+            seed=self.seed,
+        )
+
+    def evaluate_all_domains(
+        self,
+        design: LinearProjectionDesign,
+        x_test: np.ndarray,
+        anchor: tuple[int, int] = (0, 0),
+    ) -> dict[Domain, DomainEvaluation]:
+        """Predicted / simulated / actual evaluations (paper Fig. 10)."""
+        return evaluate_domains(
+            design,
+            x_test,
+            self.characterize(),
+            self.device,
+            anchor=anchor,
+            seed=self.seed,
+        )
+
+    def design_points(
+        self,
+        designs: list[LinearProjectionDesign],
+        x_test: np.ndarray,
+        domain: Domain,
+    ) -> list[DesignPoint]:
+        """Evaluate many designs into plottable (area, MSE) points."""
+        if not designs:
+            raise OptimizationError("no designs to evaluate")
+        points = []
+        for d in designs:
+            ev = self.evaluate(d, x_test, domain)
+            points.append(
+                DesignPoint(
+                    design=d,
+                    domain=domain.value,
+                    mse=ev.mse,
+                    area_le=ev.area_le,
+                    freq_mhz=ev.freq_mhz,
+                    extra=ev.extra,
+                )
+            )
+        return points

@@ -1,0 +1,92 @@
+"""Persistence for designs and characterisation artefacts.
+
+Characterisation results already persist via
+:meth:`repro.characterization.results.CharacterizationResult.save`; this
+module adds JSON round-tripping for :class:`LinearProjectionDesign` so a
+design produced by one session (or one machine) can be evaluated by
+another — the deployment story of a per-device optimisation flow.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from .core.design import LinearProjectionDesign
+from .errors import DesignError
+
+__all__ = ["save_design", "load_design", "save_designs", "load_designs"]
+
+_FORMAT_VERSION = 1
+
+
+def design_to_dict(design: LinearProjectionDesign) -> dict:
+    """JSON-serialisable form of a design."""
+    return {
+        "format_version": _FORMAT_VERSION,
+        "values": design.values.tolist(),
+        "magnitudes": design.magnitudes.tolist(),
+        "signs": design.signs.tolist(),
+        "wordlengths": list(design.wordlengths),
+        "w_data": design.w_data,
+        "freq_mhz": design.freq_mhz,
+        "area_le": design.area_le,
+        "method": design.method,
+        "metadata": {
+            k: (float(v) if isinstance(v, (np.floating, float, int)) else v)
+            for k, v in design.metadata.items()
+        },
+    }
+
+
+def design_from_dict(d: dict) -> LinearProjectionDesign:
+    """Inverse of :func:`design_to_dict`."""
+    version = d.get("format_version")
+    if version != _FORMAT_VERSION:
+        raise DesignError(f"unsupported design format version {version!r}")
+    return LinearProjectionDesign(
+        values=np.asarray(d["values"], dtype=float),
+        magnitudes=np.asarray(d["magnitudes"], dtype=np.int64),
+        signs=np.asarray(d["signs"], dtype=np.int64),
+        wordlengths=tuple(int(w) for w in d["wordlengths"]),
+        w_data=int(d["w_data"]),
+        freq_mhz=float(d["freq_mhz"]),
+        area_le=None if d.get("area_le") is None else float(d["area_le"]),
+        method=str(d.get("method", "of")),
+        metadata=dict(d.get("metadata", {})),
+    )
+
+
+def save_design(design: LinearProjectionDesign, path: str | Path) -> None:
+    """Write one design to a JSON file."""
+    Path(path).write_text(json.dumps(design_to_dict(design), indent=2))
+
+
+def load_design(path: str | Path) -> LinearProjectionDesign:
+    """Read one design from a JSON file."""
+    p = Path(path)
+    if not p.exists():
+        raise DesignError(f"no design file at {p}")
+    return design_from_dict(json.loads(p.read_text()))
+
+
+def save_designs(designs: list[LinearProjectionDesign], path: str | Path) -> None:
+    """Write a design list (e.g. Algorithm 1's Q outputs) to one file."""
+    payload = {
+        "format_version": _FORMAT_VERSION,
+        "designs": [design_to_dict(d) for d in designs],
+    }
+    Path(path).write_text(json.dumps(payload, indent=2))
+
+
+def load_designs(path: str | Path) -> list[LinearProjectionDesign]:
+    """Inverse of :func:`save_designs`."""
+    p = Path(path)
+    if not p.exists():
+        raise DesignError(f"no design file at {p}")
+    payload = json.loads(p.read_text())
+    if payload.get("format_version") != _FORMAT_VERSION:
+        raise DesignError("unsupported designs-file format version")
+    return [design_from_dict(d) for d in payload["designs"]]

@@ -1,0 +1,199 @@
+"""The over-clocking error model E(m, f) (paper Sec. V-B1, Fig. 5).
+
+``E(m, f)`` is the variance of the error at the output of a generic
+multiplier when a uniform random stream is multiplied by the constant
+``m`` with the circuit clocked at ``f`` — exactly what the
+characterisation framework measures.  The model also keeps the error
+*mean* so the datapath can centre epsilon to zero mean, the trick the
+paper uses to drop the cross terms of the objective (Sec. V-A: "by
+imposing epsilon to have zero mean, which is achieved by subtracting a
+constant in the circuit").
+
+Frequency queries between characterised points interpolate linearly;
+queries outside the characterised span clamp (with strict mode available).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..characterization.results import CharacterizationResult
+from ..errors import ModelError
+
+__all__ = ["ErrorModel", "ErrorModelSet", "build_error_model"]
+
+
+@dataclass(frozen=True)
+class ErrorModel:
+    """E(m, f) for one multiplier geometry on one die.
+
+    Attributes
+    ----------
+    w_data, w_coeff:
+        Multiplier geometry the model describes.
+    multiplicands:
+        Characterised fixed-operand values, shape ``(M,)``, ascending.
+    freqs_mhz:
+        Characterised frequencies, shape ``(F,)``, ascending.
+    variance, mean:
+        Statistic grids, shape ``(M, F)``.
+    """
+
+    w_data: int
+    w_coeff: int
+    device_serial: int
+    multiplicands: np.ndarray
+    freqs_mhz: np.ndarray
+    variance: np.ndarray
+    mean: np.ndarray
+
+    def __post_init__(self) -> None:
+        m, f = self.multiplicands.shape[0], self.freqs_mhz.shape[0]
+        if self.variance.shape != (m, f) or self.mean.shape != (m, f):
+            raise ModelError("error-model grid shapes inconsistent")
+        if np.any(np.diff(self.freqs_mhz) <= 0):
+            raise ModelError("frequencies must be strictly ascending")
+        if np.any(np.diff(self.multiplicands) <= 0):
+            raise ModelError("multiplicands must be strictly ascending")
+        if np.any(self.variance < 0):
+            raise ModelError("variance cannot be negative")
+
+    # ------------------------------------------------------------------
+    def _freq_weights(self, freq_mhz: float, strict: bool) -> tuple[int, int, float]:
+        """Bracketing indices and interpolation weight for a frequency."""
+        f = self.freqs_mhz
+        if freq_mhz < f[0] or freq_mhz > f[-1]:
+            if strict:
+                raise ModelError(
+                    f"frequency {freq_mhz} MHz outside characterised span "
+                    f"[{f[0]}, {f[-1]}]"
+                )
+            freq_mhz = float(np.clip(freq_mhz, f[0], f[-1]))
+        hi = int(np.searchsorted(f, freq_mhz))
+        if hi == 0:
+            return 0, 0, 0.0
+        if hi >= f.shape[0]:
+            return f.shape[0] - 1, f.shape[0] - 1, 0.0
+        lo = hi - 1
+        t = (freq_mhz - f[lo]) / (f[hi] - f[lo])
+        return lo, hi, float(t)
+
+    def _grid_at(self, grid: np.ndarray, freq_mhz: float, strict: bool) -> np.ndarray:
+        lo, hi, t = self._freq_weights(freq_mhz, strict)
+        return (1.0 - t) * grid[:, lo] + t * grid[:, hi]
+
+    def variance_at(self, freq_mhz: float, strict: bool = False) -> np.ndarray:
+        """E(m, f) for all characterised multiplicands, shape ``(M,)``."""
+        return self._grid_at(self.variance, freq_mhz, strict)
+
+    def mean_at(self, freq_mhz: float, strict: bool = False) -> np.ndarray:
+        """Error means for all multiplicands at ``freq_mhz``."""
+        return self._grid_at(self.mean, freq_mhz, strict)
+
+    def query(self, multiplicand: int | np.ndarray, freq_mhz: float, strict: bool = False) -> np.ndarray:
+        """E(m, f) for specific multiplicand value(s).
+
+        Requires exact multiplicand membership (the characterisation
+        enumerated the coefficient grid; there is nothing between grid
+        points to interpolate to).
+        """
+        col = self.variance_at(freq_mhz, strict)
+        idx = np.searchsorted(self.multiplicands, multiplicand)
+        idx_arr = np.atleast_1d(idx)
+        m_arr = np.atleast_1d(multiplicand)
+        if np.any(idx_arr >= self.multiplicands.shape[0]) or np.any(
+            self.multiplicands[np.minimum(idx_arr, self.multiplicands.shape[0] - 1)]
+            != m_arr
+        ):
+            raise ModelError(f"multiplicand(s) {multiplicand} not characterised")
+        out = col[idx]
+        return out if isinstance(multiplicand, np.ndarray) else np.asarray(out)
+
+    def error_free_fmax(self, multiplicand: int, tol: float = 0.0) -> float:
+        """Highest characterised frequency with variance <= ``tol``.
+
+        Returns the lowest characterised frequency if even that errs —
+        callers should characterise deeper if they hit this.
+        """
+        row = self.query_row(multiplicand)
+        ok = np.nonzero(row <= tol)[0]
+        if ok.size == 0:
+            return float(self.freqs_mhz[0])
+        return float(self.freqs_mhz[ok[-1]])
+
+    def query_row(self, multiplicand: int) -> np.ndarray:
+        """Variance over all frequencies for one multiplicand, ``(F,)``."""
+        idx = int(np.searchsorted(self.multiplicands, multiplicand))
+        if idx >= self.multiplicands.shape[0] or self.multiplicands[idx] != multiplicand:
+            raise ModelError(f"multiplicand {multiplicand} not characterised")
+        return self.variance[idx]
+
+    def heatmap(self) -> np.ndarray:
+        """The full (M, F) variance grid — the data behind paper Fig. 5."""
+        return self.variance.copy()
+
+
+def build_error_model(
+    result: CharacterizationResult,
+    location: tuple[int, int] | None = None,
+) -> ErrorModel:
+    """Distil a characterisation result into an :class:`ErrorModel`.
+
+    ``location=None`` pools all characterised locations (model of "the
+    device"); a specific location gives a placement-specific model.
+    """
+    return ErrorModel(
+        w_data=result.w_data,
+        w_coeff=result.w_coeff,
+        device_serial=result.device_serial,
+        multiplicands=np.asarray(result.multiplicands),
+        freqs_mhz=np.asarray(result.freqs_mhz),
+        variance=result.variance_grid(location),
+        mean=result.mean_grid(location),
+    )
+
+
+class ErrorModelSet:
+    """Error models for a family of multiplier geometries (one per wl).
+
+    Algorithm 1 sweeps the coefficient word-length; each word-length is a
+    different multiplier geometry with its own characterisation.  The set
+    maps ``w_coeff -> ErrorModel`` and answers the optimiser's queries.
+    """
+
+    def __init__(self, models: dict[int, ErrorModel]) -> None:
+        if not models:
+            raise ModelError("empty error-model set")
+        serials = {m.device_serial for m in models.values()}
+        if len(serials) != 1:
+            raise ModelError(
+                f"error models from different devices pooled: serials {serials}"
+            )
+        datas = {m.w_data for m in models.values()}
+        if len(datas) != 1:
+            raise ModelError("error models with inconsistent data widths")
+        for wl, m in models.items():
+            if m.w_coeff != wl:
+                raise ModelError(f"model keyed {wl} has w_coeff {m.w_coeff}")
+        self._models = dict(sorted(models.items()))
+
+    @property
+    def wordlengths(self) -> tuple[int, ...]:
+        return tuple(self._models)
+
+    def model(self, w_coeff: int) -> ErrorModel:
+        try:
+            return self._models[w_coeff]
+        except KeyError:
+            raise ModelError(
+                f"no error model for word-length {w_coeff}; have {self.wordlengths}"
+            ) from None
+
+    def variance_at(self, w_coeff: int, freq_mhz: float) -> np.ndarray:
+        """E(m, f) over all magnitudes of one word-length."""
+        return self.model(w_coeff).variance_at(freq_mhz)
+
+    def mean_at(self, w_coeff: int, freq_mhz: float) -> np.ndarray:
+        return self.model(w_coeff).mean_at(freq_mhz)

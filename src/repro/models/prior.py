@@ -1,0 +1,141 @@
+"""Coefficient prior formation (paper eq. 6, Fig. 7).
+
+The prior injects the characterised over-clocking behaviour into the
+Bayesian estimation of the projection matrix: coefficient values whose
+multiplications err badly at the target frequency get low prior mass,
+
+``g(E(lambda, f)) = cE * (1 + E(lambda, f))^(-beta)``
+
+with ``cE`` normalising the mass to 1 over the coefficient grid and the
+hyper-parameter ``beta`` scaling how hard errors are penalised (beta~0.1:
+nearly flat; beta=4: error-prone values effectively excluded — Fig. 7).
+
+Coefficients are sign-magnitude fixed point: a word-length ``wl`` grid is
+``{ s * m / 2**wl : m in [0, 2**wl), s in {-1, +1} }``; the sign costs an
+XOR and does not affect timing, so both signs of a magnitude share the
+characterised ``E(m, f)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ModelError
+from .error_model import ErrorModel
+
+__all__ = ["CoefficientPrior", "prior_over_magnitudes"]
+
+
+def prior_over_magnitudes(
+    variance: np.ndarray, beta: float
+) -> np.ndarray:
+    """Normalised prior mass over a magnitude grid from variances.
+
+    Pure function implementing eq. (6); exposed for tests and plots.
+    """
+    if beta <= 0:
+        raise ModelError("beta must be > 0 (Alg. 1 'Require' clause)")
+    v = np.asarray(variance, dtype=float)
+    if np.any(v < 0):
+        raise ModelError("variances must be non-negative")
+    mass = np.power(1.0 + v, -beta)
+    total = mass.sum()
+    if not np.isfinite(total) or total <= 0:
+        raise ModelError("degenerate prior: no coefficient has positive mass")
+    return mass / total
+
+
+@dataclass(frozen=True)
+class CoefficientPrior:
+    """The prior over the signed coefficient grid of one word-length.
+
+    Attributes
+    ----------
+    wordlength:
+        Magnitude word-length ``wl``.
+    freq_mhz:
+        Target clock frequency the prior was formed for.
+    beta:
+        Error-penalty hyper-parameter.
+    magnitudes:
+        Integer magnitude grid ``[0, 2**wl)``.
+    values:
+        The full signed coefficient grid in [-1, 1), ascending.
+    mass:
+        Prior probability per entry of ``values`` (sums to 1).
+    """
+
+    wordlength: int
+    freq_mhz: float
+    beta: float
+    magnitudes: np.ndarray
+    values: np.ndarray
+    mass: np.ndarray
+    #: Characterised error variance (integer-product units) aligned with
+    #: ``values`` — kept so downstream scoring reuses exactly the data the
+    #: prior was formed from.
+    variances: np.ndarray | None = None
+
+    @classmethod
+    def from_error_model(
+        cls,
+        model: ErrorModel,
+        freq_mhz: float,
+        beta: float,
+        wordlength: int | None = None,
+    ) -> "CoefficientPrior":
+        """Form the prior for ``freq_mhz``/``beta`` from an error model.
+
+        The magnitude grid is the model's characterised multiplicand set
+        (the paper enumerates the full range, so normally ``[0, 2**wl)``).
+        """
+        wl = wordlength if wordlength is not None else model.w_coeff
+        mags = model.multiplicands
+        variance = model.variance_at(freq_mhz)
+
+        # Signed grid: negative magnitudes mirrored, zero not duplicated.
+        neg = -mags[::-1][:-1] if mags[0] == 0 else -mags[::-1]
+        signed_m = np.concatenate([neg, mags])
+        scale = float(1 << wl)
+        values = signed_m / scale
+
+        var_neg = variance[::-1][:-1] if mags[0] == 0 else variance[::-1]
+        signed_var = np.concatenate([var_neg, variance])
+        mass = prior_over_magnitudes(signed_var, beta)
+        return cls(
+            wordlength=wl,
+            freq_mhz=float(freq_mhz),
+            beta=float(beta),
+            magnitudes=mags,
+            values=values,
+            mass=mass,
+            variances=signed_var,
+        )
+
+    def __post_init__(self) -> None:
+        if self.values.shape != self.mass.shape:
+            raise ModelError("prior grid/mass shape mismatch")
+        if abs(float(self.mass.sum()) - 1.0) > 1e-9:
+            raise ModelError("prior mass must sum to 1")
+        if np.any(np.diff(self.values) <= 0):
+            raise ModelError("coefficient grid must be strictly ascending")
+
+    @property
+    def n_values(self) -> int:
+        return int(self.values.shape[0])
+
+    def log_mass(self) -> np.ndarray:
+        """Log prior mass with -inf for zero-mass entries."""
+        with np.errstate(divide="ignore"):
+            return np.log(self.mass)
+
+    def entropy(self) -> float:
+        """Shannon entropy (nats); flat priors (small beta) maximise it."""
+        m = self.mass[self.mass > 0]
+        return float(-(m * np.log(m)).sum())
+
+    def magnitude_of(self, value_index: int | np.ndarray) -> np.ndarray:
+        """Integer magnitude of grid entr(y/ies) by index."""
+        return np.abs(np.rint(self.values[value_index] * (1 << self.wordlength))).astype(np.int64)

@@ -1,0 +1,43 @@
+"""Gate-level netlist substrate.
+
+Everything the paper synthesises — LUT-based generic multipliers, CCMs,
+MAC blocks — is generated here as a DAG of 4-input LUT nodes, the same
+primitive a Cyclone III logic element provides.  The structural properties
+the paper's observations rest on fall out of the construction:
+
+* the most-significant product bits sit at the end of the longest
+  carry/sum chains, so they fail first under over-clocking (Sec. III-C);
+* multiplicands with few '1' bits excite fewer partial products, so their
+  products settle earlier (Fig. 5).
+"""
+
+from .core import CompiledNetlist, Netlist, NetlistStats, bits_from_ints, ints_from_bits
+from .adders import add_ripple_carry, add_ripple_carry_with_const
+from .multipliers import (
+    baugh_wooley_multiplier,
+    sign_magnitude_multiplier,
+    unsigned_array_multiplier,
+)
+from .ccm import ccm_multiplier, csd_digits
+from .wallace import wallace_tree_multiplier
+from .mac import mac_block
+from .generators import GENERATORS, generate
+
+__all__ = [
+    "CompiledNetlist",
+    "Netlist",
+    "NetlistStats",
+    "bits_from_ints",
+    "ints_from_bits",
+    "add_ripple_carry",
+    "add_ripple_carry_with_const",
+    "unsigned_array_multiplier",
+    "baugh_wooley_multiplier",
+    "sign_magnitude_multiplier",
+    "ccm_multiplier",
+    "csd_digits",
+    "wallace_tree_multiplier",
+    "mac_block",
+    "GENERATORS",
+    "generate",
+]

@@ -1,0 +1,110 @@
+"""Adder structures mapped to LUTs.
+
+Ripple-carry adders dominate LUT-based arithmetic on low-cost FPGA fabric
+(the Cyclone III LE has a dedicated carry chain; we model the chain as the
+MAJ3 LUT of each full adder).  The ripple topology is what gives the
+most-significant sum bits the longest combinational paths — the property
+the paper's over-clocking error analysis hinges on.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..errors import NetlistError
+from .core import Netlist
+
+__all__ = ["add_ripple_carry", "add_ripple_carry_with_const", "subtract_ripple"]
+
+
+def add_ripple_carry(
+    nl: Netlist,
+    a_bits: Sequence[int],
+    b_bits: Sequence[int],
+    cin: int | None = None,
+) -> tuple[list[int], int]:
+    """Ripple-carry add two equal-width bit vectors.
+
+    Parameters
+    ----------
+    nl:
+        Netlist under construction.
+    a_bits, b_bits:
+        LSB-first node-id vectors of equal width.
+    cin:
+        Optional carry-in node; omitted means constant 0 (and the LSB stage
+        degenerates to a half adder, as a synthesiser would emit).
+
+    Returns
+    -------
+    (sum_bits, carry_out):
+        LSB-first sum node ids (same width as the inputs) and the final
+        carry node id.
+    """
+    if len(a_bits) != len(b_bits):
+        raise NetlistError(f"adder width mismatch: {len(a_bits)} vs {len(b_bits)}")
+    if not a_bits:
+        raise NetlistError("adder width must be >= 1")
+    sums: list[int] = []
+    if cin is None:
+        s, c = nl.half_adder(a_bits[0], b_bits[0])
+    else:
+        s, c = nl.full_adder(a_bits[0], b_bits[0], cin)
+    sums.append(s)
+    for j in range(1, len(a_bits)):
+        s, c = nl.full_adder(a_bits[j], b_bits[j], c)
+        sums.append(s)
+    return sums, c
+
+
+def add_ripple_carry_with_const(
+    nl: Netlist,
+    a_bits: Sequence[int],
+    const_bits: Sequence[int],
+    cin: int | None = None,
+) -> tuple[list[int], int]:
+    """Add a compile-time constant bit pattern to a bit vector.
+
+    Constant-0 positions propagate the running carry through simplified
+    logic (as constant propagation in a synthesiser would); constant-1
+    positions use half-adder-style increment cells.
+    """
+    if len(a_bits) != len(const_bits):
+        raise NetlistError("width mismatch in constant add")
+    sums: list[int] = []
+    carry = cin
+    for a, k in zip(a_bits, const_bits):
+        if k not in (0, 1):
+            raise NetlistError("constant bits must be 0 or 1")
+        if carry is None:
+            if k == 0:
+                sums.append(a)  # a + 0, no carry yet
+                continue
+            # a + 1: sum = NOT a, carry = a (constant-propagated half adder)
+            sums.append(nl.NOT(a))
+            carry = a
+            continue
+        if k == 0:
+            s, carry = nl.half_adder(a, carry)
+            sums.append(s)
+        else:
+            # a + 1 + carry: sum = a XNOR carry, carry_out = a OR carry
+            sums.append(nl.XNOR(a, carry))
+            carry = nl.OR(a, carry)
+    if carry is None:
+        carry = nl.add_const(0)
+    return sums, carry
+
+
+def subtract_ripple(
+    nl: Netlist, a_bits: Sequence[int], b_bits: Sequence[int]
+) -> tuple[list[int], int]:
+    """Compute ``a - b`` as ``a + NOT(b) + 1`` (two's complement).
+
+    Returns LSB-first difference bits and the carry-out (1 = no borrow).
+    """
+    if len(a_bits) != len(b_bits):
+        raise NetlistError("subtractor width mismatch")
+    nb = [nl.NOT(b) for b in b_bits]
+    one = nl.add_const(1)
+    return add_ripple_carry(nl, list(a_bits), nb, cin=one)

@@ -1,0 +1,111 @@
+"""Constant-coefficient multiplier (CCM) generator.
+
+The paper's predecessor work [7] built linear-projection designs from CCMs;
+the paper's contribution is moving to *generic* multipliers so one
+characterised component covers every coefficient value.  The CCM generator
+is kept as the comparison baseline (ablation benches) and to reproduce the
+scaling argument: a CCM's structure — and therefore its area, delay and
+over-clocking behaviour — depends on the coefficient, so characterising a
+design space of CCMs needs one circuit per coefficient value, which is what
+limited [7] to small problems (paper Sec. II).
+
+The generator uses canonical-signed-digit (CSD) recoding: the product is a
+sum/difference of shifted copies of the input, one adder per non-zero CSD
+digit.
+"""
+
+from __future__ import annotations
+
+from ..errors import NetlistError
+from .adders import add_ripple_carry, subtract_ripple
+from .core import Netlist
+
+__all__ = ["csd_digits", "ccm_multiplier"]
+
+
+def csd_digits(value: int) -> list[int]:
+    """Canonical-signed-digit recoding of a non-negative integer.
+
+    Returns digits in {-1, 0, +1}, LSB first, with no two adjacent
+    non-zeros.  ``sum(d * 2**i) == value`` holds.
+    """
+    if value < 0:
+        raise NetlistError("CSD recoding expects a non-negative constant")
+    digits: list[int] = []
+    v = value
+    while v:
+        if v & 1:
+            # remainder 2 - (v mod 4): +1 if v % 4 == 1 else -1
+            d = 2 - (v & 3)
+            digits.append(d)
+            v -= d
+        else:
+            digits.append(0)
+        v >>= 1
+    if not digits:
+        digits = [0]
+    return digits
+
+
+def ccm_multiplier(coefficient: int, w_in: int, name: str | None = None) -> Netlist:
+    """Build a CCM computing ``coefficient * x`` for unsigned ``x``.
+
+    Inputs: bus ``x`` (``w_in`` bits).  Output: bus ``p`` wide enough to
+    hold ``coefficient * (2**w_in - 1)`` exactly.
+
+    The zero coefficient yields a constant-zero output (no LUTs), matching
+    what a synthesiser would emit — and illustrating why CCM area/delay is
+    coefficient-dependent.
+    """
+    if coefficient < 0:
+        raise NetlistError("ccm_multiplier expects a non-negative coefficient")
+    if w_in < 1:
+        raise NetlistError("input width must be >= 1")
+    nl = Netlist(name or f"ccm{coefficient}x{w_in}")
+    x = nl.add_input_bus("x", w_in)
+
+    max_product = coefficient * ((1 << w_in) - 1)
+    w_out = max(1, max_product.bit_length())
+
+    if coefficient == 0:
+        nl.set_output_bus("p", [nl.add_const(0)])
+        return nl
+
+    digits = csd_digits(coefficient)
+    zero = nl.add_const(0)
+
+    def shifted_term(shift: int) -> list[int]:
+        """``x << shift`` as a w_out-bit vector (zero-padded)."""
+        bits = [zero] * shift + list(x)
+        bits = bits[:w_out]
+        bits += [zero] * (w_out - len(bits))
+        return bits
+
+    acc: list[int] | None = None
+    pending_sub: list[list[int]] = []
+    for i, d in enumerate(digits):
+        if d == 0:
+            continue
+        term = shifted_term(i)
+        if acc is None:
+            if d > 0:
+                acc = term
+            else:
+                # Leading CSD digit of a positive constant is never -1 at
+                # the top, but intermediate leading -1 can occur before a
+                # later +1; defer subtraction until we have a positive acc.
+                pending_sub.append(term)
+            continue
+        if d > 0:
+            sums, _ = add_ripple_carry(nl, acc, term)
+            acc = sums
+        else:
+            diff, _ = subtract_ripple(nl, acc, term)
+            acc = diff
+    if acc is None:
+        raise NetlistError(f"degenerate CSD for coefficient {coefficient}")
+    for term in pending_sub:
+        diff, _ = subtract_ripple(nl, acc, term)
+        acc = diff
+    nl.set_output_bus("p", acc[:w_out])
+    return nl

@@ -1,0 +1,395 @@
+"""Netlist DAG representation, validation, levelisation and evaluation.
+
+A :class:`Netlist` is a combinational DAG whose internal nodes are K-input
+LUTs (K <= 4, matching a Cyclone III logic element), plus primary-input and
+constant nodes.  Construction is imperative via builder methods; once built,
+:meth:`Netlist.compile` freezes the graph into a :class:`CompiledNetlist`
+of NumPy arrays that the timing simulator consumes.
+
+Truth-table convention: for a LUT with fanins ``(f0, f1, ..., f_{a-1})``
+the row index is ``sum(value(f_k) << k)`` — fanin 0 is the least
+significant index bit — and the output is bit ``index`` of the integer
+truth table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from ..errors import NetlistError
+
+__all__ = [
+    "Netlist",
+    "CompiledNetlist",
+    "NetlistStats",
+    "bits_from_ints",
+    "ints_from_bits",
+]
+
+MAX_LUT_ARITY = 4
+
+# Node kinds
+_KIND_INPUT = 0
+_KIND_CONST = 1
+_KIND_LUT = 2
+
+# Common truth tables (fanin 0 = LSB of the row index).
+TT_NOT = 0b01  # 1-input
+TT_BUF = 0b10  # 1-input
+TT_AND2 = 0b1000
+TT_OR2 = 0b1110
+TT_XOR2 = 0b0110
+TT_NAND2 = 0b0111
+TT_NOR2 = 0b0001
+TT_XNOR2 = 0b1001
+TT_ANDN2 = 0b0010  # a AND NOT b  (index = a + 2b)
+TT_XOR3 = 0b10010110
+TT_MAJ3 = 0b11101000
+TT_MUX = 0b11001010  # fanins (d0, d1, sel): sel ? d1 : d0
+
+
+def bits_from_ints(values: np.ndarray | Sequence[int], width: int) -> np.ndarray:
+    """Unpack integers into a ``(batch, width)`` uint8 LSB-first bit array.
+
+    Negative integers are interpreted in ``width``-bit two's complement.
+    """
+    v = np.asarray(values)
+    if width < 1:
+        raise NetlistError("width must be >= 1")
+    v = v.astype(np.int64) & ((1 << width) - 1)
+    shifts = np.arange(width, dtype=np.int64)
+    return ((v[..., None] >> shifts) & 1).astype(np.uint8)
+
+
+def ints_from_bits(bits: np.ndarray, signed: bool = False) -> np.ndarray:
+    """Pack a ``(batch, width)`` LSB-first bit array into integers.
+
+    With ``signed=True`` the most significant bit is a two's-complement
+    sign bit.
+    """
+    b = np.asarray(bits)
+    if b.ndim != 2:
+        raise NetlistError(f"expected 2-D bit array, got shape {b.shape}")
+    width = b.shape[1]
+    weights = (1 << np.arange(width, dtype=np.int64))
+    out = (b.astype(np.int64) * weights).sum(axis=1)
+    if signed:
+        sign = 1 << (width - 1)
+        out = np.where(out >= sign, out - (1 << width), out)
+    return out
+
+
+@dataclass(frozen=True)
+class NetlistStats:
+    """Structural statistics of a netlist."""
+
+    n_luts: int
+    n_inputs: int
+    n_consts: int
+    depth: int  # LUT levels on the longest input->output path
+    n_outputs: int
+
+    @property
+    def logic_elements(self) -> int:
+        """LE estimate: one LUT maps to one logic element."""
+        return self.n_luts
+
+
+class Netlist:
+    """Mutable combinational netlist builder.
+
+    Nodes are referenced by dense integer ids in creation order.
+    """
+
+    def __init__(self, name: str = "netlist") -> None:
+        self.name = name
+        self._kinds: list[int] = []
+        self._tts: list[int] = []
+        self._fanins: list[tuple[int, ...]] = []
+        self._const_values: list[int] = []
+        self.input_buses: dict[str, list[int]] = {}
+        self.output_buses: dict[str, list[int]] = {}
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @property
+    def n_nodes(self) -> int:
+        return len(self._kinds)
+
+    def _add_node(self, kind: int, tt: int, fanins: tuple[int, ...], const: int = 0) -> int:
+        nid = len(self._kinds)
+        self._kinds.append(kind)
+        self._tts.append(tt)
+        self._fanins.append(fanins)
+        self._const_values.append(const)
+        return nid
+
+    def add_input_bus(self, name: str, width: int) -> list[int]:
+        """Declare a primary-input bus; returns its bit node ids, LSB first."""
+        if width < 1:
+            raise NetlistError("bus width must be >= 1")
+        if name in self.input_buses:
+            raise NetlistError(f"duplicate input bus {name!r}")
+        bits = [self._add_node(_KIND_INPUT, 0, ()) for _ in range(width)]
+        self.input_buses[name] = bits
+        return bits
+
+    def add_const(self, value: int) -> int:
+        """Add a constant-0 or constant-1 node."""
+        if value not in (0, 1):
+            raise NetlistError("constant must be 0 or 1")
+        return self._add_node(_KIND_CONST, 0, (), const=value)
+
+    def add_lut(self, tt: int, fanins: Iterable[int]) -> int:
+        """Add a LUT node with truth table ``tt`` over ``fanins``."""
+        f = tuple(int(x) for x in fanins)
+        arity = len(f)
+        if not (1 <= arity <= MAX_LUT_ARITY):
+            raise NetlistError(f"LUT arity must be 1..{MAX_LUT_ARITY}, got {arity}")
+        if not (0 <= tt < (1 << (1 << arity))):
+            raise NetlistError(f"truth table {tt:#x} out of range for arity {arity}")
+        for x in f:
+            if not (0 <= x < self.n_nodes):
+                raise NetlistError(f"fanin {x} references unknown node")
+        return self._add_node(_KIND_LUT, tt, f)
+
+    def set_output_bus(self, name: str, bits: Sequence[int]) -> None:
+        """Declare an output bus from existing node ids, LSB first."""
+        if name in self.output_buses:
+            raise NetlistError(f"duplicate output bus {name!r}")
+        for x in bits:
+            if not (0 <= x < self.n_nodes):
+                raise NetlistError(f"output bit {x} references unknown node")
+        self.output_buses[name] = list(int(b) for b in bits)
+
+    # ------------------------------------------------------------------
+    # gate conveniences
+    # ------------------------------------------------------------------
+    def NOT(self, a: int) -> int:
+        return self.add_lut(TT_NOT, (a,))
+
+    def AND(self, a: int, b: int) -> int:
+        return self.add_lut(TT_AND2, (a, b))
+
+    def OR(self, a: int, b: int) -> int:
+        return self.add_lut(TT_OR2, (a, b))
+
+    def XOR(self, a: int, b: int) -> int:
+        return self.add_lut(TT_XOR2, (a, b))
+
+    def XNOR(self, a: int, b: int) -> int:
+        return self.add_lut(TT_XNOR2, (a, b))
+
+    def NAND(self, a: int, b: int) -> int:
+        return self.add_lut(TT_NAND2, (a, b))
+
+    def XOR3(self, a: int, b: int, c: int) -> int:
+        return self.add_lut(TT_XOR3, (a, b, c))
+
+    def MAJ3(self, a: int, b: int, c: int) -> int:
+        return self.add_lut(TT_MAJ3, (a, b, c))
+
+    def MUX(self, d0: int, d1: int, sel: int) -> int:
+        return self.add_lut(TT_MUX, (d0, d1, sel))
+
+    def full_adder(self, a: int, b: int, cin: int) -> tuple[int, int]:
+        """Full adder mapped to two 3-LUTs; returns ``(sum, carry)``."""
+        return self.XOR3(a, b, cin), self.MAJ3(a, b, cin)
+
+    def half_adder(self, a: int, b: int) -> tuple[int, int]:
+        """Half adder mapped to two 2-LUTs; returns ``(sum, carry)``."""
+        return self.XOR(a, b), self.AND(a, b)
+
+    # ------------------------------------------------------------------
+    # analysis
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        """Check structural sanity.
+
+        Construction order guarantees acyclicity (fanins must already
+        exist), so validation focuses on output references and arities.
+        """
+        if not self.output_buses:
+            raise NetlistError(f"netlist {self.name!r} declares no outputs")
+        for name, bits in self.output_buses.items():
+            if not bits:
+                raise NetlistError(f"output bus {name!r} is empty")
+        for nid, kind in enumerate(self._kinds):
+            if kind == _KIND_LUT and not self._fanins[nid]:
+                raise NetlistError(f"LUT node {nid} has no fanins")
+
+    def node_levels(self) -> np.ndarray:
+        """LUT-level depth per node (inputs/consts at level 0)."""
+        levels = np.zeros(self.n_nodes, dtype=np.int32)
+        for nid in range(self.n_nodes):
+            if self._kinds[nid] == _KIND_LUT:
+                levels[nid] = 1 + max(levels[f] for f in self._fanins[nid])
+        return levels
+
+    def stats(self) -> NetlistStats:
+        kinds = np.asarray(self._kinds)
+        levels = self.node_levels()
+        out_ids = [b for bits in self.output_buses.values() for b in bits]
+        depth = int(levels[out_ids].max()) if out_ids else 0
+        return NetlistStats(
+            n_luts=int((kinds == _KIND_LUT).sum()),
+            n_inputs=int((kinds == _KIND_INPUT).sum()),
+            n_consts=int((kinds == _KIND_CONST).sum()),
+            depth=depth,
+            n_outputs=len(out_ids),
+        )
+
+    # ------------------------------------------------------------------
+    # compilation / evaluation
+    # ------------------------------------------------------------------
+    def compile(self) -> "CompiledNetlist":
+        """Freeze into array form for vectorised evaluation/simulation."""
+        self.validate()
+        n = self.n_nodes
+        kinds = np.asarray(self._kinds, dtype=np.int8)
+        arity = np.zeros(n, dtype=np.int8)
+        fanin_idx = np.zeros((n, MAX_LUT_ARITY), dtype=np.int32)
+        tt_bits = np.zeros((n, 1 << MAX_LUT_ARITY), dtype=np.uint8)
+        const_values = np.asarray(self._const_values, dtype=np.uint8)
+        for nid in range(n):
+            f = self._fanins[nid]
+            arity[nid] = len(f)
+            fanin_idx[nid, : len(f)] = f
+            if kinds[nid] == _KIND_LUT:
+                a = len(f)
+                tt = self._tts[nid]
+                # Expand the truth table over all 16 index rows so unused
+                # (padded) fanin index bits are "don't care" = repeat.
+                rows = 1 << a
+                base = np.array([(tt >> r) & 1 for r in range(rows)], dtype=np.uint8)
+                reps = (1 << MAX_LUT_ARITY) // rows
+                tt_bits[nid] = np.tile(base, reps)
+        levels = self.node_levels()
+        order = np.argsort(levels, kind="stable").astype(np.int32)
+        # Group nodes by level for level-parallel evaluation.
+        max_level = int(levels.max()) if n else 0
+        level_groups: list[np.ndarray] = []
+        for lv in range(1, max_level + 1):
+            ids = np.nonzero(levels == lv)[0].astype(np.int32)
+            if ids.size:
+                level_groups.append(ids)
+        return CompiledNetlist(
+            name=self.name,
+            kinds=kinds,
+            arity=arity,
+            fanin_idx=fanin_idx,
+            tt_bits=tt_bits,
+            const_values=const_values,
+            levels=levels,
+            topo_order=order,
+            level_groups=tuple(level_groups),
+            input_buses={k: np.asarray(v, dtype=np.int32) for k, v in self.input_buses.items()},
+            output_buses={k: np.asarray(v, dtype=np.int32) for k, v in self.output_buses.items()},
+        )
+
+
+@dataclass(frozen=True)
+class CompiledNetlist:
+    """Immutable array-form netlist, ready for batched simulation.
+
+    ``tt_bits[nid]`` always has 16 rows; rows beyond ``2**arity`` repeat
+    the table so padded fanins never change the output.
+    """
+
+    name: str
+    kinds: np.ndarray  # (n,) int8
+    arity: np.ndarray  # (n,) int8
+    fanin_idx: np.ndarray  # (n, 4) int32
+    tt_bits: np.ndarray  # (n, 16) uint8
+    const_values: np.ndarray  # (n,) uint8
+    levels: np.ndarray  # (n,) int32
+    topo_order: np.ndarray  # (n,) int32
+    level_groups: tuple[np.ndarray, ...]
+    input_buses: dict[str, np.ndarray]
+    output_buses: dict[str, np.ndarray]
+
+    @property
+    def n_nodes(self) -> int:
+        return int(self.kinds.shape[0])
+
+    @property
+    def n_luts(self) -> int:
+        return int((self.kinds == _KIND_LUT).sum())
+
+    @property
+    def depth(self) -> int:
+        return int(self.levels.max()) if self.n_nodes else 0
+
+    @property
+    def lut_mask(self) -> np.ndarray:
+        return self.kinds == _KIND_LUT
+
+    def initial_values(self, batch: int) -> np.ndarray:
+        """Node-value array of shape ``(n_nodes, batch)`` with constants set."""
+        vals = np.zeros((self.n_nodes, batch), dtype=np.uint8)
+        const_mask = self.kinds == _KIND_CONST
+        vals[const_mask] = self.const_values[const_mask, None]
+        return vals
+
+    def bind_inputs(self, values: np.ndarray, inputs: dict[str, np.ndarray]) -> None:
+        """Write input-bus bit arrays into a node-value array in place.
+
+        ``inputs[name]`` must be ``(batch, width)`` uint8, LSB first.
+        """
+        for name, bits in inputs.items():
+            if name not in self.input_buses:
+                raise NetlistError(f"unknown input bus {name!r}")
+            ids = self.input_buses[name]
+            b = np.asarray(bits, dtype=np.uint8)
+            if b.ndim != 2 or b.shape[1] != ids.shape[0]:
+                raise NetlistError(
+                    f"input {name!r}: expected shape (batch, {ids.shape[0]}), got {b.shape}"
+                )
+            values[ids] = b.T
+        missing = set(self.input_buses) - set(inputs)
+        if missing:
+            raise NetlistError(f"missing input buses: {sorted(missing)}")
+
+    def evaluate(self, inputs: dict[str, np.ndarray]) -> dict[str, np.ndarray]:
+        """Pure functional evaluation (no timing), batched.
+
+        Parameters
+        ----------
+        inputs:
+            Mapping bus name -> ``(batch, width)`` uint8 bit array.
+
+        Returns
+        -------
+        dict
+            Mapping output bus name -> ``(batch, width)`` uint8 bit array.
+        """
+        first = next(iter(inputs.values()))
+        batch = np.asarray(first).shape[0]
+        values = self.initial_values(batch)
+        self.bind_inputs(values, inputs)
+        for ids in self.level_groups:
+            idx = values[self.fanin_idx[ids, 0]].astype(np.intp)
+            idx |= values[self.fanin_idx[ids, 1]].astype(np.intp) << 1
+            idx |= values[self.fanin_idx[ids, 2]].astype(np.intp) << 2
+            idx |= values[self.fanin_idx[ids, 3]].astype(np.intp) << 3
+            values[ids] = np.take_along_axis(
+                self.tt_bits[ids], idx, axis=1
+            )
+        return {
+            name: values[ids].T.copy() for name, ids in self.output_buses.items()
+        }
+
+    def evaluate_ints(self, signed_out: bool = False, **int_inputs: np.ndarray) -> dict[str, np.ndarray]:
+        """Evaluate with integer inputs/outputs (convenience wrapper)."""
+        bit_inputs = {}
+        for name, vals in int_inputs.items():
+            if name not in self.input_buses:
+                raise NetlistError(f"unknown input bus {name!r}")
+            width = self.input_buses[name].shape[0]
+            bit_inputs[name] = bits_from_ints(np.atleast_1d(vals), width)
+        out = self.evaluate(bit_inputs)
+        return {name: ints_from_bits(bits, signed=signed_out) for name, bits in out.items()}

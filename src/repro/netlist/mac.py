@@ -1,0 +1,67 @@
+"""Multiply-accumulate (MAC) block generator.
+
+The linear-projection datapath computes each output coefficient as a dot
+product of the input vector with a projection-vector column; in hardware
+this is a MAC per column (paper Sec. VI-B measures area "for each
+Multiply-Accumulate (MAC) block").  The block here is a sign-magnitude
+generic multiplier followed by a ripple-carry accumulator-add stage.
+"""
+
+from __future__ import annotations
+
+from ..errors import NetlistError
+from .adders import add_ripple_carry
+from .core import Netlist
+
+__all__ = ["mac_block"]
+
+
+def mac_block(w_data: int, w_coeff: int, w_acc: int | None = None, name: str | None = None) -> Netlist:
+    """Build a MAC block: ``acc_out = acc_in + a * b`` (unsigned core).
+
+    Inputs: ``a`` (``w_data`` bits), ``b`` (``w_coeff`` bits), ``acc``
+    (``w_acc`` bits, default ``w_data + w_coeff + 2`` guard bits).
+    Output: ``acc_out`` (``w_acc`` bits, modular).
+
+    Signs are handled outside the block (sign-magnitude datapath), so the
+    combinational core under test is exactly the generic multiplier plus
+    the accumulate adder, mirroring the characterised component.
+    """
+    if w_data < 1 or w_coeff < 1:
+        raise NetlistError("MAC operand widths must be >= 1")
+    w_prod = w_data + w_coeff
+    if w_acc is None:
+        w_acc = w_prod + 2
+    if w_acc < w_prod:
+        raise NetlistError(f"accumulator width {w_acc} narrower than product {w_prod}")
+
+    nl = Netlist(name or f"mac{w_data}x{w_coeff}")
+    a = nl.add_input_bus("a", w_data)
+    b = nl.add_input_bus("b", w_coeff)
+    acc_in = nl.add_input_bus("acc", w_acc)
+
+    # Generic unsigned array multiplier (same topology as the DUT).
+    if w_coeff == 1:
+        product = [nl.AND(a[j], b[0]) for j in range(w_data)] + [nl.add_const(0)]
+    else:
+        first = [nl.AND(a[j], b[0]) for j in range(w_data)]
+        product = [first[0]]
+        running = first[1:]
+        carry_top: int | None = None
+        for i in range(1, w_coeff):
+            pp = [nl.AND(a[j], b[i]) for j in range(w_data)]
+            top = carry_top if carry_top is not None else nl.add_const(0)
+            sums, cout = add_ripple_carry(nl, running + [top], pp)
+            product.append(sums[0])
+            running = sums[1:]
+            carry_top = cout
+        product.extend(running)
+        product.append(carry_top)
+
+    # Zero-extend the product to the accumulator width and add.
+    zero = nl.add_const(0)
+    prod_ext = product + [zero] * (w_acc - len(product))
+    acc_out, _ = add_ripple_carry(nl, list(acc_in), prod_ext)
+    nl.set_output_bus("acc_out", acc_out)
+    nl.set_output_bus("p", product)
+    return nl

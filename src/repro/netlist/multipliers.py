@@ -1,0 +1,186 @@
+"""LUT-based generic multiplier generators.
+
+The paper's design-under-test is a LUT-based *generic* multiplier (both
+operands variable), as opposed to the constant-coefficient multipliers of
+its predecessor work [7].  Three variants are provided:
+
+* :func:`unsigned_array_multiplier` — the classic ripple array multiplier
+  used for characterisation (paper Sec. III uses an 8x8 unsigned DUT);
+* :func:`baugh_wooley_multiplier` — two's-complement signed array
+  multiplier (modified Baugh-Wooley form);
+* :func:`sign_magnitude_multiplier` — unsigned core with XOR sign handling,
+  matching how the linear-projection datapath consumes the error model
+  (coefficients are characterised by magnitude).
+"""
+
+from __future__ import annotations
+
+from ..errors import NetlistError
+from .adders import add_ripple_carry
+from .core import Netlist
+
+__all__ = [
+    "unsigned_array_multiplier",
+    "baugh_wooley_multiplier",
+    "sign_magnitude_multiplier",
+]
+
+
+def _check_widths(wa: int, wb: int) -> None:
+    if wa < 1 or wb < 1:
+        raise NetlistError(f"multiplier widths must be >= 1, got {wa}x{wb}")
+    if wa > 32 or wb > 32:
+        raise NetlistError(f"multiplier widths above 32 bits unsupported ({wa}x{wb})")
+
+
+def unsigned_array_multiplier(wa: int, wb: int, name: str | None = None) -> Netlist:
+    """Build an unsigned ``wa`` x ``wb`` ripple array multiplier.
+
+    Inputs: bus ``a`` (``wa`` bits), bus ``b`` (``wb`` bits); output bus
+    ``p`` (``wa + wb`` bits), all LSB first.
+
+    Structure: partial products ``a & b_i`` accumulated row by row with
+    ripple-carry adders, so the critical path runs diagonally to the most
+    significant product bit — MSbs fail first under over-clocking, exactly
+    as the paper observes (Fig. 4 caption).
+    """
+    _check_widths(wa, wb)
+    nl = Netlist(name or f"umul{wa}x{wb}")
+    a = nl.add_input_bus("a", wa)
+    b = nl.add_input_bus("b", wb)
+
+    if wb == 1:
+        # Degenerate case: product is a & b0 padded with one zero MSB.
+        product = [nl.AND(a[j], b[0]) for j in range(wa)] + [nl.add_const(0)]
+        nl.set_output_bus("p", product)
+        return nl
+
+    # Row 0 partial product is the initial running sum.
+    acc = [nl.AND(a[j], b[0]) for j in range(wa)]
+    product: list[int] = [acc[0]]
+    running = acc[1:]  # wa-1 bits at weights 2^1..
+    carry_top: int | None = None
+    for i in range(1, wb):
+        pp = [nl.AND(a[j], b[i]) for j in range(wa)]
+        top = carry_top if carry_top is not None else nl.add_const(0)
+        addend = running + [top]  # wa bits at weights 2^i..
+        sums, cout = add_ripple_carry(nl, addend, pp)
+        product.append(sums[0])
+        running = sums[1:]
+        carry_top = cout
+    product.extend(running)
+    product.append(carry_top)
+    nl.set_output_bus("p", product)
+    return nl
+
+
+def baugh_wooley_multiplier(wa: int, wb: int, name: str | None = None) -> Netlist:
+    """Build a two's-complement signed ``wa`` x ``wb`` array multiplier.
+
+    Modified Baugh-Wooley form: partial products with one signed operand
+    bit are complemented (NAND instead of AND) and correction ones are
+    added at columns ``wa-1``, ``wb-1`` and ``wa+wb-1``; the result is the
+    exact ``wa+wb``-bit two's-complement product.
+
+    Inputs ``a`` (signed, ``wa`` bits), ``b`` (signed, ``wb`` bits);
+    output ``p`` (``wa + wb`` bits, two's complement).
+    """
+    _check_widths(wa, wb)
+    if wa < 2 or wb < 2:
+        raise NetlistError("Baugh-Wooley needs at least 2-bit operands")
+    nl = Netlist(name or f"bwmul{wa}x{wb}")
+    a = nl.add_input_bus("a", wa)
+    b = nl.add_input_bus("b", wb)
+    wp = wa + wb
+
+    # Column-wise lists of partial-product bits (weight = column index).
+    columns: list[list[int]] = [[] for _ in range(wp)]
+    for i in range(wb):
+        for j in range(wa):
+            mixed = (i == wb - 1) != (j == wa - 1)
+            node = nl.NAND(a[j], b[i]) if mixed else nl.AND(a[j], b[i])
+            columns[i + j].append(node)
+    # Correction constants: +2^(wa-1) + 2^(wb-1) + 2^(wa+wb-1) (mod 2^wp).
+    columns[wa - 1].append(nl.add_const(1))
+    columns[wb - 1].append(nl.add_const(1))
+    columns[wp - 1].append(nl.add_const(1))
+
+    product = _reduce_columns(nl, columns, wp)
+    nl.set_output_bus("p", product)
+    return nl
+
+
+def _reduce_columns(nl: Netlist, columns: list[list[int]], width: int) -> list[int]:
+    """Ripple-style column compression to one bit per column (mod 2^width).
+
+    Repeatedly applies full/half adders within each column, pushing carries
+    into the next column, until every column holds a single bit.  Carries
+    past the top column are dropped (modular arithmetic).
+    """
+    cols = [list(c) for c in columns]
+    changed = True
+    while changed:
+        changed = False
+        for c in range(width):
+            col = cols[c]
+            while len(col) >= 3:
+                a_, b_, cin = col.pop(), col.pop(), col.pop()
+                s, cy = nl.full_adder(a_, b_, cin)
+                col.append(s)
+                if c + 1 < width:
+                    cols[c + 1].append(cy)
+                changed = True
+            if len(col) == 2:
+                a_, b_ = col.pop(), col.pop()
+                s, cy = nl.half_adder(a_, b_)
+                col.append(s)
+                if c + 1 < width:
+                    cols[c + 1].append(cy)
+                changed = True
+    out = []
+    for c in range(width):
+        if not cols[c]:
+            out.append(nl.add_const(0))
+        else:
+            out.append(cols[c][0])
+    return out
+
+
+def sign_magnitude_multiplier(wa: int, wb: int, name: str | None = None) -> Netlist:
+    """Sign-magnitude multiplier: unsigned core + XOR sign bit.
+
+    Inputs: magnitude buses ``a`` (``wa`` bits) and ``b`` (``wb`` bits) and
+    1-bit sign buses ``sa``, ``sb``.  Outputs: magnitude product ``p``
+    (``wa+wb`` bits) and sign ``sp`` (1 bit).
+
+    The projection datapath uses this form because the characterised error
+    model E(m, f) is indexed by coefficient *magnitude* (paper Sec. V-B1
+    fixes one operand to the coefficient value).
+    """
+    _check_widths(wa, wb)
+    nl = Netlist(name or f"smmul{wa}x{wb}")
+    a = nl.add_input_bus("a", wa)
+    b = nl.add_input_bus("b", wb)
+    sa = nl.add_input_bus("sa", 1)
+    sb = nl.add_input_bus("sb", 1)
+    # Unsigned array core (same topology as unsigned_array_multiplier).
+    if wb == 1:
+        product = [nl.AND(a[j], b[0]) for j in range(wa)] + [nl.add_const(0)]
+    else:
+        acc = [nl.AND(a[j], b[0]) for j in range(wa)]
+        product = [acc[0]]
+        running = acc[1:]
+        carry_top: int | None = None
+        for i in range(1, wb):
+            pp = [nl.AND(a[j], b[i]) for j in range(wa)]
+            top = carry_top if carry_top is not None else nl.add_const(0)
+            addend = running + [top]
+            sums, cout = add_ripple_carry(nl, addend, pp)
+            product.append(sums[0])
+            running = sums[1:]
+            carry_top = cout
+        product.extend(running)
+        product.append(carry_top)
+    nl.set_output_bus("p", product)
+    nl.set_output_bus("sp", [nl.XOR(sa[0], sb[0])])
+    return nl

@@ -1,0 +1,23 @@
+"""Mini synthesis flow: place a netlist on a device and report timing/area.
+
+This package plays the role of the vendor tool in the paper's Fig. 2 flow:
+it produces (i) a placed, delay-annotated design that the timing simulator
+can execute against the *actual* device, and (ii) the conservative reports
+(Tool Fmax, LE count) that the paper's methodology deliberately outperforms.
+"""
+
+from .placer import Placement, place_netlist
+from .timing_report import ToolTimingReport, tool_timing_report
+from .area_report import AreaReport, area_report
+from .flow import PlacedDesign, SynthesisFlow
+
+__all__ = [
+    "Placement",
+    "place_netlist",
+    "ToolTimingReport",
+    "tool_timing_report",
+    "AreaReport",
+    "area_report",
+    "PlacedDesign",
+    "SynthesisFlow",
+]

@@ -1,0 +1,58 @@
+"""Area (logic element) report.
+
+One LUT maps to one logic element.  Real synthesis runs scatter a few
+percent around that count — the tool merges some logic, duplicates other
+logic for routability, and the exact outcome varies with the placement
+seed.  The paper's Figs. 6 and 9 show exactly this scatter; the area
+*model* (``repro.models.area_model``) is fitted on reports produced here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ConfigError
+from ..netlist.core import CompiledNetlist
+
+__all__ = ["AreaReport", "area_report"]
+
+#: Relative sigma of run-to-run LE-count scatter observed in real flows.
+_AREA_NOISE_SIGMA = 0.035
+
+
+@dataclass(frozen=True)
+class AreaReport:
+    """Synthesis-reported resource usage for one run."""
+
+    logic_elements: int
+    structural_luts: int
+    seed: int
+
+    @property
+    def optimisation_delta(self) -> int:
+        """LEs added (positive) or saved (negative) by tool optimisation."""
+        return self.logic_elements - self.structural_luts
+
+
+def area_report(netlist: CompiledNetlist, seed: int = 0, noise_sigma: float = _AREA_NOISE_SIGMA) -> AreaReport:
+    """Report the LE count of a synthesis run of ``netlist``.
+
+    Parameters
+    ----------
+    seed:
+        Synthesis-run seed; different seeds give (slightly) different
+        reported areas, as in the paper's Fig. 6 data collection.
+    noise_sigma:
+        Relative scatter; 0 gives the exact structural count.
+    """
+    if noise_sigma < 0:
+        raise ConfigError("noise_sigma must be non-negative")
+    structural = netlist.n_luts
+    if noise_sigma == 0 or structural == 0:
+        return AreaReport(logic_elements=structural, structural_luts=structural, seed=seed)
+    rng = np.random.default_rng(seed)
+    reported = int(round(structural * float(rng.normal(1.0, noise_sigma))))
+    reported = max(1, reported)
+    return AreaReport(logic_elements=reported, structural_luts=structural, seed=seed)

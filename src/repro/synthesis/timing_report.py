@@ -1,0 +1,71 @@
+"""Conservative "synthesis tool" timing report.
+
+The vendor tool signs off every die of the family at the worst process
+corner with a guard band on top (aging, voltage/temperature envelopes).
+Its Fmax — fA in the paper's Fig. 1 — is therefore well below what a
+specific, characterised die achieves (fB), which is the gap this whole
+framework monetises.
+
+The report runs STA on the same netlist structure but with family
+worst-case delays instead of the die's actual delays.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..config import period_ns_to_mhz
+from ..netlist.core import CompiledNetlist
+from ..timing.sta import static_timing
+from .placer import Placement
+
+__all__ = ["ToolTimingReport", "tool_timing_report"]
+
+
+@dataclass(frozen=True)
+class ToolTimingReport:
+    """What the synthesis tool promises for a placed design."""
+
+    fmax_mhz: float
+    critical_path_ns: float
+    guard_band: float
+    slow_corner_factor: float
+
+    @property
+    def min_period_ns(self) -> float:
+        return 1000.0 / self.fmax_mhz
+
+
+def tool_timing_report(placement: Placement) -> ToolTimingReport:
+    """Produce the conservative family-wide timing report for a placement.
+
+    Uses worst-corner LUT delays uniformly (the tool has no idea where on
+    the die the design will really be, let alone which die), worst-case
+    routing delays, and the family guard band.
+    """
+    netlist: CompiledNetlist = placement.netlist
+    family = placement.device.family
+    timing_cfg = family.timing
+
+    lut_mask = netlist.lut_mask
+    node_delay = np.where(lut_mask, family.worst_case_lut_delay_ns(), 0.0)
+
+    dist = placement.manhattan_edge_distances()
+    fanout = placement.fanout_counts()
+    fidx = netlist.fanin_idx
+    edge_delay = family.routing.worst_case_delay(dist, fanout[fidx])
+    # Zero routing charge into non-LUT nodes (inputs/consts have no fanins).
+    edge_delay = np.where(lut_mask[:, None], edge_delay, 0.0)
+
+    result = static_timing(
+        netlist, node_delay, edge_delay, setup_ns=timing_cfg.register_setup_ns
+    )
+    guarded_period = result.min_period_ns * timing_cfg.tool_guard_band
+    return ToolTimingReport(
+        fmax_mhz=period_ns_to_mhz(guarded_period),
+        critical_path_ns=result.critical_path_ns,
+        guard_band=timing_cfg.tool_guard_band,
+        slow_corner_factor=timing_cfg.slow_corner_factor,
+    )

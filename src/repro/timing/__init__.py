@@ -1,0 +1,26 @@
+"""Timing substrate: static analysis and over-clocking simulation.
+
+:mod:`repro.timing.sta` answers "how fast could this placed design go
+error-free" (the device's true data-path Fmax, paper Fig. 1's fB bound);
+:mod:`repro.timing.simulator` answers "what exactly comes out of the
+register when you clock it faster than that" (the error-prone regime the
+characterisation step measures).
+"""
+
+from .sta import StaticTimingResult, static_timing
+from .simulator import TransitionTimingResult, simulate_transitions
+from .capture import CaptureResult, capture_stream
+from .razor import RazorConfig, RazorResult, razor_execute, razor_optimal_frequency
+
+__all__ = [
+    "StaticTimingResult",
+    "static_timing",
+    "TransitionTimingResult",
+    "simulate_transitions",
+    "CaptureResult",
+    "capture_stream",
+    "RazorConfig",
+    "RazorResult",
+    "razor_execute",
+    "razor_optimal_frequency",
+]

@@ -1,0 +1,128 @@
+"""Register capture of an over-clocked combinational output.
+
+Given the settle times from :func:`repro.timing.simulator.simulate_transitions`
+and a clock, the capture model decides per output bit and per cycle whether
+the new value latched in time:
+
+``captured[i] = new_value[i]  if settle[i] <= period - jitter_i - setup
+                old_value[i]  otherwise``
+
+where ``old_value`` is the functional output of the previous stimulus —
+i.e. a late bit holds the register's previous (stale) content.  Jitter is
+drawn per cycle, which produces the run-to-run variation of error counts
+the paper reports at high frequencies (Sec. III-C).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..config import mhz_to_period_ns
+from ..errors import TimingError
+from ..fabric.jitter import JitterModel
+from ..netlist.core import ints_from_bits
+from .simulator import TransitionTimingResult
+
+__all__ = ["CaptureResult", "capture_stream"]
+
+
+@dataclass(frozen=True)
+class CaptureResult:
+    """Outcome of capturing one output bus over a stimulus stream.
+
+    All arrays cover the ``N - 1`` capture cycles (the first stimulus
+    vector only initialises the pipeline).
+
+    Attributes
+    ----------
+    captured_bits:
+        What the register actually held, ``(N-1, width)`` uint8.
+    ideal_bits:
+        What an infinitely slow clock would have captured.
+    late_mask:
+        True where a bit missed the timing window, ``(N-1, width)``.
+    """
+
+    bus: str
+    freq_mhz: float
+    captured_bits: np.ndarray
+    ideal_bits: np.ndarray
+    late_mask: np.ndarray
+
+    @property
+    def n_cycles(self) -> int:
+        return int(self.captured_bits.shape[0])
+
+    def captured_ints(self, signed: bool = False) -> np.ndarray:
+        return ints_from_bits(self.captured_bits, signed=signed)
+
+    def ideal_ints(self, signed: bool = False) -> np.ndarray:
+        return ints_from_bits(self.ideal_bits, signed=signed)
+
+    def errors(self, signed: bool = False) -> np.ndarray:
+        """Numeric error (captured - ideal) per cycle."""
+        return self.captured_ints(signed) - self.ideal_ints(signed)
+
+    def error_rate(self) -> float:
+        """Fraction of cycles with at least one erroneous bit."""
+        wrong = (self.captured_bits != self.ideal_bits).any(axis=1)
+        return float(wrong.mean()) if self.n_cycles else 0.0
+
+    def bit_error_rate(self) -> np.ndarray:
+        """Per-bit error rate, LSB first (MSbs fail first by structure)."""
+        return (self.captured_bits != self.ideal_bits).mean(axis=0)
+
+
+def capture_stream(
+    timing: TransitionTimingResult,
+    bus: str,
+    freq_mhz: float,
+    setup_ns: float = 0.0,
+    jitter: JitterModel | None = None,
+    rng: np.random.Generator | None = None,
+) -> CaptureResult:
+    """Capture an output bus at ``freq_mhz`` with optional jitter.
+
+    Parameters
+    ----------
+    timing:
+        Result of a transition simulation.
+    bus:
+        Output bus to capture.
+    freq_mhz:
+        Clock frequency of the capture register.
+    setup_ns:
+        Register setup margin subtracted from every capture window.
+    jitter:
+        Cycle-to-cycle jitter model; ``None`` means an ideal clock.
+    rng:
+        Randomness for the jitter draws (required if jitter is active).
+    """
+    if bus not in timing.netlist.output_buses:
+        raise TimingError(f"unknown output bus {bus!r}")
+    period = mhz_to_period_ns(freq_mhz)
+    values = timing.output_values(bus)  # (N, width)
+    settle = timing.output_settle(bus)  # (N-1, width)
+    new_bits = values[1:]
+    old_bits = values[:-1]
+
+    n_cycles = settle.shape[0]
+    if jitter is not None and jitter.sigma_ns > 0:
+        if rng is None:
+            raise TimingError("jitter requested but no rng supplied")
+        eff = jitter.effective_periods(period, n_cycles, rng)
+    else:
+        eff = np.full(n_cycles, period)
+    window = (eff - setup_ns)[:, None]
+
+    late = settle > window
+    captured = np.where(late, old_bits, new_bits).astype(np.uint8)
+    return CaptureResult(
+        bus=bus,
+        freq_mhz=float(freq_mhz),
+        captured_bits=captured,
+        ideal_bits=new_bits.astype(np.uint8),
+        late_mask=late,
+    )

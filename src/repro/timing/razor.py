@@ -1,0 +1,122 @@
+"""Razor-style timing-error detection and replay (paper ref. [4]).
+
+The paper's Background section contrasts its approach with Razor: a
+generic time-redundant scheme where a shadow register samples the
+combinational output half a cycle later (always meeting timing), a
+comparator flags main/shadow mismatches, and flagged cycles are replayed.
+Razor guarantees *correct* results arbitrarily deep into the over-clocking
+regime, but pays
+
+* a throughput penalty — every detected error stalls the pipeline for the
+  replay (here: one extra cycle per erroneous result);
+* an area penalty — shadow registers and comparators on every protected
+  bit (Razor literature reports ~1.2-3x register overhead; we charge a
+  configurable fraction of the protected design's LE count);
+* and, the paper's actual criticism, *design opacity*: the recovery
+  machinery "does not hide the performance variability in the design" —
+  the designer still has to absorb the variable latency downstream.
+
+The model wraps a capture result: detected = every mis-latched cycle
+(ideal Razor detection), output = always the ideal values, effective
+throughput = f * N / (N + replays).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import TimingError
+from .capture import CaptureResult
+
+__all__ = ["RazorConfig", "RazorResult", "razor_execute"]
+
+
+@dataclass(frozen=True)
+class RazorConfig:
+    """Razor protection parameters.
+
+    Attributes
+    ----------
+    replay_cycles:
+        Stall cycles charged per detected error (classic Razor: 1).
+    area_overhead_fraction:
+        Extra LEs per protected LE (shadow registers + comparators).
+    """
+
+    replay_cycles: int = 1
+    area_overhead_fraction: float = 0.35
+
+    def __post_init__(self) -> None:
+        if self.replay_cycles < 1:
+            raise TimingError("replay must cost at least one cycle")
+        if self.area_overhead_fraction < 0:
+            raise TimingError("area overhead cannot be negative")
+
+
+@dataclass(frozen=True)
+class RazorResult:
+    """Outcome of running a stream through a Razor-protected register."""
+
+    freq_mhz: float
+    n_results: int
+    n_replays: int
+    corrected: np.ndarray  # always the ideal outputs
+    config: RazorConfig
+
+    @property
+    def error_rate_detected(self) -> float:
+        return self.n_replays / self.n_results if self.n_results else 0.0
+
+    @property
+    def effective_throughput_mhz(self) -> float:
+        """Results per microsecond after replay stalls."""
+        total_cycles = self.n_results + self.config.replay_cycles * self.n_replays
+        if total_cycles == 0:
+            return 0.0
+        return self.freq_mhz * self.n_results / total_cycles
+
+    def protected_area(self, base_area_le: int) -> float:
+        """LE cost of the design once Razor-protected."""
+        return base_area_le * (1.0 + self.config.area_overhead_fraction)
+
+
+def razor_execute(capture: CaptureResult, config: RazorConfig = RazorConfig()) -> RazorResult:
+    """Apply Razor detection/replay semantics to a raw capture.
+
+    Assumes ideal detection (the shadow register always captures the
+    settled value): every cycle whose main register mis-latched any bit is
+    flagged and replayed, so the corrected output equals the ideal output.
+    """
+    wrong = (capture.captured_bits != capture.ideal_bits).any(axis=1)
+    return RazorResult(
+        freq_mhz=capture.freq_mhz,
+        n_results=capture.n_cycles,
+        n_replays=int(wrong.sum()),
+        corrected=capture.ideal_ints(),
+        config=config,
+    )
+
+
+def razor_optimal_frequency(
+    freqs_mhz: np.ndarray,
+    error_rates: np.ndarray,
+    config: RazorConfig = RazorConfig(),
+) -> tuple[float, float]:
+    """The clock that maximises Razor's effective throughput.
+
+    Given a profile of raw error rates over candidate clocks, returns
+    ``(best_freq, best_effective_throughput)``.  Razor's throughput curve
+    ``f / (1 + r(f) * replay)`` keeps rising only while the error rate
+    grows slower than the clock — the classic Razor operating point.
+    """
+    freqs = np.asarray(freqs_mhz, dtype=float)
+    rates = np.asarray(error_rates, dtype=float)
+    if freqs.shape != rates.shape or freqs.size == 0:
+        raise TimingError("frequency/error-rate profiles must align and be non-empty")
+    if np.any((rates < 0) | (rates > 1)):
+        raise TimingError("error rates must lie in [0, 1]")
+    eff = freqs / (1.0 + config.replay_cycles * rates)
+    best = int(np.argmax(eff))
+    return float(freqs[best]), float(eff[best])

@@ -1,0 +1,138 @@
+"""Vectorised two-vector transition-aware timing simulation.
+
+For every consecutive pair of stimulus vectors the simulator computes, per
+node, the time at which the node reaches its final (new) value:
+
+* a node whose value does not change settles at t = 0;
+* a changed node settles at ``lut_delay + max(settle(fanin) + edge_delay)``
+  over the fanins whose values changed.
+
+This is the classic transition-propagation abstraction of timing errors
+(cf. the datapath error models of paper ref. [8]): it captures data
+dependence (benign transitions settle early), structural dependence (MSbs
+settle last), and placement dependence (delays come from the placed
+design).  It deliberately ignores glitches on value-preserving nodes and
+multi-cycle transient overlap; DESIGN.md records both approximations.
+
+The whole computation is batched over the stimulus axis in NumPy — one
+pass over netlist levels regardless of stream length.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import TimingError
+from ..netlist.core import CompiledNetlist
+
+__all__ = ["TransitionTimingResult", "simulate_transitions"]
+
+
+@dataclass(frozen=True)
+class TransitionTimingResult:
+    """Values and settle times for a stimulus stream.
+
+    For a stream of ``N`` input vectors there are ``N - 1`` transitions.
+
+    Attributes
+    ----------
+    values:
+        Functional node values for all ``N`` vectors, ``(n_nodes, N)`` uint8.
+    settle:
+        Per-node settle time of each transition, ``(n_nodes, N - 1)``
+        float32; entry ``[:, i]`` describes the transition from vector
+        ``i`` to vector ``i + 1``.
+    """
+
+    netlist: CompiledNetlist
+    values: np.ndarray
+    settle: np.ndarray
+
+    @property
+    def n_transitions(self) -> int:
+        return int(self.settle.shape[1])
+
+    def output_values(self, bus: str) -> np.ndarray:
+        """Functional values of an output bus, ``(N, width)`` uint8."""
+        ids = self.netlist.output_buses[bus]
+        return self.values[ids].T
+
+    def output_settle(self, bus: str) -> np.ndarray:
+        """Settle times of an output bus, ``(N - 1, width)`` float32."""
+        ids = self.netlist.output_buses[bus]
+        return self.settle[ids].T
+
+
+def simulate_transitions(
+    netlist: CompiledNetlist,
+    inputs: dict[str, np.ndarray],
+    node_delay: np.ndarray,
+    edge_delay: np.ndarray,
+) -> TransitionTimingResult:
+    """Simulate a stream of input vectors through a placed netlist.
+
+    Parameters
+    ----------
+    netlist:
+        Compiled netlist.
+    inputs:
+        Mapping bus name -> ``(N, width)`` uint8 bit stream (LSB first).
+        All buses must share the same stream length ``N >= 2``.
+    node_delay, edge_delay:
+        Placed delay annotations as for :func:`repro.timing.sta.static_timing`.
+
+    Returns
+    -------
+    TransitionTimingResult
+    """
+    n = netlist.n_nodes
+    if node_delay.shape != (n,) or edge_delay.shape != (n, 4):
+        raise TimingError("delay annotation shapes do not match netlist")
+    lengths = {np.asarray(v).shape[0] for v in inputs.values()}
+    if len(lengths) != 1:
+        raise TimingError(f"input streams disagree on length: {lengths}")
+    stream_len = lengths.pop()
+    if stream_len < 2:
+        raise TimingError("need at least 2 stimulus vectors to form a transition")
+
+    # Functional values for the whole stream.
+    values = netlist.initial_values(stream_len)
+    netlist.bind_inputs(values, inputs)
+    fidx = netlist.fanin_idx
+    arity = netlist.arity
+    for ids in netlist.level_groups:
+        idx = values[fidx[ids, 0]].astype(np.intp)
+        idx |= values[fidx[ids, 1]].astype(np.intp) << 1
+        idx |= values[fidx[ids, 2]].astype(np.intp) << 2
+        idx |= values[fidx[ids, 3]].astype(np.intp) << 3
+        values[ids] = np.take_along_axis(netlist.tt_bits[ids], idx, axis=1)
+
+    n_tr = stream_len - 1
+    changed = values[:, 1:] != values[:, :-1]  # (n, n_tr) bool
+    settle = np.zeros((n, n_tr), dtype=np.float32)
+
+    # Inputs/consts: settle 0 (input registers switch at t=0; the change
+    # itself is accounted for by `changed`).
+    for ids in netlist.level_groups:
+        a = arity[ids]
+        best = np.full((ids.shape[0], n_tr), -np.inf, dtype=np.float32)
+        for k in range(4):
+            mask_k = a > k
+            if not mask_k.any():
+                break
+            src = fidx[ids, k]
+            cand = settle[src] + edge_delay[ids, k, None].astype(np.float32)
+            cand = np.where(changed[src], cand, -np.inf)
+            best[mask_k] = np.maximum(best[mask_k], cand[mask_k])
+        node_settle = node_delay[ids, None].astype(np.float32) + best
+        # Unchanged nodes settle at 0; changed nodes take the path time.
+        settle[ids] = np.where(changed[ids], node_settle, 0.0)
+        # A changed node must have at least one changed fanin; if the
+        # best is still -inf the netlist values are inconsistent.
+        bad = changed[ids] & ~np.isfinite(node_settle)
+        if bad.any():
+            raise TimingError("changed node with no changed fanin (internal error)")
+
+    return TransitionTimingResult(netlist=netlist, values=values, settle=settle)

@@ -1,0 +1,193 @@
+"""Persistent per-device workspaces.
+
+A real deployment of the paper's flow is not one Python session: the
+characterisation runs once per device (or per maintenance interval) and
+its artefacts are reused by every later optimisation, possibly on another
+machine.  A :class:`Workspace` is a directory holding those artefacts:
+
+```
+<root>/
+  workspace.json            device serial / settings / provenance
+  characterization/
+    wl03.npz ... wl09.npz   one CharacterizationResult per word-length
+  area_model.json           fitted LE-cost model
+  designs/
+    <name>.json             design lists from optimisation runs
+```
+
+Everything round-trips bit-exactly, and :meth:`Workspace.framework`
+rehydrates an :class:`~repro.framework.OptimizationFramework` whose
+characterisation/area caches are pre-seeded from disk — no re-simulation.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict
+from pathlib import Path
+
+import numpy as np
+
+from .characterization.results import CharacterizationResult
+from .config import TableISettings
+from .core.design import LinearProjectionDesign
+from .errors import ConfigError
+from .fabric.device import FPGADevice, make_device
+from .framework import OptimizationFramework
+from .io import load_designs, save_designs
+from .models.area_model import AreaModel
+from .models.error_model import ErrorModel, ErrorModelSet, build_error_model
+
+__all__ = ["Workspace"]
+
+_META_VERSION = 1
+
+
+class Workspace:
+    """A directory of per-device flow artefacts.
+
+    Parameters
+    ----------
+    root:
+        Workspace directory (created on :meth:`initialize`).
+    """
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+
+    # ------------------------------------------------------------------
+    @property
+    def meta_path(self) -> Path:
+        return self.root / "workspace.json"
+
+    @property
+    def char_dir(self) -> Path:
+        return self.root / "characterization"
+
+    @property
+    def designs_dir(self) -> Path:
+        return self.root / "designs"
+
+    @property
+    def area_model_path(self) -> Path:
+        return self.root / "area_model.json"
+
+    def exists(self) -> bool:
+        return self.meta_path.exists()
+
+    # ------------------------------------------------------------------
+    def initialize(self, device: FPGADevice, settings: TableISettings, seed: int) -> None:
+        """Create the workspace for one device + settings combination."""
+        if self.exists():
+            raise ConfigError(f"workspace already initialised at {self.root}")
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.char_dir.mkdir(exist_ok=True)
+        self.designs_dir.mkdir(exist_ok=True)
+        meta = {
+            "version": _META_VERSION,
+            "device_serial": device.serial,
+            "family": device.family.name,
+            "seed": seed,
+            "settings": asdict(settings),
+        }
+        self.meta_path.write_text(json.dumps(meta, indent=2))
+
+    def _meta(self) -> dict:
+        if not self.exists():
+            raise ConfigError(f"no workspace at {self.root}; initialise first")
+        meta = json.loads(self.meta_path.read_text())
+        if meta.get("version") != _META_VERSION:
+            raise ConfigError("unsupported workspace version")
+        return meta
+
+    def device(self) -> FPGADevice:
+        """Rehydrate the workspace's device (the serial is the identity)."""
+        return make_device(self._meta()["device_serial"])
+
+    def settings(self) -> TableISettings:
+        s = dict(self._meta()["settings"])
+        s["betas"] = tuple(s["betas"])
+        return TableISettings(**s)
+
+    def seed(self) -> int:
+        return int(self._meta()["seed"])
+
+    # ------------------------------------------------------------------
+    def save_characterization(self, wl: int, result: CharacterizationResult) -> Path:
+        path = self.char_dir / f"wl{wl:02d}.npz"
+        result.save(path)
+        return path
+
+    def characterized_wordlengths(self) -> list[int]:
+        if not self.char_dir.exists():
+            return []
+        return sorted(
+            int(p.stem[2:]) for p in self.char_dir.glob("wl*.npz")
+        )
+
+    def load_error_models(self) -> ErrorModelSet:
+        """Rebuild the error-model set from the archived sweeps."""
+        wls = self.characterized_wordlengths()
+        if not wls:
+            raise ConfigError(f"no characterisation archives in {self.char_dir}")
+        models: dict[int, ErrorModel] = {}
+        for wl in wls:
+            result = CharacterizationResult.load(self.char_dir / f"wl{wl:02d}.npz")
+            models[wl] = build_error_model(result)
+        return ErrorModelSet(models)
+
+    # ------------------------------------------------------------------
+    def save_area_model(self, model: AreaModel) -> Path:
+        payload = {
+            "coeffs": model.coeffs.tolist(),
+            "residual_sigma": model.residual_sigma,
+            "wl_range": list(model.wl_range),
+            "n_samples": model.n_samples,
+        }
+        self.area_model_path.write_text(json.dumps(payload, indent=2))
+        return self.area_model_path
+
+    def load_area_model(self) -> AreaModel:
+        if not self.area_model_path.exists():
+            raise ConfigError(f"no area model at {self.area_model_path}")
+        p = json.loads(self.area_model_path.read_text())
+        return AreaModel(
+            coeffs=np.asarray(p["coeffs"]),
+            residual_sigma=float(p["residual_sigma"]),
+            wl_range=(int(p["wl_range"][0]), int(p["wl_range"][1])),
+            n_samples=int(p["n_samples"]),
+        )
+
+    # ------------------------------------------------------------------
+    def save_design_set(self, name: str, designs: list[LinearProjectionDesign]) -> Path:
+        if not name or "/" in name:
+            raise ConfigError(f"invalid design-set name {name!r}")
+        path = self.designs_dir / f"{name}.json"
+        save_designs(designs, path)
+        return path
+
+    def load_design_set(self, name: str) -> list[LinearProjectionDesign]:
+        return load_designs(self.designs_dir / f"{name}.json")
+
+    def design_sets(self) -> list[str]:
+        if not self.designs_dir.exists():
+            return []
+        return sorted(p.stem for p in self.designs_dir.glob("*.json"))
+
+    # ------------------------------------------------------------------
+    def framework(self) -> OptimizationFramework:
+        """An OptimizationFramework pre-seeded from the archived artefacts.
+
+        The characterisation and area-model caches are filled from disk if
+        present, so :meth:`OptimizationFramework.optimize` and
+        :meth:`~repro.framework.OptimizationFramework.evaluate` run without
+        re-simulating the device.
+        """
+        fw = OptimizationFramework(
+            self.device(), self.settings(), seed=self.seed()
+        )
+        if self.characterized_wordlengths():
+            fw._error_models = self.load_error_models()
+        if self.area_model_path.exists():
+            fw._area_model = self.load_area_model()
+        return fw

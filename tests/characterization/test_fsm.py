@@ -1,0 +1,65 @@
+"""Tests for repro.characterization.fsm."""
+
+import pytest
+
+from repro.characterization.fsm import (
+    SUPPORT_LOGIC_FMAX_MHZ,
+    CharacterizationFSM,
+    FSMState,
+)
+from repro.errors import CharacterizationError
+
+
+class TestClockDomainGuard:
+    def test_safe_clock_accepted(self):
+        fsm = CharacterizationFSM(fsm_clk_mhz=50.0)
+        assert fsm.state is FSMState.IDLE
+
+    def test_unsafe_fsm_clock_rejected(self):
+        """Paper Sec. III-B: supportive modules must never be the limit."""
+        with pytest.raises(CharacterizationError):
+            CharacterizationFSM(fsm_clk_mhz=SUPPORT_LOGIC_FMAX_MHZ + 1)
+
+    def test_nonpositive_clock_rejected(self):
+        with pytest.raises(CharacterizationError):
+            CharacterizationFSM(fsm_clk_mhz=0.0)
+
+    def test_dut_clock_may_exceed_support_fmax(self):
+        fsm = CharacterizationFSM()
+        fsm.validate_dut_clock(SUPPORT_LOGIC_FMAX_MHZ * 2)  # must not raise
+
+    def test_dut_clock_must_be_physical(self):
+        with pytest.raises(CharacterizationError):
+            CharacterizationFSM().validate_dut_clock(-1.0)
+
+
+class TestSequencing:
+    def test_run_sequence_visits_all_states(self):
+        fsm = CharacterizationFSM()
+        visited = fsm.run_sequence()
+        assert visited == [
+            FSMState.LOAD,
+            FSMState.ARM,
+            FSMState.RUN,
+            FSMState.DRAIN,
+            FSMState.DONE,
+        ]
+        assert fsm.state is FSMState.IDLE
+
+    def test_completed_runs_counted(self):
+        fsm = CharacterizationFSM()
+        fsm.run_sequence()
+        fsm.run_sequence()
+        assert fsm.completed_runs == 2
+
+    def test_require_guards_protocol(self):
+        fsm = CharacterizationFSM()
+        fsm.advance()  # LOAD
+        with pytest.raises(CharacterizationError):
+            fsm.require(FSMState.IDLE)
+
+    def test_run_sequence_from_wrong_state_rejected(self):
+        fsm = CharacterizationFSM()
+        fsm.advance()
+        with pytest.raises(CharacterizationError):
+            fsm.run_sequence()

@@ -1,0 +1,113 @@
+"""Tests for repro.characterization.harness — the full sweep."""
+
+import numpy as np
+import pytest
+
+from repro.characterization import (
+    CharacterizationConfig,
+    characterize_multiplier,
+    error_trace,
+)
+from repro.errors import CharacterizationError
+
+
+class TestConfigValidation:
+    def test_defaults_ok(self):
+        CharacterizationConfig()
+
+    def test_empty_freqs_rejected(self):
+        with pytest.raises(CharacterizationError):
+            CharacterizationConfig(freqs_mhz=())
+
+    def test_negative_freq_rejected(self):
+        with pytest.raises(CharacterizationError):
+            CharacterizationConfig(freqs_mhz=(100.0, -5.0))
+
+    def test_tiny_samples_rejected(self):
+        with pytest.raises(CharacterizationError):
+            CharacterizationConfig(n_samples=1)
+
+    def test_zero_locations_rejected(self):
+        with pytest.raises(CharacterizationError):
+            CharacterizationConfig(n_locations=0)
+
+
+class TestSweep:
+    def test_grid_shapes(self, char_result):
+        l, m, f = (
+            len(char_result.locations),
+            len(char_result.multiplicands),
+            len(char_result.freqs_mhz),
+        )
+        assert char_result.variance.shape == (l, m, f)
+        assert l == 2 and m == 16 and f == 5
+
+    def test_variance_monotone_in_frequency_on_average(self, char_result):
+        """Paper Sec. III-C: errors are cumulative with frequency."""
+        mean_per_freq = char_result.variance.mean(axis=(0, 1))
+        assert mean_per_freq[-1] > mean_per_freq[0]
+        # Last frequency must show substantial errors.
+        assert mean_per_freq[-1] > 0
+
+    def test_low_frequency_error_free(self, char_result):
+        assert np.all(char_result.variance[:, :, 0] == 0)
+
+    def test_sparse_multiplicands_err_less(self, char_result):
+        """Paper Fig. 5: few '1' bits -> fewer over-clocking errors."""
+        mags = char_result.multiplicands
+        pop = np.array([bin(m).count("1") for m in mags])
+        v_hi = char_result.variance[:, :, -1].mean(axis=0)
+        sparse = v_hi[pop <= 1].mean()
+        dense = v_hi[pop >= 3].mean()
+        assert dense > sparse
+
+    def test_locations_differ(self, char_result):
+        """Paper Fig. 4: placement changes the error pattern."""
+        v0 = char_result.variance[0]
+        v1 = char_result.variance[1]
+        assert not np.allclose(v0, v1)
+
+    def test_explicit_multiplicand_subset(self, device):
+        cfg = CharacterizationConfig(
+            freqs_mhz=(300.0, 400.0),
+            n_samples=60,
+            multiplicands=(3, 200),
+            n_locations=1,
+        )
+        res = characterize_multiplier(device, 8, 8, cfg, seed=0)
+        assert res.multiplicands.tolist() == [3, 200]
+
+    def test_multiplicand_out_of_range_rejected(self, device):
+        cfg = CharacterizationConfig(
+            freqs_mhz=(300.0,), n_samples=60, multiplicands=(300,), n_locations=1
+        )
+        with pytest.raises(CharacterizationError):
+            characterize_multiplier(device, 8, 4, cfg, seed=0)
+
+    def test_deterministic(self, device):
+        cfg = CharacterizationConfig(
+            freqs_mhz=(380.0,), n_samples=80, multiplicands=(255,), n_locations=1
+        )
+        a = characterize_multiplier(device, 8, 8, cfg, seed=5)
+        b = characterize_multiplier(device, 8, 8, cfg, seed=5)
+        assert np.array_equal(a.variance, b.variance)
+
+    def test_device_specific(self, device, other_device):
+        cfg = CharacterizationConfig(
+            freqs_mhz=(400.0,), n_samples=120, multiplicands=(255, 170), n_locations=1
+        )
+        a = characterize_multiplier(device, 8, 8, cfg, seed=5)
+        b = characterize_multiplier(other_device, 8, 8, cfg, seed=5)
+        assert not np.allclose(a.variance, b.variance)
+
+
+class TestErrorTrace:
+    def test_trace_statistics(self, device):
+        run = error_trace(device, 222, 420.0, 500, location=(0, 0), seed=1)
+        assert run.captured.shape == (500,)
+        assert run.error_rate > 0
+
+    def test_trace_deterministic(self, device):
+        a = error_trace(device, 222, 420.0, 200, seed=1)
+        b = error_trace(device, 222, 420.0, 200, seed=1)
+        assert np.array_equal(a.captured, b.captured)

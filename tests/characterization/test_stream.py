@@ -1,0 +1,77 @@
+"""Tests for repro.characterization.stream — the BRAM models."""
+
+import numpy as np
+import pytest
+
+from repro.characterization.stream import M9K_BITS, InputStreamBRAM, OutputStreamBRAM
+from repro.errors import CharacterizationError
+
+
+class TestInputBram:
+    def test_load_and_read(self):
+        bram = InputStreamBRAM(width=8, depth=16)
+        data = np.arange(10)
+        bram.load(data)
+        assert bram.loaded
+        assert np.array_equal(bram.read_all(), data)
+
+    def test_read_before_load_rejected(self):
+        with pytest.raises(CharacterizationError):
+            InputStreamBRAM(width=8, depth=4).read_all()
+
+    def test_depth_enforced(self):
+        bram = InputStreamBRAM(width=8, depth=4)
+        with pytest.raises(CharacterizationError):
+            bram.load(np.arange(5))
+
+    def test_width_enforced(self):
+        bram = InputStreamBRAM(width=4, depth=8)
+        with pytest.raises(CharacterizationError):
+            bram.load(np.array([16]))
+        with pytest.raises(CharacterizationError):
+            bram.load(np.array([-1]))
+
+    def test_clear(self):
+        bram = InputStreamBRAM(width=8, depth=4)
+        bram.load(np.arange(3))
+        bram.clear()
+        assert not bram.loaded
+
+    def test_block_count(self):
+        # 1024 x 9 bits = 9216 bits = exactly one M9K.
+        assert InputStreamBRAM(width=9, depth=1024).n_blocks == 1
+        assert InputStreamBRAM(width=9, depth=1025).n_blocks == 2
+        assert M9K_BITS == 9216
+
+    def test_one_dimensional_only(self):
+        bram = InputStreamBRAM(width=8, depth=16)
+        with pytest.raises(CharacterizationError):
+            bram.load(np.zeros((2, 2)))
+
+
+class TestOutputBram:
+    def test_capture_and_retrieve(self):
+        bram = OutputStreamBRAM(width=16, depth=8)
+        bram.write_all(np.array([1, 2, 3]))
+        assert np.array_equal(bram.retrieve(), [1, 2, 3])
+
+    def test_retrieve_clears(self):
+        bram = OutputStreamBRAM(width=16, depth=8)
+        bram.write_all(np.array([1]))
+        bram.retrieve()
+        with pytest.raises(CharacterizationError):
+            bram.retrieve()
+
+    def test_port_truncates_to_width(self):
+        bram = OutputStreamBRAM(width=4, depth=8)
+        bram.write_all(np.array([17]))  # 0b10001 -> 0b0001
+        assert bram.retrieve()[0] == 1
+
+    def test_depth_enforced(self):
+        bram = OutputStreamBRAM(width=8, depth=2)
+        with pytest.raises(CharacterizationError):
+            bram.write_all(np.arange(3))
+
+    def test_invalid_dimensions_rejected(self):
+        with pytest.raises(CharacterizationError):
+            OutputStreamBRAM(width=0, depth=8)

@@ -1,0 +1,74 @@
+"""Tests for repro.circuits.datapath."""
+
+import numpy as np
+import pytest
+
+from repro.circuits.datapath import ProjectionDatapath
+from repro.core.klt import klt_reference_design
+from repro.core.quantize import quantize_data
+from repro.datasets import low_rank_gaussian
+from repro.errors import DesignError
+
+
+@pytest.fixture(scope="module")
+def design():
+    x = low_rank_gaussian(6, 3, 150, np.random.default_rng(0), noise=0.02)
+    return klt_reference_design(x, 3, 5, 9, 310.0)
+
+
+@pytest.fixture(scope="module")
+def datapath(design, device):
+    return ProjectionDatapath(design, device, anchor=(0, 0), seed=0)
+
+
+class TestConstruction:
+    def test_one_lane_per_column(self, datapath, design):
+        assert len(datapath.lanes) == design.k
+
+    def test_lanes_at_distinct_locations(self, datapath):
+        anchors = {l.placement.anchor for l in datapath.lanes}
+        assert len(anchors) == len(datapath.lanes)
+
+    def test_total_area_sums_lanes(self, datapath):
+        assert datapath.total_area_le == sum(
+            l.area.logic_elements for l in datapath.lanes
+        )
+
+    def test_fmax_is_worst_lane(self, datapath):
+        tool = [l.tool_report.fmax_mhz for l in datapath.lanes]
+        assert datapath.tool_fmax_mhz() == min(tool)
+        dev = [l.device_sta().fmax_mhz for l in datapath.lanes]
+        assert datapath.device_fmax_mhz() == min(dev)
+
+    def test_tool_below_device(self, datapath):
+        assert datapath.tool_fmax_mhz() < datapath.device_fmax_mhz()
+
+
+class TestLaneExecution:
+    def _mags(self, design, n=40, seed=1):
+        x = low_rank_gaussian(6, 3, n, np.random.default_rng(seed), noise=0.02)
+        return quantize_data(x, design.w_data).magnitudes
+
+    def test_slow_clock_exact_products(self, datapath, design):
+        mags = self._mags(design)
+        run = datapath.run_lane(0, mags, 100.0, np.random.default_rng(0))
+        assert run.error_rate == 0.0
+        expected = (mags.T.reshape(-1)) * np.tile(design.magnitudes[:, 0], mags.shape[1])
+        assert np.array_equal(run.captured_products, expected)
+
+    def test_overclocked_lane_errs(self, datapath, design):
+        mags = self._mags(design, n=150)
+        run = datapath.run_lane(0, mags, 520.0, np.random.default_rng(0))
+        assert run.error_rate > 0.0
+
+    def test_wrong_p_rejected(self, datapath):
+        with pytest.raises(DesignError):
+            datapath.run_lane(0, np.zeros((4, 10), dtype=np.int64), 100.0, np.random.default_rng(0))
+
+    def test_stream_order_sample_major(self, datapath, design):
+        """The lane consumes x component-by-component within each sample."""
+        mags = self._mags(design, n=3)
+        run = datapath.run_lane(1, mags, 50.0, np.random.default_rng(0))
+        coeffs = design.magnitudes[:, 1]
+        expected = np.concatenate([mags[:, i] * coeffs for i in range(3)])
+        assert np.array_equal(run.captured_products, expected)

@@ -1,0 +1,129 @@
+"""Edge-case tests for the evaluation stack."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import Domain, evaluate_design
+from repro.core.design import LinearProjectionDesign
+from repro.core.klt import klt_reference_design
+from repro.datasets import low_rank_gaussian
+from repro.models.error_model import ErrorModelSet
+from tests.conftest import make_synthetic_error_model
+
+
+@pytest.fixture(scope="module")
+def models():
+    return ErrorModelSet(
+        {wl: make_synthetic_error_model(wl, freqs=(250.0, 320.0, 400.0)) for wl in range(3, 10)}
+    )
+
+
+def _design(x, wl=5, freq=250.0):
+    return klt_reference_design(x, 3, wl, 9, freq, area_le=100.0)
+
+
+class TestDegenerateData:
+    def test_zero_test_data_predicted(self, models):
+        x_train = low_rank_gaussian(6, 3, 100, np.random.default_rng(0))
+        d = _design(x_train)
+        zeros = np.zeros((6, 20))
+        ev = evaluate_design(d, zeros, Domain.PREDICTED, error_models=models)
+        assert ev.mse == pytest.approx(0.0)
+
+    def test_zero_test_data_simulated(self, models):
+        x_train = low_rank_gaussian(6, 3, 100, np.random.default_rng(0))
+        d = _design(x_train)
+        zeros = np.zeros((6, 20))
+        ev = evaluate_design(d, zeros, Domain.SIMULATED, error_models=models)
+        assert ev.mse == pytest.approx(0.0)
+
+    def test_zero_test_data_actual(self, models, device):
+        x_train = low_rank_gaussian(6, 3, 100, np.random.default_rng(0))
+        d = _design(x_train, wl=4)
+        zeros = np.zeros((6, 20))
+        ev = evaluate_design(
+            d, zeros, Domain.ACTUAL, error_models=models, device=device
+        )
+        assert ev.mse == pytest.approx(0.0)
+
+    def test_single_test_sample(self, models):
+        x_train = low_rank_gaussian(6, 3, 100, np.random.default_rng(0))
+        d = _design(x_train)
+        one = x_train[:, :1]
+        ev = evaluate_design(d, one, Domain.PREDICTED, error_models=models)
+        assert np.isfinite(ev.mse)
+
+
+class TestDegenerateDesigns:
+    def test_all_zero_coefficients_evaluate(self, models):
+        x = low_rank_gaussian(6, 3, 50, np.random.default_rng(0))
+        d = LinearProjectionDesign(
+            values=np.zeros((6, 2)),
+            magnitudes=np.zeros((6, 2), dtype=np.int64),
+            signs=np.ones((6, 2), dtype=np.int64),
+            wordlengths=(4, 4),
+            w_data=9,
+            freq_mhz=250.0,
+            area_le=10.0,
+        )
+        ev = evaluate_design(d, x, Domain.PREDICTED, error_models=models)
+        # Explains nothing: MSE equals the data energy.
+        assert ev.mse == pytest.approx(float((x**2).mean()), rel=1e-6)
+
+    def test_k_equals_one(self, models):
+        x = low_rank_gaussian(6, 1, 80, np.random.default_rng(1), noise=0.01)
+        d = klt_reference_design(x, 1, 6, 9, 250.0, area_le=50.0)
+        ev = evaluate_design(d, x, Domain.SIMULATED, error_models=models)
+        assert ev.mse < 0.05 * float((x**2).mean())
+
+    def test_mixed_wordlength_columns(self, models, device):
+        x = low_rank_gaussian(6, 3, 60, np.random.default_rng(2))
+        base = klt_reference_design(x, 3, 6, 9, 150.0)
+        from repro.core.quantize import quantize_coefficients
+
+        cols = []
+        for j, wl in enumerate((3, 6, 9)):
+            q = quantize_coefficients(base.values[:, j], wl)
+            cols.append((q, wl))
+        d = LinearProjectionDesign(
+            values=np.stack([c[0].values for c in cols], axis=1),
+            magnitudes=np.stack([c[0].magnitudes for c in cols], axis=1),
+            signs=np.stack([c[0].signs for c in cols], axis=1),
+            wordlengths=(3, 6, 9),
+            w_data=9,
+            freq_mhz=150.0,
+            area_le=100.0,
+        )
+        ev = evaluate_design(
+            d, x, Domain.ACTUAL, error_models=models, device=device
+        )
+        assert np.isfinite(ev.mse)
+        assert len(ev.extra["lane_error_rates"]) == 3
+
+
+class TestFrameworkBetas:
+    def test_optimize_all_betas(self, device):
+        from repro.characterization import CharacterizationConfig
+        from repro.config import TableISettings
+        from repro.framework import OptimizationFramework
+
+        settings = TableISettings(
+            n_characterization=80,
+            n_train=40,
+            n_test=40,
+            burn_in=10,
+            n_samples=40,
+            q=2,
+            betas=(2.0, 8.0),
+            min_coeff_wordlength=3,
+            max_coeff_wordlength=4,
+        )
+        char = CharacterizationConfig(
+            freqs_mhz=(300.0, 420.0), n_samples=80, n_locations=1
+        )
+        fw = OptimizationFramework(device, settings, char_config=char, seed=3)
+        x = low_rank_gaussian(6, 3, 40, np.random.default_rng(0))
+        results = fw.optimize_all_betas(x)
+        assert [r.beta for r in results] == [2.0, 8.0]
+        for r in results:
+            assert len(r.designs) == 2

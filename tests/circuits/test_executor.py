@@ -1,0 +1,134 @@
+"""Tests for repro.circuits.executor — the three evaluation domains."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import Domain, evaluate_design, evaluate_domains
+from repro.core.klt import klt_reference_design
+from repro.datasets import low_rank_gaussian
+from repro.errors import DesignError
+from repro.models.error_model import ErrorModelSet
+from tests.conftest import make_synthetic_error_model
+
+
+@pytest.fixture(scope="module")
+def x_data():
+    return low_rank_gaussian(6, 3, 200, np.random.default_rng(0), noise=0.02)
+
+
+@pytest.fixture(scope="module")
+def models():
+    # Synthetic models: error-free below 300 MHz, popcount-scaled above.
+    return ErrorModelSet(
+        {wl: make_synthetic_error_model(wl, freqs=(250.0, 320.0, 400.0)) for wl in range(3, 10)}
+    )
+
+
+def _design(x, wl=5, freq=250.0):
+    return klt_reference_design(x, 3, wl, 9, freq, area_le=300.0)
+
+
+class TestPredicted:
+    def test_error_free_equals_recon_mse(self, x_data, models):
+        from repro.core.objective import reconstruction_mse
+
+        d = _design(x_data, freq=250.0)
+        ev = evaluate_design(d, x_data, Domain.PREDICTED, error_models=models)
+        assert ev.mse == pytest.approx(reconstruction_mse(d.values, x_data))
+
+    def test_overclocked_adds_term(self, x_data, models):
+        lo = evaluate_design(_design(x_data, freq=250.0), x_data, Domain.PREDICTED, error_models=models)
+        hi = evaluate_design(_design(x_data, freq=400.0), x_data, Domain.PREDICTED, error_models=models)
+        assert hi.mse > lo.mse
+
+    def test_requires_models(self, x_data):
+        with pytest.raises(DesignError):
+            evaluate_design(_design(x_data), x_data, Domain.PREDICTED)
+
+
+class TestSimulated:
+    def test_error_free_close_to_float(self, x_data, models):
+        from repro.core.objective import reconstruction_mse
+
+        d = _design(x_data, freq=250.0)
+        ev = evaluate_design(d, x_data, Domain.SIMULATED, error_models=models)
+        # Only data quantisation separates the two.
+        assert ev.mse == pytest.approx(
+            reconstruction_mse(d.values, x_data), rel=0.3, abs=1e-5
+        )
+
+    def test_injection_tracks_prediction(self, x_data, models):
+        d = _design(x_data, wl=7, freq=400.0)
+        pred = evaluate_design(d, x_data, Domain.PREDICTED, error_models=models)
+        sim = evaluate_design(d, x_data, Domain.SIMULATED, error_models=models, seed=1)
+        assert sim.mse == pytest.approx(pred.mse, rel=0.5)
+
+    def test_deterministic_per_seed(self, x_data, models):
+        d = _design(x_data, freq=400.0)
+        a = evaluate_design(d, x_data, Domain.SIMULATED, error_models=models, seed=4)
+        b = evaluate_design(d, x_data, Domain.SIMULATED, error_models=models, seed=4)
+        assert a.mse == b.mse
+
+
+class TestActual:
+    def test_error_free_on_device(self, x_data, device, models):
+        d = _design(x_data, wl=4, freq=150.0)
+        ev = evaluate_design(
+            d, x_data, Domain.ACTUAL, error_models=models, device=device
+        )
+        assert all(r == 0 for r in ev.extra["lane_error_rates"])
+        from repro.core.objective import reconstruction_mse
+
+        assert ev.mse == pytest.approx(
+            reconstruction_mse(d.values, x_data), rel=0.3, abs=1e-5
+        )
+
+    def test_reports_synthesised_area(self, x_data, device, models):
+        d = _design(x_data, wl=4, freq=150.0)
+        ev = evaluate_design(
+            d, x_data, Domain.ACTUAL, error_models=models, device=device
+        )
+        assert ev.area_le > 0
+        assert ev.area_le != 300.0  # actual, not the model estimate
+
+    def test_overclocking_degrades_mse(self, x_data, device, models):
+        slow = evaluate_design(
+            _design(x_data, wl=8, freq=150.0),
+            x_data,
+            Domain.ACTUAL,
+            error_models=models,
+            device=device,
+        )
+        fast = evaluate_design(
+            _design(x_data, wl=8, freq=500.0),
+            x_data,
+            Domain.ACTUAL,
+            error_models=models,
+            device=device,
+        )
+        assert any(r > 0 for r in fast.extra["lane_error_rates"])
+        assert fast.mse > slow.mse
+
+    def test_requires_device(self, x_data, models):
+        with pytest.raises(DesignError):
+            evaluate_design(_design(x_data), x_data, Domain.ACTUAL, error_models=models)
+
+    def test_wrong_data_shape_rejected(self, x_data, device, models):
+        d = _design(x_data)
+        with pytest.raises(DesignError):
+            evaluate_design(
+                d, np.zeros((4, 10)), Domain.ACTUAL, error_models=models, device=device
+            )
+
+
+class TestAllDomains:
+    def test_consistent_area_across_domains(self, x_data, device, models):
+        d = _design(x_data, wl=4, freq=150.0)
+        evs = evaluate_domains(d, x_data, models, device)
+        areas = {ev.area_le for ev in evs.values()}
+        assert len(areas) == 1  # paper: all rows use the actual area
+
+    def test_three_domains_present(self, x_data, device, models):
+        d = _design(x_data, wl=4, freq=150.0)
+        evs = evaluate_domains(d, x_data, models, device)
+        assert set(evs) == {Domain.PREDICTED, Domain.SIMULATED, Domain.ACTUAL}

@@ -1,0 +1,156 @@
+"""Tests for repro.core.bayesian — the Gibbs projection sampler."""
+
+import numpy as np
+import pytest
+
+from repro.core.bayesian import GibbsConfig, sample_projection_vector
+from repro.core.klt import fit_klt
+from repro.core.quantize import quantize_coefficients
+from repro.errors import OptimizationError
+from repro.models.prior import CoefficientPrior
+from tests.conftest import make_synthetic_error_model
+
+
+def _prior(wl=6, beta=4.0, freq=250.0):
+    """Default prior at an error-free frequency: flat (pure likelihood)."""
+    return CoefficientPrior.from_error_model(
+        make_synthetic_error_model(wl), freq, beta
+    )
+
+
+def _rank1_data(p=6, n=120, seed=0, noise=0.01):
+    rng = np.random.default_rng(seed)
+    direction = np.linalg.qr(rng.normal(size=(p, 1)))[0][:, 0]
+    x = np.outer(direction, rng.normal(size=n) * 0.5)
+    x += noise * rng.normal(size=(p, n))
+    return x, direction
+
+
+FAST = GibbsConfig(burn_in=60, n_samples=240, thin=6)
+
+
+class TestRecovery:
+    def test_matches_quantised_klt_on_rank1(self):
+        x, _ = _rank1_data()
+        prior = _prior()
+        oc = np.zeros_like(prior.values)
+        s = sample_projection_vector(x, prior, oc, np.random.default_rng(1), FAST)
+        klt_dir = fit_klt(x, 1)[:, 0]
+        q = quantize_coefficients(klt_dir, 6)
+        from repro.core.bayesian import _column_mse
+
+        assert s.mse <= _column_mse(q.values, x) * 1.2
+
+    def test_deterministic_given_rng(self):
+        x, _ = _rank1_data()
+        prior = _prior()
+        oc = np.zeros_like(prior.values)
+        a = sample_projection_vector(x, prior, oc, np.random.default_rng(3), FAST)
+        b = sample_projection_vector(x, prior, oc, np.random.default_rng(3), FAST)
+        assert np.array_equal(a.values, b.values)
+
+    def test_output_on_grid(self):
+        x, _ = _rank1_data()
+        prior = _prior(wl=4)
+        oc = np.zeros_like(prior.values)
+        s = sample_projection_vector(x, prior, oc, np.random.default_rng(1), FAST)
+        grid = set(np.round(prior.values, 12))
+        assert all(np.round(v, 12) in grid for v in s.values)
+        assert s.wordlength == 4
+        assert np.all(s.magnitudes < (1 << 4))
+
+    def test_score_decomposition(self):
+        x, _ = _rank1_data()
+        prior = _prior()
+        oc = np.zeros_like(prior.values)
+        s = sample_projection_vector(x, prior, oc, np.random.default_rng(1), FAST)
+        assert s.score == pytest.approx(s.mse + s.oc_penalty)
+        assert s.oc_penalty == 0.0  # zero oc table
+        assert s.n_scored > 0
+
+
+class TestPriorInfluence:
+    def test_penalised_magnitudes_avoided(self):
+        """With a harsh prior, dense-popcount magnitudes are avoided."""
+        x, _ = _rank1_data(noise=0.05)
+        wl = 6
+        model = make_synthetic_error_model(wl, freqs=(250.0, 300.0, 350.0))
+        # 350 MHz: variance = popcount * 200 (errors everywhere except 0).
+        prior = CoefficientPrior.from_error_model(model, 350.0, beta=8.0)
+        scale = 2.0 ** (-2 * (9 + wl))
+        oc = prior.variances * scale
+        s = sample_projection_vector(x, prior, oc, np.random.default_rng(2), FAST)
+        pop = np.array([bin(m).count("1") for m in s.magnitudes])
+        # The flat-prior solution would use dense magnitudes; the harsh
+        # prior must keep the average popcount low.
+        flat = CoefficientPrior.from_error_model(model, 250.0, beta=8.0)
+        s_flat = sample_projection_vector(
+            x, flat, np.zeros_like(flat.values), np.random.default_rng(2), FAST
+        )
+        pop_flat = np.array([bin(m).count("1") for m in s_flat.magnitudes])
+        assert pop.mean() <= pop_flat.mean()
+
+    def test_oc_penalty_reported(self):
+        x, _ = _rank1_data()
+        wl = 5
+        model = make_synthetic_error_model(wl)
+        prior = CoefficientPrior.from_error_model(model, 350.0, beta=0.5)
+        oc = prior.variances * 2.0 ** (-2 * (9 + wl))
+        s = sample_projection_vector(x, prior, oc, np.random.default_rng(4), FAST)
+        if np.any(s.magnitudes != 0):
+            expected_nonzero = any(
+                bin(m).count("1") > 0 for m in s.magnitudes
+            )
+            assert (s.oc_penalty > 0) == expected_nonzero
+
+
+class TestValidation:
+    def test_bad_data_shape_rejected(self):
+        prior = _prior()
+        with pytest.raises(OptimizationError):
+            sample_projection_vector(
+                np.zeros(5), prior, np.zeros_like(prior.values), np.random.default_rng(0), FAST
+            )
+
+    def test_too_few_cases_rejected(self):
+        prior = _prior()
+        with pytest.raises(OptimizationError):
+            sample_projection_vector(
+                np.zeros((5, 1)), prior, np.zeros_like(prior.values), np.random.default_rng(0), FAST
+            )
+
+    def test_misaligned_oc_table_rejected(self):
+        x, _ = _rank1_data()
+        prior = _prior()
+        with pytest.raises(OptimizationError):
+            sample_projection_vector(
+                x, prior, np.zeros(3), np.random.default_rng(0), FAST
+            )
+
+    def test_config_validation(self):
+        with pytest.raises(OptimizationError):
+            GibbsConfig(burn_in=-1)
+        with pytest.raises(OptimizationError):
+            GibbsConfig(n_samples=0)
+        with pytest.raises(OptimizationError):
+            GibbsConfig(thin=0)
+        with pytest.raises(OptimizationError):
+            GibbsConfig(a0=1.0)
+        with pytest.raises(OptimizationError):
+            GibbsConfig(polish_passes=-1)
+
+
+class TestPolish:
+    def test_polish_never_hurts(self):
+        x, _ = _rank1_data(seed=5)
+        prior = _prior()
+        oc = np.zeros_like(prior.values)
+        rough = sample_projection_vector(
+            x, prior, oc, np.random.default_rng(7),
+            GibbsConfig(burn_in=20, n_samples=40, thin=4, polish_passes=0),
+        )
+        polished = sample_projection_vector(
+            x, prior, oc, np.random.default_rng(7),
+            GibbsConfig(burn_in=20, n_samples=40, thin=4, polish_passes=6),
+        )
+        assert polished.score <= rough.score + 1e-12

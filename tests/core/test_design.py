@@ -1,0 +1,109 @@
+"""Tests for repro.core.design — the design records."""
+
+import numpy as np
+import pytest
+
+from repro.core.design import DesignPoint, LinearProjectionDesign
+from repro.core.klt import klt_reference_design
+from repro.datasets import low_rank_gaussian
+from repro.errors import DesignError
+
+
+def _design(wl=5):
+    x = low_rank_gaussian(6, 3, 100, np.random.default_rng(0))
+    return klt_reference_design(x, 3, wl, 9, 310.0, area_le=300.0)
+
+
+class TestValidation:
+    def test_valid_design(self):
+        d = _design()
+        assert d.p == 6 and d.k == 3
+
+    def test_wordlength_count_mismatch_rejected(self):
+        d = _design()
+        with pytest.raises(DesignError):
+            LinearProjectionDesign(
+                values=d.values,
+                magnitudes=d.magnitudes,
+                signs=d.signs,
+                wordlengths=(5, 5),  # k = 3
+                w_data=9,
+                freq_mhz=310.0,
+            )
+
+    def test_magnitude_overflow_rejected(self):
+        d = _design()
+        bad = d.magnitudes.copy()
+        bad[0, 0] = 1 << 5
+        with pytest.raises(DesignError):
+            LinearProjectionDesign(
+                values=d.values,
+                magnitudes=bad,
+                signs=d.signs,
+                wordlengths=d.wordlengths,
+                w_data=9,
+                freq_mhz=310.0,
+            )
+
+    def test_bad_frequency_rejected(self):
+        d = _design()
+        with pytest.raises(DesignError):
+            LinearProjectionDesign(
+                values=d.values,
+                magnitudes=d.magnitudes,
+                signs=d.signs,
+                wordlengths=d.wordlengths,
+                w_data=9,
+                freq_mhz=0.0,
+            )
+
+    def test_one_d_values_rejected(self):
+        with pytest.raises(DesignError):
+            LinearProjectionDesign(
+                values=np.zeros(6),
+                magnitudes=np.zeros(6, dtype=np.int64),
+                signs=np.ones(6, dtype=np.int64),
+                wordlengths=(5,),
+                w_data=9,
+                freq_mhz=310.0,
+            )
+
+
+class TestBehaviour:
+    def test_project_reconstruct_shapes(self):
+        d = _design()
+        x = np.zeros((6, 10))
+        f = d.project(x)
+        assert f.shape == (3, 10)
+        assert d.reconstruct(f).shape == (6, 10)
+
+    def test_values_consistent_with_sign_magnitude(self):
+        d = _design()
+        recon = d.signs * d.magnitudes / (1 << 5)
+        assert np.allclose(recon, d.values)
+
+    def test_with_area(self):
+        d = _design().with_area(512.0)
+        assert d.area_le == 512.0
+
+    def test_describe_mentions_method_and_freq(self):
+        s = _design().describe()
+        assert "klt" in s and "310" in s
+
+    def test_column_accessor(self):
+        d = _design()
+        assert np.array_equal(d.column(1), d.values[:, 1])
+
+
+class TestDesignPoint:
+    def test_valid_point(self):
+        p = DesignPoint(design=_design(), domain="actual", mse=0.1, area_le=300.0, freq_mhz=310.0)
+        assert p.mse == 0.1
+
+    def test_negative_mse_rejected(self):
+        with pytest.raises(DesignError):
+            DesignPoint(design=_design(), domain="actual", mse=-0.1, area_le=1.0, freq_mhz=310.0)
+
+    def test_negative_area_rejected(self):
+        with pytest.raises(DesignError):
+            DesignPoint(design=_design(), domain="actual", mse=0.1, area_le=-1.0, freq_mhz=310.0)

@@ -1,0 +1,98 @@
+"""Tests for repro.core.klt — eqs. (1)-(4)."""
+
+import numpy as np
+import pytest
+
+from repro.core.klt import fit_klt, fit_klt_deflation, klt_reference_design
+from repro.datasets import low_rank_gaussian
+from repro.errors import DesignError
+
+
+def _data(p=6, k=3, n=300, seed=0, noise=0.02):
+    return low_rank_gaussian(p, k, n, np.random.default_rng(seed), noise=noise)
+
+
+class TestFitKLT:
+    def test_orthonormal_columns(self):
+        lam = fit_klt(_data(), 3)
+        assert np.allclose(lam.T @ lam, np.eye(3), atol=1e-10)
+
+    def test_energy_ordered(self):
+        x = _data()
+        lam = fit_klt(x, 3)
+        energies = ((lam.T @ x) ** 2).sum(axis=1)
+        assert np.all(np.diff(energies) <= 1e-9)
+
+    def test_captures_low_rank_structure(self):
+        x = _data(noise=0.001)
+        lam = fit_klt(x, 3)
+        resid = x - lam @ (lam.T @ x)
+        assert (resid**2).mean() < 1e-4
+
+    def test_k_equals_p_reconstructs_exactly(self):
+        x = _data(p=4, k=4, noise=0.1)
+        lam = fit_klt(x, 4)
+        assert np.allclose(lam @ (lam.T @ x), x, atol=1e-8)
+
+    def test_sign_convention_deterministic(self):
+        lam1 = fit_klt(_data(), 3)
+        lam2 = fit_klt(_data(), 3)
+        assert np.array_equal(lam1, lam2)
+        for j in range(3):
+            assert lam1[np.argmax(np.abs(lam1[:, j])), j] > 0
+
+    def test_invalid_k_rejected(self):
+        with pytest.raises(DesignError):
+            fit_klt(_data(), 0)
+        with pytest.raises(DesignError):
+            fit_klt(_data(), 7)
+
+    def test_invalid_shape_rejected(self):
+        with pytest.raises(DesignError):
+            fit_klt(np.zeros(6), 2)
+
+
+class TestDeflation:
+    def test_matches_eigendecomposition_subspace(self):
+        x = _data(noise=0.01)
+        a = fit_klt(x, 3)
+        b = fit_klt_deflation(x, 3)
+        # Same subspace: projectors agree.
+        pa = a @ a.T
+        pb = b @ b.T
+        assert np.allclose(pa, pb, atol=1e-3)
+
+    def test_orthonormal(self):
+        lam = fit_klt_deflation(_data(), 3)
+        assert np.allclose(lam.T @ lam, np.eye(3), atol=1e-6)
+
+    def test_deflated_residual_shrinks(self):
+        x = _data()
+        for k in (1, 2, 3):
+            lam = fit_klt_deflation(x, k)
+            resid = x - lam @ (lam.T @ x)
+            if k == 1:
+                prev = (resid**2).mean()
+            else:
+                cur = (resid**2).mean()
+                assert cur < prev
+                prev = cur
+
+
+class TestReferenceDesign:
+    def test_design_fields(self):
+        x = _data()
+        d = klt_reference_design(x, 3, wordlength=6, w_data=9, freq_mhz=310.0, area_le=400.0)
+        assert d.method == "klt"
+        assert d.wordlengths == (6, 6, 6)
+        assert d.values.shape == (6, 3)
+        assert d.area_le == 400.0
+
+    def test_quantisation_error_decreases_with_wordlength(self):
+        x = _data()
+        lam = fit_klt(x, 3)
+        errs = []
+        for wl in (3, 5, 7, 9):
+            d = klt_reference_design(x, 3, wl, 9, 310.0)
+            errs.append(float(((d.values - lam) ** 2).mean()))
+        assert errs == sorted(errs, reverse=True)

@@ -1,0 +1,137 @@
+"""Tests for repro.core.objective — eq. (5) and its decomposition."""
+
+import numpy as np
+import pytest
+
+from repro.core.design import LinearProjectionDesign
+from repro.core.klt import fit_klt, klt_reference_design
+from repro.core.objective import (
+    dual_gram_diagonal,
+    ls_factors,
+    objective_t,
+    overclocking_variance,
+    reconstruction_mse,
+)
+from repro.core.quantize import quantize_coefficients
+from repro.datasets import low_rank_gaussian
+from repro.errors import DesignError, ModelError
+from repro.models.error_model import ErrorModelSet
+from tests.conftest import make_synthetic_error_model
+
+
+def _data(seed=0):
+    return low_rank_gaussian(6, 3, 250, np.random.default_rng(seed), noise=0.02)
+
+
+def _design(x, wl=6, freq=310.0):
+    return klt_reference_design(x, 3, wl, 9, freq)
+
+
+@pytest.fixture(scope="module")
+def models():
+    return ErrorModelSet({wl: make_synthetic_error_model(wl) for wl in range(3, 10)})
+
+
+class TestLsFactors:
+    def test_orthonormal_reduces_to_projection(self):
+        x = _data()
+        lam = fit_klt(x, 3)
+        f = ls_factors(lam, x)
+        assert np.allclose(f, lam.T @ x, atol=1e-8)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(DesignError):
+            ls_factors(np.zeros((4, 2)), np.zeros((5, 10)))
+
+    def test_degenerate_columns_survive(self):
+        x = _data()
+        lam = np.zeros((6, 2))
+        f = ls_factors(lam, x)
+        assert np.all(np.isfinite(f))
+
+
+class TestReconstructionMse:
+    def test_perfect_basis_zero_mse(self):
+        x = _data()
+        lam = fit_klt(x, 6)
+        assert reconstruction_mse(lam, x) < 1e-16
+
+    def test_decreases_with_k(self):
+        x = _data()
+        mses = [reconstruction_mse(fit_klt(x, k), x) for k in (1, 2, 3)]
+        assert mses == sorted(mses, reverse=True)
+
+    def test_scale_invariant(self):
+        """Dual/LS evaluation must not depend on column norms."""
+        x = _data()
+        lam = fit_klt(x, 3)
+        assert reconstruction_mse(0.3 * lam, x) == pytest.approx(
+            reconstruction_mse(lam, x)
+        )
+
+
+class TestOverclockingVariance:
+    def test_zero_at_error_free_frequency(self, models):
+        x = _data()
+        d = _design(x, wl=6, freq=250.0)
+        assert np.all(overclocking_variance(d, models) == 0)
+
+    def test_positive_when_overclocked(self, models):
+        x = _data()
+        d = _design(x, wl=6, freq=350.0)
+        v = overclocking_variance(d, models)
+        assert v.shape == (3,)
+        assert np.all(v > 0)
+
+    def test_grows_with_frequency(self, models):
+        x = _data()
+        d = _design(x, wl=6, freq=310.0)
+        lo = overclocking_variance(d, models, freq_mhz=300.0).sum()
+        hi = overclocking_variance(d, models, freq_mhz=350.0).sum()
+        assert hi > lo
+
+    def test_wrong_data_width_rejected(self, models):
+        x = _data()
+        d = LinearProjectionDesign(
+            values=np.full((6, 1), 0.25),
+            magnitudes=np.full((6, 1), 16, dtype=np.int64),
+            signs=np.ones((6, 1), dtype=np.int64),
+            wordlengths=(6,),
+            w_data=8,  # models were characterised for w_data=9
+            freq_mhz=310.0,
+        )
+        with pytest.raises(ModelError):
+            overclocking_variance(d, models)
+
+
+class TestObjectiveT:
+    def test_decomposition_sums(self, models):
+        x = _data()
+        d = _design(x, wl=7, freq=350.0)
+        parts = objective_t(d, x, models)
+        assert parts["objective_t"] == pytest.approx(
+            parts["reconstruction_mse"] + parts["overclocking_term"]
+        )
+
+    def test_error_free_equals_mse(self, models):
+        x = _data()
+        d = _design(x, wl=7, freq=250.0)
+        parts = objective_t(d, x, models)
+        assert parts["overclocking_term"] == 0.0
+        assert parts["objective_t"] == pytest.approx(parts["reconstruction_mse"])
+
+    def test_dual_gram_orthonormal_is_ones(self):
+        x = _data()
+        lam = fit_klt(x, 3)
+        assert np.allclose(dual_gram_diagonal(lam), 1.0, atol=1e-8)
+
+    def test_dual_gram_amplifies_small_norms(self):
+        x = _data()
+        lam = 0.5 * fit_klt(x, 3)
+        assert np.allclose(dual_gram_diagonal(lam), 4.0, atol=1e-6)
+
+    def test_quantised_basis_near_unit_amplification(self, models):
+        x = _data()
+        d = _design(x, wl=8)
+        amp = dual_gram_diagonal(d.values)
+        assert np.all(np.abs(amp - 1.0) < 0.1)

@@ -1,0 +1,97 @@
+"""Tests for repro.core.pareto — front extraction and Q-bin selection."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.pareto import pareto_front, select_q_bins
+from repro.errors import OptimizationError
+
+AREA = lambda t: t[0]  # noqa: E731
+MSE = lambda t: t[1]  # noqa: E731
+
+
+class TestParetoFront:
+    def test_dominated_points_removed(self):
+        pts = [(1.0, 1.0), (2.0, 2.0), (2.0, 0.5), (3.0, 0.4)]
+        front = pareto_front(pts, AREA, MSE)
+        assert (2.0, 2.0) not in front
+        assert (1.0, 1.0) in front and (2.0, 0.5) in front and (3.0, 0.4) in front
+
+    def test_sorted_by_area(self):
+        pts = [(3.0, 0.1), (1.0, 0.9), (2.0, 0.5)]
+        front = pareto_front(pts, AREA, MSE)
+        assert [p[0] for p in front] == sorted(p[0] for p in front)
+
+    def test_front_mse_strictly_decreasing(self):
+        rng = np.random.default_rng(0)
+        pts = list(zip(rng.uniform(0, 10, 100), rng.uniform(0, 1, 100)))
+        front = pareto_front(pts, AREA, MSE)
+        mses = [p[1] for p in front]
+        assert all(a > b for a, b in zip(mses, mses[1:]))
+
+    def test_empty_input(self):
+        assert pareto_front([], AREA, MSE) == []
+
+    def test_single_point(self):
+        assert pareto_front([(1.0, 1.0)], AREA, MSE) == [(1.0, 1.0)]
+
+    def test_nonfinite_rejected(self):
+        with pytest.raises(OptimizationError):
+            pareto_front([(1.0, float("nan"))], AREA, MSE)
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(0.1, 100.0),
+                st.floats(0.0, 10.0),
+            ),
+            min_size=1,
+            max_size=60,
+        )
+    )
+    def test_no_front_point_dominated(self, pts):
+        front = pareto_front(pts, AREA, MSE)
+        for f in front:
+            for other in pts:
+                dominates = (
+                    other[0] <= f[0]
+                    and other[1] <= f[1]
+                    and (other[0] < f[0] or other[1] < f[1])
+                )
+                assert not dominates
+
+
+class TestQBins:
+    def test_at_most_q_returned(self):
+        pts = [(float(i), 1.0 / (i + 1)) for i in range(20)]
+        assert len(select_q_bins(pts, 5, MSE)) == 5
+
+    def test_fewer_items_than_q(self):
+        pts = [(1.0, 0.5), (2.0, 0.3)]
+        assert len(select_q_bins(pts, 5, MSE)) == 2
+
+    def test_diversity_across_mse_span(self):
+        """Bins spread the survivors over the objective range."""
+        pts = [(float(i), float(i)) for i in range(100)]
+        chosen = select_q_bins(pts, 5, MSE)
+        mses = sorted(p[1] for p in chosen)
+        assert mses[0] < 20 and mses[-1] >= 79  # touches both ends
+
+    def test_identical_mses_pick_q_items(self):
+        pts = [(float(i), 0.5) for i in range(10)]
+        assert len(select_q_bins(pts, 4, MSE)) == 4
+
+    def test_padding_when_bins_sparse(self):
+        # All MSEs cluster in one bin except one outlier: padding fills Q.
+        pts = [(1.0, 0.1), (2.0, 0.11), (3.0, 0.12), (4.0, 10.0)]
+        chosen = select_q_bins(pts, 4, MSE)
+        assert len(chosen) == 4
+
+    def test_invalid_q_rejected(self):
+        with pytest.raises(OptimizationError):
+            select_q_bins([(1.0, 1.0)], 0, MSE)
+
+    def test_empty_input(self):
+        assert select_q_bins([], 3, MSE) == []

@@ -1,0 +1,118 @@
+"""Tests for repro.core.quantize — sign-magnitude fixed point."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.quantize import (
+    dequantize_magnitudes,
+    quantize_coefficients,
+    quantize_data,
+)
+from repro.errors import DesignError
+
+
+class TestCoefficients:
+    def test_roundtrip_exact_grid_values(self):
+        wl = 5
+        vals = np.array([-0.5, 0.25, 0.0, 31 / 32, -31 / 32])
+        q = quantize_coefficients(vals, wl)
+        assert np.allclose(q.values, vals)
+
+    def test_rounding_to_nearest(self):
+        q = quantize_coefficients(np.array([0.26]), 2)  # grid step 0.25
+        assert q.values[0] == pytest.approx(0.25)
+
+    def test_saturation_at_one(self):
+        q = quantize_coefficients(np.array([1.0, -1.0]), 4)
+        assert q.magnitudes.tolist() == [15, 15]
+        assert q.values[0] == pytest.approx(15 / 16)
+        assert q.values[1] == pytest.approx(-15 / 16)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(DesignError):
+            quantize_coefficients(np.array([1.5]), 4)
+
+    def test_zero_keeps_positive_sign(self):
+        q = quantize_coefficients(np.array([-0.001]), 3)
+        assert q.magnitudes[0] == 0
+        assert q.signs[0] == 1
+
+    def test_error_bounded_by_half_step_inside_range(self):
+        rng = np.random.default_rng(0)
+        vals = rng.uniform(-0.99, 0.99, 500)
+        for wl in (3, 6, 9):
+            # Saturation applies above the top grid point; inside the
+            # representable range the error is at most half a step.
+            top = ((1 << wl) - 1) / (1 << wl)
+            inside = vals[np.abs(vals) <= top]
+            q = quantize_coefficients(inside, wl)
+            assert np.abs(q.values - inside).max() <= 2.0 ** (-wl) / 2 + 1e-12
+
+    def test_saturation_error_bounded_by_step(self):
+        q = quantize_coefficients(np.array([0.999]), 3)
+        assert abs(q.values[0] - 0.999) <= 2.0**-3
+
+    @given(
+        st.lists(st.floats(min_value=-1.0, max_value=1.0), min_size=1, max_size=20),
+        st.integers(min_value=1, max_value=10),
+    )
+    def test_roundtrip_property(self, vals, wl):
+        q = quantize_coefficients(np.asarray(vals), wl)
+        recon = dequantize_magnitudes(q.magnitudes, q.signs, wl)
+        assert np.allclose(recon, q.values)
+        assert np.all(q.magnitudes < (1 << wl))
+        assert np.all(q.magnitudes >= 0)
+
+    def test_invalid_wordlength_rejected(self):
+        with pytest.raises(DesignError):
+            quantize_coefficients(np.array([0.5]), 0)
+
+
+class TestData:
+    def test_peak_scaling_preserves_values(self):
+        x = np.array([[2.0, -4.0, 1.0]])
+        q = quantize_data(x, 9)
+        # The peak itself saturates to (2^wl - 1)/2^wl: error exactly one
+        # step at the peak, at most half a step elsewhere.
+        assert np.abs(q.values - x).max() <= 4.0 * 2.0**-9 + 1e-12
+
+    def test_magnitudes_in_range(self):
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=(6, 100)) * 3
+        q = quantize_data(x, 9)
+        assert q.magnitudes.max() < 512
+
+    def test_zero_data(self):
+        q = quantize_data(np.zeros((3, 4)), 8)
+        assert np.all(q.values == 0)
+        assert np.all(q.magnitudes == 0)
+
+    def test_quantization_step_property(self):
+        q = quantize_data(np.ones((2, 2)), 7)
+        assert q.quantization_step == pytest.approx(2.0**-7)
+
+
+class TestQuantizedMatrixValidation:
+    def test_shape_mismatch_rejected(self):
+        from repro.core.quantize import QuantizedMatrix
+
+        with pytest.raises(DesignError):
+            QuantizedMatrix(
+                values=np.zeros(3),
+                magnitudes=np.zeros(4, dtype=np.int64),
+                signs=np.ones(3, dtype=np.int64),
+                wordlength=4,
+            )
+
+    def test_magnitude_overflow_rejected(self):
+        from repro.core.quantize import QuantizedMatrix
+
+        with pytest.raises(DesignError):
+            QuantizedMatrix(
+                values=np.zeros(1),
+                magnitudes=np.array([16]),
+                signs=np.ones(1, dtype=np.int64),
+                wordlength=4,
+            )

@@ -1,0 +1,47 @@
+"""Tests for repro.eval.report."""
+
+from repro.eval.report import format_value, render_series, render_table
+
+
+class TestFormatValue:
+    def test_small_floats_scientific(self):
+        assert "e" in format_value(1.2e-5)
+
+    def test_moderate_floats_compact(self):
+        assert format_value(3.14159) == "3.142"
+
+    def test_zero(self):
+        assert format_value(0.0) == "0"
+
+    def test_ints_and_strings_passthrough(self):
+        assert format_value(42) == "42"
+        assert format_value("abc") == "abc"
+
+    def test_bool(self):
+        assert format_value(True) == "True"
+
+
+class TestRenderTable:
+    def test_contains_headers_and_rows(self):
+        out = render_table(["a", "bb"], [[1, 2.5], [3, 4.0]], title="T")
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "bb" in lines[1]
+        assert "-" in lines[2]
+        assert len(lines) == 5
+
+    def test_column_alignment(self):
+        out = render_table(["x"], [[1], [100000]])
+        lines = out.splitlines()
+        assert len(lines[0]) == len(lines[2])  # header width == row width
+
+    def test_empty_rows(self):
+        out = render_table(["x", "y"], [])
+        assert "x" in out
+
+
+class TestRenderSeries:
+    def test_series_rendering(self):
+        out = render_series("err", [1, 2], [0.1, 0.2], "f", "rate")
+        assert "series: err" in out
+        assert "f" in out and "rate" in out

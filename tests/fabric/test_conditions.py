@@ -1,0 +1,58 @@
+"""Tests for repro.fabric.conditions."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.fabric.conditions import OperatingConditions
+
+
+class TestValidation:
+    def test_paper_conditions(self):
+        c = OperatingConditions.paper_characterization()
+        assert c.temperature_c == 14.0
+        assert c.aging_years == 0.0
+
+    def test_extreme_temperature_rejected(self):
+        with pytest.raises(ConfigError):
+            OperatingConditions(temperature_c=200.0)
+
+    def test_vdd_below_threshold_rejected(self):
+        with pytest.raises(ConfigError):
+            OperatingConditions(vdd=0.3)
+
+    def test_negative_aging_rejected(self):
+        with pytest.raises(ConfigError):
+            OperatingConditions(aging_years=-1.0)
+
+
+class TestScaling:
+    def test_nominal_is_unity(self):
+        c = OperatingConditions.nominal()
+        assert c.delay_scale() == pytest.approx(1.0)
+
+    def test_cooling_speeds_up(self):
+        cold = OperatingConditions(temperature_c=14.0)
+        assert cold.temperature_scale() < 1.0
+
+    def test_heating_slows_down(self):
+        hot = OperatingConditions(temperature_c=85.0)
+        assert hot.temperature_scale() > 1.0
+
+    def test_undervolting_slows_down(self):
+        low = OperatingConditions(vdd=1.0)
+        assert low.voltage_scale() > 1.0
+
+    def test_overvolting_speeds_up(self):
+        high = OperatingConditions(vdd=1.35)
+        assert high.voltage_scale() < 1.0
+
+    def test_aging_monotone_and_saturating(self):
+        scales = [OperatingConditions(aging_years=y).aging_scale() for y in (0, 2, 5, 20, 100)]
+        assert scales == sorted(scales)
+        assert scales[0] == 1.0
+        assert scales[-1] < 1.07  # saturates
+
+    def test_total_is_product(self):
+        c = OperatingConditions(temperature_c=50.0, vdd=1.1, aging_years=3.0)
+        expected = c.temperature_scale() * c.voltage_scale() * c.aging_scale()
+        assert c.delay_scale() == pytest.approx(expected)

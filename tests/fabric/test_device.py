@@ -1,0 +1,88 @@
+"""Tests for repro.fabric.device."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.fabric import (
+    CYCLONE_III_3C16,
+    DeviceFamily,
+    OperatingConditions,
+    make_device,
+)
+from tests.conftest import SMALL_FAMILY
+
+
+class TestFamily:
+    def test_cyclone_iii_le_count(self):
+        # Models the EP3C16's ~15k logic elements.
+        assert 15000 <= CYCLONE_III_3C16.le_count <= 16000
+
+    def test_worst_case_slower_than_nominal(self):
+        f = CYCLONE_III_3C16
+        assert f.worst_case_lut_delay_ns() > f.timing.lut_delay_ns
+
+    def test_invalid_grid_rejected(self):
+        with pytest.raises(ConfigError):
+            DeviceFamily(name="bad", rows=0, cols=10)
+
+
+class TestMakeDevice:
+    def test_serial_is_identity(self):
+        a = make_device(1, family=SMALL_FAMILY)
+        b = make_device(1, family=SMALL_FAMILY)
+        assert np.array_equal(a.variation.factors, b.variation.factors)
+
+    def test_different_serials_differ(self, device, other_device):
+        assert not np.array_equal(
+            device.variation.factors, other_device.variation.factors
+        )
+
+    def test_default_conditions_are_paper(self, device):
+        assert device.conditions.temperature_c == 14.0
+
+
+class TestDelayQueries:
+    def test_lut_delay_positive(self, device):
+        assert device.lut_delay_at(3, 4) > 0
+
+    def test_vectorised_query(self, device):
+        xs = np.array([0, 1, 2])
+        ys = np.array([5, 5, 5])
+        d = device.lut_delay_at(xs, ys)
+        assert d.shape == (3,)
+
+    def test_out_of_grid_rejected(self, device):
+        with pytest.raises(ConfigError):
+            device.lut_delay_at(device.cols, 0)
+
+    def test_conditions_scale_delays(self, device):
+        hot = device.with_conditions(OperatingConditions(temperature_c=85.0))
+        assert hot.lut_delay_at(2, 2) > device.lut_delay_at(2, 2)
+
+    def test_locations_differ(self, device):
+        # The premise of location-specific characterisation.
+        all_delays = device.lut_delay_at(
+            np.arange(device.cols), np.zeros(device.cols, dtype=int)
+        )
+        assert all_delays.std() > 0
+
+
+class TestRoutingRng:
+    def test_per_placement_deterministic(self, device):
+        a = device.routing_rng(3).normal(size=4)
+        b = device.routing_rng(3).normal(size=4)
+        assert np.array_equal(a, b)
+
+    def test_per_placement_distinct(self, device):
+        a = device.routing_rng(3).normal(size=4)
+        b = device.routing_rng(4).normal(size=4)
+        assert not np.array_equal(a, b)
+
+
+class TestReport:
+    def test_report_fields(self, device):
+        r = device.report()
+        assert r["serial"] == device.serial
+        assert r["le_count"] == device.family.le_count
+        assert "variation_std" in r

@@ -1,0 +1,54 @@
+"""Tests for repro.fabric.jitter."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.fabric.jitter import JitterModel
+
+
+class TestSampling:
+    def test_ideal_is_zero(self):
+        j = JitterModel.ideal()
+        assert np.all(j.sample(100, np.random.default_rng(0)) == 0)
+
+    def test_bounded(self):
+        j = JitterModel(sigma_ns=0.05, bound_ns=0.08)
+        s = j.sample(10000, np.random.default_rng(0))
+        assert np.all(np.abs(s) <= 0.08)
+
+    def test_zero_mean(self):
+        j = JitterModel(sigma_ns=0.02, bound_ns=0.08)
+        s = j.sample(20000, np.random.default_rng(0))
+        assert abs(s.mean()) < 0.001
+
+    def test_deterministic(self):
+        j = JitterModel()
+        a = j.sample(50, np.random.default_rng(3))
+        b = j.sample(50, np.random.default_rng(3))
+        assert np.array_equal(a, b)
+
+    def test_negative_cycles_rejected(self):
+        with pytest.raises(ConfigError):
+            JitterModel().sample(-1, np.random.default_rng(0))
+
+
+class TestEffectivePeriods:
+    def test_centered_on_period(self):
+        j = JitterModel(sigma_ns=0.01, bound_ns=0.05)
+        eff = j.effective_periods(3.0, 10000, np.random.default_rng(1))
+        assert abs(eff.mean() - 3.0) < 0.001
+
+    def test_invalid_period_rejected(self):
+        with pytest.raises(ConfigError):
+            JitterModel().effective_periods(0.0, 10, np.random.default_rng(0))
+
+
+class TestValidation:
+    def test_negative_sigma_rejected(self):
+        with pytest.raises(ConfigError):
+            JitterModel(sigma_ns=-0.01)
+
+    def test_bound_below_sigma_rejected(self):
+        with pytest.raises(ConfigError):
+            JitterModel(sigma_ns=0.05, bound_ns=0.01)

@@ -1,0 +1,71 @@
+"""Tests for repro.fabric.routing."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.fabric.routing import RoutingModel
+
+
+class TestNominal:
+    def test_zero_distance_is_base(self):
+        m = RoutingModel()
+        assert m.nominal_delay(0.0) == pytest.approx(m.timing.routing_base_delay_ns)
+
+    def test_monotone_in_distance(self):
+        m = RoutingModel()
+        d = m.nominal_delay(np.array([0.0, 1.0, 5.0, 20.0]))
+        assert np.all(np.diff(d) > 0)
+
+    def test_fanout_penalty(self):
+        m = RoutingModel()
+        assert m.nominal_delay(3.0, fanout=4) > m.nominal_delay(3.0, fanout=1)
+
+    def test_negative_distance_rejected(self):
+        with pytest.raises(ConfigError):
+            RoutingModel().nominal_delay(-1.0)
+
+    def test_zero_fanout_rejected(self):
+        with pytest.raises(ConfigError):
+            RoutingModel().nominal_delay(1.0, fanout=0)
+
+
+class TestRouted:
+    def test_deterministic_per_rng_state(self):
+        m = RoutingModel()
+        d1 = m.routed_delay(np.ones(10), 1, np.random.default_rng(5))
+        d2 = m.routed_delay(np.ones(10), 1, np.random.default_rng(5))
+        assert np.array_equal(d1, d2)
+
+    def test_noise_varies_across_nets(self):
+        m = RoutingModel()
+        d = m.routed_delay(np.ones(50), 1, np.random.default_rng(5))
+        assert d.std() > 0
+
+    def test_noise_free_model(self):
+        m = RoutingModel(noise_sigma=0.0)
+        d = m.routed_delay(np.ones(10), 1, np.random.default_rng(5))
+        assert np.allclose(d, m.nominal_delay(np.ones(10)))
+
+    def test_routed_at_least_base(self):
+        m = RoutingModel()
+        d = m.routed_delay(np.linspace(0, 10, 30), 1, np.random.default_rng(2))
+        assert np.all(d >= m.timing.routing_base_delay_ns - 1e-12)
+
+
+class TestWorstCase:
+    def test_worst_case_dominates_nominal(self):
+        m = RoutingModel()
+        dist = np.linspace(0, 20, 10)
+        assert np.all(m.worst_case_delay(dist) >= m.nominal_delay(dist))
+
+    def test_worst_case_covers_most_routed(self):
+        m = RoutingModel()
+        dist = np.full(2000, 5.0)
+        routed = m.routed_delay(dist, 1, np.random.default_rng(0))
+        wc = m.worst_case_delay(5.0)
+        assert (routed <= wc).mean() > 0.95
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ConfigError):
+            RoutingModel(noise_sigma=-0.1)

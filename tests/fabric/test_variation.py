@@ -1,0 +1,88 @@
+"""Tests for repro.fabric.variation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.fabric.variation import VariationConfig, generate_variation_field
+
+
+def _field(rows=48, cols=48, seed=0, **kw):
+    return generate_variation_field(
+        rows, cols, VariationConfig(**kw), np.random.default_rng(seed)
+    )
+
+
+class TestGeneration:
+    def test_shape(self):
+        f = _field(32, 40)
+        assert f.shape == (32, 40)
+
+    def test_centered_near_one(self):
+        f = _field()
+        assert abs(f.factors.mean() - 1.0) < 0.02
+
+    def test_deterministic_per_seed(self):
+        assert np.array_equal(_field(seed=3).factors, _field(seed=3).factors)
+
+    def test_different_seeds_differ(self):
+        assert not np.array_equal(_field(seed=3).factors, _field(seed=4).factors)
+
+    def test_floor_clip(self):
+        f = _field(white_sigma=0.4, systematic_amplitude=0.5, correlated_sigma=0.4)
+        assert f.factors.min() >= 0.5
+
+    def test_zero_config_gives_flat_field(self):
+        f = _field(systematic_amplitude=0.0, correlated_sigma=0.0, white_sigma=0.0)
+        assert np.allclose(f.factors, 1.0)
+
+    def test_systematic_creates_spatial_trend(self):
+        f = _field(systematic_amplitude=0.1, correlated_sigma=0.0, white_sigma=0.0)
+        # A smooth polynomial surface: neighbouring LEs nearly equal.
+        diffs = np.abs(np.diff(f.factors, axis=0))
+        assert diffs.max() < 0.02
+
+    def test_white_noise_is_rough(self):
+        f = _field(systematic_amplitude=0.0, correlated_sigma=0.0, white_sigma=0.05)
+        diffs = np.abs(np.diff(f.factors, axis=0))
+        assert diffs.mean() > 0.02
+
+    def test_invalid_grid_rejected(self):
+        with pytest.raises(ConfigError):
+            generate_variation_field(0, 5, VariationConfig(), np.random.default_rng(0))
+
+
+class TestConfigValidation:
+    def test_negative_amplitude_rejected(self):
+        with pytest.raises(ConfigError):
+            VariationConfig(systematic_amplitude=-0.1)
+
+    def test_zero_correlation_length_rejected(self):
+        with pytest.raises(ConfigError):
+            VariationConfig(correlation_length=0.0)
+
+    def test_zero_order_rejected(self):
+        with pytest.raises(ConfigError):
+            VariationConfig(polynomial_order=0)
+
+
+class TestFieldQueries:
+    def test_factor_at_matches_array(self):
+        f = _field()
+        assert f.factor_at(5, 7) == f.factors[7, 5]
+
+    def test_window_extracts_region(self):
+        f = _field()
+        w = f.window(4, 6, 10, 8)
+        assert w.shape == (8, 10)
+        assert np.array_equal(w, f.factors[6:14, 4:14])
+
+    def test_window_out_of_bounds_rejected(self):
+        f = _field(16, 16)
+        with pytest.raises(ConfigError):
+            f.window(10, 10, 10, 10)
+
+    def test_summary_keys(self):
+        s = _field().summary()
+        assert {"mean", "std", "min", "max", "corner_to_corner"} <= set(s)
+        assert s["min"] <= s["mean"] <= s["max"]

@@ -1,0 +1,129 @@
+"""Tests for repro.models.error_model."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelError
+from repro.models.error_model import ErrorModel, ErrorModelSet, build_error_model
+from tests.conftest import make_synthetic_error_model
+
+
+class TestBuild:
+    def test_from_characterization(self, char_result, error_model):
+        assert error_model.w_data == char_result.w_data
+        assert error_model.w_coeff == char_result.w_coeff
+        assert np.array_equal(
+            error_model.variance, char_result.variance_grid(None)
+        )
+
+    def test_location_specific(self, char_result):
+        loc = char_result.locations[0]
+        m = build_error_model(char_result, location=loc)
+        assert np.array_equal(m.variance, char_result.variance[0])
+
+
+class TestQueries:
+    def test_variance_at_exact_freq(self):
+        m = make_synthetic_error_model(3)
+        got = m.variance_at(300.0)
+        assert np.array_equal(got, m.variance[:, 1])
+
+    def test_linear_interpolation(self):
+        m = make_synthetic_error_model(3)
+        mid = m.variance_at(325.0)
+        expected = 0.5 * (m.variance[:, 1] + m.variance[:, 2])
+        assert np.allclose(mid, expected)
+
+    def test_clamping_below(self):
+        m = make_synthetic_error_model(3)
+        assert np.array_equal(m.variance_at(100.0), m.variance[:, 0])
+
+    def test_strict_out_of_range_rejected(self):
+        m = make_synthetic_error_model(3)
+        with pytest.raises(ModelError):
+            m.variance_at(100.0, strict=True)
+
+    def test_query_specific_multiplicand(self):
+        m = make_synthetic_error_model(4)
+        v = m.query(np.array([7]), 350.0)
+        assert v[0] == pytest.approx(3 * 2 * 100.0)  # popcount(7)=3, top freq
+
+    def test_query_unknown_multiplicand_rejected(self):
+        m = make_synthetic_error_model(3)
+        with pytest.raises(ModelError):
+            m.query(np.array([99]), 300.0)
+
+    def test_query_row(self):
+        m = make_synthetic_error_model(3)
+        row = m.query_row(5)
+        assert row.shape == (3,)
+
+    def test_error_free_fmax(self):
+        m = make_synthetic_error_model(3)
+        # Variance is zero only at the first frequency (onset_index=1).
+        assert m.error_free_fmax(7) == 250.0
+        # Zero multiplicand never errs: full span is error-free.
+        assert m.error_free_fmax(0) == 350.0
+
+    def test_heatmap_is_copy(self):
+        m = make_synthetic_error_model(3)
+        h = m.heatmap()
+        h[0, 0] = 123.0
+        assert m.variance[0, 0] != 123.0
+
+
+class TestValidation:
+    def test_negative_variance_rejected(self):
+        with pytest.raises(ModelError):
+            ErrorModel(
+                w_data=9,
+                w_coeff=2,
+                device_serial=0,
+                multiplicands=np.arange(4),
+                freqs_mhz=np.array([300.0, 350.0]),
+                variance=-np.ones((4, 2)),
+                mean=np.zeros((4, 2)),
+            )
+
+    def test_unsorted_freqs_rejected(self):
+        with pytest.raises(ModelError):
+            ErrorModel(
+                w_data=9,
+                w_coeff=2,
+                device_serial=0,
+                multiplicands=np.arange(4),
+                freqs_mhz=np.array([350.0, 300.0]),
+                variance=np.zeros((4, 2)),
+                mean=np.zeros((4, 2)),
+            )
+
+
+class TestModelSet:
+    def test_lookup(self, synthetic_model_set):
+        assert synthetic_model_set.wordlengths == tuple(range(3, 10))
+        assert synthetic_model_set.model(5).w_coeff == 5
+
+    def test_missing_wordlength_rejected(self, synthetic_model_set):
+        with pytest.raises(ModelError):
+            synthetic_model_set.model(12)
+
+    def test_mixed_devices_rejected(self):
+        with pytest.raises(ModelError):
+            ErrorModelSet(
+                {
+                    3: make_synthetic_error_model(3, serial=0),
+                    4: make_synthetic_error_model(4, serial=1),
+                }
+            )
+
+    def test_mismatched_key_rejected(self):
+        with pytest.raises(ModelError):
+            ErrorModelSet({5: make_synthetic_error_model(4)})
+
+    def test_empty_rejected(self):
+        with pytest.raises(ModelError):
+            ErrorModelSet({})
+
+    def test_variance_at_delegates(self, synthetic_model_set):
+        v = synthetic_model_set.variance_at(4, 350.0)
+        assert v.shape == (16,)

@@ -1,0 +1,77 @@
+"""Tests for repro.models.runtime — paper eqs. (7)-(8)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelError
+from repro.models.runtime import (
+    PAPER_RUNTIME_MODEL,
+    RuntimeModel,
+    predict_runtime_seconds,
+)
+
+
+class TestPaperModel:
+    def test_worked_example_matches_quote(self):
+        """Sec. VI-E: #Freqs=1, K=3, Q=5, #HP=2, wl=3..9 -> ~1 h 44 m."""
+        total = PAPER_RUNTIME_MODEL.total_seconds(
+            wordlengths=list(range(3, 10)), k=3, q=5, n_hyperparams=2, n_freqs=1
+        )
+        quoted = 1 * 3600 + 44 * 60  # 6240 s
+        assert abs(total - quoted) / quoted < 0.05
+
+    def test_vector_seconds_exponential(self):
+        r = PAPER_RUNTIME_MODEL.vector_seconds(np.arange(3, 10))
+        ratios = r[1:] / r[:-1]
+        assert np.allclose(ratios, np.exp(PAPER_RUNTIME_MODEL.rate))
+
+    def test_structure_factor(self):
+        """Eq. 7: dimension 1 samples once, later dimensions Q times each."""
+        base = PAPER_RUNTIME_MODEL.total_seconds([5], k=1, q=5, n_hyperparams=1, n_freqs=1)
+        k3 = PAPER_RUNTIME_MODEL.total_seconds([5], k=3, q=5, n_hyperparams=1, n_freqs=1)
+        assert k3 / base == pytest.approx(11.0)  # 1 + Q(K-1) = 11
+
+    def test_scales_linear_in_hp_and_freqs(self):
+        one = predict_runtime_seconds([3, 4], 2, 2, 1, 1)
+        assert predict_runtime_seconds([3, 4], 2, 2, 3, 1) == pytest.approx(3 * one)
+        assert predict_runtime_seconds([3, 4], 2, 2, 1, 4) == pytest.approx(4 * one)
+
+    def test_invalid_args_rejected(self):
+        with pytest.raises(ModelError):
+            PAPER_RUNTIME_MODEL.total_seconds([], 1, 1, 1, 1)
+        with pytest.raises(ModelError):
+            PAPER_RUNTIME_MODEL.total_seconds([3], 0, 1, 1, 1)
+        with pytest.raises(ModelError):
+            PAPER_RUNTIME_MODEL.vector_seconds(0)
+
+
+class TestFit:
+    def test_recovers_known_constants(self):
+        truth = RuntimeModel(scale=0.2, rate=0.5)
+        wl = np.arange(3, 10)
+        t = truth.vector_seconds(wl)
+        fitted = RuntimeModel.fit(wl.tolist(), t.tolist())
+        assert fitted.scale == pytest.approx(0.2, rel=1e-6)
+        assert fitted.rate == pytest.approx(0.5, rel=1e-6)
+
+    def test_fit_with_noise(self):
+        rng = np.random.default_rng(0)
+        truth = RuntimeModel(scale=0.1, rate=0.6)
+        wl = np.arange(3, 10)
+        t = truth.vector_seconds(wl) * rng.lognormal(0, 0.05, wl.size)
+        fitted = RuntimeModel.fit(wl.tolist(), t.tolist())
+        assert fitted.rate == pytest.approx(0.6, abs=0.1)
+
+    def test_insufficient_data_rejected(self):
+        with pytest.raises(ModelError):
+            RuntimeModel.fit([3], [1.0])
+        with pytest.raises(ModelError):
+            RuntimeModel.fit([3, 3], [1.0, 1.1])
+
+    def test_nonpositive_times_rejected(self):
+        with pytest.raises(ModelError):
+            RuntimeModel.fit([3, 4], [1.0, 0.0])
+
+    def test_invalid_scale_rejected(self):
+        with pytest.raises(ModelError):
+            RuntimeModel(scale=0.0)

@@ -1,0 +1,112 @@
+"""Tests for repro.netlist.adders."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import NetlistError
+from repro.netlist.adders import (
+    add_ripple_carry,
+    add_ripple_carry_with_const,
+    subtract_ripple,
+)
+from repro.netlist.core import Netlist
+
+
+def _adder(width, cin=False):
+    nl = Netlist()
+    a = nl.add_input_bus("a", width)
+    b = nl.add_input_bus("b", width)
+    ci = nl.add_input_bus("ci", 1) if cin else None
+    s, c = add_ripple_carry(nl, a, b, cin=None if ci is None else ci[0])
+    nl.set_output_bus("s", s)
+    nl.set_output_bus("c", [c])
+    return nl.compile()
+
+
+class TestRippleCarry:
+    def test_exhaustive_4bit(self):
+        c = _adder(4)
+        a = np.repeat(np.arange(16), 16)
+        b = np.tile(np.arange(16), 16)
+        out = c.evaluate_ints(a=a, b=b)
+        total = a + b
+        assert np.array_equal(out["s"], total % 16)
+        assert np.array_equal(out["c"], total // 16)
+
+    def test_with_carry_in(self):
+        c = _adder(4, cin=True)
+        a = np.repeat(np.arange(16), 16)
+        b = np.tile(np.arange(16), 16)
+        out = c.evaluate_ints(a=a, b=b, ci=np.ones_like(a))
+        total = a + b + 1
+        assert np.array_equal(out["s"], total % 16)
+        assert np.array_equal(out["c"], total // 16)
+
+    @given(st.integers(0, 2**10 - 1), st.integers(0, 2**10 - 1))
+    def test_property_10bit(self, av, bv):
+        c = _adder(10)
+        out = c.evaluate_ints(a=np.array([av]), b=np.array([bv]))
+        assert out["s"][0] == (av + bv) % 1024
+        assert out["c"][0] == (av + bv) // 1024
+
+    def test_width_mismatch_rejected(self):
+        nl = Netlist()
+        a = nl.add_input_bus("a", 3)
+        b = nl.add_input_bus("b", 2)
+        with pytest.raises(NetlistError):
+            add_ripple_carry(nl, a, b)
+
+    def test_empty_rejected(self):
+        with pytest.raises(NetlistError):
+            add_ripple_carry(Netlist(), [], [])
+
+
+class TestConstAdd:
+    @pytest.mark.parametrize("const", [0, 1, 5, 10, 15])
+    def test_exhaustive_4bit(self, const):
+        nl = Netlist()
+        a = nl.add_input_bus("a", 4)
+        kbits = [(const >> j) & 1 for j in range(4)]
+        s, c = add_ripple_carry_with_const(nl, a, kbits)
+        nl.set_output_bus("s", s)
+        nl.set_output_bus("c", [c])
+        comp = nl.compile()
+        av = np.arange(16)
+        out = comp.evaluate_ints(a=av)
+        assert np.array_equal(out["s"], (av + const) % 16)
+        assert np.array_equal(out["c"], (av + const) // 16)
+
+    def test_zero_const_adds_no_luts(self):
+        nl = Netlist()
+        a = nl.add_input_bus("a", 4)
+        before = nl.n_nodes
+        s, _ = add_ripple_carry_with_const(nl, a, [0, 0, 0, 0])
+        nl.set_output_bus("s", s)
+        # Constant-0 addition is free: only the const-0 carry node appears.
+        assert nl.compile().n_luts == 0
+        assert before == 4  # just the inputs existed
+
+    def test_bad_const_bit_rejected(self):
+        nl = Netlist()
+        a = nl.add_input_bus("a", 2)
+        with pytest.raises(NetlistError):
+            add_ripple_carry_with_const(nl, a, [0, 2])
+
+
+class TestSubtract:
+    def test_exhaustive_4bit(self):
+        nl = Netlist()
+        a = nl.add_input_bus("a", 4)
+        b = nl.add_input_bus("b", 4)
+        d, borrow_n = subtract_ripple(nl, a, b)
+        nl.set_output_bus("d", d)
+        nl.set_output_bus("bn", [borrow_n])
+        comp = nl.compile()
+        av = np.repeat(np.arange(16), 16)
+        bv = np.tile(np.arange(16), 16)
+        out = comp.evaluate_ints(a=av, b=bv)
+        assert np.array_equal(out["d"], (av - bv) % 16)
+        # carry-out = 1 exactly when no borrow (a >= b)
+        assert np.array_equal(out["bn"], (av >= bv).astype(int))

@@ -1,0 +1,81 @@
+"""Hypothesis property tests across the arithmetic generators.
+
+One strategy-driven sweep over widths and operand values, checking every
+multiplier architecture against Python's exact integers — the bedrock the
+whole error analysis stands on (a functional bug here would masquerade as
+"over-clocking errors").
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.netlist.ccm import ccm_multiplier
+from repro.netlist.mac import mac_block
+from repro.netlist.multipliers import (
+    baugh_wooley_multiplier,
+    unsigned_array_multiplier,
+)
+from repro.netlist.wallace import wallace_tree_multiplier
+
+# Compiling netlists is the expensive part; cache per geometry.
+_CACHE: dict = {}
+
+
+def _get(kind, *args):
+    key = (kind.__name__,) + args
+    if key not in _CACHE:
+        _CACHE[key] = kind(*args).compile()
+    return _CACHE[key]
+
+
+class TestMultiplierEquivalence:
+    @given(
+        st.integers(2, 10),
+        st.integers(2, 10),
+        st.integers(0, 2**30),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_array_and_tree_agree_with_python(self, wa, wb, seed):
+        rng = np.random.default_rng(seed)
+        a = rng.integers(0, 1 << wa, 40)
+        b = rng.integers(0, 1 << wb, 40)
+        array = _get(unsigned_array_multiplier, wa, wb)
+        tree = _get(wallace_tree_multiplier, wa, wb)
+        expected = a * b
+        assert np.array_equal(array.evaluate_ints(a=a, b=b)["p"], expected)
+        assert np.array_equal(tree.evaluate_ints(a=a, b=b)["p"], expected)
+
+    @given(
+        st.integers(2, 9),
+        st.integers(2, 9),
+        st.integers(0, 2**30),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_baugh_wooley_signed(self, wa, wb, seed):
+        rng = np.random.default_rng(seed)
+        a = rng.integers(-(1 << (wa - 1)), 1 << (wa - 1), 40)
+        b = rng.integers(-(1 << (wb - 1)), 1 << (wb - 1), 40)
+        bw = _get(baugh_wooley_multiplier, wa, wb)
+        assert np.array_equal(
+            bw.evaluate_ints(signed_out=True, a=a, b=b)["p"], a * b
+        )
+
+    @given(st.integers(0, 1023), st.integers(2, 9))
+    @settings(max_examples=40, deadline=None)
+    def test_ccm_matches_constant_multiply(self, coeff, w_in):
+        c = _get(ccm_multiplier, coeff, w_in)
+        x = np.arange(0, 1 << w_in, max(1, (1 << w_in) // 16))
+        assert np.array_equal(c.evaluate_ints(x=x)["p"], coeff * x)
+
+    @given(st.integers(2, 9), st.integers(2, 9), st.integers(0, 2**30))
+    @settings(max_examples=30, deadline=None)
+    def test_mac_accumulates(self, wd, wc, seed):
+        rng = np.random.default_rng(seed)
+        m = _get(mac_block, wd, wc)
+        w_acc = wd + wc + 2
+        a = rng.integers(0, 1 << wd, 30)
+        b = rng.integers(0, 1 << wc, 30)
+        acc = rng.integers(0, 1 << w_acc, 30)
+        out = m.evaluate_ints(a=a, b=b, acc=acc)
+        assert np.array_equal(out["acc_out"], (acc + a * b) % (1 << w_acc))

@@ -1,0 +1,81 @@
+"""Tests for repro.netlist.ccm — CSD recoding and CCM generation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import NetlistError
+from repro.netlist.ccm import ccm_multiplier, csd_digits
+
+
+class TestCSD:
+    @given(st.integers(0, 100000))
+    def test_value_preserved(self, v):
+        digits = csd_digits(v)
+        assert sum(d << i for i, d in enumerate(digits)) == v
+
+    @given(st.integers(0, 100000))
+    def test_no_adjacent_nonzeros(self, v):
+        digits = csd_digits(v)
+        for a, b in zip(digits, digits[1:]):
+            assert not (a != 0 and b != 0)
+
+    def test_digits_in_range(self):
+        for v in (0, 1, 7, 170, 255, 2**14 - 1):
+            assert set(csd_digits(v)) <= {-1, 0, 1}
+
+    def test_negative_rejected(self):
+        with pytest.raises(NetlistError):
+            csd_digits(-1)
+
+    def test_csd_sparser_than_binary(self):
+        # 255 = 100000001̄ in CSD: two non-zeros instead of eight.
+        nz = sum(1 for d in csd_digits(255) if d)
+        assert nz == 2
+
+
+class TestCCM:
+    @pytest.mark.parametrize("coeff", [0, 1, 2, 3, 5, 7, 11, 22, 85, 170, 222, 255, 511])
+    def test_correct_product(self, coeff):
+        c = ccm_multiplier(coeff, 9).compile()
+        rng = np.random.default_rng(coeff)
+        x = rng.integers(0, 512, 300)
+        assert np.array_equal(c.evaluate_ints(x=x)["p"], coeff * x)
+
+    def test_exhaustive_small(self):
+        c = ccm_multiplier(13, 5).compile()
+        x = np.arange(32)
+        assert np.array_equal(c.evaluate_ints(x=x)["p"], 13 * x)
+
+    def test_zero_coefficient_is_free(self):
+        c = ccm_multiplier(0, 8).compile()
+        assert c.n_luts == 0
+        assert np.array_equal(
+            c.evaluate_ints(x=np.arange(10))["p"], np.zeros(10, dtype=int)
+        )
+
+    def test_power_of_two_is_free(self):
+        # A pure shift needs no logic.
+        c = ccm_multiplier(8, 6).compile()
+        assert c.n_luts == 0
+
+    def test_area_depends_on_coefficient(self):
+        """The CCM scaling problem the paper fixes with generic multipliers:
+        structure (and thus characterisation) is per-coefficient."""
+        sparse = ccm_multiplier(128, 9).compile().n_luts
+        dense = ccm_multiplier(365, 9).compile().n_luts  # 101101101b
+        assert dense > sparse
+
+    def test_invalid_args_rejected(self):
+        with pytest.raises(NetlistError):
+            ccm_multiplier(-1, 8)
+        with pytest.raises(NetlistError):
+            ccm_multiplier(5, 0)
+
+    @given(st.integers(0, 511))
+    @settings(max_examples=25, deadline=None)
+    def test_property_9bit_coeffs(self, coeff):
+        c = ccm_multiplier(coeff, 6).compile()
+        x = np.arange(0, 64, 7)
+        assert np.array_equal(c.evaluate_ints(x=x)["p"], coeff * x)

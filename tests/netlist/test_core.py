@@ -1,0 +1,198 @@
+"""Tests for repro.netlist.core — DAG construction and evaluation."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import NetlistError
+from repro.netlist.core import (
+    Netlist,
+    bits_from_ints,
+    ints_from_bits,
+)
+
+
+class TestBitPacking:
+    def test_bits_lsb_first(self):
+        bits = bits_from_ints([6], 4)
+        assert bits.tolist() == [[0, 1, 1, 0]]
+
+    def test_roundtrip_unsigned(self):
+        vals = np.array([0, 1, 2, 254, 255])
+        assert np.array_equal(ints_from_bits(bits_from_ints(vals, 8)), vals)
+
+    def test_negative_twos_complement(self):
+        bits = bits_from_ints([-1], 4)
+        assert bits.tolist() == [[1, 1, 1, 1]]
+        assert ints_from_bits(bits, signed=True).tolist() == [-1]
+
+    @given(st.lists(st.integers(-256, 255), min_size=1, max_size=50))
+    def test_roundtrip_signed_property(self, vals):
+        arr = np.asarray(vals)
+        bits = bits_from_ints(arr, 9)
+        assert np.array_equal(ints_from_bits(bits, signed=True), arr)
+
+    def test_zero_width_rejected(self):
+        with pytest.raises(NetlistError):
+            bits_from_ints([1], 0)
+
+    def test_ints_from_bits_needs_2d(self):
+        with pytest.raises(NetlistError):
+            ints_from_bits(np.zeros(4, dtype=np.uint8))
+
+
+class TestConstruction:
+    def test_duplicate_input_bus_rejected(self):
+        nl = Netlist()
+        nl.add_input_bus("a", 2)
+        with pytest.raises(NetlistError):
+            nl.add_input_bus("a", 2)
+
+    def test_bad_const_rejected(self):
+        with pytest.raises(NetlistError):
+            Netlist().add_const(2)
+
+    def test_forward_reference_rejected(self):
+        nl = Netlist()
+        a = nl.add_input_bus("a", 1)
+        with pytest.raises(NetlistError):
+            nl.add_lut(0b10, (a[0] + 99,))
+
+    def test_truth_table_out_of_range_rejected(self):
+        nl = Netlist()
+        a = nl.add_input_bus("a", 1)
+        with pytest.raises(NetlistError):
+            nl.add_lut(5, (a[0],))  # 1-input LUT has 4 possible tables
+
+    def test_arity_limit(self):
+        nl = Netlist()
+        bits = nl.add_input_bus("a", 5)
+        with pytest.raises(NetlistError):
+            nl.add_lut(0, tuple(bits))
+
+    def test_no_outputs_invalid(self):
+        nl = Netlist()
+        nl.add_input_bus("a", 1)
+        with pytest.raises(NetlistError):
+            nl.validate()
+
+    def test_duplicate_output_rejected(self):
+        nl = Netlist()
+        a = nl.add_input_bus("a", 1)
+        nl.set_output_bus("o", [a[0]])
+        with pytest.raises(NetlistError):
+            nl.set_output_bus("o", [a[0]])
+
+
+class TestGatesEvaluate:
+    @pytest.mark.parametrize(
+        "gate,table",
+        [
+            ("AND", [0, 0, 0, 1]),
+            ("OR", [0, 1, 1, 1]),
+            ("XOR", [0, 1, 1, 0]),
+            ("NAND", [1, 1, 1, 0]),
+            ("XNOR", [1, 0, 0, 1]),
+        ],
+    )
+    def test_two_input_gates(self, gate, table):
+        nl = Netlist()
+        a = nl.add_input_bus("a", 1)
+        b = nl.add_input_bus("b", 1)
+        out = getattr(nl, gate)(a[0], b[0])
+        nl.set_output_bus("o", [out])
+        c = nl.compile()
+        av = np.array([0, 1, 0, 1])
+        bv = np.array([0, 0, 1, 1])
+        got = c.evaluate_ints(a=av, b=bv)["o"]
+        assert got.tolist() == table
+
+    def test_not(self):
+        nl = Netlist()
+        a = nl.add_input_bus("a", 1)
+        nl.set_output_bus("o", [nl.NOT(a[0])])
+        got = nl.compile().evaluate_ints(a=np.array([0, 1]))["o"]
+        assert got.tolist() == [1, 0]
+
+    def test_mux(self):
+        nl = Netlist()
+        d0 = nl.add_input_bus("d0", 1)
+        d1 = nl.add_input_bus("d1", 1)
+        s = nl.add_input_bus("s", 1)
+        nl.set_output_bus("o", [nl.MUX(d0[0], d1[0], s[0])])
+        c = nl.compile()
+        got = c.evaluate_ints(
+            d0=np.array([1, 1, 0, 0]), d1=np.array([0, 0, 1, 1]), s=np.array([0, 1, 0, 1])
+        )["o"]
+        assert got.tolist() == [1, 0, 0, 1]
+
+    def test_full_adder_truth(self):
+        nl = Netlist()
+        a = nl.add_input_bus("a", 1)
+        b = nl.add_input_bus("b", 1)
+        ci = nl.add_input_bus("ci", 1)
+        s, c = nl.full_adder(a[0], b[0], ci[0])
+        nl.set_output_bus("s", [s])
+        nl.set_output_bus("c", [c])
+        comp = nl.compile()
+        av, bv, cv = np.meshgrid([0, 1], [0, 1], [0, 1], indexing="ij")
+        out = comp.evaluate_ints(a=av.ravel(), b=bv.ravel(), ci=cv.ravel())
+        total = av.ravel() + bv.ravel() + cv.ravel()
+        assert np.array_equal(out["s"], total % 2)
+        assert np.array_equal(out["c"], total // 2)
+
+    def test_constants(self):
+        nl = Netlist()
+        nl.add_input_bus("a", 1)
+        nl.set_output_bus("o", [nl.add_const(1), nl.add_const(0)])
+        got = nl.compile().evaluate_ints(a=np.array([0, 1]))["o"]
+        assert got.tolist() == [1, 1]
+
+
+class TestStatsAndCompile:
+    def test_stats(self):
+        nl = Netlist()
+        a = nl.add_input_bus("a", 2)
+        x = nl.AND(a[0], a[1])
+        y = nl.NOT(x)
+        nl.set_output_bus("o", [y])
+        s = nl.stats()
+        assert s.n_luts == 2
+        assert s.n_inputs == 2
+        assert s.depth == 2
+        assert s.logic_elements == 2
+
+    def test_levels_monotone_along_paths(self):
+        nl = Netlist()
+        a = nl.add_input_bus("a", 2)
+        x = nl.XOR(a[0], a[1])
+        y = nl.AND(x, a[0])
+        nl.set_output_bus("o", [y])
+        c = nl.compile()
+        assert c.levels[y] > c.levels[x] > 0
+
+    def test_missing_input_bus_rejected(self):
+        nl = Netlist()
+        a = nl.add_input_bus("a", 1)
+        nl.add_input_bus("b", 1)
+        nl.set_output_bus("o", [a[0]])
+        c = nl.compile()
+        with pytest.raises(NetlistError):
+            c.evaluate({"a": np.zeros((2, 1), dtype=np.uint8)})
+
+    def test_wrong_width_rejected(self):
+        nl = Netlist()
+        a = nl.add_input_bus("a", 2)
+        nl.set_output_bus("o", [a[0]])
+        c = nl.compile()
+        with pytest.raises(NetlistError):
+            c.evaluate({"a": np.zeros((2, 3), dtype=np.uint8)})
+
+    def test_unknown_bus_in_evaluate_ints(self):
+        nl = Netlist()
+        a = nl.add_input_bus("a", 1)
+        nl.set_output_bus("o", [a[0]])
+        c = nl.compile()
+        with pytest.raises(NetlistError):
+            c.evaluate_ints(zz=np.array([1]))

@@ -1,0 +1,51 @@
+"""Tests for repro.netlist.mac."""
+
+import numpy as np
+import pytest
+
+from repro.errors import NetlistError
+from repro.netlist.mac import mac_block
+
+
+class TestMac:
+    def test_multiply_accumulate(self):
+        c = mac_block(9, 6).compile()
+        rng = np.random.default_rng(0)
+        a = rng.integers(0, 512, 500)
+        b = rng.integers(0, 64, 500)
+        acc = rng.integers(0, 1 << 16, 500)
+        out = c.evaluate_ints(a=a, b=b, acc=acc)
+        assert np.array_equal(out["p"], a * b)
+        assert np.array_equal(out["acc_out"], (acc + a * b) % (1 << 17))
+
+    def test_accumulator_wraps_modular(self):
+        c = mac_block(4, 4, w_acc=8).compile()
+        out = c.evaluate_ints(
+            a=np.array([15]), b=np.array([15]), acc=np.array([255])
+        )
+        assert out["acc_out"][0] == (255 + 225) % 256
+
+    def test_custom_acc_width(self):
+        c = mac_block(4, 4, w_acc=12).compile()
+        assert c.output_buses["acc_out"].shape[0] == 12
+
+    def test_acc_narrower_than_product_rejected(self):
+        with pytest.raises(NetlistError):
+            mac_block(8, 8, w_acc=10)
+
+    def test_single_bit_coeff(self):
+        c = mac_block(5, 1).compile()
+        a = np.arange(32)
+        out = c.evaluate_ints(a=a, b=np.ones_like(a), acc=np.zeros_like(a))
+        assert np.array_equal(out["p"], a)
+
+    def test_invalid_widths_rejected(self):
+        with pytest.raises(NetlistError):
+            mac_block(0, 3)
+
+    def test_area_exceeds_bare_multiplier(self):
+        from repro.netlist.multipliers import unsigned_array_multiplier
+
+        mac = mac_block(9, 5).compile().n_luts
+        mult = unsigned_array_multiplier(9, 5).compile().n_luts
+        assert mac > mult

@@ -1,0 +1,128 @@
+"""Tests for repro.netlist.multipliers — functional correctness and the
+structural properties the paper's observations rest on."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import NetlistError
+from repro.netlist.multipliers import (
+    baugh_wooley_multiplier,
+    sign_magnitude_multiplier,
+    unsigned_array_multiplier,
+)
+
+
+class TestUnsigned:
+    def test_exhaustive_4x4(self):
+        c = unsigned_array_multiplier(4, 4).compile()
+        a = np.repeat(np.arange(16), 16)
+        b = np.tile(np.arange(16), 16)
+        assert np.array_equal(c.evaluate_ints(a=a, b=b)["p"], a * b)
+
+    def test_exhaustive_3x5(self):
+        c = unsigned_array_multiplier(3, 5).compile()
+        a = np.repeat(np.arange(8), 32)
+        b = np.tile(np.arange(32), 8)
+        assert np.array_equal(c.evaluate_ints(a=a, b=b)["p"], a * b)
+
+    def test_random_9x9(self):
+        c = unsigned_array_multiplier(9, 9).compile()
+        rng = np.random.default_rng(0)
+        a = rng.integers(0, 512, 3000)
+        b = rng.integers(0, 512, 3000)
+        assert np.array_equal(c.evaluate_ints(a=a, b=b)["p"], a * b)
+
+    def test_width_one_operand(self):
+        c = unsigned_array_multiplier(5, 1).compile()
+        a = np.arange(32)
+        assert np.array_equal(
+            c.evaluate_ints(a=a, b=np.ones_like(a))["p"], a
+        )
+        assert np.array_equal(
+            c.evaluate_ints(a=a, b=np.zeros_like(a))["p"], np.zeros_like(a)
+        )
+
+    @given(st.integers(0, 255), st.integers(0, 255))
+    @settings(max_examples=30, deadline=None)
+    def test_property_8x8(self, av, bv):
+        c = _CACHED_8x8
+        assert c.evaluate_ints(a=np.array([av]), b=np.array([bv]))["p"][0] == av * bv
+
+    def test_output_width(self):
+        c = unsigned_array_multiplier(6, 7).compile()
+        assert c.output_buses["p"].shape[0] == 13
+
+    def test_invalid_widths_rejected(self):
+        with pytest.raises(NetlistError):
+            unsigned_array_multiplier(0, 4)
+        with pytest.raises(NetlistError):
+            unsigned_array_multiplier(4, 40)
+
+    def test_msb_is_deepest(self):
+        """The paper's structural fact: MSbs sit on the longest paths."""
+        c = unsigned_array_multiplier(8, 8).compile()
+        levels = c.levels[c.output_buses["p"]]
+        # The top informative bit is strictly deeper than the bottom bits.
+        assert levels[-2] > levels[2]
+        assert levels.argmax() >= len(levels) - 3
+
+    def test_area_grows_with_wordlength(self):
+        sizes = [unsigned_array_multiplier(9, wl).compile().n_luts for wl in range(3, 10)]
+        assert sizes == sorted(sizes)
+        assert sizes[-1] > 2 * sizes[0]
+
+
+_CACHED_8x8 = unsigned_array_multiplier(8, 8).compile()
+
+
+class TestBaughWooley:
+    def test_exhaustive_4x4_signed(self):
+        c = baugh_wooley_multiplier(4, 4).compile()
+        a = np.repeat(np.arange(-8, 8), 16)
+        b = np.tile(np.arange(-8, 8), 16)
+        assert np.array_equal(c.evaluate_ints(signed_out=True, a=a, b=b)["p"], a * b)
+
+    def test_random_mixed_widths(self):
+        c = baugh_wooley_multiplier(7, 5).compile()
+        rng = np.random.default_rng(1)
+        a = rng.integers(-64, 64, 2000)
+        b = rng.integers(-16, 16, 2000)
+        assert np.array_equal(c.evaluate_ints(signed_out=True, a=a, b=b)["p"], a * b)
+
+    def test_extremes(self):
+        c = baugh_wooley_multiplier(4, 4).compile()
+        a = np.array([-8, -8, 7, 7])
+        b = np.array([-8, 7, -8, 7])
+        assert np.array_equal(c.evaluate_ints(signed_out=True, a=a, b=b)["p"], a * b)
+
+    def test_one_bit_rejected(self):
+        with pytest.raises(NetlistError):
+            baugh_wooley_multiplier(1, 4)
+
+
+class TestSignMagnitude:
+    def test_magnitude_and_sign(self):
+        c = sign_magnitude_multiplier(6, 6).compile()
+        rng = np.random.default_rng(2)
+        a = rng.integers(0, 64, 500)
+        b = rng.integers(0, 64, 500)
+        sa = rng.integers(0, 2, 500)
+        sb = rng.integers(0, 2, 500)
+        out = c.evaluate_ints(a=a, b=b, sa=sa, sb=sb)
+        assert np.array_equal(out["p"], a * b)
+        assert np.array_equal(out["sp"], sa ^ sb)
+
+    def test_same_core_topology_as_unsigned(self):
+        sm = sign_magnitude_multiplier(8, 8).compile()
+        um = unsigned_array_multiplier(8, 8).compile()
+        # Sign handling costs exactly one XOR LUT.
+        assert sm.n_luts == um.n_luts + 1
+
+    def test_wb_one(self):
+        c = sign_magnitude_multiplier(4, 1).compile()
+        a = np.arange(16)
+        out = c.evaluate_ints(a=a, b=np.ones_like(a), sa=np.zeros_like(a), sb=np.ones_like(a))
+        assert np.array_equal(out["p"], a)
+        assert np.all(out["sp"] == 1)

@@ -1,0 +1,70 @@
+"""Tests for repro.synthesis.flow — the end-to-end mini synthesis flow."""
+
+import numpy as np
+import pytest
+
+from repro.errors import PlacementError
+from repro.fabric import OperatingConditions
+from repro.netlist.multipliers import unsigned_array_multiplier
+from repro.synthesis import SynthesisFlow
+
+NL = unsigned_array_multiplier(8, 8).compile()
+
+
+class TestRun:
+    def test_annotations_cover_luts(self, placed_mult8):
+        lut_mask = placed_mult8.netlist.lut_mask
+        assert np.all(placed_mult8.node_delay[lut_mask] > 0)
+        assert np.all(placed_mult8.node_delay[~lut_mask] == 0)
+        assert np.all(placed_mult8.edge_delay[~lut_mask] == 0)
+
+    def test_accepts_uncompiled_netlist(self, flow):
+        placed = flow.run(unsigned_array_multiplier(4, 4), seed=0)
+        assert placed.netlist.n_luts > 0
+
+    def test_location_changes_delays(self, flow):
+        a = flow.run(NL, anchor=(0, 0), seed=0)
+        b = flow.run(NL, anchor=(30, 30), seed=0)
+        assert not np.allclose(a.node_delay, b.node_delay)
+
+    def test_seed_changes_routing(self, flow):
+        a = flow.run(NL, anchor=(0, 0), seed=0)
+        b = flow.run(NL, anchor=(0, 0), seed=1)
+        assert not np.allclose(a.edge_delay, b.edge_delay)
+
+    def test_deterministic(self, flow):
+        a = flow.run(NL, anchor=(0, 0), seed=0)
+        b = flow.run(NL, anchor=(0, 0), seed=0)
+        assert np.array_equal(a.node_delay, b.node_delay)
+        assert np.array_equal(a.edge_delay, b.edge_delay)
+
+    def test_different_devices_differ(self, device, other_device):
+        a = SynthesisFlow(device).run(NL, seed=0)
+        b = SynthesisFlow(other_device).run(NL, seed=0)
+        assert not np.allclose(a.node_delay, b.node_delay)
+
+    def test_conditions_slow_the_design(self, device):
+        hot = device.with_conditions(OperatingConditions(temperature_c=85.0))
+        cold = SynthesisFlow(device).run(NL, seed=0)
+        hot_run = SynthesisFlow(hot).run(NL, seed=0)
+        assert hot_run.device_sta().fmax_mhz < cold.device_sta().fmax_mhz
+
+
+class TestAnchors:
+    def test_requested_count(self, flow):
+        anchors = flow.available_anchors(NL, 4)
+        assert len(anchors) == 4
+        assert len(set(anchors)) == 4
+
+    def test_all_anchors_fit(self, flow):
+        for anchor in flow.available_anchors(NL, 5):
+            flow.run(NL, anchor=anchor, seed=0)  # must not raise
+
+    def test_invalid_count_rejected(self, flow):
+        with pytest.raises(PlacementError):
+            flow.available_anchors(NL, 0)
+
+    def test_oversized_design_rejected(self, device):
+        giant = unsigned_array_multiplier(32, 32).compile()
+        with pytest.raises(PlacementError):
+            SynthesisFlow(device).available_anchors(giant, 2)

@@ -1,0 +1,77 @@
+"""Tests for repro.synthesis.placer."""
+
+import numpy as np
+import pytest
+
+from repro.errors import PlacementError
+from repro.netlist.multipliers import unsigned_array_multiplier
+from repro.synthesis.placer import place_netlist
+
+NL = unsigned_array_multiplier(6, 6).compile()
+
+
+class TestPlacement:
+    def test_all_nodes_inside_region(self, device):
+        p = place_netlist(NL, device, anchor=(4, 6), seed=0)
+        w, h = p.region
+        assert p.xs.min() >= 4 and p.xs.max() < 4 + w
+        assert p.ys.min() >= 6 and p.ys.max() < 6 + h
+
+    def test_no_le_shared(self, device):
+        p = place_netlist(NL, device, anchor=(0, 0), seed=0)
+        coords = set(zip(p.xs.tolist(), p.ys.tolist()))
+        assert len(coords) == NL.n_nodes
+
+    def test_deterministic(self, device):
+        a = place_netlist(NL, device, anchor=(0, 0), seed=5)
+        b = place_netlist(NL, device, anchor=(0, 0), seed=5)
+        assert np.array_equal(a.xs, b.xs) and np.array_equal(a.ys, b.ys)
+
+    def test_seed_changes_layout(self, device):
+        a = place_netlist(NL, device, anchor=(0, 0), seed=5)
+        b = place_netlist(NL, device, anchor=(0, 0), seed=6)
+        assert not (np.array_equal(a.xs, b.xs) and np.array_equal(a.ys, b.ys))
+
+    def test_out_of_bounds_rejected(self, device):
+        with pytest.raises(PlacementError):
+            place_netlist(NL, device, anchor=(device.cols - 2, 0), seed=0)
+
+    def test_bad_utilization_rejected(self, device):
+        with pytest.raises(PlacementError):
+            place_netlist(NL, device, utilization=0.01)
+
+    def test_lower_utilization_spreads(self, device):
+        tight = place_netlist(NL, device, utilization=0.9)
+        loose = place_netlist(NL, device, utilization=0.2)
+        assert loose.region[0] > tight.region[0]
+
+
+class TestDerivedQuantities:
+    def test_edge_distances_nonnegative(self, device):
+        p = place_netlist(NL, device)
+        d = p.manhattan_edge_distances()
+        assert d.shape == (NL.n_nodes, 4)
+        assert d.min() >= 0
+
+    def test_padded_fanins_zero_distance(self, device):
+        p = place_netlist(NL, device)
+        d = p.manhattan_edge_distances()
+        arity = NL.arity
+        for k in range(4):
+            assert np.all(d[arity <= k, k] == 0.0)
+
+    def test_fanout_counts(self, device):
+        p = place_netlist(NL, device)
+        f = p.fanout_counts()
+        assert f.min() >= 1
+        # Input bits of an array multiplier drive many partial products.
+        a0 = NL.input_buses["a"][0]
+        assert f[a0] >= 4
+
+    def test_connected_nodes_are_local(self, device):
+        """The serpentine level order keeps fanin distances modest."""
+        p = place_netlist(NL, device)
+        d = p.manhattan_edge_distances()
+        arity = NL.arity
+        real = d[np.arange(NL.n_nodes)[arity > 0], 0]
+        assert np.median(real) <= p.region[0]

@@ -1,0 +1,65 @@
+"""Tests for repro.synthesis.timing_report and area_report."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.netlist.multipliers import unsigned_array_multiplier
+from repro.synthesis.area_report import area_report
+from repro.synthesis.placer import place_netlist
+from repro.synthesis.timing_report import tool_timing_report
+
+NL8 = unsigned_array_multiplier(8, 8).compile()
+NL4 = unsigned_array_multiplier(9, 4).compile()
+
+
+class TestToolTimingReport:
+    def test_tool_below_device_truth(self, flow):
+        """Fig. 1's premise: fA is well below the device's real bound."""
+        placed = flow.run(NL8, anchor=(0, 0), seed=0)
+        assert placed.tool_report.fmax_mhz < placed.device_sta().fmax_mhz
+
+    def test_pessimism_factor_plausible(self, flow):
+        placed = flow.run(NL8, anchor=(0, 0), seed=0)
+        ratio = placed.device_sta().fmax_mhz / placed.tool_report.fmax_mhz
+        assert 1.2 < ratio < 2.5
+
+    def test_tool_report_location_independent(self, device):
+        """The tool models the family, not the die: same report anywhere."""
+        a = tool_timing_report(place_netlist(NL8, device, anchor=(0, 0), seed=0))
+        b = tool_timing_report(place_netlist(NL8, device, anchor=(30, 30), seed=0))
+        assert a.fmax_mhz == pytest.approx(b.fmax_mhz, rel=0.02)
+
+    def test_smaller_multiplier_faster(self, device):
+        big = tool_timing_report(place_netlist(NL8, device, seed=0))
+        small = tool_timing_report(place_netlist(NL4, device, seed=0))
+        assert small.fmax_mhz > big.fmax_mhz
+
+
+class TestAreaReport:
+    def test_noise_free_matches_structure(self):
+        r = area_report(NL8, seed=0, noise_sigma=0.0)
+        assert r.logic_elements == NL8.n_luts
+        assert r.optimisation_delta == 0
+
+    def test_noise_scatters_reports(self):
+        rs = {area_report(NL8, seed=s).logic_elements for s in range(10)}
+        assert len(rs) > 1
+
+    def test_scatter_is_small(self):
+        rs = [area_report(NL8, seed=s).logic_elements for s in range(30)]
+        rel = [abs(r - NL8.n_luts) / NL8.n_luts for r in rs]
+        assert max(rel) < 0.2
+
+    def test_deterministic_per_seed(self):
+        assert (
+            area_report(NL8, seed=7).logic_elements
+            == area_report(NL8, seed=7).logic_elements
+        )
+
+    def test_at_least_one_le(self):
+        r = area_report(NL4, seed=3, noise_sigma=2.0)  # extreme noise
+        assert r.logic_elements >= 1
+
+    def test_negative_sigma_rejected(self):
+        with pytest.raises(ConfigError):
+            area_report(NL8, noise_sigma=-1.0)

@@ -1,0 +1,27 @@
+"""Tests for repro.cli."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCli:
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "4900" in out
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["nope"])
+
+    def test_fig7_runs(self, capsys):
+        assert main(["fig7", "--scale", "0.01", "--seed", "42"]) == 0
+        out = capsys.readouterr().out
+        assert "entropy" in out
+
+    def test_fig8_renders_table(self, capsys):
+        assert main(["fig8", "--scale", "0.01", "--seed", "42"]) == 0
+        out = capsys.readouterr().out
+        assert "tool Fmax" in out
+        assert "9-bit tool Fmax" in out

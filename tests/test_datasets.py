@@ -1,0 +1,87 @@
+"""Tests for repro.datasets."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    face_like_patches,
+    low_rank_gaussian,
+    scale_to_unit,
+    uniform_stream,
+)
+from repro.errors import ConfigError
+
+
+class TestScaleToUnit:
+    def test_scales_to_unit_peak(self):
+        x = np.array([3.0, -6.0, 1.0])
+        s = scale_to_unit(x)
+        assert np.abs(s).max() == pytest.approx(1.0)
+
+    def test_zero_unchanged(self):
+        assert np.all(scale_to_unit(np.zeros(5)) == 0)
+
+
+class TestLowRank:
+    def test_shape_and_range(self):
+        x = low_rank_gaussian(6, 3, 200, np.random.default_rng(0))
+        assert x.shape == (6, 200)
+        assert np.abs(x).max() <= 1.0
+
+    def test_zero_mean_rows(self):
+        x = low_rank_gaussian(6, 3, 500, np.random.default_rng(0))
+        assert np.abs(x.mean(axis=1)).max() < 1e-10
+
+    def test_effective_rank(self):
+        x = low_rank_gaussian(8, 2, 400, np.random.default_rng(1), noise=0.001)
+        s = np.linalg.svd(x, compute_uv=False)
+        assert s[1] / s[0] > 0.1
+        assert s[2] / s[0] < 0.05
+
+    def test_deterministic_per_rng(self):
+        a = low_rank_gaussian(4, 2, 50, np.random.default_rng(7))
+        b = low_rank_gaussian(4, 2, 50, np.random.default_rng(7))
+        assert np.array_equal(a, b)
+
+    def test_invalid_args(self):
+        with pytest.raises(ConfigError):
+            low_rank_gaussian(4, 5, 50, np.random.default_rng(0))
+        with pytest.raises(ConfigError):
+            low_rank_gaussian(4, 2, 1, np.random.default_rng(0))
+        with pytest.raises(ConfigError):
+            low_rank_gaussian(4, 2, 50, np.random.default_rng(0), decay=0.0)
+
+
+class TestFacePatches:
+    def test_shape(self):
+        x = face_like_patches(8, 8, 40, np.random.default_rng(0))
+        assert x.shape == (64, 40)
+        assert np.abs(x).max() <= 1.0
+
+    def test_low_dimensional_structure(self):
+        x = face_like_patches(8, 8, 200, np.random.default_rng(1), n_modes=4, noise=0.001)
+        s = np.linalg.svd(x, compute_uv=False)
+        assert s[4] / s[0] < 0.05  # energy concentrated in 4 modes
+
+    def test_invalid_args(self):
+        with pytest.raises(ConfigError):
+            face_like_patches(1, 8, 10, np.random.default_rng(0))
+        with pytest.raises(ConfigError):
+            face_like_patches(8, 8, 10, np.random.default_rng(0), n_modes=0)
+
+
+class TestUniformStream:
+    def test_range(self):
+        s = uniform_stream(8, 1000, np.random.default_rng(0))
+        assert s.min() >= 0 and s.max() < 256
+
+    def test_roughly_uniform(self):
+        s = uniform_stream(4, 8000, np.random.default_rng(0))
+        counts = np.bincount(s, minlength=16)
+        assert counts.min() > 300  # each value appears often
+
+    def test_invalid_args(self):
+        with pytest.raises(ConfigError):
+            uniform_stream(0, 10, np.random.default_rng(0))
+        with pytest.raises(ConfigError):
+            uniform_stream(4, 0, np.random.default_rng(0))

@@ -1,0 +1,108 @@
+"""Tests for repro.dsp — the embedded DSP-block multiplier extension."""
+
+import numpy as np
+import pytest
+
+from repro.characterization import CharacterizationConfig
+from repro.dsp import DspBlockModel, characterize_dsp_multiplier
+from repro.errors import CharacterizationError, TimingError
+from repro.models.error_model import build_error_model
+from repro.netlist.multipliers import unsigned_array_multiplier
+from repro.synthesis import SynthesisFlow
+
+
+class TestBlockModel:
+    def test_slow_clock_is_exact(self, device):
+        block = DspBlockModel(device, width=18)
+        rng = np.random.default_rng(0)
+        a = rng.integers(0, 1 << 18, 300)
+        b = rng.integers(0, 1 << 18, 300)
+        run = block.run(a, b, 100.0, np.random.default_rng(1))
+        assert run.error_rate == 0.0
+        assert np.array_equal(run.captured, (a * b)[1:])
+
+    def test_overclocked_block_errs(self, device):
+        block = DspBlockModel(device, width=18)
+        rng = np.random.default_rng(0)
+        a = rng.integers(0, 1 << 18, 500)
+        b = rng.integers(0, 1 << 18, 500)
+        fast = block.sta_fmax_mhz() * 1.4
+        run = block.run(a, b, fast, np.random.default_rng(1))
+        assert run.error_rate > 0
+
+    def test_faster_than_lut_multiplier(self, device):
+        """Paper Sec. VI: embedded multipliers are faster at large widths."""
+        lut = SynthesisFlow(device).run(
+            unsigned_array_multiplier(9, 9), anchor=(0, 0), seed=0
+        )
+        block = DspBlockModel(device, width=18, location=(0, 0))
+        assert block.sta_fmax_mhz() > lut.device_sta().fmax_mhz
+
+    def test_delay_does_not_shrink_with_width(self, device):
+        wide = DspBlockModel(device, width=18)
+        narrow = DspBlockModel(device, width=4)
+        assert narrow.intrinsic_delay_ns == wide.intrinsic_delay_ns
+
+    def test_location_changes_delay(self, device):
+        a = DspBlockModel(device, location=(0, 0))
+        b = DspBlockModel(device, location=(40, 40))
+        assert a.intrinsic_delay_ns != b.intrinsic_delay_ns
+
+    def test_width_validation(self, device):
+        with pytest.raises(TimingError):
+            DspBlockModel(device, width=19)
+        with pytest.raises(TimingError):
+            DspBlockModel(device, width=0)
+
+    def test_operand_range_enforced(self, device):
+        block = DspBlockModel(device, width=4)
+        with pytest.raises(TimingError):
+            block.settle_times(np.array([0, 16]), np.array([0, 1]))
+
+    def test_unchanged_product_settles_instantly(self, device):
+        block = DspBlockModel(device, width=8)
+        settle = block.settle_times(np.array([5, 5, 7]), np.array([3, 3, 3]))
+        assert settle[0] == 0.0
+        assert settle[1] > 0.0
+
+
+class TestDspCharacterization:
+    @pytest.fixture(scope="class")
+    def result(self, device):
+        cfg = CharacterizationConfig(
+            freqs_mhz=(300.0, 420.0, 480.0, 540.0),
+            n_samples=150,
+            multiplicands=tuple(range(0, 256, 16)),
+            n_locations=2,
+        )
+        return characterize_dsp_multiplier(device, 9, 8, cfg, seed=0)
+
+    def test_grid_shapes(self, result):
+        assert result.variance.shape == (2, 16, 4)
+
+    def test_errors_cumulative(self, result):
+        means = result.variance.mean(axis=(0, 1))
+        assert means[-1] >= means[0]
+        assert means[-1] > 0
+
+    def test_feeds_error_model(self, result):
+        model = build_error_model(result)
+        assert model.variance_at(result.freqs_mhz[-1]).shape == (16,)
+
+    def test_width_cap_enforced(self, device):
+        cfg = CharacterizationConfig(freqs_mhz=(300.0,), n_samples=60, multiplicands=(1,))
+        with pytest.raises(CharacterizationError):
+            characterize_dsp_multiplier(device, 19, 8, cfg)
+
+    def test_higher_error_onset_than_lut(self, device):
+        """The DSP block stays error-free well past the LUT multiplier's
+        onset — the paper's rationale for treating it separately."""
+        from repro.characterization import characterize_multiplier
+
+        cfg = CharacterizationConfig(
+            freqs_mhz=(360.0,), n_samples=120, multiplicands=(255,), n_locations=1
+        )
+        lut = characterize_multiplier(device, 8, 8, cfg, seed=0)
+        dsp = characterize_dsp_multiplier(device, 8, 8, cfg, seed=0)
+        assert lut.variance.max() > 0  # LUT already erring at 360
+        assert dsp.variance.max() == 0  # hard macro still clean

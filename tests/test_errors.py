@@ -1,0 +1,41 @@
+"""Tests for repro.errors — the exception hierarchy contract."""
+
+import pytest
+
+from repro import errors
+
+
+ALL_SUBCLASSES = [
+    errors.ConfigError,
+    errors.NetlistError,
+    errors.PlacementError,
+    errors.TimingError,
+    errors.CharacterizationError,
+    errors.ModelError,
+    errors.OptimizationError,
+    errors.DesignError,
+]
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize("exc", ALL_SUBCLASSES)
+    def test_derives_from_repro_error(self, exc):
+        assert issubclass(exc, errors.ReproError)
+
+    def test_repro_error_is_exception(self):
+        assert issubclass(errors.ReproError, Exception)
+
+    def test_single_catch_covers_library(self):
+        """Callers can catch everything from the package in one clause."""
+        for exc in ALL_SUBCLASSES:
+            try:
+                raise exc("boom")
+            except errors.ReproError as e:
+                assert "boom" in str(e)
+
+    def test_subsystems_distinguishable(self):
+        with pytest.raises(errors.NetlistError):
+            try:
+                raise errors.NetlistError("x")
+            except errors.TimingError:  # pragma: no cover - must not match
+                pytest.fail("TimingError must not catch NetlistError")

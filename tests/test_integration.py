@@ -1,0 +1,116 @@
+"""End-to-end integration tests: the paper's qualitative claims.
+
+These tests run the whole pipeline at a reduced scale and assert the
+*shape* of the paper's results — who wins, in which regime — rather than
+absolute numbers.
+"""
+
+import numpy as np
+import pytest
+
+from repro import Domain, OptimizationFramework, TableISettings, make_device
+from repro.characterization import CharacterizationConfig
+from repro.datasets import low_rank_gaussian
+from tests.conftest import SMALL_FAMILY
+
+SETTINGS = TableISettings(
+    n_characterization=250,
+    n_train=80,
+    n_test=300,
+    burn_in=150,
+    n_samples=450,
+    q=5,
+)
+
+CHAR = CharacterizationConfig(
+    freqs_mhz=(250.0, 280.0, 310.0, 340.0),
+    n_samples=250,
+    n_locations=1,
+)
+
+
+@pytest.fixture(scope="module")
+def pipeline():
+    device = make_device(42)  # full Cyclone III grid for realistic Fmax
+    fw = OptimizationFramework(device, SETTINGS, char_config=CHAR, seed=7)
+    x = low_rank_gaussian(6, 3, SETTINGS.n_train + SETTINGS.n_test, np.random.default_rng(0), noise=0.02)
+    x_train, x_test = x[:, : SETTINGS.n_train], x[:, SETTINGS.n_train :]
+    of = fw.optimize(x_train, beta=4.0)
+    klt = fw.klt_baselines(x_train)
+    return fw, of, klt, x_test
+
+
+class TestPaperClaims:
+    def test_target_clock_is_deep_overclocking(self, pipeline):
+        """310 MHz is far above the tool Fmax of the 9-bit KLT design
+        (paper headline: 1.85x)."""
+        fw, of, klt, x_test = pipeline
+        ev = fw.evaluate(klt[-1], x_test, Domain.ACTUAL)
+        factor = 310.0 / ev.extra["tool_fmax_mhz"]
+        assert factor > 1.5
+
+    def test_klt_curve_u_shape(self, pipeline):
+        """At 310 MHz small-wl KLT designs are quantisation-limited and
+        large-wl ones error-limited: the end points are worse than the
+        middle (paper Figs. 8 + 11)."""
+        fw, of, klt, x_test = pipeline
+        mses = [fw.evaluate(d, x_test, Domain.ACTUAL).mse for d in klt]
+        mid = min(mses)
+        assert mses[0] > mid  # wl=3 hurt by quantisation
+        assert mses[-1] > mid  # wl=9 hurt by over-clocking
+
+    def test_large_klt_designs_err_at_target(self, pipeline):
+        fw, of, klt, x_test = pipeline
+        ev9 = fw.evaluate(klt[-1], x_test, Domain.ACTUAL)
+        assert any(r > 0 for r in ev9.extra["lane_error_rates"])
+
+    def test_of_beats_klt_at_large_area(self, pipeline):
+        """Paper Fig. 11: at comparable (large) area the OF designs win by
+        a large factor because they dodge over-clocking errors."""
+        fw, of, klt, x_test = pipeline
+        of_points = [
+            (d.area_le, fw.evaluate(d, x_test, Domain.ACTUAL).mse) for d in of.designs
+        ]
+        klt9 = fw.evaluate(klt[-1], x_test, Domain.ACTUAL)
+        feasible = [m for a, m in of_points if a <= klt9.area_le * 1.05]
+        assert feasible, "no OF design within the largest KLT area"
+        assert min(feasible) < klt9.mse / 3
+
+    def test_of_designs_behave_as_predicted(self, pipeline):
+        """Paper Fig. 10: predicted ~ simulated ~ actual for OF designs."""
+        fw, of, klt, x_test = pipeline
+        for d in of.designs[:3]:
+            evs = fw.evaluate_all_domains(d, x_test)
+            pred = evs[Domain.PREDICTED].mse
+            act = evs[Domain.ACTUAL].mse
+            assert act < 10 * pred + 1e-4
+
+    def test_of_pareto_spreads_area(self, pipeline):
+        fw, of, klt, x_test = pipeline
+        areas = sorted(d.area_le for d in of.designs)
+        assert areas[-1] > areas[0]  # bins produce an area spread
+
+    def test_determinism_end_to_end(self, pipeline):
+        fw, of, klt, x_test = pipeline
+        device = make_device(42)
+        fw2 = OptimizationFramework(device, SETTINGS, char_config=CHAR, seed=7)
+        x = low_rank_gaussian(6, 3, SETTINGS.n_train + SETTINGS.n_test, np.random.default_rng(0), noise=0.02)
+        of2 = fw2.optimize(x[:, : SETTINGS.n_train], beta=4.0)
+        for a, b in zip(of.designs, of2.designs):
+            assert np.array_equal(a.values, b.values)
+
+
+class TestDeviceSpecificity:
+    def test_designs_are_device_specific(self):
+        """Two dies produce different error models — the premise of
+        per-device optimisation."""
+        cfg = CharacterizationConfig(
+            freqs_mhz=(420.0, 500.0), n_samples=150, n_locations=1
+        )
+        from repro.characterization import characterize_multiplier
+
+        d1 = make_device(101, family=SMALL_FAMILY)
+        d2 = make_device(202, family=SMALL_FAMILY)
+        r1 = characterize_multiplier(d1, 9, 5, cfg, seed=0)
+        r2 = characterize_multiplier(d2, 9, 5, cfg, seed=0)
+        assert not np.allclose(r1.variance, r2.variance)

@@ -1,0 +1,70 @@
+"""Tests for repro.io — design persistence."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.klt import klt_reference_design
+from repro.datasets import low_rank_gaussian
+from repro.errors import DesignError
+from repro.io import load_design, load_designs, save_design, save_designs
+
+
+@pytest.fixture()
+def design():
+    x = low_rank_gaussian(6, 3, 100, np.random.default_rng(0))
+    d = klt_reference_design(x, 3, 6, 9, 310.0, area_le=420.0)
+    d.metadata["objective_t"] = 0.001
+    return d
+
+
+class TestSingleDesign:
+    def test_roundtrip(self, design, tmp_path):
+        p = tmp_path / "d.json"
+        save_design(design, p)
+        loaded = load_design(p)
+        assert np.allclose(loaded.values, design.values)
+        assert np.array_equal(loaded.magnitudes, design.magnitudes)
+        assert loaded.wordlengths == design.wordlengths
+        assert loaded.freq_mhz == design.freq_mhz
+        assert loaded.area_le == design.area_le
+        assert loaded.method == design.method
+        assert loaded.metadata["objective_t"] == pytest.approx(0.001)
+
+    def test_file_is_json(self, design, tmp_path):
+        p = tmp_path / "d.json"
+        save_design(design, p)
+        payload = json.loads(p.read_text())
+        assert payload["format_version"] == 1
+
+    def test_missing_file_rejected(self, tmp_path):
+        with pytest.raises(DesignError):
+            load_design(tmp_path / "missing.json")
+
+    def test_bad_version_rejected(self, design, tmp_path):
+        p = tmp_path / "d.json"
+        save_design(design, p)
+        payload = json.loads(p.read_text())
+        payload["format_version"] = 99
+        p.write_text(json.dumps(payload))
+        with pytest.raises(DesignError):
+            load_design(p)
+
+
+class TestDesignList:
+    def test_roundtrip(self, design, tmp_path):
+        p = tmp_path / "ds.json"
+        save_designs([design, design.with_area(10.0)], p)
+        loaded = load_designs(p)
+        assert len(loaded) == 2
+        assert loaded[1].area_le == 10.0
+
+    def test_empty_list(self, tmp_path):
+        p = tmp_path / "empty.json"
+        save_designs([], p)
+        assert load_designs(p) == []
+
+    def test_missing_file_rejected(self, tmp_path):
+        with pytest.raises(DesignError):
+            load_designs(tmp_path / "missing.json")

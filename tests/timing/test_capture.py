@@ -1,0 +1,129 @@
+"""Tests for repro.timing.capture — the over-clocked register model."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TimingError
+from repro.fabric.jitter import JitterModel
+from repro.netlist.core import Netlist, bits_from_ints
+from repro.netlist.multipliers import unsigned_array_multiplier
+from repro.timing.capture import capture_stream
+from repro.timing.simulator import simulate_transitions
+
+
+def _chain_timing(n_gates=4, lut=1.0, stream=None):
+    nl = Netlist()
+    a = nl.add_input_bus("a", 1)
+    node = a[0]
+    for _ in range(n_gates):
+        node = nl.NOT(node)
+    nl.set_output_bus("o", [node])
+    c = nl.compile()
+    nd = np.where(c.lut_mask, lut, 0.0)
+    ed = np.zeros((c.n_nodes, 4))
+    if stream is None:
+        stream = np.array([0, 1, 0, 1, 0, 1])
+    ins = {"a": bits_from_ints(stream, 1)}
+    return simulate_transitions(c, ins, nd, ed)
+
+
+class TestCaptureSemantics:
+    def test_slow_clock_captures_everything(self):
+        t = _chain_timing()  # path = 4 ns
+        cap = capture_stream(t, "o", freq_mhz=100.0)  # 10 ns period
+        assert cap.error_rate() == 0.0
+        assert np.array_equal(cap.captured_bits, cap.ideal_bits)
+
+    def test_fast_clock_holds_stale_value(self):
+        t = _chain_timing()  # path = 4 ns
+        cap = capture_stream(t, "o", freq_mhz=500.0)  # 2 ns < 4 ns
+        # Every toggling cycle misses: register holds the previous value.
+        assert cap.error_rate() == 1.0
+        assert np.array_equal(cap.captured_bits, 1 - cap.ideal_bits)
+
+    def test_boundary_exact_period(self):
+        t = _chain_timing()  # 4 ns settle
+        cap = capture_stream(t, "o", freq_mhz=250.0)  # exactly 4 ns
+        assert cap.error_rate() == 0.0
+
+    def test_setup_margin_tips_boundary(self):
+        t = _chain_timing()
+        cap = capture_stream(t, "o", freq_mhz=250.0, setup_ns=0.1)
+        assert cap.error_rate() == 1.0
+
+    def test_errors_cumulative_in_frequency(self):
+        """Paper Sec. III-C: more errors as the clock rises."""
+        c = unsigned_array_multiplier(8, 8).compile()
+        nd = np.where(c.lut_mask, 0.15, 0.0)
+        ed = np.where(c.lut_mask[:, None], 0.05, 0.0) * np.ones((1, 4))
+        rng = np.random.default_rng(0)
+        a = rng.integers(0, 256, 600)
+        b = rng.integers(0, 256, 600)
+        t = simulate_transitions(
+            c, {"a": bits_from_ints(a, 8), "b": bits_from_ints(b, 8)}, nd, ed
+        )
+        rates = [
+            capture_stream(t, "p", f).error_rate() for f in (150, 250, 350, 450, 600)
+        ]
+        assert all(x <= y + 1e-12 for x, y in zip(rates, rates[1:]))
+        assert rates[0] == 0.0
+        assert rates[-1] > 0.3
+
+    def test_msbs_fail_first(self):
+        c = unsigned_array_multiplier(8, 8).compile()
+        nd = np.where(c.lut_mask, 0.15, 0.0)
+        ed = np.where(c.lut_mask[:, None], 0.05, 0.0) * np.ones((1, 4))
+        rng = np.random.default_rng(1)
+        a = rng.integers(0, 256, 600)
+        b = rng.integers(0, 256, 600)
+        t = simulate_transitions(
+            c, {"a": bits_from_ints(a, 8), "b": bits_from_ints(b, 8)}, nd, ed
+        )
+        # Pick a frequency with a moderate error rate.
+        cap = capture_stream(t, "p", 330.0)
+        ber = cap.bit_error_rate()
+        assert 0 < cap.error_rate() < 1
+        assert ber[-2] > ber[1]
+
+
+class TestJitter:
+    def test_jitter_requires_rng(self):
+        t = _chain_timing()
+        with pytest.raises(TimingError):
+            capture_stream(t, "o", 250.0, jitter=JitterModel(sigma_ns=0.1, bound_ns=0.3))
+
+    def test_jitter_perturbs_boundary_cases(self):
+        t = _chain_timing(stream=np.array([0, 1] * 300))
+        j = JitterModel(sigma_ns=0.05, bound_ns=0.2)
+        cap = capture_stream(t, "o", 250.0, jitter=j, rng=np.random.default_rng(0))
+        # At the exact boundary, jitter makes some cycles fail.
+        assert 0 < cap.error_rate() < 1
+
+    def test_run_to_run_variation(self):
+        """Paper Sec. III-C attributes repeat-run variation to jitter."""
+        t = _chain_timing(stream=np.array([0, 1] * 300))
+        j = JitterModel(sigma_ns=0.05, bound_ns=0.2)
+        r1 = capture_stream(t, "o", 250.0, jitter=j, rng=np.random.default_rng(1)).error_rate()
+        r2 = capture_stream(t, "o", 250.0, jitter=j, rng=np.random.default_rng(2)).error_rate()
+        assert r1 != r2
+
+
+class TestAccessors:
+    def test_errors_signed(self):
+        c = unsigned_array_multiplier(4, 4).compile()
+        nd = np.where(c.lut_mask, 1.0, 0.0)
+        ed = np.zeros((c.n_nodes, 4))
+        rng = np.random.default_rng(3)
+        a = rng.integers(0, 16, 100)
+        b = rng.integers(0, 16, 100)
+        t = simulate_transitions(
+            c, {"a": bits_from_ints(a, 4), "b": bits_from_ints(b, 4)}, nd, ed
+        )
+        cap = capture_stream(t, "p", 200.0)
+        err = cap.errors()
+        assert np.array_equal(err, cap.captured_ints() - cap.ideal_ints())
+
+    def test_unknown_bus_rejected(self):
+        t = _chain_timing()
+        with pytest.raises(TimingError):
+            capture_stream(t, "nope", 100.0)

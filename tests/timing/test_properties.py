@@ -1,0 +1,111 @@
+"""Cross-cutting property tests of the timing stack (hypothesis).
+
+These pin the invariants everything downstream relies on:
+
+* capture error rate is monotone non-decreasing in clock frequency;
+* settle times never exceed the STA bound, for any netlist and stimulus;
+* the functional values of the timing simulator always match pure
+  evaluation;
+* jitter-free capture at (or above) the STA period is error-free.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.netlist.core import Netlist, bits_from_ints
+from repro.timing.capture import capture_stream
+from repro.timing.simulator import simulate_transitions
+from repro.timing.sta import static_timing
+
+
+@st.composite
+def random_netlist(draw):
+    """A random small combinational netlist with one input bus."""
+    width = draw(st.integers(2, 5))
+    n_gates = draw(st.integers(1, 24))
+    nl = Netlist("random")
+    nodes = list(nl.add_input_bus("a", width))
+    ops = ["AND", "OR", "XOR", "NAND", "XNOR"]
+    for i in range(n_gates):
+        op = ops[draw(st.integers(0, len(ops) - 1))]
+        x = nodes[draw(st.integers(0, len(nodes) - 1))]
+        y = nodes[draw(st.integers(0, len(nodes) - 1))]
+        nodes.append(getattr(nl, op)(x, y))
+    out_bits = [
+        nodes[draw(st.integers(0, len(nodes) - 1))]
+        for _ in range(draw(st.integers(1, 4)))
+    ]
+    nl.set_output_bus("o", out_bits)
+    return nl.compile(), width
+
+
+@st.composite
+def netlist_with_stimulus(draw):
+    compiled, width = draw(random_netlist())
+    n = draw(st.integers(2, 40))
+    seed = draw(st.integers(0, 2**20))
+    stim = np.random.default_rng(seed).integers(0, 1 << width, n)
+    return compiled, {"a": bits_from_ints(stim, width)}
+
+
+def _delays(compiled, lut=0.3, edge=0.1):
+    nd = np.where(compiled.lut_mask, lut, 0.0)
+    ed = np.where(compiled.lut_mask[:, None], edge, 0.0) * np.ones((1, 4))
+    return nd, ed
+
+
+class TestTimingProperties:
+    @given(netlist_with_stimulus())
+    @settings(max_examples=40, deadline=None)
+    def test_functional_values_match_evaluate(self, case):
+        compiled, ins = case
+        nd, ed = _delays(compiled)
+        res = simulate_transitions(compiled, ins, nd, ed)
+        ref = compiled.evaluate(ins)["o"]
+        assert np.array_equal(res.output_values("o"), ref)
+
+    @given(netlist_with_stimulus())
+    @settings(max_examples=40, deadline=None)
+    def test_settle_bounded_by_sta(self, case):
+        compiled, ins = case
+        nd, ed = _delays(compiled)
+        res = simulate_transitions(compiled, ins, nd, ed)
+        sta = static_timing(compiled, nd, ed)
+        # settle is float32; allow its rounding relative to the f64 STA
+        assert res.output_settle("o").max() <= sta.critical_path_ns * (1 + 1e-6) + 1e-9
+        assert res.output_settle("o").min() >= 0.0
+
+    @given(netlist_with_stimulus())
+    @settings(max_examples=30, deadline=None)
+    def test_error_rate_monotone_in_frequency(self, case):
+        compiled, ins = case
+        nd, ed = _delays(compiled)
+        res = simulate_transitions(compiled, ins, nd, ed)
+        rates = [
+            capture_stream(res, "o", f).error_rate()
+            for f in (50.0, 150.0, 400.0, 1000.0, 4000.0)
+        ]
+        assert all(a <= b + 1e-12 for a, b in zip(rates, rates[1:]))
+
+    @given(netlist_with_stimulus())
+    @settings(max_examples=30, deadline=None)
+    def test_sta_period_is_always_safe(self, case):
+        compiled, ins = case
+        nd, ed = _delays(compiled)
+        res = simulate_transitions(compiled, ins, nd, ed)
+        sta = static_timing(compiled, nd, ed)
+        # tiny margin absorbs the simulator's float32 rounding
+        freq = 1000.0 / (max(sta.critical_path_ns, 1e-3) * (1 + 1e-5))
+        cap = capture_stream(res, "o", freq)
+        assert cap.error_rate() == 0.0
+
+    @given(netlist_with_stimulus(), st.integers(0, 2**20))
+    @settings(max_examples=20, deadline=None)
+    def test_capture_deterministic_without_jitter(self, case, _seed):
+        compiled, ins = case
+        nd, ed = _delays(compiled)
+        res = simulate_transitions(compiled, ins, nd, ed)
+        a = capture_stream(res, "o", 500.0)
+        b = capture_stream(res, "o", 500.0)
+        assert np.array_equal(a.captured_bits, b.captured_bits)

@@ -1,0 +1,86 @@
+"""Tests for repro.timing.razor — the ref-[4] baseline."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TimingError
+from repro.netlist.core import Netlist, bits_from_ints
+from repro.timing.capture import capture_stream
+from repro.timing.razor import (
+    RazorConfig,
+    razor_execute,
+    razor_optimal_frequency,
+)
+from repro.timing.simulator import simulate_transitions
+
+
+def _capture(freq, n_gates=4, stream=None):
+    nl = Netlist()
+    a = nl.add_input_bus("a", 1)
+    node = a[0]
+    for _ in range(n_gates):
+        node = nl.NOT(node)
+    nl.set_output_bus("o", [node])
+    c = nl.compile()
+    nd = np.where(c.lut_mask, 1.0, 0.0)
+    ed = np.zeros((c.n_nodes, 4))
+    if stream is None:
+        stream = np.array([0, 1] * 50)
+    t = simulate_transitions(c, {"a": bits_from_ints(stream, 1)}, nd, ed)
+    return capture_stream(t, "o", freq)
+
+
+class TestRazorExecute:
+    def test_error_free_run_has_no_replays(self):
+        r = razor_execute(_capture(100.0))  # 10 ns >> 4 ns path
+        assert r.n_replays == 0
+        assert r.effective_throughput_mhz == pytest.approx(100.0)
+
+    def test_corrected_output_always_ideal(self):
+        cap = _capture(500.0)  # every toggle misses
+        r = razor_execute(cap)
+        assert np.array_equal(r.corrected, cap.ideal_ints())
+        assert r.n_replays == cap.n_cycles  # all cycles replay
+
+    def test_replays_cost_throughput(self):
+        r = razor_execute(_capture(500.0))
+        # 100% error rate with 1-cycle replay halves the throughput.
+        assert r.effective_throughput_mhz == pytest.approx(250.0)
+
+    def test_replay_cycles_scale_penalty(self):
+        cap = _capture(500.0)
+        r2 = razor_execute(cap, RazorConfig(replay_cycles=2))
+        assert r2.effective_throughput_mhz == pytest.approx(500.0 / 3)
+
+    def test_protected_area_overhead(self):
+        r = razor_execute(_capture(100.0), RazorConfig(area_overhead_fraction=0.5))
+        assert r.protected_area(200) == pytest.approx(300.0)
+
+    def test_config_validation(self):
+        with pytest.raises(TimingError):
+            RazorConfig(replay_cycles=0)
+        with pytest.raises(TimingError):
+            RazorConfig(area_overhead_fraction=-0.1)
+
+
+class TestOptimalFrequency:
+    def test_picks_knee_of_curve(self):
+        freqs = np.array([200.0, 250.0, 300.0, 350.0])
+        rates = np.array([0.0, 0.0, 0.5, 1.0])
+        best_f, best_eff = razor_optimal_frequency(freqs, rates)
+        # 300 MHz: 300/1.5 = 200; 350: 175; 250 error-free: 250 wins.
+        assert best_f == 250.0
+        assert best_eff == pytest.approx(250.0)
+
+    def test_overclocking_can_still_pay(self):
+        freqs = np.array([200.0, 300.0])
+        rates = np.array([0.0, 0.1])
+        best_f, best_eff = razor_optimal_frequency(freqs, rates)
+        assert best_f == 300.0
+        assert best_eff == pytest.approx(300.0 / 1.1)
+
+    def test_validation(self):
+        with pytest.raises(TimingError):
+            razor_optimal_frequency(np.array([1.0]), np.array([0.1, 0.2]))
+        with pytest.raises(TimingError):
+            razor_optimal_frequency(np.array([1.0]), np.array([1.5]))

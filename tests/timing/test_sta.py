@@ -1,0 +1,104 @@
+"""Tests for repro.timing.sta."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TimingError
+from repro.netlist.core import Netlist
+from repro.netlist.multipliers import unsigned_array_multiplier
+from repro.timing.sta import arrival_times, static_timing
+
+
+def _chain(n_gates: int):
+    """A NOT-chain netlist: arrival grows linearly with depth."""
+    nl = Netlist()
+    a = nl.add_input_bus("a", 1)
+    node = a[0]
+    for _ in range(n_gates):
+        node = nl.NOT(node)
+    nl.set_output_bus("o", [node])
+    return nl.compile()
+
+
+def _uniform_delays(c, lut=1.0, edge=0.5):
+    node_delay = np.where(c.lut_mask, lut, 0.0)
+    edge_delay = np.where(c.lut_mask[:, None], edge, 0.0) * np.ones((1, 4))
+    return node_delay, edge_delay
+
+
+class TestArrival:
+    def test_chain_arrival(self):
+        c = _chain(5)
+        nd, ed = _uniform_delays(c)
+        arr = arrival_times(c, nd, ed)
+        out = c.output_buses["o"][0]
+        assert arr[out] == pytest.approx(5 * 1.5)
+
+    def test_inputs_arrive_at_zero(self):
+        c = _chain(3)
+        nd, ed = _uniform_delays(c)
+        arr = arrival_times(c, nd, ed)
+        assert arr[c.input_buses["a"][0]] == 0.0
+
+    def test_max_over_fanins(self):
+        nl = Netlist()
+        a = nl.add_input_bus("a", 2)
+        slow = nl.NOT(nl.NOT(a[0]))  # depth 2
+        fast = a[1]
+        out = nl.AND(slow, fast)
+        nl.set_output_bus("o", [out])
+        c = nl.compile()
+        nd, ed = _uniform_delays(c, lut=1.0, edge=0.0)
+        arr = arrival_times(c, nd, ed)
+        assert arr[c.output_buses["o"][0]] == pytest.approx(3.0)
+
+    def test_shape_validation(self):
+        c = _chain(2)
+        with pytest.raises(TimingError):
+            arrival_times(c, np.zeros(c.n_nodes + 1), np.zeros((c.n_nodes, 4)))
+        with pytest.raises(TimingError):
+            arrival_times(c, np.zeros(c.n_nodes), np.zeros((c.n_nodes, 3)))
+
+
+class TestStaticTiming:
+    def test_fmax_from_critical_path(self):
+        c = _chain(10)
+        nd, ed = _uniform_delays(c, lut=0.1, edge=0.0)
+        res = static_timing(c, nd, ed, setup_ns=0.0)
+        assert res.critical_path_ns == pytest.approx(1.0)
+        assert res.fmax_mhz == pytest.approx(1000.0)
+
+    def test_setup_time_reduces_fmax(self):
+        c = _chain(10)
+        nd, ed = _uniform_delays(c, lut=0.1, edge=0.0)
+        with_setup = static_timing(c, nd, ed, setup_ns=0.5)
+        without = static_timing(c, nd, ed, setup_ns=0.0)
+        assert with_setup.fmax_mhz < without.fmax_mhz
+        assert with_setup.min_period_ns == pytest.approx(1.5)
+
+    def test_negative_setup_rejected(self):
+        c = _chain(1)
+        nd, ed = _uniform_delays(c)
+        with pytest.raises(TimingError):
+            static_timing(c, nd, ed, setup_ns=-0.1)
+
+    def test_multiplier_msbs_slowest(self):
+        """Per-output-bit Fmax: MSbs must be slowest (paper Sec. III-C)."""
+        c = unsigned_array_multiplier(8, 8).compile()
+        nd, ed = _uniform_delays(c, lut=0.1, edge=0.05)
+        res = static_timing(c, nd, ed, setup_ns=0.0)
+        per_bit = res.output_fmax_mhz("p")
+        # Low product bits strictly faster than the top informative bit.
+        assert per_bit[1] > per_bit[-2]
+
+    def test_output_arrival_recorded_per_bus(self):
+        nl = Netlist()
+        a = nl.add_input_bus("a", 2)
+        nl.set_output_bus("x", [nl.NOT(a[0])])
+        nl.set_output_bus("y", [nl.NOT(nl.NOT(a[1]))])
+        c = nl.compile()
+        nd, ed = _uniform_delays(c, lut=1.0, edge=0.0)
+        res = static_timing(c, nd, ed)
+        assert res.output_arrival["x"][0] == pytest.approx(1.0)
+        assert res.output_arrival["y"][0] == pytest.approx(2.0)
+        assert res.critical_path_ns == pytest.approx(2.0)
