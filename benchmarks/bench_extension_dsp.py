@@ -8,7 +8,6 @@ its error onset sits far above the LUT multiplier's, with far weaker
 multiplicand dependence.
 """
 
-import numpy as np
 
 from repro.characterization import CharacterizationConfig, characterize_multiplier
 from repro.dsp import DspBlockModel, characterize_dsp_multiplier
@@ -75,5 +74,8 @@ def test_dsp_block_extension(ctx, benchmark):
     if top_dsp.max() > 0:
         lut_cv = top_lut.std() / max(top_lut.mean(), 1e-12)
         dsp_cv = top_dsp.std() / max(top_dsp.mean(), 1e-12)
-        print(f"multiplicand dependence (CV of E at top freq): LUT {lut_cv:.2f} vs DSP {dsp_cv:.2f}")
+        print(
+            "multiplicand dependence (CV of E at top freq): "
+            f"LUT {lut_cv:.2f} vs DSP {dsp_cv:.2f}"
+        )
         assert dsp_cv < lut_cv

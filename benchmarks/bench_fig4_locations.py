@@ -34,7 +34,7 @@ def test_fig4_two_locations(ctx, benchmark):
     print(render_table(["error bin >=", "count (loc 1)"], rows))
 
     # Over-clocking at 320 MHz produces errors (paper Fig. 4 regime)...
-    assert max(l["error_rate"] for l in result["locations"].values()) > 0
+    assert max(loc["error_rate"] for loc in result["locations"].values()) > 0
     # ...and the two placements behave differently.
     assert result["locations_differ"]
     # Errors are large in magnitude (MSbs fail first; paper notes the

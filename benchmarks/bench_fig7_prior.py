@@ -27,7 +27,10 @@ def test_fig7_prior_shapes(ctx, benchmark):
         render_table(
             ["beta", "entropy (nats)", "max/min prior mass"],
             rows,
-            title=f"Fig. 7: prior over {result['wordlength']}-bit coefficients @ {result['freq_mhz']} MHz",
+            title=(
+                f"Fig. 7: prior over {result['wordlength']}-bit coefficients "
+                f"@ {result['freq_mhz']} MHz"
+            ),
         )
     )
 

@@ -24,7 +24,13 @@ def test_headline_throughput_and_errors(ctx, benchmark):
         render_table(
             ["configuration", "clock MHz", "actual MSE", "area LE", "worst lane err rate"],
             [
-                (r["configuration"], r["freq_mhz"], r["mse"], r["area_le"], r["worst_lane_error_rate"])
+                (
+                    r["configuration"],
+                    r["freq_mhz"],
+                    r["mse"],
+                    r["area_le"],
+                    r["worst_lane_error_rate"],
+                )
                 for r in result["rows"]
             ],
             title="Headline: throughput vs errors (paper: 1.85x, fewer errors)",

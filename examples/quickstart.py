@@ -4,10 +4,11 @@
 Walks the paper's Fig. 2 design flow end to end on a simulated device:
 
 1. fabricate a device (the serial number *is* the die identity);
-2. characterise its generic multipliers under over-clocking;
-3. fit the area model from synthesis runs;
-4. run Algorithm 1 at the 310 MHz target;
-5. compare the resulting designs against the classical KLT methodology,
+2. lint the design-under-test netlist (the flow's design-rule check);
+3. characterise its generic multipliers under over-clocking;
+4. fit the area model from synthesis runs;
+5. run Algorithm 1 at the 310 MHz target;
+6. compare the resulting designs against the classical KLT methodology,
    measured on the device (the "actual" domain).
 
 Run time: ~1 minute with the default --scale 0.05.
@@ -22,10 +23,12 @@ import argparse
 import numpy as np
 
 from repro import Domain, OptimizationFramework, TableISettings, make_device
+from repro.analysis import lint_netlist
 from repro.characterization import CharacterizationConfig
 from repro.datasets import low_rank_gaussian
 from repro.eval.report import render_table
 from repro.framework import default_frequency_grid
+from repro.netlist.multipliers import unsigned_array_multiplier
 
 
 def main() -> None:
@@ -44,7 +47,14 @@ def main() -> None:
           f"({report['le_count']} LEs, variation std "
           f"{report['variation_std']:.3f})")
 
-    # 2-3. Build the framework (characterisation + area model are lazy).
+    # 2. Static-analysis gate on the design-under-test (also enforced
+    #    inside SynthesisFlow.run; shown here for the lint report).
+    settings_preview = TableISettings()
+    dut = unsigned_array_multiplier(settings_preview.input_wordlength,
+                                    max(settings_preview.coeff_wordlengths))
+    print(lint_netlist(dut).summary())
+
+    # 3. Build the framework (characterisation + area model are lazy).
     settings = TableISettings().scaled(args.scale)
     char = CharacterizationConfig(
         freqs_mhz=default_frequency_grid(settings.clock_frequency_mhz),
@@ -63,12 +73,12 @@ def main() -> None:
                           settings.n_train + settings.n_test, rng, noise=0.02)
     x_train, x_test = x[:, : settings.n_train], x[:, settings.n_train:]
 
-    # 4. Algorithm 1.
+    # 5. Algorithm 1.
     print(f"running Algorithm 1 (beta={args.beta}, "
           f"{settings.clock_frequency_mhz:.0f} MHz target) ...")
     result = fw.optimize(x_train, beta=args.beta)
 
-    # 5. Head-to-head on the device.
+    # 6. Head-to-head on the device.
     rows = []
     for d in sorted(result.designs, key=lambda d: d.area_le):
         ev = fw.evaluate(d, x_test, Domain.ACTUAL)

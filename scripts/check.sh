@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# Repository quality gate: style lint, type check, tier-1 test suite.
+#
+# Tools that are not installed are skipped with a warning instead of
+# failing, so the script works in minimal offline environments; the
+# pytest tier-1 run is mandatory.
+#
+# Usage: scripts/check.sh  (from the repository root)
+
+set -u
+cd "$(dirname "$0")/.."
+
+failures=0
+
+run_gate() {
+    local label="$1"
+    shift
+    echo "==== ${label}: $*"
+    if "$@"; then
+        echo "==== ${label}: OK"
+    else
+        echo "==== ${label}: FAILED"
+        failures=$((failures + 1))
+    fi
+}
+
+if command -v ruff >/dev/null 2>&1; then
+    run_gate "ruff" ruff check src tests scripts benchmarks examples
+else
+    echo "warning: ruff not installed; skipping style lint" >&2
+fi
+
+if command -v mypy >/dev/null 2>&1; then
+    run_gate "mypy" mypy src/repro
+else
+    echo "warning: mypy not installed; skipping type check" >&2
+fi
+
+run_gate "pytest (tier-1)" env PYTHONPATH=src python -m pytest -x -q
+
+if [ "${failures}" -ne 0 ]; then
+    echo "${failures} gate(s) failed"
+    exit 1
+fi
+echo "all gates passed"

@@ -1,0 +1,39 @@
+"""Netlist static analysis: a pass-based linter over netlist DAGs.
+
+The subsystem guards the characterisation/optimisation pipeline against
+structurally unsound generated netlists (paper Fig. 2: every design the
+framework characterises or places passes through here first).  It offers:
+
+* :func:`lint_netlist` — run all passes, get a typed
+  :class:`LintReport` of severity-ranked :class:`Diagnostic` findings;
+* :func:`check_netlist` — the gate form: raise
+  :class:`~repro.errors.LintError` on findings at/above the threshold;
+* :class:`LintConfig` — rule suppression, severity overrides, budgets;
+* the rule registry in :mod:`repro.analysis.passes` (stable ``NLxxx``
+  IDs, catalogued in ``docs/static_analysis.md``).
+
+The gate is wired into :meth:`repro.synthesis.flow.SynthesisFlow.run`
+(on by default) and :func:`repro.netlist.generators.generate` (behind
+``repro.config.AnalysisSettings.lint_generated``), and is exposed on the
+command line as ``repro lint``.
+"""
+
+from .context import AnalysisContext
+from .diagnostics import Diagnostic, LintReport, Severity
+from .linter import LintConfig, LintWarning, check_netlist, lint_netlist
+from .passes import REGISTRY, Finding, LintRule, rule_table
+
+__all__ = [
+    "AnalysisContext",
+    "Diagnostic",
+    "LintReport",
+    "Severity",
+    "LintConfig",
+    "LintWarning",
+    "check_netlist",
+    "lint_netlist",
+    "REGISTRY",
+    "Finding",
+    "LintRule",
+    "rule_table",
+]

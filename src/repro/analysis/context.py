@@ -1,0 +1,268 @@
+"""Shared analysis context: a normalised, read-only view of a netlist DAG.
+
+Both netlist representations — the mutable builder :class:`~repro.netlist.core.Netlist`
+and the frozen :class:`~repro.netlist.core.CompiledNetlist` — map onto one
+:class:`AnalysisContext`, so every lint pass is written once against a single
+structure.  Derived facts the passes share (fanout counts, output-cone
+liveness, levels) are computed lazily and cached.
+
+The context also performs the *structural integrity* precheck (rule NL000):
+out-of-range/self/forward fanin references, truth tables wider than
+``2**arity`` bits, invalid arities and constant values, and dangling bus
+references.  Passes that walk the DAG only run when the structure is sound,
+so a malformed netlist yields NL000 errors instead of crashes.
+"""
+
+from __future__ import annotations
+
+from functools import cached_property
+
+import numpy as np
+
+from ..netlist.core import MAX_LUT_ARITY, CompiledNetlist, Netlist
+
+__all__ = ["AnalysisContext", "KIND_INPUT", "KIND_CONST", "KIND_LUT"]
+
+# Node-kind codes, mirroring repro.netlist.core's private constants.
+KIND_INPUT = 0
+KIND_CONST = 1
+KIND_LUT = 2
+
+
+class AnalysisContext:
+    """Normalised netlist view plus cached derived structure.
+
+    Parameters
+    ----------
+    name:
+        Netlist name (for report headers).
+    kinds:
+        Per-node kind codes (``KIND_INPUT`` / ``KIND_CONST`` / ``KIND_LUT``).
+    fanins:
+        Per-node fanin id tuples (empty for inputs/constants).
+    tts:
+        Per-node integer truth tables over ``2**arity`` rows (0 for
+        non-LUT nodes).
+    const_values:
+        Per-node constant values (meaningful for ``KIND_CONST`` only).
+    input_buses / output_buses:
+        Bus name -> LSB-first node-id tuples.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        kinds: tuple[int, ...],
+        fanins: tuple[tuple[int, ...], ...],
+        tts: tuple[int, ...],
+        const_values: tuple[int, ...],
+        input_buses: dict[str, tuple[int, ...]],
+        output_buses: dict[str, tuple[int, ...]],
+    ) -> None:
+        self.name = name
+        self.kinds = kinds
+        self.fanins = fanins
+        self.tts = tts
+        self.const_values = const_values
+        self.input_buses = input_buses
+        self.output_buses = output_buses
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(cls, netlist: Netlist | CompiledNetlist) -> "AnalysisContext":
+        """Normalise either netlist representation."""
+        if isinstance(netlist, Netlist):
+            return cls._from_builder(netlist)
+        return cls._from_compiled(netlist)
+
+    @classmethod
+    def _from_builder(cls, nl: Netlist) -> "AnalysisContext":
+        return cls(
+            name=nl.name,
+            kinds=tuple(nl._kinds),
+            fanins=tuple(tuple(f) for f in nl._fanins),
+            tts=tuple(nl._tts),
+            const_values=tuple(nl._const_values),
+            input_buses={k: tuple(v) for k, v in nl.input_buses.items()},
+            output_buses={k: tuple(v) for k, v in nl.output_buses.items()},
+        )
+
+    @classmethod
+    def _from_compiled(cls, cn: CompiledNetlist) -> "AnalysisContext":
+        n = cn.n_nodes
+        fanins: list[tuple[int, ...]] = []
+        tts: list[int] = []
+        for nid in range(n):
+            a = int(cn.arity[nid])
+            fanins.append(tuple(int(x) for x in cn.fanin_idx[nid, :a]))
+            if cn.kinds[nid] == KIND_LUT:
+                rows = 1 << a
+                tt = 0
+                for r in range(rows):
+                    tt |= int(cn.tt_bits[nid, r]) << r
+                tts.append(tt)
+            else:
+                tts.append(0)
+        return cls(
+            name=cn.name,
+            kinds=tuple(int(k) for k in cn.kinds),
+            fanins=tuple(fanins),
+            tts=tuple(tts),
+            const_values=tuple(int(v) for v in cn.const_values),
+            input_buses={k: tuple(int(b) for b in v) for k, v in cn.input_buses.items()},
+            output_buses={k: tuple(int(b) for b in v) for k, v in cn.output_buses.items()},
+        )
+
+    # ------------------------------------------------------------------
+    # basic facts
+    # ------------------------------------------------------------------
+    @property
+    def n_nodes(self) -> int:
+        return len(self.kinds)
+
+    def arity(self, nid: int) -> int:
+        return len(self.fanins[nid])
+
+    def is_lut(self, nid: int) -> bool:
+        return self.kinds[nid] == KIND_LUT
+
+    def tt_bit(self, nid: int, row: int) -> int:
+        return (self.tts[nid] >> row) & 1
+
+    @cached_property
+    def output_bits(self) -> frozenset[int]:
+        """Node ids that appear in at least one output bus."""
+        return frozenset(b for bits in self.output_buses.values() for b in bits)
+
+    # ------------------------------------------------------------------
+    # structural integrity (rule NL000)
+    # ------------------------------------------------------------------
+    @cached_property
+    def structure_errors(self) -> tuple[str, ...]:
+        """Human-readable structural-integrity violations (empty = sound)."""
+        problems: list[str] = []
+        n = self.n_nodes
+        for nid in range(n):
+            kind = self.kinds[nid]
+            if kind not in (KIND_INPUT, KIND_CONST, KIND_LUT):
+                problems.append(f"node {nid} has unknown kind {kind}")
+                continue
+            a = self.arity(nid)
+            if kind == KIND_LUT:
+                if not (1 <= a <= MAX_LUT_ARITY):
+                    problems.append(
+                        f"LUT node {nid} has arity {a}, expected 1..{MAX_LUT_ARITY}"
+                    )
+                    continue
+                tt = self.tts[nid]
+                if not (0 <= tt < (1 << (1 << a))):
+                    problems.append(
+                        f"LUT node {nid} truth table {tt:#x} wider than 2**{a} rows"
+                    )
+            elif a:
+                problems.append(f"non-LUT node {nid} has fanins {self.fanins[nid]}")
+            if kind == KIND_CONST and self.const_values[nid] not in (0, 1):
+                problems.append(
+                    f"constant node {nid} has value {self.const_values[nid]}"
+                )
+            for f in self.fanins[nid]:
+                if f == nid:
+                    problems.append(f"node {nid} is its own fanin")
+                elif not (0 <= f < n):
+                    problems.append(f"node {nid} fanin {f} is out of range")
+                elif f > nid:
+                    problems.append(
+                        f"node {nid} fanin {f} is a forward reference "
+                        "(construction order must be topological)"
+                    )
+        for busses, what in ((self.input_buses, "input"), (self.output_buses, "output")):
+            for bus, bits in busses.items():
+                for b in bits:
+                    if not (0 <= b < n):
+                        problems.append(
+                            f"{what} bus {bus!r} references unknown node {b}"
+                        )
+        return tuple(problems)
+
+    @property
+    def sound(self) -> bool:
+        return not self.structure_errors
+
+    # ------------------------------------------------------------------
+    # derived structure (valid only when sound)
+    # ------------------------------------------------------------------
+    @cached_property
+    def fanout(self) -> np.ndarray:
+        """Per-node fanout count (number of fanin references to the node)."""
+        counts = np.zeros(self.n_nodes, dtype=np.int64)
+        for f in self.fanins:
+            for x in f:
+                counts[x] += 1
+        return counts
+
+    @cached_property
+    def live(self) -> np.ndarray:
+        """Per-node bool: node lies in the transitive fanin cone of an output.
+
+        Exact because fanins always precede their consumer (checked by the
+        structural precheck), so one descending sweep reaches a fixpoint.
+        """
+        live = np.zeros(self.n_nodes, dtype=bool)
+        for b in self.output_bits:
+            live[b] = True
+        for nid in range(self.n_nodes - 1, -1, -1):
+            if live[nid]:
+                for f in self.fanins[nid]:
+                    live[f] = True
+        return live
+
+    @cached_property
+    def levels(self) -> np.ndarray:
+        """LUT-level depth per node (inputs/constants at level 0)."""
+        levels = np.zeros(self.n_nodes, dtype=np.int64)
+        for nid in range(self.n_nodes):
+            if self.is_lut(nid):
+                levels[nid] = 1 + max(levels[f] for f in self.fanins[nid])
+        return levels
+
+    @cached_property
+    def depth(self) -> int:
+        """Longest input->output LUT-level path."""
+        out = sorted(self.output_bits)
+        if not out:
+            return 0
+        return int(self.levels[out].max())
+
+    def lut_dependence(self, nid: int) -> tuple[bool, ...]:
+        """Per-fanin bool: does the LUT's truth table depend on that fanin?"""
+        a = self.arity(nid)
+        rows = 1 << a
+        deps = []
+        for k in range(a):
+            mask = 1 << k
+            deps.append(
+                any(self.tt_bit(nid, r) != self.tt_bit(nid, r ^ mask) for r in range(rows))
+            )
+        return tuple(deps)
+
+    def canonical_lut_key(self, nid: int) -> tuple[tuple[int, ...], int]:
+        """Canonical ``(sorted fanins, permuted truth table)`` signature.
+
+        Two LUTs computing the same function of the same driver nodes map
+        to the same key regardless of fanin ordering, which is what the
+        duplicate-LUT pass hashes on.
+        """
+        f = self.fanins[nid]
+        a = len(f)
+        perm = sorted(range(a), key=lambda j: f[j])
+        sorted_fanins = tuple(f[j] for j in perm)
+        tt = self.tts[nid]
+        new_tt = 0
+        for r in range(1 << a):
+            r2 = 0
+            for j in range(a):
+                r2 |= ((r >> perm[j]) & 1) << j
+            new_tt |= ((tt >> r) & 1) << r2
+        return sorted_fanins, new_tt

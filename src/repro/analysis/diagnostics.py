@@ -1,0 +1,185 @@
+"""Typed diagnostics and lint reports for netlist static analysis.
+
+A :class:`Diagnostic` is one finding of one rule (stable ``NLxxx`` rule ID,
+severity, human-readable message, the node ids or bus it concerns).  A
+:class:`LintReport` is the ordered collection of findings for one netlist,
+with text and JSON renderings and the gate predicate :meth:`LintReport.ok`.
+
+Severities are ordered (``INFO < WARNING < ERROR``) so gate thresholds and
+filters compare naturally.
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+from dataclasses import dataclass, field
+
+from ..errors import AnalysisError
+
+__all__ = ["Severity", "Diagnostic", "LintReport"]
+
+
+class Severity(enum.IntEnum):
+    """Diagnostic severity, ordered so ``ERROR > WARNING > INFO``."""
+
+    INFO = 10
+    WARNING = 20
+    ERROR = 30
+
+    @classmethod
+    def parse(cls, value: "Severity | str") -> "Severity":
+        """Coerce a severity name (case-insensitive) or instance."""
+        if isinstance(value, Severity):
+            return value
+        try:
+            return cls[str(value).upper()]
+        except KeyError:
+            raise AnalysisError(
+                f"unknown severity {value!r}; expected one of "
+                f"{[s.name.lower() for s in cls]}"
+            ) from None
+
+    def __str__(self) -> str:  # "error", not "Severity.ERROR"
+        return self.name.lower()
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding of one lint rule.
+
+    Attributes
+    ----------
+    rule:
+        Stable rule ID, e.g. ``"NL002"``.
+    name:
+        Short rule slug, e.g. ``"dead-logic"``.
+    severity:
+        Effective severity (after any configuration overrides).
+    message:
+        Human-readable description of this specific finding.
+    nodes:
+        Node ids the finding anchors to (possibly empty).
+    bus:
+        Bus name the finding concerns, if any.
+    """
+
+    rule: str
+    name: str
+    severity: Severity
+    message: str
+    nodes: tuple[int, ...] = ()
+    bus: str | None = None
+
+    def format(self) -> str:
+        """One-line rendering: ``error NL002 [dead-logic] <message>``."""
+        loc = ""
+        if self.nodes:
+            ids = ", ".join(str(n) for n in self.nodes[:8])
+            more = f", +{len(self.nodes) - 8} more" if len(self.nodes) > 8 else ""
+            loc = f" (nodes {ids}{more})"
+        if self.bus is not None:
+            loc += f" (bus {self.bus!r})"
+        return f"{self.severity.name.lower():7s} {self.rule} [{self.name}] {self.message}{loc}"
+
+    def to_dict(self) -> dict:
+        d: dict = {
+            "rule": self.rule,
+            "name": self.name,
+            "severity": str(self.severity),
+            "message": self.message,
+        }
+        if self.nodes:
+            d["nodes"] = list(self.nodes)
+        if self.bus is not None:
+            d["bus"] = self.bus
+        return d
+
+
+@dataclass(frozen=True)
+class LintReport:
+    """All diagnostics the analyser produced for one netlist.
+
+    Diagnostics are ordered most-severe first, then by rule ID, then by
+    anchor nodes, so renderings are deterministic.
+    """
+
+    netlist: str
+    n_nodes: int
+    diagnostics: tuple[Diagnostic, ...] = field(default_factory=tuple)
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    @property
+    def errors(self) -> tuple[Diagnostic, ...]:
+        return self.at_severity(Severity.ERROR)
+
+    @property
+    def warnings(self) -> tuple[Diagnostic, ...]:
+        return self.at_severity(Severity.WARNING)
+
+    @property
+    def infos(self) -> tuple[Diagnostic, ...]:
+        return self.at_severity(Severity.INFO)
+
+    def at_severity(self, severity: Severity) -> tuple[Diagnostic, ...]:
+        return tuple(d for d in self.diagnostics if d.severity == severity)
+
+    def by_rule(self, rule: str) -> tuple[Diagnostic, ...]:
+        """All findings of one rule ID (e.g. ``"NL002"``)."""
+        return tuple(d for d in self.diagnostics if d.rule == rule)
+
+    @property
+    def rule_ids(self) -> tuple[str, ...]:
+        """Sorted unique rule IDs that fired."""
+        return tuple(sorted({d.rule for d in self.diagnostics}))
+
+    @property
+    def max_severity(self) -> Severity | None:
+        """Highest severity present, or ``None`` for a clean report."""
+        if not self.diagnostics:
+            return None
+        return max(d.severity for d in self.diagnostics)
+
+    def ok(self, fail_on: Severity = Severity.ERROR) -> bool:
+        """True when no diagnostic reaches the ``fail_on`` threshold."""
+        return not any(d.severity >= fail_on for d in self.diagnostics)
+
+    @property
+    def clean(self) -> bool:
+        """True when the report has no diagnostics at all."""
+        return not self.diagnostics
+
+    # ------------------------------------------------------------------
+    # renderings
+    # ------------------------------------------------------------------
+    def summary(self) -> str:
+        counts = (
+            f"{len(self.errors)} error(s), {len(self.warnings)} warning(s), "
+            f"{len(self.infos)} info(s)"
+        )
+        return f"lint {self.netlist!r} ({self.n_nodes} nodes): {counts}"
+
+    def to_text(self, min_severity: Severity = Severity.INFO) -> str:
+        """Multi-line human-readable rendering."""
+        lines = [self.summary()]
+        for d in self.diagnostics:
+            if d.severity >= min_severity:
+                lines.append("  " + d.format())
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        return {
+            "netlist": self.netlist,
+            "n_nodes": self.n_nodes,
+            "counts": {
+                "error": len(self.errors),
+                "warning": len(self.warnings),
+                "info": len(self.infos),
+            },
+            "diagnostics": [d.to_dict() for d in self.diagnostics],
+        }
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)

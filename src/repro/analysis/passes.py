@@ -1,0 +1,370 @@
+"""The built-in lint passes and the rule registry.
+
+Each pass is a function over an :class:`~repro.analysis.context.AnalysisContext`
+yielding :class:`Finding` tuples; the linter turns findings into
+:class:`~repro.analysis.diagnostics.Diagnostic` objects with the rule's
+(possibly overridden) severity.  Rules carry stable IDs so suppression and
+tests can reference them: see ``docs/static_analysis.md`` for the catalogue.
+
+=====  ==================  ========  =======================================
+ID     name                default   finding
+=====  ==================  ========  =======================================
+NL000  invalid-structure   error     broken DAG invariants (bad fanin refs,
+                                     oversized truth tables, bad arity)
+NL001  dangling-node       warning   non-output LUT/const with no fanouts
+NL002  dead-logic          error     LUT unreachable from any output bus
+NL003  duplicate-const     info      several constant nodes of one value
+NL004  constant-lut        warning   truth table constant over all rows
+NL005  ignored-fanin       warning   truth table independent of a fanin,
+                                     or the same driver wired twice
+NL006  duplicate-lut       warning   structural duplicate via canonical hash
+NL007  output-overlap      error     logic node shared between output buses
+NL008  output-width        error     missing outputs or an empty output bus
+NL009  fanout-budget       warning   LUT/input fanout above the budget
+NL010  depth-budget        warning   LUT depth above the budget
+NL011  input-coverage      warning   primary input that cannot affect any
+                                     output
+=====  ==================  ========  =======================================
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Iterator, NamedTuple
+
+from .context import KIND_CONST, KIND_INPUT, AnalysisContext
+from .diagnostics import Severity
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .linter import LintConfig
+
+__all__ = ["Finding", "LintRule", "REGISTRY", "rule_table"]
+
+
+class Finding(NamedTuple):
+    """One raw pass finding, before severity/rule metadata are attached."""
+
+    message: str
+    nodes: tuple[int, ...] = ()
+    bus: str | None = None
+
+
+PassFn = Callable[[AnalysisContext, "LintConfig"], Iterator[Finding]]
+
+
+@dataclass(frozen=True)
+class LintRule:
+    """A registered rule: stable ID, metadata and its pass function."""
+
+    rule_id: str
+    name: str
+    default_severity: Severity
+    description: str
+    fn: PassFn
+    needs_sound_structure: bool = True
+
+
+REGISTRY: dict[str, LintRule] = {}
+
+
+def _register(
+    rule_id: str,
+    name: str,
+    severity: Severity,
+    description: str,
+    needs_sound_structure: bool = True,
+) -> Callable[[PassFn], PassFn]:
+    def deco(fn: PassFn) -> PassFn:
+        REGISTRY[rule_id] = LintRule(
+            rule_id=rule_id,
+            name=name,
+            default_severity=severity,
+            description=description,
+            fn=fn,
+            needs_sound_structure=needs_sound_structure,
+        )
+        return fn
+
+    return deco
+
+
+def rule_table() -> list[tuple[str, str, str, str]]:
+    """(id, name, default severity, description) rows, sorted by ID."""
+    return [
+        (r.rule_id, r.name, str(r.default_severity), r.description)
+        for r in sorted(REGISTRY.values(), key=lambda r: r.rule_id)
+    ]
+
+
+# ----------------------------------------------------------------------
+# NL000 — structural integrity (always runs; other passes gate on it)
+# ----------------------------------------------------------------------
+@_register(
+    "NL000",
+    "invalid-structure",
+    Severity.ERROR,
+    "DAG invariants are broken: out-of-range/self/forward fanin references, "
+    "truth tables wider than 2**arity bits, invalid arities or constants, "
+    "buses referencing unknown nodes.",
+    needs_sound_structure=False,
+)
+def _check_structure(ctx: AnalysisContext, cfg: "LintConfig") -> Iterator[Finding]:
+    for problem in ctx.structure_errors:
+        yield Finding(problem)
+
+
+# ----------------------------------------------------------------------
+# NL001 — dangling / unused nodes
+# ----------------------------------------------------------------------
+@_register(
+    "NL001",
+    "dangling-node",
+    Severity.WARNING,
+    "A LUT or constant node drives nothing and is not an output bit.",
+)
+def _check_dangling(ctx: AnalysisContext, cfg: "LintConfig") -> Iterator[Finding]:
+    fanout = ctx.fanout
+    for nid in range(ctx.n_nodes):
+        if ctx.kinds[nid] == KIND_INPUT:
+            continue  # unused inputs are NL011's finding
+        if fanout[nid] == 0 and nid not in ctx.output_bits:
+            what = "LUT" if ctx.is_lut(nid) else "constant"
+            yield Finding(f"{what} node {nid} drives nothing", nodes=(nid,))
+
+
+# ----------------------------------------------------------------------
+# NL002 — dead logic
+# ----------------------------------------------------------------------
+@_register(
+    "NL002",
+    "dead-logic",
+    Severity.ERROR,
+    "A LUT is unreachable from every output bus: it burns area and delay "
+    "without contributing to any observable value.",
+)
+def _check_dead_logic(ctx: AnalysisContext, cfg: "LintConfig") -> Iterator[Finding]:
+    live = ctx.live
+    dead = tuple(
+        nid for nid in range(ctx.n_nodes) if ctx.is_lut(nid) and not live[nid]
+    )
+    for nid in dead:
+        yield Finding(
+            f"LUT node {nid} cannot reach any output bus", nodes=(nid,)
+        )
+
+
+# ----------------------------------------------------------------------
+# NL003 — multi-use constants
+# ----------------------------------------------------------------------
+@_register(
+    "NL003",
+    "duplicate-const",
+    Severity.INFO,
+    "The same constant value exists as several nodes; one shared node "
+    "would do (the builder deduplicates, so this indicates hand editing).",
+)
+def _check_duplicate_const(ctx: AnalysisContext, cfg: "LintConfig") -> Iterator[Finding]:
+    by_value: dict[int, list[int]] = defaultdict(list)
+    for nid in range(ctx.n_nodes):
+        if ctx.kinds[nid] == KIND_CONST:
+            by_value[ctx.const_values[nid]].append(nid)
+    for value, nodes in sorted(by_value.items()):
+        if len(nodes) > 1:
+            yield Finding(
+                f"constant {value} exists as {len(nodes)} separate nodes",
+                nodes=tuple(nodes),
+            )
+
+
+# ----------------------------------------------------------------------
+# NL004 — constant-foldable LUTs (constant truth table)
+# ----------------------------------------------------------------------
+@_register(
+    "NL004",
+    "constant-lut",
+    Severity.WARNING,
+    "A LUT's truth table emits the same value on every row; it should be "
+    "a constant node.",
+)
+def _check_constant_lut(ctx: AnalysisContext, cfg: "LintConfig") -> Iterator[Finding]:
+    for nid in range(ctx.n_nodes):
+        if not ctx.is_lut(nid):
+            continue
+        rows = 1 << ctx.arity(nid)
+        tt = ctx.tts[nid]
+        if tt == 0 or tt == (1 << rows) - 1:
+            value = 0 if tt == 0 else 1
+            yield Finding(
+                f"LUT node {nid} always outputs {value}", nodes=(nid,)
+            )
+
+
+# ----------------------------------------------------------------------
+# NL005 — ignored / duplicate fanins
+# ----------------------------------------------------------------------
+@_register(
+    "NL005",
+    "ignored-fanin",
+    Severity.WARNING,
+    "A LUT's output does not depend on one of its fanins, or the same "
+    "driver is wired to several fanin positions; the LUT folds to a "
+    "smaller arity.",
+)
+def _check_ignored_fanin(ctx: AnalysisContext, cfg: "LintConfig") -> Iterator[Finding]:
+    for nid in range(ctx.n_nodes):
+        if not ctx.is_lut(nid):
+            continue
+        f = ctx.fanins[nid]
+        repeated = sorted({x for x, c in Counter(f).items() if c > 1})
+        if repeated:
+            yield Finding(
+                f"LUT node {nid} wires driver(s) {repeated} to multiple "
+                "fanin positions",
+                nodes=(nid,),
+            )
+        deps = ctx.lut_dependence(nid)
+        ignored = [k for k, used in enumerate(deps) if not used]
+        # A constant truth table ignores everything; NL004 already covers it.
+        if ignored and any(deps):
+            yield Finding(
+                f"LUT node {nid} ignores fanin position(s) {ignored} "
+                f"(drivers {[f[k] for k in ignored]})",
+                nodes=(nid,),
+            )
+
+
+# ----------------------------------------------------------------------
+# NL006 — structural duplicate LUTs
+# ----------------------------------------------------------------------
+@_register(
+    "NL006",
+    "duplicate-lut",
+    Severity.WARNING,
+    "Several LUTs compute the same function of the same driver nodes "
+    "(canonical fanin-permutation hash); a synthesiser would share one.",
+)
+def _check_duplicate_lut(ctx: AnalysisContext, cfg: "LintConfig") -> Iterator[Finding]:
+    groups: dict[tuple[tuple[int, ...], int], list[int]] = defaultdict(list)
+    for nid in range(ctx.n_nodes):
+        if ctx.is_lut(nid):
+            groups[ctx.canonical_lut_key(nid)].append(nid)
+    for (fanins, _tt), nodes in sorted(groups.items()):
+        if len(nodes) > 1:
+            yield Finding(
+                f"{len(nodes)} LUTs compute the same function of drivers "
+                f"{list(fanins)}",
+                nodes=tuple(nodes),
+            )
+
+
+# ----------------------------------------------------------------------
+# NL007 — output-bus overlap
+# ----------------------------------------------------------------------
+@_register(
+    "NL007",
+    "output-overlap",
+    Severity.ERROR,
+    "A logic node is shared between different output buses: two named "
+    "output words alias the same net, which is an interface bug.  "
+    "Constant nodes are exempt (bits tied to a shared rail are normal), "
+    "and repetition *within* one bus is allowed — post-CSE netlists "
+    "legitimately tie one net to several bit positions (e.g. a 1-bit "
+    "CCM whose product bits are all equal).",
+)
+def _check_output_overlap(ctx: AnalysisContext, cfg: "LintConfig") -> Iterator[Finding]:
+    seen: dict[int, str] = {}
+    for bus in sorted(ctx.output_buses):
+        bits = [b for b in ctx.output_buses[bus] if ctx.kinds[b] != KIND_CONST]
+        for b in bits:
+            if b in seen and seen[b] != bus:
+                yield Finding(
+                    f"node {b} is shared between output buses "
+                    f"{seen[b]!r} and {bus!r}",
+                    nodes=(b,),
+                    bus=bus,
+                )
+            else:
+                seen[b] = bus
+
+
+# ----------------------------------------------------------------------
+# NL008 — output-bus width
+# ----------------------------------------------------------------------
+@_register(
+    "NL008",
+    "output-width",
+    Severity.ERROR,
+    "The netlist declares no outputs, or an output bus has zero width.",
+    needs_sound_structure=False,
+)
+def _check_output_width(ctx: AnalysisContext, cfg: "LintConfig") -> Iterator[Finding]:
+    if not ctx.output_buses:
+        yield Finding("netlist declares no output buses")
+        return
+    for bus in sorted(ctx.output_buses):
+        if not ctx.output_buses[bus]:
+            yield Finding(f"output bus {bus!r} is empty", bus=bus)
+
+
+# ----------------------------------------------------------------------
+# NL009 — fanout budget
+# ----------------------------------------------------------------------
+@_register(
+    "NL009",
+    "fanout-budget",
+    Severity.WARNING,
+    "A LUT or input drives more fanins than the configured budget; such "
+    "nets dominate routing delay and distort the delay model.",
+)
+def _check_fanout(ctx: AnalysisContext, cfg: "LintConfig") -> Iterator[Finding]:
+    fanout = ctx.fanout
+    for nid in range(ctx.n_nodes):
+        if ctx.kinds[nid] == KIND_CONST:
+            continue  # constants are tied off for free in fabric
+        if fanout[nid] > cfg.max_fanout:
+            yield Finding(
+                f"node {nid} drives {int(fanout[nid])} fanins "
+                f"(budget {cfg.max_fanout})",
+                nodes=(nid,),
+            )
+
+
+# ----------------------------------------------------------------------
+# NL010 — depth budget
+# ----------------------------------------------------------------------
+@_register(
+    "NL010",
+    "depth-budget",
+    Severity.WARNING,
+    "The netlist's LUT depth exceeds the configured budget; such paths "
+    "cannot meet any interesting clock and suggest a degenerate topology.",
+)
+def _check_depth(ctx: AnalysisContext, cfg: "LintConfig") -> Iterator[Finding]:
+    if ctx.depth > cfg.max_depth:
+        yield Finding(
+            f"LUT depth {ctx.depth} exceeds budget {cfg.max_depth}"
+        )
+
+
+# ----------------------------------------------------------------------
+# NL011 — input coverage
+# ----------------------------------------------------------------------
+@_register(
+    "NL011",
+    "input-coverage",
+    Severity.WARNING,
+    "A primary-input bit cannot affect any output: either the interface "
+    "is over-wide or logic was dropped during generation.",
+)
+def _check_input_coverage(ctx: AnalysisContext, cfg: "LintConfig") -> Iterator[Finding]:
+    live = ctx.live
+    for bus in sorted(ctx.input_buses):
+        bits = ctx.input_buses[bus]
+        uncovered = [i for i, b in enumerate(bits) if not live[b]]
+        if uncovered:
+            yield Finding(
+                f"input bus {bus!r} bit(s) {uncovered} cannot affect any output",
+                nodes=tuple(bits[i] for i in uncovered),
+                bus=bus,
+            )

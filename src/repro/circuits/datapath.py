@@ -21,19 +21,35 @@ from __future__ import annotations
 import math
 
 from dataclasses import dataclass
+from functools import lru_cache
 
 import numpy as np
 
+from ..analysis import check_netlist
 from ..core.design import LinearProjectionDesign
 from ..errors import DesignError
 from ..fabric.device import FPGADevice
-from ..netlist.core import bits_from_ints
+from ..netlist.core import CompiledNetlist, bits_from_ints
 from ..netlist.multipliers import unsigned_array_multiplier
 from ..synthesis.flow import PlacedDesign, SynthesisFlow
 from ..timing.capture import capture_stream
 from ..timing.simulator import simulate_transitions
 
 __all__ = ["ProjectionDatapath", "LaneRun"]
+
+
+@lru_cache(maxsize=None)
+def _lane_netlist(w_data: int, wl: int) -> CompiledNetlist:
+    """Compiled lane multiplier, built and linted once per word-length.
+
+    Lanes sharing a coefficient word-length place the *same* compiled
+    netlist at different anchors (the netlist is frozen; placement is
+    what differs per lane), so the generator and the lint gate run once
+    per ``(w_data, wl)`` instead of once per lane per design.
+    """
+    netlist = unsigned_array_multiplier(w_data, wl)
+    check_netlist(netlist, context=f"datapath lane multiplier {w_data}x{wl}")
+    return netlist.compile()
 
 
 @dataclass(frozen=True)
@@ -82,7 +98,7 @@ class ProjectionDatapath:
         x, y = anchor
         row_height = 0
         for k, wl in enumerate(design.wordlengths):
-            netlist = unsigned_array_multiplier(design.w_data, wl).compile()
+            netlist = _lane_netlist(design.w_data, wl)
 
             side = max(2, math.ceil(math.sqrt(netlist.n_nodes / 0.55)))
             if x + side > device.cols:  # wrap to the next lane row
@@ -93,7 +109,8 @@ class ProjectionDatapath:
                 raise DesignError(
                     "datapath lanes do not fit the device at this anchor"
                 )
-            placed = flow.run(netlist, anchor=(x, y), seed=seed + k)
+            # Already linted when the cached netlist was built.
+            placed = flow.run(netlist, anchor=(x, y), seed=seed + k, lint=False)
             self.lanes.append(placed)
             x += placed.placement.region[0] + 2
             row_height = max(row_height, placed.placement.region[1])
@@ -102,15 +119,15 @@ class ProjectionDatapath:
     @property
     def total_area_le(self) -> int:
         """Synthesis-reported area of all lanes (the 'actual area')."""
-        return sum(l.area.logic_elements for l in self.lanes)
+        return sum(lane.area.logic_elements for lane in self.lanes)
 
     def tool_fmax_mhz(self) -> float:
         """The conservative tool Fmax of the slowest lane."""
-        return min(l.tool_report.fmax_mhz for l in self.lanes)
+        return min(lane.tool_report.fmax_mhz for lane in self.lanes)
 
     def device_fmax_mhz(self) -> float:
         """Device-true STA Fmax of the slowest lane (error-free bound)."""
-        return min(l.device_sta().fmax_mhz for l in self.lanes)
+        return min(lane.device_sta().fmax_mhz for lane in self.lanes)
 
     def run_lane(
         self,

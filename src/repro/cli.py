@@ -1,7 +1,9 @@
 """Command-line entry point: ``repro-experiment <name>``.
 
 Runs one of the paper's experiments at a configurable scale and prints
-the figure's numeric series as ASCII tables.
+the figure's numeric series as ASCII tables.  The ``lint`` subcommand
+instead runs the netlist static analyser over a generated design and
+reports its diagnostics (text or JSON).
 
 Examples
 --------
@@ -11,6 +13,8 @@ Examples
     repro-experiment fig11 --scale 0.1
     repro-experiment table1
     repro-experiment runtime
+    repro-experiment lint ccm 93 8
+    repro-experiment lint unsigned_multiplier 8 8 --format json
 """
 
 from __future__ import annotations
@@ -21,9 +25,12 @@ import sys
 
 import numpy as np
 
+from .analysis import LintConfig, lint_netlist, rule_table
 from .eval import figures, tables
 from .eval.context import ExperimentContext
 from .eval.report import render_table
+from .errors import ReproError
+from .netlist.generators import GENERATORS, generate
 
 __all__ = ["main"]
 
@@ -137,8 +144,77 @@ def _print_result(name: str, result: dict) -> None:
     print(json.dumps(result, indent=2, default=default))
 
 
+def _lint_main(argv: list[str]) -> int:
+    """``lint`` subcommand: run the static analyser over a generated design."""
+    parser = argparse.ArgumentParser(
+        prog="repro-experiment lint",
+        description="Lint a generated netlist and report NLxxx diagnostics.",
+        epilog="Rules: "
+        + "; ".join(f"{rid} {name} ({sev})" for rid, name, sev, _ in rule_table()),
+    )
+    parser.add_argument(
+        "generator",
+        choices=sorted(GENERATORS),
+        help="registered design-under-test generator",
+    )
+    parser.add_argument(
+        "params",
+        nargs="*",
+        type=int,
+        help="integer generator parameters (e.g. widths, coefficient)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=["text", "json"],
+        default="text",
+        help="report rendering (default: text)",
+    )
+    parser.add_argument(
+        "--disable",
+        action="append",
+        default=[],
+        metavar="NLxxx",
+        help="rule ID to skip (repeatable)",
+    )
+    parser.add_argument(
+        "--max-fanout", type=int, default=None, help="NL009 fanout budget"
+    )
+    parser.add_argument(
+        "--max-depth", type=int, default=None, help="NL010 depth budget"
+    )
+    parser.add_argument(
+        "--fail-on",
+        choices=["error", "warning", "info"],
+        default="error",
+        help="severity at which the exit code becomes 1 (default: error)",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        netlist = generate(args.generator, *args.params)
+        config = LintConfig.build(
+            disabled=args.disable,
+            max_fanout=args.max_fanout,
+            max_depth=args.max_depth,
+            fail_on=args.fail_on,
+        )
+    except (ReproError, TypeError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    report = lint_netlist(netlist, config)
+    if args.format == "json":
+        print(report.to_json())
+    else:
+        print(report.to_text())
+    return 0 if report.ok(config.fail_on) else 1
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "lint":
+        return _lint_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro-experiment",
         description="Regenerate a figure/table of the IPDPSW'14 over-clocked "

@@ -16,13 +16,20 @@ making the paper's 310 MHz target 1.85x the tool report (paper Sec. VI-D).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import os
+from contextlib import contextmanager
+from dataclasses import dataclass, replace
+from typing import Iterator
 
 from .errors import ConfigError
 
 __all__ = [
     "TableISettings",
     "TimingConfig",
+    "AnalysisSettings",
+    "get_analysis_settings",
+    "set_analysis_settings",
+    "analysis_settings",
     "mhz_to_period_ns",
     "period_ns_to_mhz",
     "DEFAULT_SEED",
@@ -88,6 +95,76 @@ class TimingConfig:
                 raise ConfigError(f"{name} must be non-negative")
         if self.tool_guard_band < 1.0 or self.slow_corner_factor < 1.0:
             raise ConfigError("tool pessimism factors must be >= 1.0")
+
+
+def _env_flag(name: str, default: bool) -> bool:
+    raw = os.environ.get(name)
+    if raw is None:
+        return default
+    return raw.strip().lower() in ("1", "true", "yes", "on")
+
+
+@dataclass(frozen=True)
+class AnalysisSettings:
+    """Library-wide switches for the netlist static-analysis subsystem.
+
+    Attributes
+    ----------
+    lint_generated:
+        Lint every netlist produced through the
+        :func:`repro.netlist.generators.generate` factory and raise
+        :class:`~repro.errors.LintError` on error-severity findings.
+        Off by default (generators are covered by the synthesis gate and
+        the test suite); enable for sweeps over untrusted generators.
+        Env default: ``REPRO_LINT_GENERATED``.
+    lint_synthesis:
+        Gate :meth:`repro.synthesis.flow.SynthesisFlow.run` on the lint
+        report of the incoming netlist: errors abort the run, warnings
+        are surfaced via :mod:`warnings`.  On by default.
+        Env default: ``REPRO_LINT_SYNTHESIS``.
+    max_fanout / max_depth:
+        Default budgets for the NL009 / NL010 passes.
+    """
+
+    lint_generated: bool = _env_flag("REPRO_LINT_GENERATED", False)
+    lint_synthesis: bool = _env_flag("REPRO_LINT_SYNTHESIS", True)
+    max_fanout: int = 32
+    max_depth: int = 128
+
+    def __post_init__(self) -> None:
+        if self.max_fanout < 1 or self.max_depth < 1:
+            raise ConfigError("analysis budgets must be >= 1")
+
+
+_analysis_settings = AnalysisSettings()
+
+
+def get_analysis_settings() -> AnalysisSettings:
+    """The process-wide :class:`AnalysisSettings` currently in effect."""
+    return _analysis_settings
+
+
+def set_analysis_settings(settings: AnalysisSettings) -> AnalysisSettings:
+    """Replace the process-wide analysis settings; returns the previous ones."""
+    global _analysis_settings
+    previous = _analysis_settings
+    _analysis_settings = settings
+    return previous
+
+
+@contextmanager
+def analysis_settings(**overrides: object) -> Iterator[AnalysisSettings]:
+    """Temporarily override analysis settings (tests, sweeps)::
+
+        with analysis_settings(lint_generated=True):
+            nl = generate("ccm", 93, 8)   # linted
+    """
+    previous = get_analysis_settings()
+    set_analysis_settings(replace(previous, **overrides))  # type: ignore[arg-type]
+    try:
+        yield get_analysis_settings()
+    finally:
+        set_analysis_settings(previous)
 
 
 @dataclass(frozen=True)

@@ -172,7 +172,9 @@ def optimize_designs(
         oc_tables[wl] = prior.variances * scale
         col_areas[wl] = float(config.area_model.predict(wl))
 
-    survivors: list[_Partial] = [_Partial(columns=(), area=0.0, mse=float((x**2).mean()), oc_term=0.0)]
+    survivors: list[_Partial] = [
+        _Partial(columns=(), area=0.0, mse=float((x**2).mean()), oc_term=0.0)
+    ]
     result = OptimizationResult(designs=[], beta=config.beta, freq_mhz=freq)
 
     for d in range(1, s.k + 1):

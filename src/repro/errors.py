@@ -20,6 +20,26 @@ class NetlistError(ReproError):
     """A structural problem with a netlist (cycle, dangling net, bad arity)."""
 
 
+class AnalysisError(ReproError):
+    """The static-analysis subsystem was misconfigured or misused
+    (unknown rule ID, invalid severity name, bad budget value)."""
+
+
+class LintError(AnalysisError):
+    """A netlist failed the lint gate.
+
+    Raised by :func:`repro.analysis.check_netlist` (and therefore by the
+    synthesis flow and the generator factory when linting is enabled) when a
+    :class:`~repro.analysis.LintReport` contains diagnostics at or above the
+    configured failure severity.  The offending report is attached as
+    ``report``.
+    """
+
+    def __init__(self, message: str, report: object | None = None) -> None:
+        super().__init__(message)
+        self.report = report
+
+
 class PlacementError(ReproError):
     """Placement could not be completed (region too small, out of bounds)."""
 

@@ -132,7 +132,8 @@ def fig4(
             seed=ctx.seed + i,
         )
         errors = run.errors
-        hist, edges = np.histogram(errors[errors != 0], bins=n_hist_bins) if np.any(errors != 0) else (
+        nonzero = errors[errors != 0]
+        hist, edges = np.histogram(nonzero, bins=n_hist_bins) if nonzero.size else (
             np.zeros(n_hist_bins, dtype=int),
             np.linspace(-1, 1, n_hist_bins + 1),
         )
@@ -257,7 +258,7 @@ def fig8(
         wl = design.wordlengths[0]
         datapath = ProjectionDatapath(design, ctx.device, anchor=(0, 0), seed=ctx.seed)
         # Worst lane carries the critical path.
-        lane = int(np.argmin([l.device_sta().fmax_mhz for l in datapath.lanes]))
+        lane = int(np.argmin([pd.device_sta().fmax_mhz for pd in datapath.lanes]))
         placed = datapath.lanes[lane]
         rng = tree.rng("stim", str(wl))
         n_eff = n + 1

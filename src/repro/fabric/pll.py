@@ -105,7 +105,9 @@ class PLL:
             raise ConfigError(f"no PLL setting reaches {freq_mhz} MHz")
         return best
 
-    def frequency_grid(self, lo_mhz: float, hi_mhz: float, step_mhz: float) -> list[SynthesizedClock]:
+    def frequency_grid(
+        self, lo_mhz: float, hi_mhz: float, step_mhz: float
+    ) -> list[SynthesizedClock]:
         """Synthesise a sweep of clocks covering ``[lo, hi]`` by ``step``."""
         if not (0 < lo_mhz <= hi_mhz) or step_mhz <= 0:
             raise ConfigError("invalid frequency sweep parameters")

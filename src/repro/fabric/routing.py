@@ -46,7 +46,9 @@ class RoutingModel:
         if self.noise_sigma < 0 or self.fanout_penalty_ns < 0:
             raise ConfigError("routing noise/fanout parameters must be non-negative")
 
-    def nominal_delay(self, distance: np.ndarray | float, fanout: np.ndarray | int = 1) -> np.ndarray:
+    def nominal_delay(
+        self, distance: np.ndarray | float, fanout: np.ndarray | int = 1
+    ) -> np.ndarray:
         """Deterministic (noise-free) net delay for given Manhattan distance.
 
         Vectorised over ``distance`` and ``fanout``.
@@ -81,7 +83,9 @@ class RoutingModel:
             noise = np.ones_like(variable)
         return base + variable * noise
 
-    def worst_case_delay(self, distance: np.ndarray | float, fanout: np.ndarray | int = 1) -> np.ndarray:
+    def worst_case_delay(
+        self, distance: np.ndarray | float, fanout: np.ndarray | int = 1
+    ) -> np.ndarray:
         """The family-wide pessimistic delay the synthesis tool assumes.
 
         Two-sigma log-normal upper bound on the variable component — the

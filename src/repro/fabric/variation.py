@@ -154,7 +154,10 @@ def generate_variation_field(
     else:  # degenerate 1x1 grid
         correlated = np.zeros((rows, cols))
 
-    white = rng.normal(scale=config.white_sigma, size=(rows, cols)) if config.white_sigma else np.zeros((rows, cols))
+    if config.white_sigma:
+        white = rng.normal(scale=config.white_sigma, size=(rows, cols))
+    else:
+        white = np.zeros((rows, cols))
 
     factors = 1.0 + systematic + correlated + white
     # Physical delays cannot be arbitrarily fast; clip at a sane floor.

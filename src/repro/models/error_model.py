@@ -92,7 +92,9 @@ class ErrorModel:
         """Error means for all multiplicands at ``freq_mhz``."""
         return self._grid_at(self.mean, freq_mhz, strict)
 
-    def query(self, multiplicand: int | np.ndarray, freq_mhz: float, strict: bool = False) -> np.ndarray:
+    def query(
+        self, multiplicand: int | np.ndarray, freq_mhz: float, strict: bool = False
+    ) -> np.ndarray:
         """E(m, f) for specific multiplicand value(s).
 
         Requires exact multiplicand membership (the characterisation

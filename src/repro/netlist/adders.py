@@ -12,9 +12,63 @@ from __future__ import annotations
 from typing import Sequence
 
 from ..errors import NetlistError
-from .core import Netlist
+from .core import (
+    TT_AND2,
+    TT_MAJ3,
+    TT_NOT,
+    TT_OR2,
+    TT_XNOR2,
+    TT_XOR2,
+    TT_XOR3,
+    Netlist,
+)
 
 __all__ = ["add_ripple_carry", "add_ripple_carry_with_const", "subtract_ripple"]
+
+
+def _adder_stage(
+    nl: Netlist,
+    a: int,
+    b: int,
+    cin: int | None,
+    need_carry: bool,
+    fold: bool,
+) -> tuple[int, int | None]:
+    """One ripple stage; with ``fold`` constant operands are propagated.
+
+    Folding emits the simplified cell a synthesiser would: operands that
+    are constant nodes never reach a LUT fanin, so no LUT ever wires the
+    same constant twice or ignores an input.  Folded cells are also
+    structurally shared (CSE) — the shift-and-add patterns that use
+    folding (CSD multipliers) routinely re-add identical operand pairs.
+    """
+    ops = [a, b] if cin is None else [a, b, cin]
+    if fold:
+        values = [nl.const_value(o) for o in ops]
+        const_sum = sum(v for v in values if v is not None)
+        variables = [o for o, v in zip(ops, values) if v is None]
+        if not variables:
+            total = const_sum
+            return nl.add_const(total & 1), nl.add_const(total >> 1)
+        if len(variables) == 1:
+            v = variables[0]
+            if const_sum == 0:
+                return v, nl.add_const(0)
+            if const_sum == 1:
+                return nl.add_lut_shared(TT_NOT, (v,)), v
+            return v, nl.add_const(1)  # const_sum == 2
+        if len(variables) == 2:
+            u, w = variables
+            if const_sum == 0:
+                s = nl.add_lut_shared(TT_XOR2, (u, w))
+                return s, (nl.add_lut_shared(TT_AND2, (u, w)) if need_carry else None)
+            s = nl.add_lut_shared(TT_XNOR2, (u, w))
+            return s, (nl.add_lut_shared(TT_OR2, (u, w)) if need_carry else None)
+        s = nl.add_lut_shared(TT_XOR3, (a, b, cin))
+        return s, (nl.add_lut_shared(TT_MAJ3, (a, b, cin)) if need_carry else None)
+    if cin is None:
+        return nl.XOR(a, b), (nl.AND(a, b) if need_carry else None)
+    return nl.XOR3(a, b, cin), (nl.MAJ3(a, b, cin) if need_carry else None)
 
 
 def add_ripple_carry(
@@ -22,7 +76,9 @@ def add_ripple_carry(
     a_bits: Sequence[int],
     b_bits: Sequence[int],
     cin: int | None = None,
-) -> tuple[list[int], int]:
+    emit_carry: bool = True,
+    fold_consts: bool = False,
+) -> tuple[list[int], int | None]:
     """Ripple-carry add two equal-width bit vectors.
 
     Parameters
@@ -34,26 +90,37 @@ def add_ripple_carry(
     cin:
         Optional carry-in node; omitted means constant 0 (and the LSB stage
         degenerates to a half adder, as a synthesiser would emit).
+    emit_carry:
+        When False, the final carry-out LUT is not built and ``None`` is
+        returned in its place.  Callers that discard the carry (modular
+        sums, outputs provably too narrow to overflow) must use this so
+        the netlist carries no dead logic.
+    fold_consts:
+        Constant-propagate operand bits that are constant nodes, emitting
+        simplified stage cells.  Off by default so the characterised DUT
+        topologies stay exactly as published; the CSD/CCM path enables it
+        because its shifted terms are padded with constants.
 
     Returns
     -------
     (sum_bits, carry_out):
         LSB-first sum node ids (same width as the inputs) and the final
-        carry node id.
+        carry node id (``None`` with ``emit_carry=False``).
     """
     if len(a_bits) != len(b_bits):
         raise NetlistError(f"adder width mismatch: {len(a_bits)} vs {len(b_bits)}")
     if not a_bits:
         raise NetlistError("adder width must be >= 1")
+    width = len(a_bits)
     sums: list[int] = []
-    if cin is None:
-        s, c = nl.half_adder(a_bits[0], b_bits[0])
-    else:
-        s, c = nl.full_adder(a_bits[0], b_bits[0], cin)
-    sums.append(s)
-    for j in range(1, len(a_bits)):
-        s, c = nl.full_adder(a_bits[j], b_bits[j], c)
+    c: int | None = cin
+    for j in range(width):
+        last = j == width - 1
+        need_carry = emit_carry or not last
+        s, c = _adder_stage(nl, a_bits[j], b_bits[j], c, need_carry, fold_consts)
         sums.append(s)
+        if not need_carry:
+            c = None
     return sums, c
 
 
@@ -97,14 +164,29 @@ def add_ripple_carry_with_const(
 
 
 def subtract_ripple(
-    nl: Netlist, a_bits: Sequence[int], b_bits: Sequence[int]
-) -> tuple[list[int], int]:
+    nl: Netlist,
+    a_bits: Sequence[int],
+    b_bits: Sequence[int],
+    emit_carry: bool = True,
+) -> tuple[list[int], int | None]:
     """Compute ``a - b`` as ``a + NOT(b) + 1`` (two's complement).
 
-    Returns LSB-first difference bits and the carry-out (1 = no borrow).
+    Returns LSB-first difference bits and the carry-out (1 = no borrow;
+    ``None`` with ``emit_carry=False``).  The inverter layer constant-folds
+    NOTs of constant bits and shares repeated inverters of the same driver
+    (synthesiser-style CSE), so repeated subtractions of overlapping
+    shifted terms — the CSD multiplier pattern — stay lint-clean.
     """
     if len(a_bits) != len(b_bits):
         raise NetlistError("subtractor width mismatch")
-    nb = [nl.NOT(b) for b in b_bits]
+    nb: list[int] = []
+    for b in b_bits:
+        v = nl.const_value(b)
+        if v is not None:
+            nb.append(nl.add_const(1 - v))
+        else:
+            nb.append(nl.add_lut_shared(TT_NOT, (b,)))
     one = nl.add_const(1)
-    return add_ripple_carry(nl, list(a_bits), nb, cin=one)
+    return add_ripple_carry(
+        nl, list(a_bits), nb, cin=one, emit_carry=emit_carry, fold_consts=True
+    )

@@ -72,15 +72,19 @@ def ccm_multiplier(coefficient: int, w_in: int, name: str | None = None) -> Netl
         return nl
 
     digits = csd_digits(coefficient)
-    zero = nl.add_const(0)
 
     def shifted_term(shift: int) -> list[int]:
-        """``x << shift`` as a w_out-bit vector (zero-padded)."""
-        bits = [zero] * shift + list(x)
+        """``x << shift`` as a w_out-bit vector (zero-padded on demand)."""
+        bits = list(x)
+        if shift:
+            bits = [nl.add_const(0)] * shift + bits
         bits = bits[:w_out]
-        bits += [zero] * (w_out - len(bits))
+        if len(bits) < w_out:
+            bits += [nl.add_const(0)] * (w_out - len(bits))
         return bits
 
+    # The running sum stays w_out bits wide and the final value fits w_out
+    # bits exactly, so no adder/subtractor ever materialises its top carry.
     acc: list[int] | None = None
     pending_sub: list[list[int]] = []
     for i, d in enumerate(digits):
@@ -97,15 +101,15 @@ def ccm_multiplier(coefficient: int, w_in: int, name: str | None = None) -> Netl
                 pending_sub.append(term)
             continue
         if d > 0:
-            sums, _ = add_ripple_carry(nl, acc, term)
-            acc = sums
+            acc, _ = add_ripple_carry(nl, acc, term, emit_carry=False, fold_consts=True)
         else:
-            diff, _ = subtract_ripple(nl, acc, term)
-            acc = diff
+            acc, _ = subtract_ripple(nl, acc, term, emit_carry=False)
     if acc is None:
         raise NetlistError(f"degenerate CSD for coefficient {coefficient}")
     for term in pending_sub:
-        diff, _ = subtract_ripple(nl, acc, term)
-        acc = diff
+        acc, _ = subtract_ripple(nl, acc, term, emit_carry=False)
     nl.set_output_bus("p", acc[:w_out])
+    # Constant folding in the adders absorbs padded-zero nets by value;
+    # sweep any constant nodes left without consumers.
+    nl.prune_dangling()
     return nl

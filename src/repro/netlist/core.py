@@ -110,6 +110,8 @@ class Netlist:
         self._tts: list[int] = []
         self._fanins: list[tuple[int, ...]] = []
         self._const_values: list[int] = []
+        self._const_ids: dict[int, int] = {}
+        self._shared_luts: dict[tuple[int, tuple[int, ...]], int] = {}
         self.input_buses: dict[str, list[int]] = {}
         self.output_buses: dict[str, list[int]] = {}
 
@@ -139,10 +141,27 @@ class Netlist:
         return bits
 
     def add_const(self, value: int) -> int:
-        """Add a constant-0 or constant-1 node."""
+        """Return the constant-0 or constant-1 node, creating it on first use.
+
+        Constants are deduplicated: repeated requests for the same value
+        return the same node id (one tied-off net per value, as a
+        synthesiser would emit).
+        """
         if value not in (0, 1):
             raise NetlistError("constant must be 0 or 1")
-        return self._add_node(_KIND_CONST, 0, (), const=value)
+        nid = self._const_ids.get(value)
+        if nid is None:
+            nid = self._add_node(_KIND_CONST, 0, (), const=value)
+            self._const_ids[value] = nid
+        return nid
+
+    def const_value(self, nid: int) -> int | None:
+        """The constant value of node ``nid``, or ``None`` if not a constant."""
+        if not (0 <= nid < self.n_nodes):
+            raise NetlistError(f"unknown node {nid}")
+        if self._kinds[nid] != _KIND_CONST:
+            return None
+        return self._const_values[nid]
 
     def add_lut(self, tt: int, fanins: Iterable[int]) -> int:
         """Add a LUT node with truth table ``tt`` over ``fanins``."""
@@ -157,6 +176,24 @@ class Netlist:
                 raise NetlistError(f"fanin {x} references unknown node")
         return self._add_node(_KIND_LUT, tt, f)
 
+    def add_lut_shared(self, tt: int, fanins: Iterable[int]) -> int:
+        """Add a LUT, reusing an existing identical one if present.
+
+        Structural common-subexpression sharing: if a LUT with the same
+        truth table over the same fanin tuple was previously created
+        *through this method*, its node id is returned instead of growing
+        the netlist.  Used by generators for inverter/complement layers
+        that naturally repeat (e.g. CSD subtraction), matching what a
+        synthesiser's CSE would emit.
+        """
+        f = tuple(int(x) for x in fanins)
+        key = (tt, f)
+        nid = self._shared_luts.get(key)
+        if nid is None:
+            nid = self.add_lut(tt, f)
+            self._shared_luts[key] = nid
+        return nid
+
     def set_output_bus(self, name: str, bits: Sequence[int]) -> None:
         """Declare an output bus from existing node ids, LSB first."""
         if name in self.output_buses:
@@ -165,6 +202,54 @@ class Netlist:
             if not (0 <= x < self.n_nodes):
                 raise NetlistError(f"output bit {x} references unknown node")
         self.output_buses[name] = list(int(b) for b in bits)
+
+    def prune_dangling(self) -> int:
+        """Remove nodes no output depends on (primary inputs are kept).
+
+        Returns the number of removed nodes.  Ids are renumbered but the
+        topological order is preserved, so fanins still precede consumers;
+        node ids held by the caller are invalidated.  Generators that
+        constant-fold call this last to sweep constant nets whose value
+        was absorbed into simplified logic (a synthesiser's dead-net
+        sweep); outputs must already be set.
+        """
+        n = self.n_nodes
+        live = [False] * n
+        for out_bits in self.output_buses.values():
+            for b in out_bits:
+                live[b] = True
+        for nid in range(n - 1, -1, -1):
+            if live[nid]:
+                for f in self._fanins[nid]:
+                    live[f] = True
+        for nid, kind in enumerate(self._kinds):
+            if kind == _KIND_INPUT:
+                live[nid] = True
+        if all(live):
+            return 0
+        remap: dict[int, int] = {}
+        kinds: list[int] = []
+        tts: list[int] = []
+        fanins: list[tuple[int, ...]] = []
+        consts: list[int] = []
+        for nid in range(n):
+            if not live[nid]:
+                continue
+            remap[nid] = len(kinds)
+            kinds.append(self._kinds[nid])
+            tts.append(self._tts[nid])
+            fanins.append(tuple(remap[f] for f in self._fanins[nid]))
+            consts.append(self._const_values[nid])
+        self._kinds, self._tts, self._fanins, self._const_values = kinds, tts, fanins, consts
+        self._const_ids = {v: remap[i] for v, i in self._const_ids.items() if i in remap}
+        self._shared_luts = {
+            (tt, tuple(remap[f] for f in key)): remap[i]
+            for (tt, key), i in self._shared_luts.items()
+            if i in remap
+        }
+        self.input_buses = {k: [remap[b] for b in v] for k, v in self.input_buses.items()}
+        self.output_buses = {k: [remap[b] for b in v] for k, v in self.output_buses.items()}
+        return n - len(kinds)
 
     # ------------------------------------------------------------------
     # gate conveniences
@@ -210,17 +295,47 @@ class Netlist:
     def validate(self) -> None:
         """Check structural sanity.
 
-        Construction order guarantees acyclicity (fanins must already
-        exist), so validation focuses on output references and arities.
+        The builder methods already enforce these invariants at
+        construction time, but netlists can be assembled or mutated by
+        hand (tests, deserialisation, external generators), so validation
+        re-checks everything evaluation and timing depend on: output
+        references, LUT arities, truth-table widths, and that every fanin
+        strictly precedes its consumer (which is what guarantees
+        acyclicity — in particular no self-referential fanins).
         """
         if not self.output_buses:
             raise NetlistError(f"netlist {self.name!r} declares no outputs")
         for name, bits in self.output_buses.items():
             if not bits:
                 raise NetlistError(f"output bus {name!r} is empty")
+            for b in bits:
+                if not (0 <= b < self.n_nodes):
+                    raise NetlistError(
+                        f"output bus {name!r} references unknown node {b}"
+                    )
         for nid, kind in enumerate(self._kinds):
-            if kind == _KIND_LUT and not self._fanins[nid]:
-                raise NetlistError(f"LUT node {nid} has no fanins")
+            if kind != _KIND_LUT:
+                continue
+            fanins = self._fanins[nid]
+            arity = len(fanins)
+            if not (1 <= arity <= MAX_LUT_ARITY):
+                raise NetlistError(
+                    f"LUT node {nid} arity {arity} outside 1..{MAX_LUT_ARITY}"
+                )
+            tt = self._tts[nid]
+            if not (0 <= tt < (1 << (1 << arity))):
+                raise NetlistError(
+                    f"LUT node {nid} truth table {tt:#x} wider than "
+                    f"2**{arity} bits"
+                )
+            for f in fanins:
+                if f == nid:
+                    raise NetlistError(f"LUT node {nid} is its own fanin")
+                if not (0 <= f < nid):
+                    raise NetlistError(
+                        f"LUT node {nid} fanin {f} does not precede it "
+                        "(broken topological construction order)"
+                    )
 
     def node_levels(self) -> np.ndarray:
         """LUT-level depth per node (inputs/consts at level 0)."""
@@ -383,7 +498,9 @@ class CompiledNetlist:
             name: values[ids].T.copy() for name, ids in self.output_buses.items()
         }
 
-    def evaluate_ints(self, signed_out: bool = False, **int_inputs: np.ndarray) -> dict[str, np.ndarray]:
+    def evaluate_ints(
+        self, signed_out: bool = False, **int_inputs: np.ndarray
+    ) -> dict[str, np.ndarray]:
         """Evaluate with integer inputs/outputs (convenience wrapper)."""
         bit_inputs = {}
         for name, vals in int_inputs.items():

@@ -16,7 +16,9 @@ from .core import Netlist
 __all__ = ["mac_block"]
 
 
-def mac_block(w_data: int, w_coeff: int, w_acc: int | None = None, name: str | None = None) -> Netlist:
+def mac_block(
+    w_data: int, w_coeff: int, w_acc: int | None = None, name: str | None = None
+) -> Netlist:
     """Build a MAC block: ``acc_out = acc_in + a * b`` (unsigned core).
 
     Inputs: ``a`` (``w_data`` bits), ``b`` (``w_coeff`` bits), ``acc``
@@ -58,10 +60,11 @@ def mac_block(w_data: int, w_coeff: int, w_acc: int | None = None, name: str | N
         product.extend(running)
         product.append(carry_top)
 
-    # Zero-extend the product to the accumulator width and add.
+    # Zero-extend the product to the accumulator width and add.  The
+    # accumulator is modular, so the top carry is never materialised.
     zero = nl.add_const(0)
     prod_ext = product + [zero] * (w_acc - len(product))
-    acc_out, _ = add_ripple_carry(nl, list(acc_in), prod_ext)
+    acc_out, _ = add_ripple_carry(nl, list(acc_in), prod_ext, emit_carry=False)
     nl.set_output_bus("acc_out", acc_out)
     nl.set_output_bus("p", product)
     return nl

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from ..errors import NetlistError
 from .adders import add_ripple_carry
-from .core import Netlist
+from .core import TT_NOT, Netlist
 
 __all__ = [
     "unsigned_array_multiplier",
@@ -107,6 +107,8 @@ def baugh_wooley_multiplier(wa: int, wb: int, name: str | None = None) -> Netlis
 
     product = _reduce_columns(nl, columns, wp)
     nl.set_output_bus("p", product)
+    # The correction ones are absorbed numerically; sweep the rail if unused.
+    nl.prune_dangling()
     return nl
 
 
@@ -115,27 +117,54 @@ def _reduce_columns(nl: Netlist, columns: list[list[int]], width: int) -> list[i
 
     Repeatedly applies full/half adders within each column, pushing carries
     into the next column, until every column holds a single bit.  Carries
-    past the top column are dropped (modular arithmetic).
+    past the top column are dropped (modular arithmetic).  Constant bits
+    (e.g. the Baugh-Wooley correction ones) are absorbed numerically so no
+    counter LUT ever wires the shared constant rail — and never the same
+    rail twice.
     """
     cols = [list(c) for c in columns]
+    carry_const = 0  # constant addend carried into the current column
+    for c in range(width):
+        k = carry_const
+        rest = []
+        for bit in cols[c]:
+            v = nl.const_value(bit)
+            if v is None:
+                rest.append(bit)
+            else:
+                k += v
+        if (k & 1) and rest:
+            # bit + 1: sum = NOT bit, carry = bit (folded increment cell)
+            bit = rest.pop()
+            rest.append(nl.add_lut_shared(TT_NOT, (bit,)))
+            if c + 1 < width:
+                cols[c + 1].append(bit)
+            k -= 1
+        cols[c] = rest if not (k & 1) else rest + [nl.add_const(1)]
+        carry_const = k >> 1
     changed = True
     while changed:
         changed = False
         for c in range(width):
             col = cols[c]
+            keep_carry = c + 1 < width  # modular: top-column carries vanish
             while len(col) >= 3:
                 a_, b_, cin = col.pop(), col.pop(), col.pop()
-                s, cy = nl.full_adder(a_, b_, cin)
-                col.append(s)
-                if c + 1 < width:
+                if keep_carry:
+                    s, cy = nl.full_adder(a_, b_, cin)
                     cols[c + 1].append(cy)
+                else:
+                    s = nl.XOR3(a_, b_, cin)
+                col.append(s)
                 changed = True
             if len(col) == 2:
                 a_, b_ = col.pop(), col.pop()
-                s, cy = nl.half_adder(a_, b_)
-                col.append(s)
-                if c + 1 < width:
+                if keep_carry:
+                    s, cy = nl.half_adder(a_, b_)
                     cols[c + 1].append(cy)
+                else:
+                    s = nl.XOR(a_, b_)
+                col.append(s)
                 changed = True
     out = []
     for c in range(width):

@@ -24,7 +24,9 @@ from .core import Netlist
 __all__ = ["wallace_tree_multiplier"]
 
 
-def _compress_stage(nl: Netlist, columns: list[list[int]], width: int) -> tuple[list[list[int]], bool]:
+def _compress_stage(
+    nl: Netlist, columns: list[list[int]], width: int
+) -> tuple[list[list[int]], bool]:
     """One parallel compression stage: 3:2 and 2:2 counters per column.
 
     Returns the next column set and whether any compression happened.
@@ -35,19 +37,24 @@ def _compress_stage(nl: Netlist, columns: list[list[int]], width: int) -> tuple[
     compressed = False
     for c in range(width):
         bits = columns[c]
+        keep_carry = c + 1 < width  # carries past the top column are modular
         i = 0
         while len(bits) - i >= 3:
-            s, cy = nl.full_adder(bits[i], bits[i + 1], bits[i + 2])
-            nxt[c].append(s)
-            if c + 1 < width:
+            if keep_carry:
+                s, cy = nl.full_adder(bits[i], bits[i + 1], bits[i + 2])
                 nxt[c + 1].append(cy)
+            else:
+                s = nl.XOR3(bits[i], bits[i + 1], bits[i + 2])
+            nxt[c].append(s)
             i += 3
             compressed = True
         if len(bits) - i == 2 and len(bits) > 2:
-            s, cy = nl.half_adder(bits[i], bits[i + 1])
-            nxt[c].append(s)
-            if c + 1 < width:
+            if keep_carry:
+                s, cy = nl.half_adder(bits[i], bits[i + 1])
                 nxt[c + 1].append(cy)
+            else:
+                s = nl.XOR(bits[i], bits[i + 1])
+            nxt[c].append(s)
             i += 2
             compressed = True
         nxt[c].extend(bits[i:])
@@ -79,10 +86,14 @@ def wallace_tree_multiplier(wa: int, wb: int, name: str | None = None) -> Netlis
         if not compressed:  # pragma: no cover - loop guard
             raise NetlistError("Wallace compression stalled")
 
-    # Final carry-propagate add of the two remaining rows.
+    # Final carry-propagate add of the two remaining rows.  The product is
+    # exactly wa+wb bits, so the top carry is provably 0 and never built.
+    # Columns holding fewer than two bits pad with the zero rail, which
+    # constant folding absorbs (no LUT ever sees the zero twice).
     zero = nl.add_const(0)
     row0 = [c[0] if len(c) >= 1 else zero for c in columns]
     row1 = [c[1] if len(c) >= 2 else zero for c in columns]
-    product, _ = add_ripple_carry(nl, row0, row1)
+    product, _ = add_ripple_carry(nl, row0, row1, emit_carry=False, fold_consts=True)
     nl.set_output_bus("p", product)
+    nl.prune_dangling()
     return nl

@@ -36,7 +36,9 @@ class AreaReport:
         return self.logic_elements - self.structural_luts
 
 
-def area_report(netlist: CompiledNetlist, seed: int = 0, noise_sigma: float = _AREA_NOISE_SIGMA) -> AreaReport:
+def area_report(
+    netlist: CompiledNetlist, seed: int = 0, noise_sigma: float = _AREA_NOISE_SIGMA
+) -> AreaReport:
     """Report the LE count of a synthesis run of ``netlist``.
 
     Parameters

@@ -15,6 +15,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..analysis import check_netlist
+from ..config import get_analysis_settings
 from ..errors import PlacementError
 from ..fabric.device import FPGADevice
 from ..netlist.core import CompiledNetlist, Netlist
@@ -80,6 +82,7 @@ class SynthesisFlow:
         anchor: tuple[int, int] = (0, 0),
         seed: int = 0,
         utilization: float = 0.55,
+        lint: bool | None = None,
     ) -> PlacedDesign:
         """Place ``netlist`` at ``anchor`` and annotate actual delays.
 
@@ -91,7 +94,18 @@ class SynthesisFlow:
         seed:
             Synthesis-run seed (placement layout, routing noise, reported
             area scatter all derive from it).
+        lint:
+            Run the static-analysis gate before placement, raising
+            :class:`~repro.errors.LintError` on error-severity findings
+            (dead logic, malformed output buses, ...) and surfacing the
+            rest as :class:`~repro.analysis.LintWarning`.  ``None`` defers
+            to :func:`repro.config.get_analysis_settings` (on by default;
+            the Fig. 2 flow runs it between "design entry" and placement).
         """
+        if lint is None:
+            lint = get_analysis_settings().lint_synthesis
+        if lint:
+            check_netlist(netlist, context="synthesis flow")
         compiled = netlist.compile() if isinstance(netlist, Netlist) else netlist
         placement = place_netlist(
             compiled, self.device, anchor=anchor, seed=seed, utilization=utilization
@@ -124,7 +138,12 @@ class SynthesisFlow:
             area=area_report(compiled, seed=seed),
         )
 
-    def available_anchors(self, netlist: Netlist | CompiledNetlist, n_locations: int, utilization: float = 0.55) -> list[tuple[int, int]]:
+    def available_anchors(
+        self,
+        netlist: Netlist | CompiledNetlist,
+        n_locations: int,
+        utilization: float = 0.55,
+    ) -> list[tuple[int, int]]:
         """Evenly spaced anchors where ``netlist`` fits, for location sweeps.
 
         Raises

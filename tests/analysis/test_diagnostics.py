@@ -1,0 +1,111 @@
+"""Tests for repro.analysis.diagnostics — Severity, Diagnostic, LintReport."""
+
+import json
+
+import pytest
+
+from repro.analysis import Diagnostic, LintReport, Severity
+from repro.errors import AnalysisError
+
+
+def _diag(rule="NL002", severity=Severity.ERROR, nodes=(3,), bus=None):
+    return Diagnostic(
+        rule=rule,
+        name="dead-logic",
+        severity=severity,
+        message="LUT node 3 cannot reach any output bus",
+        nodes=nodes,
+        bus=bus,
+    )
+
+
+class TestSeverity:
+    def test_ordering(self):
+        assert Severity.INFO < Severity.WARNING < Severity.ERROR
+
+    def test_parse_names_case_insensitive(self):
+        assert Severity.parse("error") is Severity.ERROR
+        assert Severity.parse("Warning") is Severity.WARNING
+        assert Severity.parse(Severity.INFO) is Severity.INFO
+
+    def test_parse_unknown_rejected(self):
+        with pytest.raises(AnalysisError):
+            Severity.parse("fatal")
+
+    def test_str_is_lowercase_name(self):
+        assert str(Severity.ERROR) == "error"
+
+
+class TestDiagnostic:
+    def test_format_mentions_rule_and_nodes(self):
+        line = _diag().format()
+        assert "NL002" in line
+        assert "[dead-logic]" in line
+        assert line.startswith("error")
+        assert "nodes 3" in line
+
+    def test_format_truncates_long_node_lists(self):
+        line = _diag(nodes=tuple(range(20))).format()
+        assert "+12 more" in line
+
+    def test_format_includes_bus(self):
+        assert "(bus 'p')" in _diag(bus="p").format()
+
+    def test_to_dict_omits_empty_anchors(self):
+        d = _diag(nodes=(), bus=None).to_dict()
+        assert "nodes" not in d
+        assert "bus" not in d
+        assert d["severity"] == "error"
+
+
+class TestLintReport:
+    def _report(self):
+        diags = (
+            _diag(),
+            _diag(rule="NL001", severity=Severity.WARNING, nodes=(5,)),
+            _diag(rule="NL003", severity=Severity.INFO, nodes=(1, 2)),
+        )
+        return LintReport(netlist="t", n_nodes=8, diagnostics=diags)
+
+    def test_severity_queries(self):
+        rep = self._report()
+        assert len(rep.errors) == 1
+        assert len(rep.warnings) == 1
+        assert len(rep.infos) == 1
+        assert rep.max_severity is Severity.ERROR
+
+    def test_by_rule_and_rule_ids(self):
+        rep = self._report()
+        assert rep.rule_ids == ("NL001", "NL002", "NL003")
+        assert len(rep.by_rule("NL002")) == 1
+        assert rep.by_rule("NL009") == ()
+
+    def test_ok_thresholds(self):
+        rep = self._report()
+        assert not rep.ok()  # default threshold is ERROR
+        assert not rep.ok(Severity.WARNING)
+        warning_only = LintReport(
+            netlist="t", n_nodes=8, diagnostics=rep.warnings + rep.infos
+        )
+        assert warning_only.ok()
+        assert not warning_only.ok(Severity.WARNING)
+
+    def test_clean_report(self):
+        rep = LintReport(netlist="t", n_nodes=4)
+        assert rep.clean
+        assert rep.ok(Severity.INFO)
+        assert rep.max_severity is None
+
+    def test_summary_counts(self):
+        assert "1 error(s), 1 warning(s), 1 info(s)" in self._report().summary()
+
+    def test_to_text_filters_by_severity(self):
+        rep = self._report()
+        assert "NL003" in rep.to_text()
+        assert "NL003" not in rep.to_text(min_severity=Severity.WARNING)
+
+    def test_to_json_roundtrips(self):
+        data = json.loads(self._report().to_json())
+        assert data["netlist"] == "t"
+        assert data["counts"] == {"error": 1, "warning": 1, "info": 1}
+        assert [d["rule"] for d in data["diagnostics"]] == ["NL002", "NL001", "NL003"]

@@ -1,0 +1,257 @@
+"""Tests for repro.analysis.passes — one trigger and one non-trigger per rule."""
+
+from repro.analysis import REGISTRY, LintConfig, Severity, lint_netlist, rule_table
+from repro.netlist.core import TT_AND2, Netlist
+
+
+def _half_adder():
+    """A netlist that fires no rule at all (the non-trigger baseline)."""
+    nl = Netlist("ha")
+    a = nl.add_input_bus("a", 1)
+    b = nl.add_input_bus("b", 1)
+    s, c = nl.half_adder(a[0], b[0])
+    nl.set_output_bus("s", [s])
+    nl.set_output_bus("c", [c])
+    return nl
+
+
+class TestRegistry:
+    def test_all_twelve_rules_registered(self):
+        assert sorted(REGISTRY) == [f"NL{i:03d}" for i in range(12)]
+
+    def test_rule_table_rows(self):
+        rows = rule_table()
+        assert [r[0] for r in rows] == sorted(REGISTRY)
+        assert all(r[2] in ("error", "warning", "info") for r in rows)
+
+    def test_baseline_is_clean(self):
+        assert lint_netlist(_half_adder()).clean
+
+
+class TestNL000InvalidStructure:
+    def test_oversized_truth_table(self):
+        nl = _half_adder()
+        nl._tts[2] = 1 << 4  # the arity-2 XOR holds at most a 4-row table
+        rep = lint_netlist(nl)
+        assert "NL000" in rep.rule_ids
+        assert rep.by_rule("NL000")[0].severity is Severity.ERROR
+
+    def test_self_fanin(self):
+        nl = _half_adder()
+        nl._fanins[3] = (3, 3)
+        assert "NL000" in lint_netlist(nl).rule_ids
+
+    def test_bus_referencing_unknown_node(self):
+        nl = _half_adder()
+        nl.output_buses["s"] = [99]
+        assert "NL000" in lint_netlist(nl).rule_ids
+
+    def test_broken_structure_gates_dag_passes(self):
+        # The dead LUT would fire NL002, but the broken DAG must yield
+        # NL000 only (structure-gated passes skip instead of crashing).
+        nl = _half_adder()
+        a = nl.input_buses["a"]
+        dead = nl.NOT(a[0])
+        nl._fanins[dead] = (dead,)
+        rep = lint_netlist(nl)
+        assert "NL000" in rep.rule_ids
+        assert "NL002" not in rep.rule_ids
+
+
+class TestNL001Dangling:
+    def test_unused_constant(self):
+        nl = _half_adder()
+        nl.add_const(1)
+        rep = lint_netlist(nl)
+        assert "NL001" in rep.rule_ids
+        assert "constant" in rep.by_rule("NL001")[0].message
+
+    def test_output_constant_not_dangling(self):
+        nl = _half_adder()
+        nl.output_buses["s"].append(nl.add_const(0))
+        assert "NL001" not in lint_netlist(nl).rule_ids
+
+
+class TestNL002DeadLogic:
+    def test_unreachable_lut(self):
+        nl = _half_adder()
+        a = nl.input_buses["a"]
+        dead = nl.NOT(a[0])
+        rep = lint_netlist(nl)
+        assert rep.by_rule("NL002")[0].nodes == (dead,)
+        assert rep.by_rule("NL002")[0].severity is Severity.ERROR
+
+    def test_reachable_logic_not_flagged(self):
+        assert "NL002" not in lint_netlist(_half_adder()).rule_ids
+
+
+class TestNL003DuplicateConst:
+    def test_hand_built_duplicate(self):
+        nl = _half_adder()
+        c1 = nl.add_const(1)
+        c2 = nl._add_node(1, 0, (), const=1)  # bypass the builder's dedup
+        nl.output_buses["s"] += [c1, c2]
+        rep = lint_netlist(nl)
+        assert rep.by_rule("NL003")[0].nodes == (c1, c2)
+        assert rep.by_rule("NL003")[0].severity is Severity.INFO
+
+    def test_builder_dedup_never_fires(self):
+        nl = _half_adder()
+        nl.output_buses["s"] += [nl.add_const(1), nl.add_const(1)]
+        assert "NL003" not in lint_netlist(nl).rule_ids
+
+
+class TestNL004ConstantLut:
+    def test_always_one_lut(self):
+        nl = _half_adder()
+        a = nl.input_buses["a"]
+        stuck = nl.add_lut(0b11, (a[0],))
+        nl.output_buses["s"].append(stuck)
+        rep = lint_netlist(nl)
+        assert rep.by_rule("NL004")[0].nodes == (stuck,)
+        assert "outputs 1" in rep.by_rule("NL004")[0].message
+
+    def test_real_function_not_flagged(self):
+        assert "NL004" not in lint_netlist(_half_adder()).rule_ids
+
+
+class TestNL005IgnoredFanin:
+    def test_repeated_driver(self):
+        nl = _half_adder()
+        a = nl.input_buses["a"]
+        folded = nl.AND(a[0], a[0])
+        nl.output_buses["s"].append(folded)
+        rep = lint_netlist(nl)
+        assert any("multiple" in d.message for d in rep.by_rule("NL005"))
+
+    def test_ignored_position(self):
+        nl = _half_adder()
+        a, b = nl.input_buses["a"], nl.input_buses["b"]
+        # tt 0b1100 over (a, b) is just "b": fanin position 0 is ignored.
+        buf = nl.add_lut(0b1100, (a[0], b[0]))
+        nl.output_buses["s"].append(buf)
+        rep = lint_netlist(nl)
+        assert any("ignores fanin" in d.message for d in rep.by_rule("NL005"))
+
+    def test_full_dependence_not_flagged(self):
+        assert "NL005" not in lint_netlist(_half_adder()).rule_ids
+
+
+class TestNL006DuplicateLut:
+    def test_commuted_duplicate_detected(self):
+        nl = _half_adder()
+        a, b = nl.input_buses["a"], nl.input_buses["b"]
+        x1 = nl.add_lut(TT_AND2, (a[0], b[0]))
+        x2 = nl.add_lut(TT_AND2, (b[0], a[0]))  # same function, swapped fanins
+        nl.set_output_bus("d", [x1, x2])
+        rep = lint_netlist(nl)
+        # The new pair duplicates each other *and* the half adder's carry.
+        assert any(set(d.nodes) >= {x1, x2} for d in rep.by_rule("NL006"))
+
+    def test_shared_lut_not_flagged(self):
+        nl = _half_adder()
+        a, b = nl.input_buses["a"], nl.input_buses["b"]
+        x1 = nl.add_lut_shared(0b1110, (a[0], b[0]))
+        x2 = nl.add_lut_shared(0b1110, (a[0], b[0]))
+        assert x1 == x2
+        nl.set_output_bus("d", [x1])
+        assert "NL006" not in lint_netlist(nl).rule_ids
+
+
+class TestNL007OutputOverlap:
+    def test_cross_bus_sharing(self):
+        nl = Netlist("t")
+        a = nl.add_input_bus("a", 1)
+        b = nl.add_input_bus("b", 1)
+        s = nl.XOR(a[0], b[0])
+        nl.set_output_bus("p", [s])
+        nl.set_output_bus("q", [s])
+        rep = lint_netlist(nl)
+        assert rep.by_rule("NL007")[0].severity is Severity.ERROR
+        assert rep.by_rule("NL007")[0].nodes == (s,)
+
+    def test_within_bus_repetition_allowed(self):
+        # Post-CSE netlists legitimately tie one net to several bit
+        # positions of one word (e.g. ccm(3, 1) has p = [n, n]).
+        nl = Netlist("t")
+        a = nl.add_input_bus("a", 1)
+        b = nl.add_input_bus("b", 1)
+        s = nl.XOR(a[0], b[0])
+        nl.set_output_bus("p", [s, s])
+        assert "NL007" not in lint_netlist(nl).rule_ids
+
+    def test_shared_constant_rail_exempt(self):
+        nl = _half_adder()
+        zero = nl.add_const(0)
+        nl.output_buses["s"].append(zero)
+        nl.output_buses["c"].append(zero)
+        assert "NL007" not in lint_netlist(nl).rule_ids
+
+
+class TestNL008OutputWidth:
+    def test_no_outputs(self):
+        nl = Netlist("t")
+        nl.add_input_bus("a", 1)
+        rep = lint_netlist(nl)
+        assert rep.by_rule("NL008")[0].severity is Severity.ERROR
+
+    def test_empty_bus(self):
+        nl = _half_adder()
+        nl.set_output_bus("empty", [])
+        rep = lint_netlist(nl)
+        assert any(d.bus == "empty" for d in rep.by_rule("NL008"))
+
+
+class TestNL009FanoutBudget:
+    def _wide_fanout(self):
+        nl = Netlist("t")
+        a = nl.add_input_bus("a", 1)
+        b = nl.add_input_bus("b", 1)
+        outs = [nl.AND(a[0], b[0]), nl.OR(a[0], b[0]), nl.XOR(a[0], b[0])]
+        nl.set_output_bus("p", outs)
+        return nl
+
+    def test_over_budget(self):
+        rep = lint_netlist(self._wide_fanout(), LintConfig(max_fanout=2))
+        assert "NL009" in rep.rule_ids
+
+    def test_default_budget_not_hit(self):
+        assert "NL009" not in lint_netlist(self._wide_fanout()).rule_ids
+
+    def test_constants_exempt(self):
+        nl = Netlist("t")
+        a = nl.add_input_bus("a", 3)
+        one = nl.add_const(1)  # fanout 3, but tied-off rails are free
+        outs = [nl.XOR(a[0], one), nl.AND(a[1], one), nl.OR(a[2], one)]
+        nl.set_output_bus("p", outs)
+        assert "NL009" not in lint_netlist(nl, LintConfig(max_fanout=2)).rule_ids
+
+
+class TestNL010DepthBudget:
+    def _chain(self):
+        nl = Netlist("t")
+        a = nl.add_input_bus("a", 1)
+        x = nl.NOT(a[0])
+        y = nl.XOR(x, a[0])
+        nl.set_output_bus("p", [y])
+        return nl
+
+    def test_over_budget(self):
+        rep = lint_netlist(self._chain(), LintConfig(max_depth=1))
+        assert "depth 2 exceeds budget 1" in rep.by_rule("NL010")[0].message
+
+    def test_default_budget_not_hit(self):
+        assert "NL010" not in lint_netlist(self._chain()).rule_ids
+
+
+class TestNL011InputCoverage:
+    def test_unused_input_bit(self):
+        nl = Netlist("t")
+        a = nl.add_input_bus("a", 2)
+        nl.set_output_bus("p", [nl.NOT(a[0])])
+        rep = lint_netlist(nl)
+        assert "bit(s) [1]" in rep.by_rule("NL011")[0].message
+        assert rep.by_rule("NL011")[0].bus == "a"
+
+    def test_covered_inputs_not_flagged(self):
+        assert "NL011" not in lint_netlist(_half_adder()).rule_ids

@@ -26,18 +26,18 @@ class TestConstruction:
         assert len(datapath.lanes) == design.k
 
     def test_lanes_at_distinct_locations(self, datapath):
-        anchors = {l.placement.anchor for l in datapath.lanes}
+        anchors = {pd.placement.anchor for pd in datapath.lanes}
         assert len(anchors) == len(datapath.lanes)
 
     def test_total_area_sums_lanes(self, datapath):
         assert datapath.total_area_le == sum(
-            l.area.logic_elements for l in datapath.lanes
+            pd.area.logic_elements for pd in datapath.lanes
         )
 
     def test_fmax_is_worst_lane(self, datapath):
-        tool = [l.tool_report.fmax_mhz for l in datapath.lanes]
+        tool = [pd.tool_report.fmax_mhz for pd in datapath.lanes]
         assert datapath.tool_fmax_mhz() == min(tool)
-        dev = [l.device_sta().fmax_mhz for l in datapath.lanes]
+        dev = [pd.device_sta().fmax_mhz for pd in datapath.lanes]
         assert datapath.device_fmax_mhz() == min(dev)
 
     def test_tool_below_device(self, datapath):

@@ -37,8 +37,9 @@ class TestPredicted:
         assert ev.mse == pytest.approx(reconstruction_mse(d.values, x_data))
 
     def test_overclocked_adds_term(self, x_data, models):
-        lo = evaluate_design(_design(x_data, freq=250.0), x_data, Domain.PREDICTED, error_models=models)
-        hi = evaluate_design(_design(x_data, freq=400.0), x_data, Domain.PREDICTED, error_models=models)
+        lo_design, hi_design = _design(x_data, freq=250.0), _design(x_data, freq=400.0)
+        lo = evaluate_design(lo_design, x_data, Domain.PREDICTED, error_models=models)
+        hi = evaluate_design(hi_design, x_data, Domain.PREDICTED, error_models=models)
         assert hi.mse > lo.mse
 
     def test_requires_models(self, x_data):

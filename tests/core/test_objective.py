@@ -12,7 +12,6 @@ from repro.core.objective import (
     overclocking_variance,
     reconstruction_mse,
 )
-from repro.core.quantize import quantize_coefficients
 from repro.datasets import low_rank_gaussian
 from repro.errors import DesignError, ModelError
 from repro.models.error_model import ErrorModelSet

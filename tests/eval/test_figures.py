@@ -4,7 +4,6 @@ These exercise the drivers end to end and assert the paper's qualitative
 shapes.  One shared tiny context keeps the wall-clock reasonable.
 """
 
-import numpy as np
 import pytest
 
 from repro.eval import figures, tables

@@ -5,7 +5,6 @@ import pytest
 
 from repro.errors import ModelError
 from repro.models.area_model import (
-    AreaModel,
     AreaSample,
     collect_area_samples,
     fit_area_model,

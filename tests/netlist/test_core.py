@@ -196,3 +196,111 @@ class TestStatsAndCompile:
         c = nl.compile()
         with pytest.raises(NetlistError):
             c.evaluate_ints(zz=np.array([1]))
+
+
+class TestValidateRegressions:
+    """validate() must catch hand-assembled breakage compile() relies on."""
+
+    def _ha(self):
+        nl = Netlist()
+        a = nl.add_input_bus("a", 1)
+        b = nl.add_input_bus("b", 1)
+        s, c = nl.half_adder(a[0], b[0])
+        nl.set_output_bus("s", [s])
+        nl.set_output_bus("c", [c])
+        return nl
+
+    def test_wide_truth_table_rejected(self):
+        nl = self._ha()
+        nl._tts[2] = 1 << 4  # arity-2 LUT holds at most a 4-row table
+        with pytest.raises(NetlistError, match="wider"):
+            nl.validate()
+
+    def test_self_referential_fanin_rejected(self):
+        nl = self._ha()
+        nl._fanins[3] = (3, 3)
+        with pytest.raises(NetlistError, match="own fanin"):
+            nl.validate()
+
+    def test_forward_fanin_rejected(self):
+        nl = self._ha()
+        nl._fanins[2] = (3, 0)  # node 2 consuming node 3
+        with pytest.raises(NetlistError, match="precede"):
+            nl.validate()
+
+    def test_empty_output_bus_rejected(self):
+        nl = self._ha()
+        nl.output_buses["s"] = []
+        with pytest.raises(NetlistError, match="empty"):
+            nl.validate()
+
+
+class TestConstDedup:
+    def test_same_value_same_node(self):
+        nl = Netlist()
+        assert nl.add_const(1) == nl.add_const(1)
+        assert nl.add_const(0) != nl.add_const(1)
+
+    def test_const_value_lookup(self):
+        nl = Netlist()
+        a = nl.add_input_bus("a", 1)
+        one = nl.add_const(1)
+        assert nl.const_value(one) == 1
+        assert nl.const_value(a[0]) is None
+        with pytest.raises(NetlistError):
+            nl.const_value(99)
+
+
+class TestSharedLuts:
+    def test_identical_lut_reused(self):
+        nl = Netlist()
+        a = nl.add_input_bus("a", 2)
+        x = nl.add_lut_shared(0b0110, (a[0], a[1]))
+        assert nl.add_lut_shared(0b0110, (a[0], a[1])) == x
+
+    def test_different_fanin_order_not_merged(self):
+        # Sharing is purely structural; canonicalisation is the linter's job.
+        nl = Netlist()
+        a = nl.add_input_bus("a", 2)
+        x = nl.add_lut_shared(0b0110, (a[0], a[1]))
+        assert nl.add_lut_shared(0b0110, (a[1], a[0])) != x
+
+
+class TestPruneDangling:
+    def test_removes_unreachable_nodes(self):
+        nl = Netlist()
+        a = nl.add_input_bus("a", 2)
+        keep = nl.XOR(a[0], a[1])
+        nl.AND(a[0], a[1])  # dead
+        nl.add_const(1)  # dead
+        nl.set_output_bus("o", [keep])
+        assert nl.prune_dangling() == 2
+        assert nl.n_nodes == 3
+        got = nl.compile().evaluate_ints(a=np.array([0, 1, 2, 3]))["o"]
+        assert got.tolist() == [0, 1, 1, 0]
+
+    def test_noop_on_live_netlist(self):
+        nl = Netlist()
+        a = nl.add_input_bus("a", 2)
+        nl.set_output_bus("o", [nl.XOR(a[0], a[1])])
+        assert nl.prune_dangling() == 0
+
+    def test_inputs_always_kept(self):
+        nl = Netlist()
+        a = nl.add_input_bus("a", 2)
+        nl.set_output_bus("o", [nl.NOT(a[0])])  # a[1] unused
+        assert nl.prune_dangling() == 0
+        assert nl.input_buses["a"] == a
+
+    def test_caches_remapped(self):
+        nl = Netlist()
+        a = nl.add_input_bus("a", 2)
+        nl.OR(a[0], a[1])  # dead; shifts every id behind it on prune
+        keep = nl.add_lut_shared(0b0110, (a[0], a[1]))
+        one = nl.add_const(1)
+        nl.set_output_bus("o", [keep, one])
+        assert nl.prune_dangling() == 1
+        # Dedup/CSE caches must follow the renumbering.
+        assert nl.add_const(1) == nl.output_buses["o"][1]
+        assert nl.add_lut_shared(0b0110, tuple(nl.input_buses["a"])) == \
+            nl.output_buses["o"][0]

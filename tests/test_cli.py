@@ -25,3 +25,49 @@ class TestCli:
         out = capsys.readouterr().out
         assert "tool Fmax" in out
         assert "9-bit tool Fmax" in out
+
+
+class TestLintCli:
+    def test_clean_design_exits_zero(self, capsys):
+        assert main(["lint", "ccm", "93", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "0 error(s)" in out
+
+    def test_unsigned_multiplier_clean(self, capsys):
+        assert main(["lint", "unsigned_multiplier", "8", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "0 error(s), 0 warning(s), 0 info(s)" in out
+
+    def test_warnings_fail_only_at_threshold(self, capsys):
+        # ccm 0 N produces NL011 warnings: pass by default, fail on request.
+        assert main(["lint", "ccm", "0", "8"]) == 0
+        assert main(["lint", "ccm", "0", "8", "--fail-on", "warning"]) == 1
+        assert "NL011" in capsys.readouterr().out
+
+    def test_disable_suppresses_rule(self, capsys):
+        code = main(["lint", "ccm", "0", "8", "--disable", "NL011",
+                     "--fail-on", "warning"])
+        assert code == 0
+        assert "NL011" not in capsys.readouterr().out
+
+    def test_json_format(self, capsys):
+        import json
+
+        assert main(["lint", "mac", "4", "4", "--format", "json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["counts"]["error"] == 0
+        assert data["diagnostics"] == []
+
+    def test_budget_flags_reach_config(self, capsys):
+        code = main(["lint", "unsigned_multiplier", "8", "8",
+                     "--max-depth", "1", "--fail-on", "warning"])
+        assert code == 1
+        assert "NL010" in capsys.readouterr().out
+
+    def test_bad_parameter_count_exits_two(self, capsys):
+        assert main(["lint", "ccm", "93"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_unknown_generator_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["lint", "not-a-generator", "8"])

@@ -33,7 +33,9 @@ CHAR = CharacterizationConfig(
 def pipeline():
     device = make_device(42)  # full Cyclone III grid for realistic Fmax
     fw = OptimizationFramework(device, SETTINGS, char_config=CHAR, seed=7)
-    x = low_rank_gaussian(6, 3, SETTINGS.n_train + SETTINGS.n_test, np.random.default_rng(0), noise=0.02)
+    x = low_rank_gaussian(
+        6, 3, SETTINGS.n_train + SETTINGS.n_test, np.random.default_rng(0), noise=0.02
+    )
     x_train, x_test = x[:, : SETTINGS.n_train], x[:, SETTINGS.n_train :]
     of = fw.optimize(x_train, beta=4.0)
     klt = fw.klt_baselines(x_train)
@@ -94,7 +96,9 @@ class TestPaperClaims:
         fw, of, klt, x_test = pipeline
         device = make_device(42)
         fw2 = OptimizationFramework(device, SETTINGS, char_config=CHAR, seed=7)
-        x = low_rank_gaussian(6, 3, SETTINGS.n_train + SETTINGS.n_test, np.random.default_rng(0), noise=0.02)
+        x = low_rank_gaussian(
+            6, 3, SETTINGS.n_train + SETTINGS.n_test, np.random.default_rng(0), noise=0.02
+        )
         of2 = fw2.optimize(x[:, : SETTINGS.n_train], beta=4.0)
         for a, b in zip(of.designs, of2.designs):
             assert np.array_equal(a.values, b.values)

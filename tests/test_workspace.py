@@ -10,7 +10,6 @@ from repro.datasets import low_rank_gaussian
 from repro.errors import ConfigError
 from repro.models.area_model import collect_area_samples, fit_area_model
 from repro.workspace import Workspace
-from tests.conftest import SMALL_FAMILY
 
 SETTINGS = TableISettings(
     n_characterization=60,
