@@ -1,0 +1,409 @@
+#!/usr/bin/env python
+"""Benchmark the parallel characterisation engine against the seed path.
+
+Measures, on the reference sweep (8x8 multiplier, full multiplicand
+enumeration, 2 locations):
+
+* a **legacy replica** — the pre-engine harness loop, re-created here
+  verbatim: per-frequency ``capture_stream`` calls, per-segment Python
+  statistics, and the un-memoised PLL divider search on every synthesize
+  call (the seed's cost profile);
+* the **engine** at each requested worker count (measured wall-clock,
+  plus a modelled multi-worker makespan from the per-shard serial
+  timings — on a single-CPU host the measured pool numbers cannot show
+  core scaling, the modelled ones show what the shard schedule allows);
+* the **placed-design cache**, cold (every placement synthesised) vs
+  warm (every placement loaded from disk).
+
+Every run cross-checks bit-identity: the engine grids must be identical
+across worker counts, and mean/error-rate must equal the legacy replica
+exactly (variance to float tolerance — the vectorised two-pass moment
+differs from ``ndarray.var`` in the last ulps).
+
+Writes ``BENCH_characterization.json`` (schema below, validated before
+writing).  ``--smoke`` shrinks the sweep to seconds for CI gates.
+
+Usage::
+
+    python benchmarks/bench_parallel_characterization.py
+    python benchmarks/bench_parallel_characterization.py --smoke --jobs 1,2
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.characterization.circuit import CharacterizationCircuit
+from repro.characterization.harness import (
+    CharacterizationConfig,
+    _resolve_multiplicands,
+    characterize_multiplier,
+)
+from repro.fabric.device import make_device
+from repro.fabric.pll import _synthesize_search
+from repro.netlist.core import bits_from_ints
+from repro.parallel import (
+    PlacedDesignCache,
+    Shard,
+    SweepPlan,
+    execute_shards,
+    multiplier_netlist,
+    run_shard,
+)
+from repro.rng import SeedTree
+from repro.synthesis.flow import SynthesisFlow
+from repro.timing.simulator import simulate_transitions
+
+SCHEMA_VERSION = 1
+
+#: Keys every emitted payload must carry (the check.sh smoke gate relies
+#: on the validation below, so schema drift fails loudly).
+_TOP_KEYS = {"schema_version", "benchmark", "smoke", "cpus", "sweep", "cache"}
+_SWEEP_KEYS = {
+    "w_data",
+    "w_coeff",
+    "n_multiplicands",
+    "n_locations",
+    "n_freqs",
+    "n_samples",
+    "n_shards",
+    "legacy_seconds",
+    "engine",
+    "modelled",
+    "bit_identical_across_jobs",
+    "matches_legacy",
+}
+_CACHE_KEYS = {"n_anchors", "cold_seconds", "warm_seconds", "speedup"}
+
+
+# ----------------------------------------------------------------------
+# Legacy replica: the seed harness loop, including its per-call PLL cost.
+def _legacy_pll_search(pll, freq_mhz: float):
+    """The divider grid search exactly as the seed ran it: un-memoised."""
+    return _synthesize_search.__wrapped__(pll.config, float(freq_mhz))
+
+
+def _legacy_sweep(device, w_data, w_coeff, config, seed):
+    """Replica of the pre-engine ``characterize_multiplier`` body.
+
+    Same seed paths and draw order as the engine (so the outputs are
+    comparable), but the seed's cost structure: a probe placement, a
+    fresh synthesis per location, one ``capture`` per frequency with a
+    fresh PLL grid search, and per-segment Python statistics loops.
+    """
+    tree = SeedTree(seed).child("characterization", f"{w_data}x{w_coeff}")
+    multiplicands = _resolve_multiplicands(config, w_coeff)
+    pll = device.family.pll
+
+    seen, freq_requests = set(), []
+    for f in sorted(config.freqs_mhz):
+        achieved_f = round(_legacy_pll_search(pll, f).achieved_mhz, 6)
+        if achieved_f not in seen:
+            seen.add(achieved_f)
+            freq_requests.append(f)
+
+    flow = SynthesisFlow(device)
+    probe = flow.run(multiplier_netlist(w_data, w_coeff), anchor=(0, 0), seed=seed)
+    locations = tuple(flow.available_anchors(probe.netlist, config.n_locations))
+
+    n_f, n_m, n_l = len(freq_requests), multiplicands.shape[0], len(locations)
+    variance = np.zeros((n_l, n_m, n_f))
+    mean = np.zeros((n_l, n_m, n_f))
+    rate = np.zeros((n_l, n_m, n_f))
+    seg_len = config.n_samples + 1
+    achieved = [_legacy_pll_search(pll, f).achieved_mhz for f in freq_requests]
+
+    for li, loc in enumerate(locations):
+        circuit = CharacterizationCircuit(
+            device,
+            w_data,
+            w_coeff,
+            anchor=loc,
+            seed=seed + li,
+            max_stream_depth=max(32768, seg_len * config.segment_chunk),
+            cache=PlacedDesignCache(),  # empty: synthesis runs, as in the seed
+        )
+        stim_rng = tree.rng("stimulus", str(loc))
+        for start in range(0, n_m, config.segment_chunk):
+            chunk = multiplicands[start : start + config.segment_chunk]
+            stream = stim_rng.integers(
+                0, 1 << w_data, size=seg_len * chunk.shape[0], dtype=np.int64
+            )
+            inputs = {
+                "a": bits_from_ints(stream, w_data),
+                "b": bits_from_ints(np.repeat(chunk, seg_len), w_coeff),
+            }
+            timing = simulate_transitions(
+                circuit.placed.netlist,
+                inputs,
+                circuit.placed.node_delay,
+                circuit.placed.edge_delay,
+            )
+            n_tr = seg_len * chunk.shape[0] - 1
+            valid = np.ones(n_tr, dtype=bool)
+            valid[np.arange(1, chunk.shape[0]) * seg_len - 1] = False
+            seg_of_transition = np.arange(n_tr) // seg_len
+            for fi, f in enumerate(freq_requests):
+                _legacy_pll_search(pll, f)  # the seed searched on every capture
+                cap_rng = tree.rng("capture", str(loc), f"{f}", str(start))
+                run_all = circuit.capture(timing, int(chunk[0]), f, cap_rng)
+                errors = run_all.captured - run_all.expected
+                for ci in range(chunk.shape[0]):
+                    e = errors[valid & (seg_of_transition == ci)]
+                    mi = start + ci
+                    variance[li, mi, fi] = float(e.var())
+                    mean[li, mi, fi] = float(e.mean())
+                    rate[li, mi, fi] = float((e != 0).mean())
+    return {
+        "variance": variance,
+        "mean": mean,
+        "error_rate": rate,
+        "freqs_mhz": np.asarray(achieved),
+        "locations": locations,
+    }
+
+
+# ----------------------------------------------------------------------
+def _build_shards(device, w_data, w_coeff, config, seed):
+    """The engine's sharding, reproduced for per-shard timing."""
+    tree = SeedTree(seed).child("characterization", f"{w_data}x{w_coeff}")
+    multiplicands = _resolve_multiplicands(config, w_coeff)
+    pll = device.family.pll
+    seen, freq_requests = set(), []
+    for f in sorted(config.freqs_mhz):
+        achieved_f = round(pll.synthesize(f).achieved_mhz, 6)
+        if achieved_f not in seen:
+            seen.add(achieved_f)
+            freq_requests.append(f)
+    flow = SynthesisFlow(device)
+    locations = tuple(
+        flow.available_anchors(multiplier_netlist(w_data, w_coeff), config.n_locations)
+    )
+    seg_len = config.n_samples + 1
+    plan = SweepPlan(
+        w_data=w_data,
+        w_coeff=w_coeff,
+        seed=seed,
+        freqs_mhz=tuple(freq_requests),
+        achieved_mhz=pll.achieved_grid(freq_requests),
+        n_samples=config.n_samples,
+        max_stream_depth=max(32768, seg_len * config.segment_chunk),
+    )
+    shards = []
+    for li, loc in enumerate(locations):
+        stim_rng = tree.rng("stimulus", str(loc))
+        for start in range(0, multiplicands.shape[0], config.segment_chunk):
+            chunk = multiplicands[start : start + config.segment_chunk]
+            stream = stim_rng.integers(
+                0, 1 << w_data, size=seg_len * chunk.shape[0], dtype=np.int64
+            )
+            shards.append(
+                Shard(li=li, location=loc, start=start, multiplicands=chunk, stimulus=stream)
+            )
+    return plan, shards
+
+
+def _modelled_makespan(shard_seconds: list[float], jobs: int, startup_s: float = 0.25) -> float:
+    """LPT-scheduled makespan of the measured shard times over ``jobs`` workers.
+
+    What a multi-core host would see, up to pool overheads (a fixed
+    startup allowance stands in for fork + initializer cost).
+    """
+    workers = [0.0] * max(1, jobs)
+    for t in sorted(shard_seconds, reverse=True):
+        workers[workers.index(min(workers))] += t
+    return max(workers) + (startup_s if jobs > 1 else 0.0)
+
+
+def _bench_sweep(device, config, jobs_list, seed):
+    w_data = w_coeff = 8
+    results = {}
+
+    t0 = time.perf_counter()
+    legacy = _legacy_sweep(device, w_data, w_coeff, config, seed)
+    legacy_s = time.perf_counter() - t0
+    print(f"  legacy replica: {legacy_s:.2f}s")
+
+    # Per-shard serial timing (one warm-up placement first so the engine
+    # numbers do not include the shared one-off netlist build).
+    plan, shards = _build_shards(device, w_data, w_coeff, config, seed)
+    cache = PlacedDesignCache()
+    shard_seconds = []
+    for shard in shards:
+        t0 = time.perf_counter()
+        run_shard(device, plan, shard, cache)
+        shard_seconds.append(time.perf_counter() - t0)
+
+    engine_rows = []
+    grids = {}
+    for jobs in jobs_list:
+        t0 = time.perf_counter()
+        r = characterize_multiplier(
+            device, w_data, w_coeff, config, seed=seed, jobs=jobs, cache=PlacedDesignCache()
+        )
+        dt = time.perf_counter() - t0
+        engine_rows.append(
+            {"jobs": jobs, "seconds": round(dt, 4), "speedup_vs_legacy": round(legacy_s / dt, 3)}
+        )
+        grids[jobs] = r
+        print(f"  engine jobs={jobs}: {dt:.2f}s ({legacy_s / dt:.2f}x vs legacy)")
+
+    ref = grids[jobs_list[0]]
+    bit_identical = all(
+        np.array_equal(ref.variance, grids[j].variance)
+        and np.array_equal(ref.mean, grids[j].mean)
+        and np.array_equal(ref.error_rate, grids[j].error_rate)
+        for j in jobs_list[1:]
+    )
+    matches_legacy = (
+        np.array_equal(legacy["mean"], ref.mean)
+        and np.array_equal(legacy["error_rate"], ref.error_rate)
+        and np.allclose(legacy["variance"], ref.variance, rtol=1e-9, atol=1e-9)
+        and np.array_equal(legacy["freqs_mhz"], ref.freqs_mhz)
+        and legacy["locations"] == ref.locations
+    )
+
+    model_jobs = max(jobs_list)
+    modelled_s = _modelled_makespan(shard_seconds, model_jobs)
+    print(
+        f"  modelled jobs={model_jobs} makespan: {modelled_s:.2f}s "
+        f"({legacy_s / modelled_s:.2f}x vs legacy)"
+    )
+
+    results["w_data"] = w_data
+    results["w_coeff"] = w_coeff
+    results["n_multiplicands"] = int(ref.multiplicands.shape[0])
+    results["n_locations"] = len(ref.locations)
+    results["n_freqs"] = int(ref.freqs_mhz.shape[0])
+    results["n_samples"] = config.n_samples
+    results["n_shards"] = len(shards)
+    results["legacy_seconds"] = round(legacy_s, 4)
+    results["engine"] = engine_rows
+    results["modelled"] = {
+        "jobs": model_jobs,
+        "seconds": round(modelled_s, 4),
+        "speedup_vs_legacy": round(legacy_s / modelled_s, 3),
+        "note": "LPT makespan of measured serial shard times; what a host "
+        "with >= that many cores would see",
+    }
+    results["bit_identical_across_jobs"] = bool(bit_identical)
+    results["matches_legacy"] = bool(matches_legacy)
+    return results
+
+
+def _bench_cache(device, n_anchors):
+    netlist = multiplier_netlist(8, 8)
+    flow = SynthesisFlow(device)
+    anchors = flow.available_anchors(netlist, n_anchors)
+    with tempfile.TemporaryDirectory(prefix="repro-bench-cache-") as tmp:
+        cold = PlacedDesignCache(tmp)
+        t0 = time.perf_counter()
+        cold_designs = [cold.get_or_place(device, 8, 8, a, 0) for a in anchors]
+        cold_s = time.perf_counter() - t0
+
+        warm = PlacedDesignCache(tmp)  # fresh instance: every hit is a disk load
+        t0 = time.perf_counter()
+        warm_designs = [warm.get_or_place(device, 8, 8, a, 0) for a in anchors]
+        warm_s = time.perf_counter() - t0
+
+        identical = all(
+            np.array_equal(c.node_delay, w.node_delay)
+            for c, w in zip(cold_designs, warm_designs)
+        )
+        stats = warm.stats()
+        assert stats.disk_hits == len(anchors), "warm pass must hit disk only"
+    if not identical:
+        raise AssertionError("cache round-trip changed placed delays")
+    print(
+        f"  cache: cold {cold_s:.3f}s, warm {warm_s:.3f}s "
+        f"({cold_s / warm_s:.1f}x) over {len(anchors)} anchors"
+    )
+    return {
+        "n_anchors": len(anchors),
+        "cold_seconds": round(cold_s, 4),
+        "warm_seconds": round(warm_s, 4),
+        "speedup": round(cold_s / warm_s, 3),
+    }
+
+
+def _validate(payload: dict) -> None:
+    missing = _TOP_KEYS - payload.keys()
+    if missing:
+        raise AssertionError(f"payload missing keys: {sorted(missing)}")
+    missing = _SWEEP_KEYS - payload["sweep"].keys()
+    if missing:
+        raise AssertionError(f"sweep section missing keys: {sorted(missing)}")
+    missing = _CACHE_KEYS - payload["cache"].keys()
+    if missing:
+        raise AssertionError(f"cache section missing keys: {sorted(missing)}")
+    if not payload["sweep"]["bit_identical_across_jobs"]:
+        raise AssertionError("engine grids differ across worker counts")
+    if not payload["sweep"]["matches_legacy"]:
+        raise AssertionError("engine grids differ from the legacy replica")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--smoke", action="store_true", help="tiny sweep for CI gates")
+    parser.add_argument(
+        "--jobs",
+        default="1,4",
+        help="comma-separated worker counts to measure (default: 1,4)",
+    )
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument(
+        "--output",
+        default="BENCH_characterization.json",
+        help="where to write the results JSON",
+    )
+    args = parser.parse_args(argv)
+    jobs_list = [int(j) for j in args.jobs.split(",")]
+    if any(j < 1 for j in jobs_list):
+        parser.error("--jobs entries must be >= 1")
+
+    device = make_device(args.seed)
+    if args.smoke:
+        config = CharacterizationConfig(
+            freqs_mhz=(270.0, 300.0, 330.0),
+            n_samples=60,
+            multiplicands=tuple(range(16)),
+            n_locations=2,
+        )
+        n_anchors = 6
+    else:
+        # The reference sweep: full 8-bit multiplicand enumeration at two
+        # locations (paper procedure, sample count scaled for bench time).
+        config = CharacterizationConfig(n_samples=200, multiplicands=None, n_locations=2)
+        n_anchors = 24
+
+    print(f"sweep ({'smoke' if args.smoke else 'reference'}):")
+    sweep = _bench_sweep(device, config, jobs_list, args.seed)
+    print("cache:")
+    cache = _bench_cache(device, n_anchors)
+
+    payload = {
+        "schema_version": SCHEMA_VERSION,
+        "benchmark": "parallel_characterization",
+        "smoke": args.smoke,
+        "cpus": os.cpu_count() or 1,
+        "sweep": sweep,
+        "cache": cache,
+    }
+    _validate(payload)
+    Path(args.output).write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

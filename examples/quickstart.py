@@ -11,9 +11,11 @@ Walks the paper's Fig. 2 design flow end to end on a simulated device:
 6. compare the resulting designs against the classical KLT methodology,
    measured on the device (the "actual" domain).
 
-Run time: ~1 minute with the default --scale 0.05.
+Run time: ~1 minute with the default --scale 0.05.  Pass --jobs N (or
+set REPRO_JOBS) to fan the characterisation out over N worker
+processes — the numbers do not change, only the wall-clock.
 
-    python examples/quickstart.py [--scale 0.05] [--serial 42]
+    python examples/quickstart.py [--scale 0.05] [--serial 42] [--jobs 4]
 """
 
 from __future__ import annotations
@@ -29,6 +31,7 @@ from repro.datasets import low_rank_gaussian
 from repro.eval.report import render_table
 from repro.framework import default_frequency_grid
 from repro.netlist.multipliers import unsigned_array_multiplier
+from repro.parallel import resolve_jobs
 
 
 def main() -> None:
@@ -38,7 +41,10 @@ def main() -> None:
     parser.add_argument("--serial", type=int, default=42,
                         help="device serial number (selects the die)")
     parser.add_argument("--beta", type=float, default=4.0)
+    parser.add_argument("--jobs", type=int, default=None,
+                        help="worker processes (default: $REPRO_JOBS or 1)")
     args = parser.parse_args()
+    jobs = resolve_jobs(args.jobs)  # rejects jobs < 1 up front
 
     # 1. Fabricate the device.
     device = make_device(args.serial)
@@ -61,9 +67,10 @@ def main() -> None:
         n_samples=settings.n_characterization,
         n_locations=2,
     )
-    fw = OptimizationFramework(device, settings, char_config=char, seed=args.serial)
+    fw = OptimizationFramework(device, settings, char_config=char,
+                               seed=args.serial, jobs=jobs)
     print(f"characterising multipliers for word-lengths "
-          f"{settings.coeff_wordlengths} ...")
+          f"{settings.coeff_wordlengths} (jobs={jobs}) ...")
     fw.characterize()
     fw.fit_area_model()
 

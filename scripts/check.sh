@@ -38,6 +38,23 @@ fi
 
 run_gate "pytest (tier-1)" env PYTHONPATH=src python -m pytest -x -q
 
+# Characterisation-engine smoke bench: asserts the engine is bit-identical
+# to the legacy path across worker counts and the JSON schema is intact.
+bench_json="$(mktemp -t bench_characterization.XXXXXX.json)"
+run_gate "bench (smoke)" python benchmarks/bench_parallel_characterization.py \
+    --smoke --jobs 1,2 --output "${bench_json}"
+run_gate "bench schema" python - "${bench_json}" <<'PY'
+import json, sys
+payload = json.load(open(sys.argv[1]))
+assert payload["schema_version"] == 1
+assert payload["smoke"] is True
+assert payload["sweep"]["bit_identical_across_jobs"] is True
+assert payload["sweep"]["matches_legacy"] is True
+assert payload["cache"]["speedup"] > 1.0
+print("bench schema OK")
+PY
+rm -f "${bench_json}"
+
 if [ "${failures}" -ne 0 ]; then
     echo "${failures} gate(s) failed"
     exit 1

@@ -16,12 +16,14 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from typing import Sequence
+
 from ..errors import CharacterizationError
 from ..fabric.device import FPGADevice
 from ..netlist.core import bits_from_ints
-from ..netlist.multipliers import unsigned_array_multiplier
-from ..synthesis.flow import PlacedDesign, SynthesisFlow
-from ..timing.capture import capture_stream
+from ..parallel.cache import PlacedDesignCache, get_default_cache
+from ..synthesis.flow import PlacedDesign
+from ..timing.capture import BatchCaptureResult, capture_stream, capture_stream_batch
 from ..timing.simulator import TransitionTimingResult, simulate_transitions
 from .fsm import CharacterizationFSM
 from .stream import InputStreamBRAM, OutputStreamBRAM
@@ -83,6 +85,10 @@ class CharacterizationCircuit:
         Placement location of the DUT — the sweep variable of Fig. 4.
     seed:
         Synthesis seed for this instantiation.
+    cache:
+        Placed-design cache to place through; ``None`` uses the
+        process-wide default.  Identical geometry/anchor/seed requests
+        reuse the same placement instead of re-running synthesis.
     """
 
     def __init__(
@@ -94,13 +100,15 @@ class CharacterizationCircuit:
         seed: int = 0,
         fsm_clk_mhz: float = 50.0,
         max_stream_depth: int = 32768,
+        cache: PlacedDesignCache | None = None,
     ) -> None:
         self.device = device
         self.w_data = int(w_data)
         self.w_coeff = int(w_coeff)
-        netlist = unsigned_array_multiplier(self.w_data, self.w_coeff)
-        self.placed: PlacedDesign = SynthesisFlow(device).run(
-            netlist, anchor=anchor, seed=seed
+        if cache is None:
+            cache = get_default_cache()
+        self.placed: PlacedDesign = cache.get_or_place(
+            device, self.w_data, self.w_coeff, anchor, seed
         )
         self.fsm = CharacterizationFSM(fsm_clk_mhz=fsm_clk_mhz)
         self.input_bram = InputStreamBRAM(width=self.w_data, depth=max_stream_depth)
@@ -160,6 +168,38 @@ class CharacterizationCircuit:
             freq_mhz=clock.achieved_mhz,
             captured=captured,
             expected=result.ideal_ints(),
+        )
+
+    def capture_batch(
+        self,
+        timing: TransitionTimingResult,
+        achieved_mhz: Sequence[float],
+        rngs: Sequence[np.random.Generator],
+    ) -> BatchCaptureResult:
+        """Capture one simulated stream at several achieved frequencies.
+
+        The frequencies must already be PLL-achieved values (the sweep
+        planner synthesises each requested clock exactly once); one FSM
+        test sequence runs per frequency, as in hardware.  Per-frequency
+        results are bit-identical to :meth:`capture` with the same rng.
+        """
+        if len(achieved_mhz) != len(rngs):
+            raise CharacterizationError("one capture rng required per frequency")
+        for f in achieved_mhz:
+            self.fsm.validate_dut_clock(f)
+            self.fsm.run_sequence()
+        if timing.n_transitions > self.output_bram.depth:
+            raise CharacterizationError(
+                f"capture of {timing.n_transitions} cycles exceeds output "
+                f"BRAM depth {self.output_bram.depth}"
+            )
+        return capture_stream_batch(
+            timing,
+            "p",
+            achieved_mhz,
+            setup_ns=self.placed.setup_ns,
+            jitter=self.pll.jitter,
+            rngs=rngs,
         )
 
     def run(

@@ -8,26 +8,34 @@ tool-reported Fmax.
 
 Performance notes (per the hpc-parallel guides): the transition timing
 simulation is the hot path and is independent of the capture frequency,
-so each simulated stream is reused across the whole frequency sweep; and
-multiple multiplicand segments are concatenated into one stream so the
-per-call overhead of the level loop is amortised.  Segment-boundary
-transitions (where the fixed operand artificially "switches") are masked
-out of the statistics — in hardware the constant is set between runs, not
-streamed.
+so each simulated stream is reused across the whole frequency sweep —
+captured at every frequency in one batched NumPy pass; and multiple
+multiplicand segments are concatenated into one stream so the per-call
+overhead of the level loop is amortised.  Segment-boundary transitions
+(where the fixed operand artificially "switches") are masked out of the
+statistics — in hardware the constant is set between runs, not streamed.
+
+The sweep itself is sharded per ``(location, multiplicand-chunk)`` and
+dispatched through :mod:`repro.parallel.engine`: pass ``jobs`` (or set
+``REPRO_JOBS``) to fan the shards out over a process pool.  Results are
+bit-identical at any worker count — stimulus streams are drawn up front
+in serial order and every capture derives its jitter generator from an
+explicit seed path.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 import numpy as np
 
 from ..errors import CharacterizationError
 from ..fabric.device import FPGADevice
-from ..netlist.core import bits_from_ints
+from ..parallel.cache import PlacedDesignCache, multiplier_netlist
+from ..parallel.engine import Shard, SweepPlan, execute_shards
+from ..parallel.jobs import resolve_jobs
 from ..rng import SeedTree
 from ..synthesis.flow import SynthesisFlow
-from ..timing.simulator import simulate_transitions
 from .circuit import CharacterizationCircuit, TestRun
 from .results import CharacterizationResult
 
@@ -90,40 +98,50 @@ def characterize_multiplier(
     device: FPGADevice,
     w_data: int,
     w_coeff: int,
-    config: CharacterizationConfig = CharacterizationConfig(),
+    config: CharacterizationConfig | None = None,
     seed: int = 0,
+    jobs: int | None = None,
+    cache: PlacedDesignCache | None = None,
 ) -> CharacterizationResult:
     """Run a full characterisation sweep of one multiplier geometry.
 
     Returns the per-(location, multiplicand, frequency) error-statistic
-    grids.  Deterministic in ``(device.serial, seed, config)``.
+    grids.  Deterministic in ``(device.serial, seed, config)`` — the
+    ``jobs`` worker count (default serial; ``None`` consults
+    ``REPRO_JOBS``) changes wall-clock only, never the numbers.
+
+    Parameters
+    ----------
+    jobs:
+        Process-pool workers for the ``(location, chunk)`` shards.
+    cache:
+        Placed-design cache for the per-location circuit placements;
+        ``None`` uses the process-wide default.
     """
+    if config is None:
+        config = CharacterizationConfig()
+    n_jobs = resolve_jobs(jobs)
     tree = SeedTree(seed).child("characterization", f"{w_data}x{w_coeff}")
     multiplicands = _resolve_multiplicands(config, w_coeff)
 
     # The PLL can only hit a frequency grid; distinct requests may collapse
     # onto one achievable clock.  Dedupe up front (keep the first request)
     # so the result's frequency axis is strictly ascending.
-    pll0 = device.family.pll
+    pll = device.family.pll
     seen: set[float] = set()
     freq_requests: list[float] = []
     for f in sorted(config.freqs_mhz):
-        achieved_f = round(pll0.synthesize(f).achieved_mhz, 6)
+        achieved_f = round(pll.synthesize(f).achieved_mhz, 6)
         if achieved_f not in seen:
             seen.add(achieved_f)
             freq_requests.append(f)
-    config = CharacterizationConfig(
-        freqs_mhz=tuple(freq_requests),
-        n_samples=config.n_samples,
-        multiplicands=config.multiplicands,
-        n_locations=config.n_locations,
-        segment_chunk=config.segment_chunk,
-    )
+    config = replace(config, freqs_mhz=tuple(freq_requests))
 
     flow = SynthesisFlow(device)
-    probe = CharacterizationCircuit(device, w_data, w_coeff, anchor=(0, 0), seed=seed)
     locations = tuple(
-        flow.available_anchors(probe.placed.netlist, config.n_locations)
+        flow.available_anchors(
+            multiplier_netlist(w_data, w_coeff), config.n_locations
+        )
     )
 
     n_f = len(config.freqs_mhz)
@@ -134,60 +152,47 @@ def characterize_multiplier(
     rate = np.zeros((n_l, n_m, n_f))
 
     seg_len = config.n_samples + 1  # one extra word to form n_samples transitions
-    pll = device.family.pll
     achieved = [pll.synthesize(f).achieved_mhz for f in config.freqs_mhz]
+    # The harness fuses several multiplicand segments into one stream (a
+    # software batching optimisation); the stream buffers are sized for
+    # the fused length — in hardware each segment is its own BRAM fill,
+    # so no single run exceeds the physical depth.
+    plan = SweepPlan(
+        w_data=w_data,
+        w_coeff=w_coeff,
+        seed=seed,
+        freqs_mhz=config.freqs_mhz,
+        achieved_mhz=tuple(achieved),
+        n_samples=config.n_samples,
+        max_stream_depth=max(32768, seg_len * config.segment_chunk),
+    )
 
+    # Draw every shard's stimulus up front, in the serial order of the
+    # per-location stream, so sharding cannot perturb the numbers.  Each
+    # multiplicand gets its own contiguous segment of uniform random data.
+    shards: list[Shard] = []
     for li, loc in enumerate(locations):
-        # The harness fuses several multiplicand segments into one stream
-        # (a software batching optimisation); size the stream buffers for
-        # the fused length — in hardware each segment is its own BRAM
-        # fill, so no single run exceeds the physical depth.
-        circuit = CharacterizationCircuit(
-            device,
-            w_data,
-            w_coeff,
-            anchor=loc,
-            seed=seed + li,
-            max_stream_depth=max(32768, seg_len * config.segment_chunk),
-        )
         stim_rng = tree.rng("stimulus", str(loc))
         for start in range(0, n_m, config.segment_chunk):
             chunk = multiplicands[start : start + config.segment_chunk]
-            # Build one fused stream: each multiplicand gets its own
-            # contiguous segment of uniform random data.
             stream = stim_rng.integers(
                 0, 1 << w_data, size=seg_len * chunk.shape[0], dtype=np.int64
             )
-            b_stream = np.repeat(chunk, seg_len)
-            inputs = {
-                "a": bits_from_ints(stream, w_data),
-                "b": bits_from_ints(b_stream, w_coeff),
-            }
-            timing = simulate_transitions(
-                circuit.placed.netlist,
-                inputs,
-                circuit.placed.node_delay,
-                circuit.placed.edge_delay,
+            shards.append(
+                Shard(
+                    li=li,
+                    location=loc,
+                    start=start,
+                    multiplicands=chunk,
+                    stimulus=stream,
+                )
             )
-            # Valid capture cycles: all transitions except each segment's
-            # first (the artificial multiplicand switch).
-            n_tr = seg_len * chunk.shape[0] - 1
-            valid = np.ones(n_tr, dtype=bool)
-            boundaries = np.arange(1, chunk.shape[0]) * seg_len - 1
-            valid[boundaries] = False
-            seg_of_transition = np.arange(n_tr) // seg_len
 
-            for fi, f in enumerate(config.freqs_mhz):
-                cap_rng = tree.rng("capture", str(loc), f"{f}", str(start))
-                run_all = circuit.capture(timing, int(chunk[0]), f, cap_rng)
-                errors = run_all.captured - run_all.expected
-                for ci in range(chunk.shape[0]):
-                    sel = valid & (seg_of_transition == ci)
-                    e = errors[sel]
-                    mi = start + ci
-                    variance[li, mi, fi] = float(e.var())
-                    mean[li, mi, fi] = float(e.mean())
-                    rate[li, mi, fi] = float((e != 0).mean())
+    for result in execute_shards(device, plan, shards, jobs=n_jobs, cache=cache):
+        stop = result.start + result.variance.shape[0]
+        variance[result.li, result.start : stop, :] = result.variance
+        mean[result.li, result.start : stop, :] = result.mean
+        rate[result.li, result.start : stop, :] = result.error_rate
 
     freqs = np.asarray(achieved, dtype=float)
     return CharacterizationResult(

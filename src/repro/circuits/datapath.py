@@ -21,35 +21,19 @@ from __future__ import annotations
 import math
 
 from dataclasses import dataclass
-from functools import lru_cache
 
 import numpy as np
 
-from ..analysis import check_netlist
 from ..core.design import LinearProjectionDesign
 from ..errors import DesignError
 from ..fabric.device import FPGADevice
-from ..netlist.core import CompiledNetlist, bits_from_ints
-from ..netlist.multipliers import unsigned_array_multiplier
-from ..synthesis.flow import PlacedDesign, SynthesisFlow
+from ..netlist.core import bits_from_ints
+from ..parallel.cache import PlacedDesignCache, get_default_cache, multiplier_netlist
+from ..synthesis.flow import PlacedDesign
 from ..timing.capture import capture_stream
 from ..timing.simulator import simulate_transitions
 
 __all__ = ["ProjectionDatapath", "LaneRun"]
-
-
-@lru_cache(maxsize=None)
-def _lane_netlist(w_data: int, wl: int) -> CompiledNetlist:
-    """Compiled lane multiplier, built and linted once per word-length.
-
-    Lanes sharing a coefficient word-length place the *same* compiled
-    netlist at different anchors (the netlist is frozen; placement is
-    what differs per lane), so the generator and the lint gate run once
-    per ``(w_data, wl)`` instead of once per lane per design.
-    """
-    netlist = unsigned_array_multiplier(w_data, wl)
-    check_netlist(netlist, context=f"datapath lane multiplier {w_data}x{wl}")
-    return netlist.compile()
 
 
 @dataclass(frozen=True)
@@ -80,6 +64,10 @@ class ProjectionDatapath:
         Bottom-left corner of the datapath region; lanes tile rightwards.
     seed:
         Synthesis seed for the lanes.
+    cache:
+        Placed-design cache; lanes sharing a geometry/anchor/seed reuse
+        the placement instead of re-running synthesis.  ``None`` uses
+        the process-wide default.
     """
 
     def __init__(
@@ -88,17 +76,19 @@ class ProjectionDatapath:
         device: FPGADevice,
         anchor: tuple[int, int] = (0, 0),
         seed: int = 0,
+        cache: PlacedDesignCache | None = None,
     ) -> None:
         self.design = design
         self.device = device
         self.anchor = anchor
         self.seed = seed
-        flow = SynthesisFlow(device)
+        if cache is None:
+            cache = get_default_cache()
         self.lanes: list[PlacedDesign] = []
         x, y = anchor
         row_height = 0
         for k, wl in enumerate(design.wordlengths):
-            netlist = _lane_netlist(design.w_data, wl)
+            netlist = multiplier_netlist(design.w_data, wl)
 
             side = max(2, math.ceil(math.sqrt(netlist.n_nodes / 0.55)))
             if x + side > device.cols:  # wrap to the next lane row
@@ -109,8 +99,9 @@ class ProjectionDatapath:
                 raise DesignError(
                     "datapath lanes do not fit the device at this anchor"
                 )
-            # Already linted when the cached netlist was built.
-            placed = flow.run(netlist, anchor=(x, y), seed=seed + k, lint=False)
+            placed = cache.get_or_place(
+                device, design.w_data, wl, (x, y), seed + k
+            )
             self.lanes.append(placed)
             x += placed.placement.region[0] + 2
             row_height = max(row_height, placed.placement.region[1])

@@ -28,6 +28,7 @@ from ..core.quantize import quantize_data
 from ..errors import DesignError
 from ..fabric.device import FPGADevice
 from ..models.error_model import ErrorModelSet
+from ..parallel.cache import PlacedDesignCache
 from ..rng import SeedTree
 from .datapath import ProjectionDatapath
 from .domains import Domain
@@ -99,11 +100,13 @@ def evaluate_design(
     device: FPGADevice | None = None,
     anchor: tuple[int, int] = (0, 0),
     seed: int = 0,
+    cache: PlacedDesignCache | None = None,
 ) -> DomainEvaluation:
     """Evaluate one design in one domain.
 
     ``error_models`` is required for PREDICTED and SIMULATED;
-    ``device`` is required for ACTUAL.
+    ``device`` is required for ACTUAL.  ``cache`` (ACTUAL only) lets the
+    datapath reuse previously placed lane multipliers.
     """
     x = _check_test_data(design, x_test)
     freq = design.freq_mhz
@@ -150,7 +153,9 @@ def evaluate_design(
     if domain is Domain.ACTUAL:
         if device is None:
             raise DesignError("ACTUAL domain needs a device")
-        datapath = ProjectionDatapath(design, device, anchor=anchor, seed=seed)
+        datapath = ProjectionDatapath(
+            design, device, anchor=anchor, seed=seed, cache=cache
+        )
         q = quantize_data(x, design.w_data)
         peak = float(np.abs(x).max()) if x.size else 0.0
         n = x.shape[1]
@@ -196,6 +201,7 @@ def evaluate_domains(
     device: FPGADevice,
     anchor: tuple[int, int] = (0, 0),
     seed: int = 0,
+    cache: PlacedDesignCache | None = None,
 ) -> dict[Domain, DomainEvaluation]:
     """Evaluate a design in all three domains (paper Fig. 10).
 
@@ -204,7 +210,7 @@ def evaluate_domains(
     to the actual area utilised by the design".
     """
     actual = evaluate_design(
-        design, x_test, Domain.ACTUAL, error_models, device, anchor, seed
+        design, x_test, Domain.ACTUAL, error_models, device, anchor, seed, cache
     )
     out = {Domain.ACTUAL: actual}
     for domain in (Domain.PREDICTED, Domain.SIMULATED):

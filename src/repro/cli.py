@@ -3,7 +3,8 @@
 Runs one of the paper's experiments at a configurable scale and prints
 the figure's numeric series as ASCII tables.  The ``lint`` subcommand
 instead runs the netlist static analyser over a generated design and
-reports its diagnostics (text or JSON).
+reports its diagnostics (text or JSON); the ``cache`` subcommand
+inspects or clears an on-disk placed-design cache.
 
 Examples
 --------
@@ -15,12 +16,15 @@ Examples
     repro-experiment runtime
     repro-experiment lint ccm 93 8
     repro-experiment lint unsigned_multiplier 8 8 --format json
+    repro-experiment cache info --workspace WS
+    repro-experiment cache clear --dir /tmp/placed-cache
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 
 import numpy as np
@@ -209,12 +213,72 @@ def _lint_main(argv: list[str]) -> int:
     return 0 if report.ok(config.fail_on) else 1
 
 
+def _cache_main(argv: list[str]) -> int:
+    """``cache`` subcommand: inspect or clear a placed-design cache."""
+    from .parallel.cache import REPRO_CACHE_DIR_ENV, PlacedDesignCache
+    from .workspace import Workspace
+
+    parser = argparse.ArgumentParser(
+        prog="repro-experiment cache",
+        description="Inspect or clear an on-disk placed-design cache.",
+    )
+    parser.add_argument(
+        "action", choices=["info", "clear"], help="what to do with the cache"
+    )
+    where = parser.add_mutually_exclusive_group()
+    where.add_argument(
+        "--dir",
+        dest="directory",
+        default=None,
+        help=f"cache directory (default: ${REPRO_CACHE_DIR_ENV})",
+    )
+    where.add_argument(
+        "--workspace",
+        default=None,
+        help="use the placed-design cache of this workspace",
+    )
+    parser.add_argument(
+        "--format",
+        choices=["text", "json"],
+        default="text",
+        help="report rendering (default: text)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.workspace is not None:
+        cache = Workspace(args.workspace).placed_cache()
+    else:
+        directory = args.directory or os.environ.get(REPRO_CACHE_DIR_ENV)
+        if not directory:
+            print(
+                "error: no cache directory (pass --dir/--workspace or set "
+                f"${REPRO_CACHE_DIR_ENV})",
+                file=sys.stderr,
+            )
+            return 2
+        cache = PlacedDesignCache(directory)
+
+    if args.action == "clear":
+        removed = cache.clear(disk=True)
+        print(f"removed {removed} cache entries from {cache.directory}")
+        return 0
+    stats = cache.stats().as_dict()
+    if args.format == "json":
+        print(json.dumps(stats, indent=2))
+    else:
+        for key in ("directory", "disk_entries", "disk_bytes"):
+            print(f"{key}: {stats[key]}")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     if argv is None:
         argv = sys.argv[1:]
     if argv and argv[0] == "lint":
         return _lint_main(argv[1:])
+    if argv and argv[0] == "cache":
+        return _cache_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro-experiment",
         description="Regenerate a figure/table of the IPDPSW'14 over-clocked "

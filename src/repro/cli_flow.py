@@ -7,11 +7,16 @@ session (or on another machine):
 ::
 
     repro-flow init      WS --serial 42 --scale 0.1
-    repro-flow characterize WS
+    repro-flow characterize WS --jobs 4
     repro-flow fit-area  WS
     repro-flow optimize  WS --beta 4.0 --name run1
     repro-flow evaluate  WS --name run1 --domain actual
     repro-flow status    WS
+
+``--jobs`` (or ``REPRO_JOBS``) fans the characterisation sweeps out over
+a process pool; results are identical at any worker count.  Placed
+designs are cached under ``WS/cache/placed`` and reused across stages
+and sessions.
 """
 
 from __future__ import annotations
@@ -25,13 +30,25 @@ from .characterization.harness import CharacterizationConfig, characterize_multi
 from .circuits.domains import Domain
 from .config import TableISettings
 from .datasets import low_rank_gaussian
+from .errors import ConfigError
 from .eval.report import render_table
 from .fabric.device import make_device
 from .framework import default_frequency_grid
 from .models.area_model import collect_area_samples, fit_area_model
+from .parallel.jobs import resolve_jobs
 from .workspace import Workspace
 
 __all__ = ["main"]
+
+
+def _add_jobs_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes (default: $REPRO_JOBS or 1; must be >= 1)",
+    )
 
 
 def _cmd_init(args: argparse.Namespace) -> int:
@@ -48,6 +65,8 @@ def _cmd_characterize(args: argparse.Namespace) -> int:
     ws = Workspace(args.workspace)
     device = ws.device()
     settings = ws.settings()
+    jobs = resolve_jobs(args.jobs)
+    cache = ws.placed_cache()
     cfg = CharacterizationConfig(
         freqs_mhz=default_frequency_grid(settings.clock_frequency_mhz),
         n_samples=settings.n_characterization,
@@ -56,7 +75,13 @@ def _cmd_characterize(args: argparse.Namespace) -> int:
     for wl in settings.coeff_wordlengths:
         print(f"characterising {settings.input_wordlength}x{wl} ...", flush=True)
         result = characterize_multiplier(
-            device, settings.input_wordlength, wl, cfg, seed=ws.seed()
+            device,
+            settings.input_wordlength,
+            wl,
+            cfg,
+            seed=ws.seed(),
+            jobs=jobs,
+            cache=cache,
         )
         path = ws.save_characterization(wl, result)
         print(f"  -> {path}")
@@ -94,7 +119,7 @@ def _training_data(ws: Workspace) -> tuple[np.ndarray, np.ndarray]:
 
 def _cmd_optimize(args: argparse.Namespace) -> int:
     ws = Workspace(args.workspace)
-    fw = ws.framework()
+    fw = ws.framework(jobs=resolve_jobs(args.jobs))
     x_train, _ = _training_data(ws)
     result = fw.optimize(x_train, beta=args.beta)
     path = ws.save_design_set(args.name, result.designs)
@@ -107,7 +132,7 @@ def _cmd_optimize(args: argparse.Namespace) -> int:
 
 def _cmd_evaluate(args: argparse.Namespace) -> int:
     ws = Workspace(args.workspace)
-    fw = ws.framework()
+    fw = ws.framework(jobs=resolve_jobs(args.jobs))
     _, x_test = _training_data(ws)
     designs = ws.load_design_set(args.name)
     domain = Domain(args.domain)
@@ -132,6 +157,9 @@ def _cmd_status(args: argparse.Namespace) -> int:
     print(f"characterised word-lengths: {wls or 'none'}")
     print(f"area model: {'fitted' if ws.area_model_path.exists() else 'missing'}")
     print(f"design sets: {ws.design_sets() or 'none'}")
+    stats = ws.placed_cache().stats()
+    print(f"placed-design cache: {stats.disk_entries} entries, "
+          f"{stats.disk_bytes} bytes ({ws.cache_dir})")
     return 0
 
 
@@ -151,6 +179,7 @@ def main(argv: list[str] | None = None) -> int:
 
     p = sub.add_parser("characterize", help="run the multiplier characterisation")
     p.add_argument("workspace")
+    _add_jobs_argument(p)
     p.set_defaults(fn=_cmd_characterize)
 
     p = sub.add_parser("fit-area", help="fit the LE-cost model")
@@ -161,12 +190,14 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("workspace")
     p.add_argument("--beta", type=float, default=4.0)
     p.add_argument("--name", default="run1", help="design-set name")
+    _add_jobs_argument(p)
     p.set_defaults(fn=_cmd_optimize)
 
     p = sub.add_parser("evaluate", help="evaluate a stored design set")
     p.add_argument("workspace")
     p.add_argument("--name", default="run1")
     p.add_argument("--domain", choices=[d.value for d in Domain], default="actual")
+    _add_jobs_argument(p)
     p.set_defaults(fn=_cmd_evaluate)
 
     p = sub.add_parser("status", help="show workspace contents")
@@ -174,7 +205,11 @@ def main(argv: list[str] | None = None) -> int:
     p.set_defaults(fn=_cmd_status)
 
     args = parser.parse_args(argv)
-    return args.fn(args)
+    try:
+        return args.fn(args)
+    except ConfigError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

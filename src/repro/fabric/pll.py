@@ -13,6 +13,8 @@ The PLL also owns the jitter model for the clocks it generates.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import lru_cache
+from typing import Iterable
 
 from ..errors import ConfigError
 from .jitter import JitterModel
@@ -71,7 +73,9 @@ class PLL:
         """Find the achievable output frequency closest to ``freq_mhz``.
 
         Searches ``f_ref * M / (N * C)`` subject to the VCO constraint
-        ``vco_min <= f_ref * M / N <= vco_max``.
+        ``vco_min <= f_ref * M / N <= vco_max``.  The search result is
+        memoised per ``(config, frequency)`` — the characterisation sweep
+        asks for the same handful of clocks thousands of times.
 
         Raises
         ------
@@ -80,30 +84,11 @@ class PLL:
         """
         if freq_mhz <= 0:
             raise ConfigError(f"requested frequency must be positive: {freq_mhz}")
-        cfg = self.config
-        best: SynthesizedClock | None = None
-        best_err = float("inf")
-        # Modest search: N small in practice; C chosen to land near target.
-        for n in range(cfg.n_range[0], min(cfg.n_range[1], 16) + 1):
-            # VCO constraint bounds M for this N.
-            m_lo = max(cfg.m_range[0], int(cfg.vco_min_mhz * n / cfg.reference_mhz))
-            m_hi = min(cfg.m_range[1], int(cfg.vco_max_mhz * n / cfg.reference_mhz))
-            for m in range(m_lo, m_hi + 1):
-                vco = cfg.reference_mhz * m / n
-                if not (cfg.vco_min_mhz <= vco <= cfg.vco_max_mhz):
-                    continue
-                c = max(cfg.c_range[0], min(cfg.c_range[1], round(vco / freq_mhz)))
-                for cc in {c, max(cfg.c_range[0], c - 1), min(cfg.c_range[1], c + 1)}:
-                    f = vco / cc
-                    err = abs(f - freq_mhz)
-                    if err < best_err:
-                        best_err = err
-                        best = SynthesizedClock(
-                            requested_mhz=freq_mhz, achieved_mhz=f, m=m, n=n, c=cc
-                        )
-        if best is None:
-            raise ConfigError(f"no PLL setting reaches {freq_mhz} MHz")
-        return best
+        return _synthesize_search(self.config, float(freq_mhz))
+
+    def achieved_grid(self, freqs_mhz: Iterable[float]) -> tuple[float, ...]:
+        """Achieved frequencies for a batch of requests (memoised search)."""
+        return tuple(self.synthesize(f).achieved_mhz for f in freqs_mhz)
 
     def frequency_grid(
         self, lo_mhz: float, hi_mhz: float, step_mhz: float
@@ -117,3 +102,36 @@ class PLL:
             clocks.append(self.synthesize(f))
             f += step_mhz
         return clocks
+
+
+@lru_cache(maxsize=4096)
+def _synthesize_search(cfg: PLLConfig, freq_mhz: float) -> SynthesizedClock:
+    """The divider grid search behind :meth:`PLL.synthesize`.
+
+    Pure in ``(cfg, freq_mhz)`` and therefore safe to memoise; the
+    returned :class:`SynthesizedClock` is frozen, so sharing one instance
+    across callers is harmless.
+    """
+    best: SynthesizedClock | None = None
+    best_err = float("inf")
+    # Modest search: N small in practice; C chosen to land near target.
+    for n in range(cfg.n_range[0], min(cfg.n_range[1], 16) + 1):
+        # VCO constraint bounds M for this N.
+        m_lo = max(cfg.m_range[0], int(cfg.vco_min_mhz * n / cfg.reference_mhz))
+        m_hi = min(cfg.m_range[1], int(cfg.vco_max_mhz * n / cfg.reference_mhz))
+        for m in range(m_lo, m_hi + 1):
+            vco = cfg.reference_mhz * m / n
+            if not (cfg.vco_min_mhz <= vco <= cfg.vco_max_mhz):
+                continue
+            c = max(cfg.c_range[0], min(cfg.c_range[1], round(vco / freq_mhz)))
+            for cc in {c, max(cfg.c_range[0], c - 1), min(cfg.c_range[1], c + 1)}:
+                f = vco / cc
+                err = abs(f - freq_mhz)
+                if err < best_err:
+                    best_err = err
+                    best = SynthesizedClock(
+                        requested_mhz=freq_mhz, achieved_mhz=f, m=m, n=n, c=cc
+                    )
+    if best is None:
+        raise ConfigError(f"no PLL setting reaches {freq_mhz} MHz")
+    return best

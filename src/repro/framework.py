@@ -18,11 +18,13 @@ Everything is deterministic in ``(device.serial, seed)``.
 
 from __future__ import annotations
 
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from .characterization.harness import CharacterizationConfig, characterize_multiplier
+from .characterization.results import CharacterizationResult
 from .circuits.domains import Domain
 from .circuits.executor import DomainEvaluation, evaluate_design, evaluate_domains
 from .config import TableISettings
@@ -33,8 +35,29 @@ from .errors import OptimizationError
 from .fabric.device import FPGADevice
 from .models.area_model import AreaModel, collect_area_samples, fit_area_model
 from .models.error_model import ErrorModel, ErrorModelSet, build_error_model
+from .parallel.cache import PlacedDesignCache
+from .parallel.jobs import resolve_jobs
 
 __all__ = ["OptimizationFramework", "default_frequency_grid"]
+
+
+def _characterize_one_wordlength(
+    device: FPGADevice,
+    w_data: int,
+    wl: int,
+    config: CharacterizationConfig,
+    seed: int,
+    cache_directory: str | None,
+) -> CharacterizationResult:
+    """Pool-friendly wrapper: one word-length's sweep, serial inside.
+
+    Runs at module level so it pickles; the outer fan-out already claims
+    the workers, so the inner sweep stays at ``jobs=1``.
+    """
+    cache = PlacedDesignCache(cache_directory) if cache_directory else None
+    return characterize_multiplier(
+        device, w_data, wl, config, seed=seed, jobs=1, cache=cache
+    )
 
 
 def default_frequency_grid(target_mhz: float) -> tuple[float, ...]:
@@ -71,12 +94,21 @@ class OptimizationFramework:
         a frequency grid bracketing the target clock).
     seed:
         Root seed of the whole flow.
+    jobs:
+        Worker processes for the characterisation sweeps (``None``
+        consults ``REPRO_JOBS``; 1 = serial).  Results are identical at
+        any worker count.
+    cache:
+        Placed-design cache shared by characterisation and actual-domain
+        evaluation; ``None`` uses the process-wide default.
     """
 
     device: FPGADevice
     settings: TableISettings = field(default_factory=TableISettings)
     char_config: CharacterizationConfig | None = None
     seed: int = 0
+    jobs: int | None = None
+    cache: PlacedDesignCache | None = None
     _error_models: ErrorModelSet | None = field(default=None, repr=False)
     _area_model: AreaModel | None = field(default=None, repr=False)
 
@@ -92,22 +124,58 @@ class OptimizationFramework:
         )
 
     def characterize(self, verbose: bool = False) -> ErrorModelSet:
-        """Characterise every word-length's multiplier geometry (cached)."""
+        """Characterise every word-length's multiplier geometry (cached).
+
+        With ``jobs > 1`` the per-word-length sweeps fan out over a
+        process pool (one word-length per worker — the sweeps are fully
+        independent); the numbers are identical to the serial order.
+        """
         if self._error_models is not None:
             return self._error_models
         cfg = self._characterization_config()
-        models: dict[int, ErrorModel] = {}
-        for wl in self.settings.coeff_wordlengths:
-            if verbose:
-                print(f"[characterize] {self.settings.input_wordlength}x{wl} ...")
-            result = characterize_multiplier(
-                self.device,
-                self.settings.input_wordlength,
-                wl,
-                cfg,
-                seed=self.seed,
+        wordlengths = list(self.settings.coeff_wordlengths)
+        n_jobs = resolve_jobs(self.jobs)
+        w_data = self.settings.input_wordlength
+        if n_jobs > 1 and len(wordlengths) > 1:
+            cache_dir = (
+                str(self.cache.directory)
+                if self.cache is not None and self.cache.directory is not None
+                else None
             )
-            models[wl] = build_error_model(result)
+            with ProcessPoolExecutor(
+                max_workers=min(n_jobs, len(wordlengths))
+            ) as pool:
+                results = list(
+                    pool.map(
+                        _characterize_one_wordlength,
+                        [self.device] * len(wordlengths),
+                        [w_data] * len(wordlengths),
+                        wordlengths,
+                        [cfg] * len(wordlengths),
+                        [self.seed] * len(wordlengths),
+                        [cache_dir] * len(wordlengths),
+                    )
+                )
+        else:
+            results = []
+            for wl in wordlengths:
+                if verbose:
+                    print(f"[characterize] {w_data}x{wl} ...")
+                results.append(
+                    characterize_multiplier(
+                        self.device,
+                        w_data,
+                        wl,
+                        cfg,
+                        seed=self.seed,
+                        jobs=n_jobs,
+                        cache=self.cache,
+                    )
+                )
+        models: dict[int, ErrorModel] = {
+            wl: build_error_model(result)
+            for wl, result in zip(wordlengths, results)
+        }
         self._error_models = ErrorModelSet(models)
         return self._error_models
 
@@ -177,6 +245,7 @@ class OptimizationFramework:
             device=self.device,
             anchor=anchor,
             seed=self.seed,
+            cache=self.cache,
         )
 
     def evaluate_all_domains(
@@ -193,6 +262,7 @@ class OptimizationFramework:
             self.device,
             anchor=anchor,
             seed=self.seed,
+            cache=self.cache,
         )
 
     def design_points(

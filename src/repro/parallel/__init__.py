@@ -1,0 +1,42 @@
+"""Performance layer: process-pool sweeps and the placed-design cache.
+
+Three coordinated pieces (see ``docs/performance.md``):
+
+* :func:`resolve_jobs` / ``REPRO_JOBS`` — one worker-count knob shared by
+  the library, the CLIs and the benchmarks (default 1: serial);
+* :class:`PlacedDesignCache` — memory + disk memoisation of
+  :class:`~repro.synthesis.flow.PlacedDesign` keyed by device identity,
+  geometry, anchor and seed;
+* :mod:`repro.parallel.engine` — deterministic ``(location, chunk)``
+  sharding of characterisation sweeps over a ``ProcessPoolExecutor``,
+  bit-identical to the serial path at any worker count.
+"""
+
+from .cache import (
+    REPRO_CACHE_DIR_ENV,
+    CacheStats,
+    PlacedDesignCache,
+    PlacedKey,
+    get_default_cache,
+    multiplier_netlist,
+    set_default_cache,
+)
+from .engine import Shard, ShardResult, SweepPlan, execute_shards, run_shard
+from .jobs import REPRO_JOBS_ENV, resolve_jobs
+
+__all__ = [
+    "REPRO_CACHE_DIR_ENV",
+    "REPRO_JOBS_ENV",
+    "CacheStats",
+    "PlacedDesignCache",
+    "PlacedKey",
+    "Shard",
+    "ShardResult",
+    "SweepPlan",
+    "execute_shards",
+    "get_default_cache",
+    "multiplier_netlist",
+    "resolve_jobs",
+    "run_shard",
+    "set_default_cache",
+]

@@ -1,0 +1,290 @@
+"""Placed-design cache: stop re-synthesising geometry already placed.
+
+Every placed multiplier in the flow — the characterisation circuit's DUT,
+the projection datapath's MAC lanes, area-model sample runs — is fully
+determined by ``(device identity, geometry, anchor, seed)``.  The cache
+memoises :class:`~repro.synthesis.flow.PlacedDesign` instances on that
+key, in memory for the current process and optionally on disk so later
+sessions (and pool workers) skip :class:`~repro.synthesis.flow.SynthesisFlow`
+entirely.
+
+The device identity includes the operating conditions: the same die at a
+different temperature or Vdd has different delays and must not alias.
+
+Disk layout (one pickle per entry, written atomically)::
+
+    <directory>/
+      <sha256-of-key>.pkl     {"version", "key", "placed"}
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+from dataclasses import dataclass
+from functools import lru_cache
+from pathlib import Path
+
+from ..analysis import check_netlist
+from ..fabric.device import FPGADevice
+from ..netlist.core import CompiledNetlist
+from ..netlist.multipliers import unsigned_array_multiplier
+from ..synthesis.flow import PlacedDesign, SynthesisFlow
+
+__all__ = [
+    "CacheStats",
+    "PlacedDesignCache",
+    "PlacedKey",
+    "REPRO_CACHE_DIR_ENV",
+    "get_default_cache",
+    "multiplier_netlist",
+    "set_default_cache",
+]
+
+#: Environment variable giving the default on-disk cache directory.
+REPRO_CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+_DISK_VERSION = 1
+
+
+@lru_cache(maxsize=None)
+def multiplier_netlist(w_data: int, w_coeff: int) -> CompiledNetlist:
+    """Compiled (and linted) generic multiplier, built once per geometry.
+
+    Shared by the characterisation circuit and the datapath lanes: the
+    netlist is frozen per ``(w_data, w_coeff)``; placement is what varies
+    per instantiation.
+    """
+    netlist = unsigned_array_multiplier(w_data, w_coeff)
+    check_netlist(netlist, context=f"multiplier {w_data}x{w_coeff}")
+    return netlist.compile()
+
+
+@dataclass(frozen=True)
+class PlacedKey:
+    """Identity of one placed multiplier geometry on one die.
+
+    ``temperature_c``/``vdd``/``aging_years`` pin the operating
+    conditions — condition scaling is baked into the placed delay
+    annotations, so the same die under different conditions is a
+    different cache entry.
+    """
+
+    family: str
+    serial: int
+    w_data: int
+    w_coeff: int
+    anchor: tuple[int, int]
+    seed: int
+    temperature_c: float
+    vdd: float
+    aging_years: float
+
+    @classmethod
+    def for_device(
+        cls,
+        device: FPGADevice,
+        w_data: int,
+        w_coeff: int,
+        anchor: tuple[int, int],
+        seed: int,
+    ) -> "PlacedKey":
+        cond = device.conditions
+        return cls(
+            family=device.family.name,
+            serial=int(device.serial),
+            w_data=int(w_data),
+            w_coeff=int(w_coeff),
+            anchor=(int(anchor[0]), int(anchor[1])),
+            seed=int(seed),
+            temperature_c=float(cond.temperature_c),
+            vdd=float(cond.vdd),
+            aging_years=float(cond.aging_years),
+        )
+
+    def digest(self) -> str:
+        parts = (
+            self.family,
+            self.serial,
+            self.w_data,
+            self.w_coeff,
+            self.anchor,
+            self.seed,
+            self.temperature_c,
+            self.vdd,
+            self.aging_years,
+        )
+        return hashlib.sha256(repr(parts).encode("utf-8")).hexdigest()
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Hit/miss counters of one cache instance plus its disk footprint."""
+
+    memory_hits: int
+    disk_hits: int
+    misses: int
+    stores: int
+    memory_entries: int
+    disk_entries: int
+    disk_bytes: int
+    directory: str | None
+
+    @property
+    def requests(self) -> int:
+        return self.memory_hits + self.disk_hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.requests
+        if total == 0:
+            return 0.0
+        return (self.memory_hits + self.disk_hits) / total
+
+    def as_dict(self) -> dict:
+        return {
+            "memory_hits": self.memory_hits,
+            "disk_hits": self.disk_hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "memory_entries": self.memory_entries,
+            "disk_entries": self.disk_entries,
+            "disk_bytes": self.disk_bytes,
+            "hit_rate": self.hit_rate,
+            "directory": self.directory,
+        }
+
+
+class PlacedDesignCache:
+    """In-memory + optional on-disk cache of placed multiplier designs.
+
+    Parameters
+    ----------
+    directory:
+        On-disk cache directory; ``None`` keeps the cache memory-only.
+        The directory is created lazily on the first store.
+    """
+
+    def __init__(self, directory: str | Path | None = None) -> None:
+        self.directory = Path(directory) if directory is not None else None
+        self._memory: dict[PlacedKey, PlacedDesign] = {}
+        self._memory_hits = 0
+        self._disk_hits = 0
+        self._misses = 0
+        self._stores = 0
+
+    # ------------------------------------------------------------------
+    def _entry_path(self, key: PlacedKey) -> Path | None:
+        if self.directory is None:
+            return None
+        return self.directory / f"{key.digest()}.pkl"
+
+    def _load_disk(self, key: PlacedKey) -> PlacedDesign | None:
+        path = self._entry_path(key)
+        if path is None or not path.exists():
+            return None
+        try:
+            with path.open("rb") as fh:
+                payload = pickle.load(fh)
+        except (OSError, pickle.UnpicklingError, EOFError, AttributeError):
+            return None  # corrupt/stale entry: treat as a miss
+        if payload.get("version") != _DISK_VERSION or payload.get("key") != key:
+            return None
+        placed = payload.get("placed")
+        return placed if isinstance(placed, PlacedDesign) else None
+
+    def _store_disk(self, key: PlacedKey, placed: PlacedDesign) -> None:
+        path = self._entry_path(key)
+        if path is None:
+            return
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {"version": _DISK_VERSION, "key": key, "placed": placed}
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        try:
+            with tmp.open("wb") as fh:
+                pickle.dump(payload, fh, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, path)  # atomic: concurrent writers race benignly
+        finally:
+            tmp.unlink(missing_ok=True)
+
+    # ------------------------------------------------------------------
+    def get_or_place(
+        self,
+        device: FPGADevice,
+        w_data: int,
+        w_coeff: int,
+        anchor: tuple[int, int],
+        seed: int,
+    ) -> PlacedDesign:
+        """The placed multiplier for this key, synthesising on a miss.
+
+        Deterministic: the build path is
+        :func:`multiplier_netlist` + :meth:`SynthesisFlow.run`, which is
+        pure in the key, so a hit is bit-identical to a rebuild.
+        """
+        key = PlacedKey.for_device(device, w_data, w_coeff, anchor, seed)
+        hit = self._memory.get(key)
+        if hit is not None:
+            self._memory_hits += 1
+            return hit
+        placed = self._load_disk(key)
+        if placed is not None:
+            self._disk_hits += 1
+            self._memory[key] = placed
+            return placed
+        self._misses += 1
+        netlist = multiplier_netlist(w_data, w_coeff)
+        # The netlist was linted when built; skip the per-placement gate.
+        placed = SynthesisFlow(device).run(netlist, anchor=anchor, seed=seed, lint=False)
+        self._memory[key] = placed
+        self._store_disk(key, placed)
+        self._stores += 1
+        return placed
+
+    # ------------------------------------------------------------------
+    def disk_entries(self) -> list[Path]:
+        if self.directory is None or not self.directory.exists():
+            return []
+        return sorted(self.directory.glob("*.pkl"))
+
+    def stats(self) -> CacheStats:
+        entries = self.disk_entries()
+        return CacheStats(
+            memory_hits=self._memory_hits,
+            disk_hits=self._disk_hits,
+            misses=self._misses,
+            stores=self._stores,
+            memory_entries=len(self._memory),
+            disk_entries=len(entries),
+            disk_bytes=sum(p.stat().st_size for p in entries),
+            directory=str(self.directory) if self.directory is not None else None,
+        )
+
+    def clear(self, disk: bool = True) -> int:
+        """Drop all entries; returns the number of disk entries removed."""
+        self._memory.clear()
+        removed = 0
+        if disk:
+            for path in self.disk_entries():
+                path.unlink(missing_ok=True)
+                removed += 1
+        return removed
+
+
+_default_cache: PlacedDesignCache | None = None
+
+
+def get_default_cache() -> PlacedDesignCache:
+    """The process-wide cache (disk-backed iff ``REPRO_CACHE_DIR`` is set)."""
+    global _default_cache
+    if _default_cache is None:
+        directory = os.environ.get(REPRO_CACHE_DIR_ENV)
+        _default_cache = PlacedDesignCache(directory or None)
+    return _default_cache
+
+
+def set_default_cache(cache: PlacedDesignCache | None) -> None:
+    """Replace the process-wide cache (``None`` resets to lazy creation)."""
+    global _default_cache
+    _default_cache = cache

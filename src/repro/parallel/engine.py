@@ -1,0 +1,205 @@
+"""Process-pool execution of characterisation sweeps.
+
+The sweep of :func:`repro.characterization.harness.characterize_multiplier`
+is embarrassingly parallel across ``(location, multiplicand-chunk)``
+shards: each shard owns its stimulus stream (drawn up front by the parent
+from the per-location :class:`~repro.rng.SeedTree` stream, preserving the
+serial draw order) and derives its capture-jitter generators from explicit
+seed paths.  Shard results are therefore bit-identical whether a shard
+runs inline (``jobs=1``) or in any worker of a ``ProcessPoolExecutor`` —
+the worker count only changes wall-clock, never numbers.
+
+Workers re-place the (cheap) characterisation circuit through the
+placed-design cache; handing the pool a disk-backed cache lets all
+workers share one synthesis result per location.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..fabric.device import FPGADevice
+from ..netlist.core import bits_from_ints
+from ..rng import SeedTree
+from ..timing.simulator import simulate_transitions
+from .cache import PlacedDesignCache, get_default_cache
+
+__all__ = ["Shard", "ShardResult", "SweepPlan", "execute_shards", "run_shard"]
+
+
+@dataclass(frozen=True)
+class SweepPlan:
+    """Shard-invariant description of one characterisation sweep.
+
+    Attributes
+    ----------
+    freqs_mhz:
+        Requested capture frequencies after PLL dedupe (these name the
+        capture seed paths, exactly as the serial sweep always has).
+    achieved_mhz:
+        The matching PLL-achieved frequencies (synthesised once by the
+        planner, not per shard).
+    """
+
+    w_data: int
+    w_coeff: int
+    seed: int
+    freqs_mhz: tuple[float, ...]
+    achieved_mhz: tuple[float, ...]
+    n_samples: int
+    max_stream_depth: int
+
+
+@dataclass(frozen=True)
+class Shard:
+    """One ``(location, multiplicand-chunk)`` unit of sweep work."""
+
+    li: int
+    location: tuple[int, int]
+    start: int
+    multiplicands: np.ndarray  # (C,) int64
+    stimulus: np.ndarray  # (C * (n_samples + 1),) int64
+
+
+@dataclass(frozen=True)
+class ShardResult:
+    """Per-chunk statistic blocks, ``(C, F)`` each."""
+
+    li: int
+    start: int
+    variance: np.ndarray
+    mean: np.ndarray
+    error_rate: np.ndarray
+
+
+def _segment_statistics(
+    errors: np.ndarray, n_segments: int, seg_len: int
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Per-segment variance/mean/rate over fused capture errors.
+
+    ``errors`` is ``(F, n_tr)`` int64 with ``n_tr = n_segments*seg_len - 1``;
+    each segment's first transition after a boundary (the artificial
+    multiplicand switch) is masked out, leaving exactly ``seg_len - 1``
+    valid capture cycles per segment.  One :func:`np.add.reduceat` pass per
+    statistic replaces the per-frequency × per-segment Python loop.
+
+    Returns ``(variance, mean, rate)`` of shape ``(C, F)``.
+    """
+    n_tr = errors.shape[1]
+    n_valid = seg_len - 1
+    valid = np.ones(n_tr, dtype=bool)
+    valid[np.arange(1, n_segments) * seg_len - 1] = False
+    starts = np.arange(n_segments) * seg_len
+    seg_of_transition = np.arange(n_tr) // seg_len
+
+    masked = np.where(valid[None, :], errors, 0)
+    sums = np.add.reduceat(masked, starts, axis=1)  # exact: int64 all the way
+    mean = sums / n_valid
+    dev = np.where(valid[None, :], errors - mean[:, seg_of_transition], 0.0)
+    variance = np.add.reduceat(dev * dev, starts, axis=1) / n_valid
+    wrong = ((errors != 0) & valid[None, :]).astype(np.int64)
+    rate = np.add.reduceat(wrong, starts, axis=1) / n_valid
+    return variance.T, mean.T, rate.T
+
+
+def run_shard(
+    device: FPGADevice,
+    plan: SweepPlan,
+    shard: Shard,
+    cache: PlacedDesignCache | None = None,
+) -> ShardResult:
+    """Execute one shard: place (via cache), simulate once, capture batch.
+
+    Deterministic in ``(device identity, plan, shard)`` — all randomness
+    comes from the pre-drawn stimulus and the explicit capture seed paths.
+    """
+    from ..characterization.circuit import CharacterizationCircuit
+
+    seg_len = plan.n_samples + 1
+    chunk = shard.multiplicands
+    circuit = CharacterizationCircuit(
+        device,
+        plan.w_data,
+        plan.w_coeff,
+        anchor=shard.location,
+        seed=plan.seed + shard.li,
+        max_stream_depth=plan.max_stream_depth,
+        cache=cache,
+    )
+    inputs = {
+        "a": bits_from_ints(shard.stimulus, plan.w_data),
+        "b": bits_from_ints(np.repeat(chunk, seg_len), plan.w_coeff),
+    }
+    timing = simulate_transitions(
+        circuit.placed.netlist,
+        inputs,
+        circuit.placed.node_delay,
+        circuit.placed.edge_delay,
+    )
+    tree = SeedTree(plan.seed).child(
+        "characterization", f"{plan.w_data}x{plan.w_coeff}"
+    )
+    rngs = [
+        tree.rng("capture", str(shard.location), f"{f}", str(shard.start))
+        for f in plan.freqs_mhz
+    ]
+    batch = circuit.capture_batch(timing, plan.achieved_mhz, rngs)
+    variance, mean, rate = _segment_statistics(
+        batch.errors(), chunk.shape[0], seg_len
+    )
+    return ShardResult(
+        li=shard.li, start=shard.start, variance=variance, mean=mean, error_rate=rate
+    )
+
+
+# ----------------------------------------------------------------------
+# Pool plumbing.  Workers hold the sweep-invariant state in module globals
+# (set once by the pool initializer) so each dispatched shard only ships
+# its own stimulus and multiplicands.
+_worker_device: FPGADevice | None = None
+_worker_plan: SweepPlan | None = None
+_worker_cache: PlacedDesignCache | None = None
+
+
+def _init_worker(
+    device: FPGADevice, plan: SweepPlan, cache_directory: str | None
+) -> None:
+    global _worker_device, _worker_plan, _worker_cache
+    _worker_device = device
+    _worker_plan = plan
+    _worker_cache = PlacedDesignCache(cache_directory)
+
+
+def _run_shard_in_worker(shard: Shard) -> ShardResult:
+    assert _worker_device is not None and _worker_plan is not None
+    return run_shard(_worker_device, _worker_plan, shard, _worker_cache)
+
+
+def execute_shards(
+    device: FPGADevice,
+    plan: SweepPlan,
+    shards: list[Shard],
+    jobs: int = 1,
+    cache: PlacedDesignCache | None = None,
+) -> list[ShardResult]:
+    """Run all shards, inline (``jobs=1``) or over a process pool.
+
+    The result list is ordered like ``shards`` regardless of completion
+    order, and every entry is bit-identical across worker counts.
+    """
+    if cache is None:
+        cache = get_default_cache()
+    if jobs <= 1 or len(shards) <= 1:
+        return [run_shard(device, plan, shard, cache) for shard in shards]
+    directory = str(cache.directory) if cache.directory is not None else None
+    workers = min(jobs, len(shards))
+    with ProcessPoolExecutor(
+        max_workers=workers,
+        initializer=_init_worker,
+        initargs=(device, plan, directory),
+    ) as pool:
+        chunksize = max(1, len(shards) // (4 * workers))
+        return list(pool.map(_run_shard_in_worker, shards, chunksize=chunksize))

@@ -1,0 +1,50 @@
+"""Worker-count resolution for the parallel characterisation engine.
+
+One knob, three sources, in priority order: an explicit ``jobs`` argument
+(CLI ``--jobs``), the ``REPRO_JOBS`` environment variable, and a default
+of 1 — so serial behaviour is unchanged unless parallelism is asked for.
+"""
+
+from __future__ import annotations
+
+import os
+
+from ..errors import ConfigError
+
+__all__ = ["REPRO_JOBS_ENV", "resolve_jobs"]
+
+#: Environment variable consulted when no explicit ``jobs`` is given.
+REPRO_JOBS_ENV = "REPRO_JOBS"
+
+
+def resolve_jobs(jobs: int | None = None) -> int:
+    """Resolve a worker count from an argument or the environment.
+
+    Parameters
+    ----------
+    jobs:
+        Explicit worker count; ``None`` falls back to ``REPRO_JOBS`` and
+        then to 1 (serial).
+
+    Raises
+    ------
+    ConfigError
+        If the resolved value is not a positive integer.
+    """
+    source = "jobs"
+    if jobs is None:
+        raw = os.environ.get(REPRO_JOBS_ENV)
+        if raw is None:
+            return 1
+        source = REPRO_JOBS_ENV
+        try:
+            jobs = int(raw)
+        except ValueError:
+            raise ConfigError(
+                f"{REPRO_JOBS_ENV}={raw!r} is not an integer"
+            ) from None
+    if isinstance(jobs, bool) or not isinstance(jobs, int):
+        raise ConfigError(f"{source} must be an integer, got {jobs!r}")
+    if jobs < 1:
+        raise ConfigError(f"{source} must be >= 1, got {jobs}")
+    return jobs

@@ -13,6 +13,8 @@ machine.  A :class:`Workspace` is a directory holding those artefacts:
   area_model.json           fitted LE-cost model
   designs/
     <name>.json             design lists from optimisation runs
+  cache/placed/
+    <sha256>.pkl            placed-design cache entries (see repro.parallel)
 ```
 
 Everything round-trips bit-exactly, and :meth:`Workspace.framework`
@@ -37,6 +39,7 @@ from .framework import OptimizationFramework
 from .io import load_designs, save_designs
 from .models.area_model import AreaModel
 from .models.error_model import ErrorModel, ErrorModelSet, build_error_model
+from .parallel.cache import PlacedDesignCache
 
 __all__ = ["Workspace"]
 
@@ -71,6 +74,10 @@ class Workspace:
     @property
     def area_model_path(self) -> Path:
         return self.root / "area_model.json"
+
+    @property
+    def cache_dir(self) -> Path:
+        return self.root / "cache" / "placed"
 
     def exists(self) -> bool:
         return self.meta_path.exists()
@@ -175,16 +182,29 @@ class Workspace:
         return sorted(p.stem for p in self.designs_dir.glob("*.json"))
 
     # ------------------------------------------------------------------
-    def framework(self) -> OptimizationFramework:
+    def placed_cache(self) -> PlacedDesignCache:
+        """A disk-backed placed-design cache rooted in this workspace.
+
+        Entries persist across sessions next to the other artefacts, so
+        repeat characterisation/evaluation runs skip synthesis.
+        """
+        return PlacedDesignCache(self.cache_dir)
+
+    def framework(self, jobs: int | None = None) -> OptimizationFramework:
         """An OptimizationFramework pre-seeded from the archived artefacts.
 
         The characterisation and area-model caches are filled from disk if
         present, so :meth:`OptimizationFramework.optimize` and
         :meth:`~repro.framework.OptimizationFramework.evaluate` run without
-        re-simulating the device.
+        re-simulating the device.  The framework places through this
+        workspace's disk-backed cache; ``jobs`` sets its worker count.
         """
         fw = OptimizationFramework(
-            self.device(), self.settings(), seed=self.seed()
+            self.device(),
+            self.settings(),
+            seed=self.seed(),
+            jobs=jobs,
+            cache=self.placed_cache(),
         )
         if self.characterized_wordlengths():
             fw._error_models = self.load_error_models()

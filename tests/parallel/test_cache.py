@@ -1,0 +1,131 @@
+"""Tests for repro.parallel.cache — the placed-design cache."""
+
+import numpy as np
+import pytest
+
+from repro.fabric.conditions import OperatingConditions
+from repro.parallel.cache import (
+    PlacedDesignCache,
+    PlacedKey,
+    get_default_cache,
+    set_default_cache,
+)
+from repro.synthesis import SynthesisFlow
+from repro.parallel.cache import multiplier_netlist
+
+
+@pytest.fixture()
+def cache(tmp_path):
+    return PlacedDesignCache(tmp_path / "placed")
+
+
+class TestPlacedKey:
+    def test_includes_operating_conditions(self, device):
+        hot = device.with_conditions(OperatingConditions(temperature_c=85.0))
+        k_cold = PlacedKey.for_device(device, 8, 8, (0, 0), 0)
+        k_hot = PlacedKey.for_device(hot, 8, 8, (0, 0), 0)
+        assert k_cold != k_hot
+        assert k_cold.digest() != k_hot.digest()
+
+    def test_digest_stable(self, device):
+        a = PlacedKey.for_device(device, 8, 8, (3, 4), 7)
+        b = PlacedKey.for_device(device, 8, 8, (3, 4), 7)
+        assert a.digest() == b.digest()
+
+
+class TestPlacedDesignCache:
+    def test_miss_then_memory_hit(self, device, cache):
+        p1 = cache.get_or_place(device, 8, 8, (0, 0), 0)
+        p2 = cache.get_or_place(device, 8, 8, (0, 0), 0)
+        assert p1 is p2
+        stats = cache.stats()
+        assert stats.misses == 1
+        assert stats.memory_hits == 1
+        assert stats.stores == 1
+
+    def test_matches_direct_synthesis(self, device, cache):
+        placed = cache.get_or_place(device, 8, 8, (2, 2), 5)
+        direct = SynthesisFlow(device).run(
+            multiplier_netlist(8, 8), anchor=(2, 2), seed=5, lint=False
+        )
+        assert np.array_equal(placed.node_delay, direct.node_delay)
+        assert np.array_equal(placed.edge_delay, direct.edge_delay)
+        assert placed.setup_ns == direct.setup_ns
+
+    def test_disk_round_trip(self, device, tmp_path):
+        directory = tmp_path / "placed"
+        first = PlacedDesignCache(directory)
+        p1 = first.get_or_place(device, 8, 8, (1, 1), 3)
+        # A fresh instance has an empty memory map: must load from disk.
+        second = PlacedDesignCache(directory)
+        p2 = second.get_or_place(device, 8, 8, (1, 1), 3)
+        assert second.stats().disk_hits == 1
+        assert np.array_equal(p1.node_delay, p2.node_delay)
+        assert np.array_equal(p1.edge_delay, p2.edge_delay)
+
+    def test_distinct_keys_do_not_alias(self, device, cache):
+        a = cache.get_or_place(device, 8, 8, (0, 0), 0)
+        b = cache.get_or_place(device, 8, 8, (4, 4), 0)
+        c = cache.get_or_place(device, 8, 8, (0, 0), 1)
+        assert cache.stats().misses == 3
+        assert not np.array_equal(a.node_delay, b.node_delay)
+        assert a is not c
+
+    def test_conditions_do_not_alias(self, device, tmp_path):
+        cache = PlacedDesignCache(tmp_path / "placed")
+        cold = cache.get_or_place(device, 8, 8, (0, 0), 0)
+        hot_dev = device.with_conditions(OperatingConditions(temperature_c=85.0))
+        hot = cache.get_or_place(hot_dev, 8, 8, (0, 0), 0)
+        assert cache.stats().misses == 2
+        assert not np.array_equal(cold.node_delay, hot.node_delay)
+
+    def test_corrupt_disk_entry_is_a_miss(self, device, tmp_path):
+        directory = tmp_path / "placed"
+        first = PlacedDesignCache(directory)
+        first.get_or_place(device, 8, 8, (0, 0), 0)
+        (entry,) = first.disk_entries()
+        entry.write_bytes(b"not a pickle")
+        second = PlacedDesignCache(directory)
+        second.get_or_place(device, 8, 8, (0, 0), 0)
+        assert second.stats().misses == 1  # fell back to synthesis
+
+    def test_clear_removes_everything(self, device, cache):
+        cache.get_or_place(device, 8, 8, (0, 0), 0)
+        assert cache.clear(disk=True) == 1
+        stats = cache.stats()
+        assert stats.memory_entries == 0
+        assert stats.disk_entries == 0
+
+    def test_stats_dict_shape(self, device, cache):
+        cache.get_or_place(device, 8, 8, (0, 0), 0)
+        d = cache.stats().as_dict()
+        for key in ("memory_hits", "disk_hits", "misses", "stores",
+                    "disk_entries", "disk_bytes", "hit_rate", "directory"):
+            assert key in d
+        assert cache.stats().hit_rate == 0.0
+        cache.get_or_place(device, 8, 8, (0, 0), 0)
+        assert cache.stats().hit_rate == 0.5
+
+    def test_memory_only_cache_has_no_disk(self, device):
+        cache = PlacedDesignCache()
+        cache.get_or_place(device, 8, 8, (0, 0), 0)
+        assert cache.disk_entries() == []
+        assert cache.stats().directory is None
+
+
+class TestDefaultCache:
+    def test_env_configures_directory(self, monkeypatch, tmp_path):
+        set_default_cache(None)
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "env-cache"))
+        try:
+            assert get_default_cache().directory == tmp_path / "env-cache"
+        finally:
+            set_default_cache(None)
+
+    def test_default_is_memory_only(self, monkeypatch):
+        set_default_cache(None)
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        try:
+            assert get_default_cache().directory is None
+        finally:
+            set_default_cache(None)

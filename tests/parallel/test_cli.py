@@ -1,0 +1,82 @@
+"""CLI coverage for the parallel engine: cache subcommand, --jobs flags."""
+
+import json
+
+import pytest
+
+from repro.cli import main as experiment_main
+from repro.cli_flow import main as flow_main
+from repro.parallel.cache import PlacedDesignCache, multiplier_netlist
+from repro.synthesis import SynthesisFlow
+
+
+@pytest.fixture()
+def populated_cache_dir(device, tmp_path):
+    directory = tmp_path / "placed"
+    cache = PlacedDesignCache(directory)
+    cache.get_or_place(device, 8, 8, (0, 0), 0)
+    cache.get_or_place(device, 8, 8, (4, 4), 0)
+    return directory
+
+
+class TestCacheCli:
+    def test_info_text(self, populated_cache_dir, capsys):
+        assert experiment_main(["cache", "info", "--dir", str(populated_cache_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "disk_entries: 2" in out
+
+    def test_info_json(self, populated_cache_dir, capsys):
+        rc = experiment_main(
+            ["cache", "info", "--dir", str(populated_cache_dir), "--format", "json"]
+        )
+        assert rc == 0
+        stats = json.loads(capsys.readouterr().out)
+        assert stats["disk_entries"] == 2
+        assert stats["disk_bytes"] > 0
+
+    def test_clear(self, populated_cache_dir, capsys):
+        assert experiment_main(["cache", "clear", "--dir", str(populated_cache_dir)]) == 0
+        assert "removed 2" in capsys.readouterr().out
+        assert list(populated_cache_dir.glob("*.pkl")) == []
+
+    def test_env_fallback(self, populated_cache_dir, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(populated_cache_dir))
+        assert experiment_main(["cache", "info"]) == 0
+        assert "disk_entries: 2" in capsys.readouterr().out
+
+    def test_no_directory_is_an_error(self, capsys, monkeypatch):
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        assert experiment_main(["cache", "info"]) == 2
+        assert "no cache directory" in capsys.readouterr().err
+
+
+class TestFlowJobs:
+    @pytest.fixture()
+    def workspace(self, tmp_path):
+        ws = tmp_path / "ws"
+        assert flow_main(["init", str(ws), "--serial", "7", "--scale", "0.012"]) == 0
+        return ws
+
+    def test_characterize_rejects_bad_jobs(self, workspace, capsys):
+        assert flow_main(["characterize", str(workspace), "--jobs", "0"]) == 2
+        assert "jobs" in capsys.readouterr().err
+
+    def test_optimize_rejects_bad_jobs(self, workspace, capsys):
+        assert flow_main(["optimize", str(workspace), "--jobs", "-3"]) == 2
+        assert "jobs" in capsys.readouterr().err
+
+    def test_status_reports_cache(self, workspace, capsys):
+        assert flow_main(["status", str(workspace)]) == 0
+        assert "placed-design cache" in capsys.readouterr().out
+
+    def test_characterize_populates_workspace_cache(self, workspace, capsys):
+        # One real (tiny-scale) characterisation run: the CLI must leave
+        # the placements in the workspace cache and report them via the
+        # cache subcommand's --workspace flag.
+        assert flow_main(["characterize", str(workspace), "--jobs", "1"]) == 0
+        cache_dir = workspace / "cache" / "placed"
+        assert len(list(cache_dir.glob("*.pkl"))) > 0
+        capsys.readouterr()
+        rc = experiment_main(["cache", "info", "--workspace", str(workspace)])
+        assert rc == 0
+        assert "disk_entries" in capsys.readouterr().out

@@ -1,0 +1,41 @@
+"""Tests for repro.parallel.jobs — the worker-count knob."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.parallel.jobs import REPRO_JOBS_ENV, resolve_jobs
+
+
+class TestResolveJobs:
+    def test_default_is_serial(self, monkeypatch):
+        monkeypatch.delenv(REPRO_JOBS_ENV, raising=False)
+        assert resolve_jobs(None) == 1
+
+    def test_explicit_value_wins(self, monkeypatch):
+        monkeypatch.setenv(REPRO_JOBS_ENV, "8")
+        assert resolve_jobs(3) == 3
+
+    def test_env_fallback(self, monkeypatch):
+        monkeypatch.setenv(REPRO_JOBS_ENV, "4")
+        assert resolve_jobs(None) == 4
+
+    @pytest.mark.parametrize("bad", [0, -1, -100])
+    def test_rejects_non_positive(self, bad):
+        with pytest.raises(ConfigError):
+            resolve_jobs(bad)
+
+    def test_rejects_non_integers(self):
+        with pytest.raises(ConfigError):
+            resolve_jobs(2.5)
+        with pytest.raises(ConfigError):
+            resolve_jobs(True)
+
+    def test_rejects_bad_env(self, monkeypatch):
+        monkeypatch.setenv(REPRO_JOBS_ENV, "many")
+        with pytest.raises(ConfigError):
+            resolve_jobs(None)
+
+    def test_rejects_non_positive_env(self, monkeypatch):
+        monkeypatch.setenv(REPRO_JOBS_ENV, "0")
+        with pytest.raises(ConfigError):
+            resolve_jobs(None)
