@@ -20,7 +20,10 @@ dispatched through :mod:`repro.parallel.engine`: pass ``jobs`` (or set
 ``REPRO_JOBS``) to fan the shards out over a process pool.  Results are
 bit-identical at any worker count — stimulus streams are drawn up front
 in serial order and every capture derives its jitter generator from an
-explicit seed path.
+explicit seed path.  Shard failures are retried and, if persistent,
+quarantined per the active :class:`~repro.config.ResilienceSettings`
+(see ``docs/resilience.md``); recovered sweeps are — by the same
+determinism argument — bit-identical to undisturbed ones.
 """
 
 from __future__ import annotations
@@ -29,10 +32,12 @@ from dataclasses import dataclass, replace
 
 import numpy as np
 
+from ..config import ResilienceSettings, get_resilience_settings
 from ..errors import CharacterizationError
 from ..fabric.device import FPGADevice
+from ..faults import FaultPlan
 from ..parallel.cache import PlacedDesignCache, multiplier_netlist
-from ..parallel.engine import Shard, SweepPlan, execute_shards
+from ..parallel.engine import Shard, SweepPlan, run_sweep
 from ..parallel.jobs import resolve_jobs
 from ..rng import SeedTree
 from ..synthesis.flow import SynthesisFlow
@@ -102,13 +107,16 @@ def characterize_multiplier(
     seed: int = 0,
     jobs: int | None = None,
     cache: PlacedDesignCache | None = None,
+    resilience: ResilienceSettings | None = None,
+    faults: FaultPlan | None = None,
 ) -> CharacterizationResult:
     """Run a full characterisation sweep of one multiplier geometry.
 
     Returns the per-(location, multiplicand, frequency) error-statistic
     grids.  Deterministic in ``(device.serial, seed, config)`` — the
     ``jobs`` worker count (default serial; ``None`` consults
-    ``REPRO_JOBS``) changes wall-clock only, never the numbers.
+    ``REPRO_JOBS``) changes wall-clock only, never the numbers; so do
+    shard retries, which re-run the identical pure computation.
 
     Parameters
     ----------
@@ -117,10 +125,21 @@ def characterize_multiplier(
     cache:
         Placed-design cache for the per-location circuit placements;
         ``None`` uses the process-wide default.
+    resilience:
+        Retry/timeout/degradation policy for shard failures; ``None``
+        uses the process-wide :func:`repro.config.get_resilience_settings`.
+        With ``allow_degraded`` set, quarantined shards leave NaN cells in
+        the grids and the sweep's ``result.outcome`` records them;
+        otherwise an incomplete sweep raises
+        :class:`~repro.errors.SweepFailedError`.
+    faults:
+        Chaos plan to inject into the sweep (tests/drills); ``None``
+        consults ``REPRO_FAULTS``.
     """
     if config is None:
         config = CharacterizationConfig()
     n_jobs = resolve_jobs(jobs)
+    settings = resilience if resilience is not None else get_resilience_settings()
     tree = SeedTree(seed).child("characterization", f"{w_data}x{w_coeff}")
     multiplicands = _resolve_multiplicands(config, w_coeff)
 
@@ -188,11 +207,23 @@ def characterize_multiplier(
                 )
             )
 
-    for result in execute_shards(device, plan, shards, jobs=n_jobs, cache=cache):
-        stop = result.start + result.variance.shape[0]
-        variance[result.li, result.start : stop, :] = result.variance
-        mean[result.li, result.start : stop, :] = result.mean
-        rate[result.li, result.start : stop, :] = result.error_rate
+    outcome = run_sweep(
+        device, plan, shards, jobs=n_jobs, cache=cache,
+        resilience=settings, faults=faults,
+    )
+    outcome.raise_for_status(allow_degraded=settings.allow_degraded)
+    for shard, result in zip(shards, outcome.results):
+        stop = shard.start + shard.multiplicands.shape[0]
+        if result is None:
+            # Quarantined shard in an allow_degraded sweep: NaN, never
+            # zeros — a zero is a legitimate "no errors seen" statistic.
+            variance[shard.li, shard.start : stop, :] = np.nan
+            mean[shard.li, shard.start : stop, :] = np.nan
+            rate[shard.li, shard.start : stop, :] = np.nan
+        else:
+            variance[result.li, result.start : stop, :] = result.variance
+            mean[result.li, result.start : stop, :] = result.mean
+            rate[result.li, result.start : stop, :] = result.error_rate
 
     freqs = np.asarray(achieved, dtype=float)
     return CharacterizationResult(
@@ -206,6 +237,7 @@ def characterize_multiplier(
         mean=mean,
         error_rate=rate,
         n_samples=config.n_samples,
+        outcome=outcome,
     )
 
 

@@ -7,12 +7,16 @@ model E(m, f) of paper Fig. 5 and the prior of Sec. V-B.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from ..errors import CharacterizationError
+
+if TYPE_CHECKING:
+    from ..parallel.retry import SweepOutcome
 
 __all__ = ["CharacterizationRecord", "CharacterizationResult"]
 
@@ -47,9 +51,17 @@ class CharacterizationResult:
     locations:
         Placement anchors characterised, length ``L``.
     variance, mean, error_rate:
-        Statistic grids of shape ``(L, M, F)``.
+        Statistic grids of shape ``(L, M, F)``.  In a *degraded* sweep
+        (see ``outcome``) the cells of quarantined shards are NaN.
     n_samples:
         Capture cycles contributing to each cell.
+    outcome:
+        The :class:`~repro.parallel.retry.SweepOutcome` of the sweep that
+        produced the grids — per-shard attempt counts, retries and
+        quarantine dispositions.  Execution provenance, not data: it is
+        excluded from equality and from the ``.npz`` archive (the
+        workspace persists it as a JSON sidecar instead), and is ``None``
+        on results loaded from disk.
     """
 
     w_data: int
@@ -62,6 +74,7 @@ class CharacterizationResult:
     mean: np.ndarray
     error_rate: np.ndarray
     n_samples: int
+    outcome: "SweepOutcome | None" = field(default=None, compare=False, repr=False)
 
     def __post_init__(self) -> None:
         l, m, f = len(self.locations), len(self.multiplicands), len(self.freqs_mhz)
@@ -71,6 +84,18 @@ class CharacterizationResult:
                 raise CharacterizationError(
                     f"{name} grid shape {arr.shape} != ({l}, {m}, {f})"
                 )
+
+    # ------------------------------------------------------------------
+    @property
+    def degraded(self) -> bool:
+        """Were any shards quarantined (NaN cells in the grids)?
+
+        Works both on fresh results (via ``outcome``) and on archives
+        loaded from disk, where the NaN cells themselves are the record.
+        """
+        if self.outcome is not None and self.outcome.status != "complete":
+            return True
+        return not bool(np.all(np.isfinite(self.variance)))
 
     # ------------------------------------------------------------------
     def location_index(self, location: tuple[int, int]) -> int:

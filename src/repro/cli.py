@@ -4,7 +4,8 @@ Runs one of the paper's experiments at a configurable scale and prints
 the figure's numeric series as ASCII tables.  The ``lint`` subcommand
 instead runs the netlist static analyser over a generated design and
 reports its diagnostics (text or JSON); the ``cache`` subcommand
-inspects or clears an on-disk placed-design cache.
+inspects or clears an on-disk placed-design cache; the ``faults``
+subcommand describes/validates a chaos fault-injection plan.
 
 Examples
 --------
@@ -18,6 +19,8 @@ Examples
     repro-experiment lint unsigned_multiplier 8 8 --format json
     repro-experiment cache info --workspace WS
     repro-experiment cache clear --dir /tmp/placed-cache
+    repro-experiment faults describe --plan '{"seed": 7, "specs": [...]}'
+    repro-experiment faults validate --plan @plan.json
 """
 
 from __future__ import annotations
@@ -213,6 +216,61 @@ def _lint_main(argv: list[str]) -> int:
     return 0 if report.ok(config.fail_on) else 1
 
 
+def _faults_main(argv: list[str]) -> int:
+    """``faults`` subcommand: describe or validate a chaos fault plan."""
+    from .faults import FAULT_KINDS, REPRO_FAULTS_ENV, FaultPlan
+
+    parser = argparse.ArgumentParser(
+        prog="repro-experiment faults",
+        description="Describe or validate a deterministic fault-injection "
+        "plan (chaos testing of the characterisation engine).",
+        epilog="Fault kinds: " + ", ".join(FAULT_KINDS)
+        + ". Plans are JSON — inline or @path; see docs/resilience.md.",
+    )
+    parser.add_argument(
+        "action",
+        choices=["describe", "validate"],
+        help="describe: summarise the plan; validate: parse-check only",
+    )
+    parser.add_argument(
+        "--plan",
+        default=None,
+        metavar="JSON|@FILE",
+        help=f"fault plan (default: ${REPRO_FAULTS_ENV})",
+    )
+    parser.add_argument(
+        "--format",
+        choices=["text", "json"],
+        default="text",
+        help="report rendering (default: text)",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        if args.plan is not None:
+            plan = FaultPlan.from_spec(args.plan)
+        else:
+            plan = FaultPlan.from_env()
+            if plan is None:
+                print(
+                    f"error: no fault plan (pass --plan or set ${REPRO_FAULTS_ENV})",
+                    file=sys.stderr,
+                )
+                return 2
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.action == "validate":
+        print(f"valid fault plan: {len(plan.specs)} spec(s), seed {plan.seed}")
+        return 0
+    if args.format == "json":
+        print(json.dumps(plan.as_dict(), indent=2))
+    else:
+        print(plan.describe())
+    return 0
+
+
 def _cache_main(argv: list[str]) -> int:
     """``cache`` subcommand: inspect or clear a placed-design cache."""
     from .parallel.cache import REPRO_CACHE_DIR_ENV, PlacedDesignCache
@@ -279,6 +337,8 @@ def main(argv: list[str] | None = None) -> int:
         return _lint_main(argv[1:])
     if argv and argv[0] == "cache":
         return _cache_main(argv[1:])
+    if argv and argv[0] == "faults":
+        return _faults_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro-experiment",
         description="Regenerate a figure/table of the IPDPSW'14 over-clocked "

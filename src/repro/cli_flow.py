@@ -26,11 +26,13 @@ import sys
 
 import numpy as np
 
+from dataclasses import replace
+
 from .characterization.harness import CharacterizationConfig, characterize_multiplier
 from .circuits.domains import Domain
-from .config import TableISettings
+from .config import TableISettings, get_resilience_settings
 from .datasets import low_rank_gaussian
-from .errors import ConfigError
+from .errors import ConfigError, SweepFailedError
 from .eval.report import render_table
 from .fabric.device import make_device
 from .framework import default_frequency_grid
@@ -61,11 +63,30 @@ def _cmd_init(args: argparse.Namespace) -> int:
     return 0
 
 
+def _resilience_from_args(args: argparse.Namespace):
+    """The active resilience policy with any CLI overrides applied.
+
+    Flags layer on top of the process-wide settings (which already folded
+    in ``REPRO_SHARD_TIMEOUT`` / ``REPRO_MAX_RETRIES`` /
+    ``REPRO_ALLOW_DEGRADED``), so a flag always wins over its env var.
+    """
+    settings = get_resilience_settings()
+    overrides = {}
+    if getattr(args, "shard_timeout", None) is not None:
+        overrides["shard_timeout_s"] = args.shard_timeout
+    if getattr(args, "max_retries", None) is not None:
+        overrides["max_retries"] = args.max_retries
+    if getattr(args, "allow_degraded", False):
+        overrides["allow_degraded"] = True
+    return replace(settings, **overrides) if overrides else settings
+
+
 def _cmd_characterize(args: argparse.Namespace) -> int:
     ws = Workspace(args.workspace)
     device = ws.device()
     settings = ws.settings()
     jobs = resolve_jobs(args.jobs)
+    resilience = _resilience_from_args(args)
     cache = ws.placed_cache()
     cfg = CharacterizationConfig(
         freqs_mhz=default_frequency_grid(settings.clock_frequency_mhz),
@@ -82,9 +103,19 @@ def _cmd_characterize(args: argparse.Namespace) -> int:
             seed=ws.seed(),
             jobs=jobs,
             cache=cache,
+            resilience=resilience,
         )
         path = ws.save_characterization(wl, result)
         print(f"  -> {path}")
+        if result.outcome is not None and result.outcome.status != "complete":
+            quarantined = ", ".join(
+                f"(li={li}, start={start})" for li, start in result.outcome.quarantined
+            )
+            print(
+                f"  WARNING: sweep degraded — quarantined shards: {quarantined}; "
+                f"the affected grid cells are NaN",
+                flush=True,
+            )
     return 0
 
 
@@ -155,6 +186,16 @@ def _cmd_status(args: argparse.Namespace) -> int:
     print(f"device: {meta['family']} serial {meta['serial']}")
     wls = ws.characterized_wordlengths()
     print(f"characterised word-lengths: {wls or 'none'}")
+    health = ws.sweep_health()
+    degraded = {wl: h for wl, h in health.items() if h["status"] != "complete"}
+    if degraded:
+        print("DEGRADED characterisation data:")
+        for wl, h in sorted(degraded.items()):
+            cells = ", ".join(
+                f"(li={li}, start={start})" for li, start in h["quarantined"]
+            )
+            print(f"  wl{wl:02d}: {h['n_quarantined']} shard(s) quarantined "
+                  f"[{cells}] — affected grid cells are NaN")
     print(f"area model: {'fitted' if ws.area_model_path.exists() else 'missing'}")
     print(f"design sets: {ws.design_sets() or 'none'}")
     stats = ws.placed_cache().stats()
@@ -180,6 +221,28 @@ def main(argv: list[str] | None = None) -> int:
     p = sub.add_parser("characterize", help="run the multiplier characterisation")
     p.add_argument("workspace")
     _add_jobs_argument(p)
+    p.add_argument(
+        "--shard-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-shard timeout on the pool path "
+             "(default: $REPRO_SHARD_TIMEOUT or none)",
+    )
+    p.add_argument(
+        "--max-retries",
+        type=int,
+        default=None,
+        metavar="N",
+        help="inline retries per failing shard "
+             "(default: $REPRO_MAX_RETRIES or 2)",
+    )
+    p.add_argument(
+        "--allow-degraded",
+        action="store_true",
+        help="accept sweeps with quarantined shards (NaN cells) instead "
+             "of failing (default: $REPRO_ALLOW_DEGRADED)",
+    )
     p.set_defaults(fn=_cmd_characterize)
 
     p = sub.add_parser("fit-area", help="fit the LE-cost model")
@@ -207,6 +270,14 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     try:
         return args.fn(args)
+    except SweepFailedError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        print(
+            "hint: raise --max-retries, or pass --allow-degraded to accept "
+            "NaN cells for the quarantined shards",
+            file=sys.stderr,
+        )
+        return 3
     except ConfigError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

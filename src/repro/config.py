@@ -30,6 +30,13 @@ __all__ = [
     "get_analysis_settings",
     "set_analysis_settings",
     "analysis_settings",
+    "ResilienceSettings",
+    "get_resilience_settings",
+    "set_resilience_settings",
+    "resilience_settings",
+    "REPRO_SHARD_TIMEOUT_ENV",
+    "REPRO_MAX_RETRIES_ENV",
+    "REPRO_ALLOW_DEGRADED_ENV",
     "mhz_to_period_ns",
     "period_ns_to_mhz",
     "DEFAULT_SEED",
@@ -165,6 +172,123 @@ def analysis_settings(**overrides: object) -> Iterator[AnalysisSettings]:
         yield get_analysis_settings()
     finally:
         set_analysis_settings(previous)
+
+
+#: Environment knobs for the sweep-resilience layer (see docs/resilience.md).
+REPRO_SHARD_TIMEOUT_ENV = "REPRO_SHARD_TIMEOUT"
+REPRO_MAX_RETRIES_ENV = "REPRO_MAX_RETRIES"
+REPRO_ALLOW_DEGRADED_ENV = "REPRO_ALLOW_DEGRADED"
+
+
+@dataclass(frozen=True)
+class ResilienceSettings:
+    """Retry/timeout/degradation policy for sharded sweeps.
+
+    Consumed by :func:`repro.parallel.engine.run_sweep`.  Every knob has a
+    matching environment variable so deployments can harden a flow without
+    code changes; explicit ``ResilienceSettings`` arguments always win.
+
+    Attributes
+    ----------
+    shard_timeout_s:
+        Wall-clock bound on waiting for one shard's result from a pool
+        worker; ``None`` waits forever.  A timeout abandons the pool
+        (hung workers cannot be preempted individually) and falls back to
+        inline execution.  Timeouts are only enforceable on the pool
+        path; inline shards run to completion.
+    max_retries:
+        Extra attempts granted to a failing shard after its first try.
+        ``0`` restores the pre-resilience fail-fast behaviour.
+    backoff_base_s / backoff_factor / backoff_max_s:
+        Exponential-backoff schedule between attempts:
+        ``min(max, base * factor**k)`` seconds before retry ``k``.
+    backoff_jitter:
+        Fraction of the delay spread deterministically (seeded off the
+        sweep's seed tree) around the nominal schedule, so chaos runs are
+        bit-reproducible while real deployments still decorrelate.
+    allow_degraded:
+        Accept sweeps in which some shards stayed quarantined after all
+        retries; their grid cells are reported as NaN.  Off by default:
+        a degraded sweep raises :class:`~repro.errors.SweepFailedError`.
+    """
+
+    shard_timeout_s: float | None = None
+    max_retries: int = 2
+    backoff_base_s: float = 0.05
+    backoff_factor: float = 2.0
+    backoff_max_s: float = 2.0
+    backoff_jitter: float = 0.5
+    allow_degraded: bool = False
+
+    def __post_init__(self) -> None:
+        if self.shard_timeout_s is not None and self.shard_timeout_s <= 0:
+            raise ConfigError("shard_timeout_s must be positive (or None)")
+        if self.max_retries < 0:
+            raise ConfigError("max_retries must be >= 0")
+        if self.backoff_base_s < 0 or self.backoff_max_s < 0:
+            raise ConfigError("backoff delays must be non-negative")
+        if self.backoff_factor < 1.0:
+            raise ConfigError("backoff_factor must be >= 1.0")
+        if not 0.0 <= self.backoff_jitter <= 1.0:
+            raise ConfigError("backoff_jitter must be in [0, 1]")
+
+    @classmethod
+    def from_env(cls, environ: dict | None = None) -> "ResilienceSettings":
+        """Settings with the ``REPRO_*`` environment overrides applied."""
+        env = os.environ if environ is None else environ
+        kwargs: dict = {}
+        raw = env.get(REPRO_SHARD_TIMEOUT_ENV)
+        if raw is not None:
+            try:
+                timeout = float(raw)
+            except ValueError:
+                raise ConfigError(
+                    f"{REPRO_SHARD_TIMEOUT_ENV}={raw!r} is not a number"
+                ) from None
+            kwargs["shard_timeout_s"] = timeout if timeout > 0 else None
+        raw = env.get(REPRO_MAX_RETRIES_ENV)
+        if raw is not None:
+            try:
+                kwargs["max_retries"] = int(raw)
+            except ValueError:
+                raise ConfigError(
+                    f"{REPRO_MAX_RETRIES_ENV}={raw!r} is not an integer"
+                ) from None
+        raw = env.get(REPRO_ALLOW_DEGRADED_ENV)
+        if raw is not None:
+            kwargs["allow_degraded"] = raw.strip().lower() in ("1", "true", "yes", "on")
+        return cls(**kwargs)
+
+
+_resilience_settings = ResilienceSettings.from_env()
+
+
+def get_resilience_settings() -> ResilienceSettings:
+    """The process-wide :class:`ResilienceSettings` currently in effect."""
+    return _resilience_settings
+
+
+def set_resilience_settings(settings: ResilienceSettings) -> ResilienceSettings:
+    """Replace the process-wide resilience settings; returns the previous ones."""
+    global _resilience_settings
+    previous = _resilience_settings
+    _resilience_settings = settings
+    return previous
+
+
+@contextmanager
+def resilience_settings(**overrides: object) -> Iterator[ResilienceSettings]:
+    """Temporarily override resilience settings (tests, chaos gates)::
+
+        with resilience_settings(max_retries=0):
+            characterize_multiplier(...)   # fail-fast
+    """
+    previous = get_resilience_settings()
+    set_resilience_settings(replace(previous, **overrides))  # type: ignore[arg-type]
+    try:
+        yield get_resilience_settings()
+    finally:
+        set_resilience_settings(previous)
 
 
 @dataclass(frozen=True)

@@ -52,6 +52,34 @@ class CharacterizationError(ReproError):
     """The characterisation harness was misused or produced no data."""
 
 
+class FaultPlanError(ConfigError):
+    """A fault-injection plan is malformed (unknown kind, bad counts,
+    unparseable ``REPRO_FAULTS`` value)."""
+
+
+class InjectedFaultError(ReproError):
+    """Raised *by* an armed crash fault inside a shard.
+
+    This is the exception chaos plans throw on purpose; the resilience
+    layer treats it exactly like any other shard failure, but tests can
+    discriminate injected crashes from organic ones.
+    """
+
+
+class SweepFailedError(CharacterizationError):
+    """A sharded sweep could not produce a usable result.
+
+    Raised when shards remain quarantined after all retries and the
+    caller did not opt into degraded results.  The full
+    :class:`~repro.parallel.retry.SweepOutcome` is attached as
+    ``outcome`` so callers can inspect per-shard attempt histories.
+    """
+
+    def __init__(self, message: str, outcome: object | None = None) -> None:
+        super().__init__(message)
+        self.outcome = outcome
+
+
 class ModelError(ReproError):
     """An analytical model (error/area/prior/runtime) was queried outside
     its supported domain or fitted from insufficient data."""

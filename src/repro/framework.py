@@ -27,7 +27,7 @@ from .characterization.harness import CharacterizationConfig, characterize_multi
 from .characterization.results import CharacterizationResult
 from .circuits.domains import Domain
 from .circuits.executor import DomainEvaluation, evaluate_design, evaluate_domains
-from .config import TableISettings
+from .config import ResilienceSettings, TableISettings
 from .core.design import DesignPoint, LinearProjectionDesign
 from .core.klt import klt_reference_design
 from .core.optimizer import OptimizationResult, OptimizerConfig, optimize_designs
@@ -48,15 +48,19 @@ def _characterize_one_wordlength(
     config: CharacterizationConfig,
     seed: int,
     cache_directory: str | None,
+    resilience: ResilienceSettings | None = None,
 ) -> CharacterizationResult:
     """Pool-friendly wrapper: one word-length's sweep, serial inside.
 
     Runs at module level so it pickles; the outer fan-out already claims
-    the workers, so the inner sweep stays at ``jobs=1``.
+    the workers, so the inner sweep stays at ``jobs=1``.  The resilience
+    policy ships explicitly — workers must not depend on the parent's
+    process-wide settings.
     """
     cache = PlacedDesignCache(cache_directory) if cache_directory else None
     return characterize_multiplier(
-        device, w_data, wl, config, seed=seed, jobs=1, cache=cache
+        device, w_data, wl, config, seed=seed, jobs=1, cache=cache,
+        resilience=resilience,
     )
 
 
@@ -101,6 +105,12 @@ class OptimizationFramework:
     cache:
         Placed-design cache shared by characterisation and actual-domain
         evaluation; ``None`` uses the process-wide default.
+    resilience:
+        Retry/degradation policy for the characterisation sweeps;
+        ``None`` uses the process-wide settings.  After
+        :meth:`characterize`, :meth:`sweep_health` reports each
+        word-length's sweep status so callers can tell complete from
+        degraded data.
     """
 
     device: FPGADevice
@@ -109,8 +119,10 @@ class OptimizationFramework:
     seed: int = 0
     jobs: int | None = None
     cache: PlacedDesignCache | None = None
+    resilience: ResilienceSettings | None = None
     _error_models: ErrorModelSet | None = field(default=None, repr=False)
     _area_model: AreaModel | None = field(default=None, repr=False)
+    _sweep_outcomes: dict = field(default_factory=dict, repr=False)
 
     # ------------------------------------------------------------------
     def _characterization_config(self) -> CharacterizationConfig:
@@ -154,6 +166,7 @@ class OptimizationFramework:
                         [cfg] * len(wordlengths),
                         [self.seed] * len(wordlengths),
                         [cache_dir] * len(wordlengths),
+                        [self.resilience] * len(wordlengths),
                     )
                 )
         else:
@@ -170,14 +183,31 @@ class OptimizationFramework:
                         seed=self.seed,
                         jobs=n_jobs,
                         cache=self.cache,
+                        resilience=self.resilience,
                     )
                 )
+        self._sweep_outcomes = {
+            wl: result.outcome for wl, result in zip(wordlengths, results)
+        }
         models: dict[int, ErrorModel] = {
             wl: build_error_model(result)
             for wl, result in zip(wordlengths, results)
         }
         self._error_models = ErrorModelSet(models)
         return self._error_models
+
+    def sweep_health(self) -> dict[int, str]:
+        """Per-word-length sweep status after :meth:`characterize`.
+
+        ``{wl: 'complete' | 'degraded'}`` — failed sweeps never get here
+        (they raise).  Word-lengths rehydrated from a workspace (no live
+        outcome) report ``'complete'``: their archives were gated on the
+        same policy when produced.
+        """
+        return {
+            wl: (outcome.status if outcome is not None else "complete")
+            for wl, outcome in self._sweep_outcomes.items()
+        }
 
     def fit_area_model(self, n_runs: int = 6) -> AreaModel:
         """Fit the LE-cost model from synthesis runs (cached)."""

@@ -9,7 +9,11 @@ Three coordinated pieces (see ``docs/performance.md``):
   geometry, anchor and seed;
 * :mod:`repro.parallel.engine` — deterministic ``(location, chunk)``
   sharding of characterisation sweeps over a ``ProcessPoolExecutor``,
-  bit-identical to the serial path at any worker count.
+  bit-identical to the serial path at any worker count;
+* :mod:`repro.parallel.retry` — the resilience layer's bookkeeping:
+  per-shard attempt histories, quarantine dispositions and the typed
+  :class:`SweepOutcome` returned by :func:`run_sweep` (see
+  ``docs/resilience.md``).
 """
 
 from .cache import (
@@ -21,8 +25,16 @@ from .cache import (
     multiplier_netlist,
     set_default_cache,
 )
-from .engine import Shard, ShardResult, SweepPlan, execute_shards, run_shard
+from .engine import (
+    Shard,
+    ShardResult,
+    SweepPlan,
+    execute_shards,
+    run_shard,
+    run_sweep,
+)
 from .jobs import REPRO_JOBS_ENV, resolve_jobs
+from .retry import ShardAttempt, ShardReport, SweepOutcome, backoff_delay
 
 __all__ = [
     "REPRO_CACHE_DIR_ENV",
@@ -31,12 +43,17 @@ __all__ = [
     "PlacedDesignCache",
     "PlacedKey",
     "Shard",
+    "ShardAttempt",
+    "ShardReport",
     "ShardResult",
+    "SweepOutcome",
     "SweepPlan",
+    "backoff_delay",
     "execute_shards",
     "get_default_cache",
     "multiplier_netlist",
     "resolve_jobs",
     "run_shard",
+    "run_sweep",
     "set_default_cache",
 ]

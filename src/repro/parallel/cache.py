@@ -14,12 +14,19 @@ different temperature or Vdd has different delays and must not alias.
 Disk layout (one pickle per entry, written atomically)::
 
     <directory>/
-      <sha256-of-key>.pkl     {"version", "key", "placed"}
+      <sha256-of-key>.pkl     {"version", "key", "sha256", "placed"}
+
+``placed`` is the pickled design as bytes and ``sha256`` its checksum:
+a truncated, torn, bit-flipped or otherwise corrupt entry is *detected*
+(not just unpicklable-by-luck), logged, removed, and transparently
+rebuilt from synthesis — the build path is pure in the key, so a rebuild
+is bit-identical to the lost entry.
 """
 
 from __future__ import annotations
 
 import hashlib
+import logging
 import os
 import pickle
 from dataclasses import dataclass
@@ -31,6 +38,8 @@ from ..fabric.device import FPGADevice
 from ..netlist.core import CompiledNetlist
 from ..netlist.multipliers import unsigned_array_multiplier
 from ..synthesis.flow import PlacedDesign, SynthesisFlow
+
+logger = logging.getLogger(__name__)
 
 __all__ = [
     "CacheStats",
@@ -45,7 +54,7 @@ __all__ = [
 #: Environment variable giving the default on-disk cache directory.
 REPRO_CACHE_DIR_ENV = "REPRO_CACHE_DIR"
 
-_DISK_VERSION = 1
+_DISK_VERSION = 2  # v2: checksummed payload (v1 entries rebuild as stale)
 
 
 @lru_cache(maxsize=None)
@@ -126,6 +135,7 @@ class CacheStats:
     disk_hits: int
     misses: int
     stores: int
+    corruptions: int
     memory_entries: int
     disk_entries: int
     disk_bytes: int
@@ -148,6 +158,7 @@ class CacheStats:
             "disk_hits": self.disk_hits,
             "misses": self.misses,
             "stores": self.stores,
+            "corruptions": self.corruptions,
             "memory_entries": self.memory_entries,
             "disk_entries": self.disk_entries,
             "disk_bytes": self.disk_bytes,
@@ -173,12 +184,32 @@ class PlacedDesignCache:
         self._disk_hits = 0
         self._misses = 0
         self._stores = 0
+        self._corruptions = 0
 
     # ------------------------------------------------------------------
     def _entry_path(self, key: PlacedKey) -> Path | None:
         if self.directory is None:
             return None
         return self.directory / f"{key.digest()}.pkl"
+
+    def _reject_entry(self, path: Path, reason: str) -> None:
+        """Drop a damaged disk entry; the caller's miss path rebuilds it.
+
+        Never silent: corruption is counted (``CacheStats.corruptions``)
+        and logged, because a torn or bit-rotten entry is an operational
+        signal (dying disk, concurrent-writer bug) even though the cache
+        recovers from it transparently.
+        """
+        self._corruptions += 1
+        logger.warning(
+            "placed-design cache entry %s: %s; rebuilding from synthesis",
+            path.name,
+            reason,
+        )
+        try:
+            path.unlink(missing_ok=True)
+        except OSError:
+            pass  # unreadable *and* undeletable: the rebuild still proceeds
 
     def _load_disk(self, key: PlacedKey) -> PlacedDesign | None:
         path = self._entry_path(key)
@@ -188,18 +219,44 @@ class PlacedDesignCache:
             with path.open("rb") as fh:
                 payload = pickle.load(fh)
         except (OSError, pickle.UnpicklingError, EOFError, AttributeError):
-            return None  # corrupt/stale entry: treat as a miss
-        if payload.get("version") != _DISK_VERSION or payload.get("key") != key:
+            self._reject_entry(path, "unreadable entry (truncated or torn write)")
             return None
-        placed = payload.get("placed")
-        return placed if isinstance(placed, PlacedDesign) else None
+        if not isinstance(payload, dict) or payload.get("version") != _DISK_VERSION:
+            version = payload.get("version") if isinstance(payload, dict) else None
+            self._reject_entry(path, f"stale or foreign entry (version {version!r})")
+            return None
+        if payload.get("key") != key:
+            self._reject_entry(path, "key mismatch (hash collision or tampering)")
+            return None
+        blob = payload.get("placed")
+        if (
+            not isinstance(blob, bytes)
+            or hashlib.sha256(blob).hexdigest() != payload.get("sha256")
+        ):
+            self._reject_entry(path, "checksum mismatch (bit rot or tampering)")
+            return None
+        try:
+            placed = pickle.loads(blob)
+        except (pickle.UnpicklingError, EOFError, AttributeError):
+            self._reject_entry(path, "payload undecodable despite valid checksum")
+            return None
+        if not isinstance(placed, PlacedDesign):
+            self._reject_entry(path, f"payload is {type(placed).__name__}, not PlacedDesign")
+            return None
+        return placed
 
     def _store_disk(self, key: PlacedKey, placed: PlacedDesign) -> None:
         path = self._entry_path(key)
         if path is None:
             return
         path.parent.mkdir(parents=True, exist_ok=True)
-        payload = {"version": _DISK_VERSION, "key": key, "placed": placed}
+        blob = pickle.dumps(placed, protocol=pickle.HIGHEST_PROTOCOL)
+        payload = {
+            "version": _DISK_VERSION,
+            "key": key,
+            "sha256": hashlib.sha256(blob).hexdigest(),
+            "placed": blob,
+        }
         tmp = path.with_suffix(f".tmp.{os.getpid()}")
         try:
             with tmp.open("wb") as fh:
@@ -255,6 +312,7 @@ class PlacedDesignCache:
             disk_hits=self._disk_hits,
             misses=self._misses,
             stores=self._stores,
+            corruptions=self._corruptions,
             memory_entries=len(self._memory),
             disk_entries=len(entries),
             disk_bytes=sum(p.stat().st_size for p in entries),

@@ -16,18 +16,42 @@ workers share one synthesis result per location.
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor
+import time
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeoutError
 from dataclasses import dataclass
 
 import numpy as np
 
+from ..config import ResilienceSettings, get_resilience_settings
 from ..fabric.device import FPGADevice
+from ..faults import FaultInjector, FaultPlan
 from ..netlist.core import bits_from_ints
 from ..rng import SeedTree
 from ..timing.simulator import simulate_transitions
 from .cache import PlacedDesignCache, get_default_cache
+from .retry import (
+    ATTEMPT_ERROR,
+    ATTEMPT_INVALID,
+    ATTEMPT_OK,
+    ATTEMPT_TIMEOUT,
+    DISPOSITION_COMPLETED,
+    DISPOSITION_QUARANTINED,
+    DISPOSITION_RECOVERED,
+    ShardAttempt,
+    ShardReport,
+    SweepOutcome,
+    backoff_delay,
+)
 
-__all__ = ["Shard", "ShardResult", "SweepPlan", "execute_shards", "run_shard"]
+__all__ = [
+    "Shard",
+    "ShardResult",
+    "SweepPlan",
+    "execute_shards",
+    "run_shard",
+    "run_sweep",
+]
 
 
 @dataclass(frozen=True)
@@ -110,14 +134,24 @@ def run_shard(
     plan: SweepPlan,
     shard: Shard,
     cache: PlacedDesignCache | None = None,
+    injector: FaultInjector | None = None,
+    attempt: int = 0,
 ) -> ShardResult:
     """Execute one shard: place (via cache), simulate once, capture batch.
 
     Deterministic in ``(device identity, plan, shard)`` — all randomness
     comes from the pre-drawn stimulus and the explicit capture seed paths.
+    In particular the result does not depend on ``attempt``: a retried
+    shard reproduces the first attempt bit for bit, which is what makes
+    the resilience layer's recovery invisible in the numbers.
+
+    ``injector``/``attempt`` arm a chaos plan for this attempt (see
+    :mod:`repro.faults`); production sweeps leave them at their defaults.
     """
     from ..characterization.circuit import CharacterizationCircuit
 
+    if injector is not None:
+        injector.fire_pre(device, plan, shard, attempt, cache)
     seg_len = plan.n_samples + 1
     chunk = shard.multiplicands
     circuit = CharacterizationCircuit(
@@ -150,9 +184,12 @@ def run_shard(
     variance, mean, rate = _segment_statistics(
         batch.errors(), chunk.shape[0], seg_len
     )
-    return ShardResult(
+    result = ShardResult(
         li=shard.li, start=shard.start, variance=variance, mean=mean, error_rate=rate
     )
+    if injector is not None:
+        result = injector.mutate_result(result, shard, attempt)
+    return result
 
 
 # ----------------------------------------------------------------------
@@ -162,20 +199,237 @@ def run_shard(
 _worker_device: FPGADevice | None = None
 _worker_plan: SweepPlan | None = None
 _worker_cache: PlacedDesignCache | None = None
+_worker_injector: FaultInjector | None = None
 
 
 def _init_worker(
-    device: FPGADevice, plan: SweepPlan, cache_directory: str | None
+    device: FPGADevice,
+    plan: SweepPlan,
+    cache_directory: str | None,
+    faults: FaultPlan | None = None,
 ) -> None:
-    global _worker_device, _worker_plan, _worker_cache
+    global _worker_device, _worker_plan, _worker_cache, _worker_injector
     _worker_device = device
     _worker_plan = plan
     _worker_cache = PlacedDesignCache(cache_directory)
+    _worker_injector = (
+        FaultInjector(faults) if faults is not None and not faults.is_empty else None
+    )
 
 
-def _run_shard_in_worker(shard: Shard) -> ShardResult:
+def _run_shard_in_worker(shard: Shard, attempt: int = 0) -> ShardResult:
     assert _worker_device is not None and _worker_plan is not None
-    return run_shard(_worker_device, _worker_plan, shard, _worker_cache)
+    return run_shard(
+        _worker_device,
+        _worker_plan,
+        shard,
+        _worker_cache,
+        injector=_worker_injector,
+        attempt=attempt,
+    )
+
+
+def _validate_result(plan: SweepPlan, shard: Shard, result: object) -> str | None:
+    """Sanity-check a shard result; returns a problem description or None.
+
+    Guards against corrupted returns (chaos ``corrupt`` faults, but also
+    any real serialisation damage on the pool path): wrong identity,
+    wrong block shapes, or non-finite statistics are all rejected so the
+    retry loop re-runs the shard instead of polluting the grids.
+    """
+    if not isinstance(result, ShardResult):
+        return f"not a ShardResult: {type(result).__name__}"
+    if result.li != shard.li or result.start != shard.start:
+        return (
+            f"identity mismatch: got (li={result.li}, start={result.start}), "
+            f"expected (li={shard.li}, start={shard.start})"
+        )
+    expected = (shard.multiplicands.shape[0], len(plan.freqs_mhz))
+    for name in ("variance", "mean", "error_rate"):
+        block = getattr(result, name)
+        if not isinstance(block, np.ndarray) or block.shape != expected:
+            return f"{name} block has shape {getattr(block, 'shape', None)}, expected {expected}"
+        if not np.all(np.isfinite(block)):
+            return f"{name} block contains non-finite values"
+    return None
+
+
+class _SweepState:
+    """Mutable bookkeeping shared by the pool pass and the inline loop."""
+
+    def __init__(self, n: int) -> None:
+        self.results: list[ShardResult | None] = [None] * n
+        self.attempts: list[list[ShardAttempt]] = [[] for _ in range(n)]
+        self.fallback_inline = False
+        self.pool_broken = False
+
+    def record(self, i: int, outcome: str, t0: float, detail: str = "") -> None:
+        self.attempts[i].append(
+            ShardAttempt(
+                attempt=len(self.attempts[i]),
+                outcome=outcome,
+                latency_s=time.perf_counter() - t0,
+                detail=detail,
+            )
+        )
+
+    def accept(self, plan: SweepPlan, shards: list[Shard], i: int,
+               result: object, t0: float) -> None:
+        problem = _validate_result(plan, shards[i], result)
+        if problem is None:
+            self.results[i] = result  # type: ignore[assignment]
+            self.record(i, ATTEMPT_OK, t0)
+        else:
+            self.record(i, ATTEMPT_INVALID, t0, problem)
+
+
+def _harvest_future(state: _SweepState, plan: SweepPlan, shards: list[Shard],
+                    i: int, future, timeout: float | None) -> str | None:
+    """Wait for one pool future; returns 'timeout'/'broken' on pool-fatal
+    conditions, None otherwise (success or a retryable shard failure)."""
+    t0 = time.perf_counter()
+    try:
+        result = future.result(timeout=timeout)
+    except FuturesTimeoutError:
+        state.record(
+            i, ATTEMPT_TIMEOUT, t0,
+            f"no result within {timeout}s; abandoning pool",
+        )
+        return "timeout"
+    except BrokenExecutor as exc:
+        state.record(i, ATTEMPT_ERROR, t0, f"process pool broke: {exc}")
+        return "broken"
+    except Exception as exc:  # shard raised inside the worker
+        state.record(i, ATTEMPT_ERROR, t0, f"{type(exc).__name__}: {exc}")
+        return None
+    state.accept(plan, shards, i, result, t0)
+    return None
+
+
+def run_sweep(
+    device: FPGADevice,
+    plan: SweepPlan,
+    shards: list[Shard],
+    jobs: int = 1,
+    cache: PlacedDesignCache | None = None,
+    resilience: ResilienceSettings | None = None,
+    faults: FaultPlan | None = None,
+) -> SweepOutcome:
+    """Run all shards with retries, timeouts and quarantine bookkeeping.
+
+    The hardened execution path: every shard gets ``1 + max_retries``
+    attempts; failures (exceptions, pool timeouts, invalid results) back
+    off exponentially with deterministic jitter and re-run; shards that
+    never succeed are quarantined and reported — not raised — in the
+    returned :class:`~repro.parallel.retry.SweepOutcome`.
+
+    Execution strategy: the first attempt of every shard is dispatched
+    over the process pool (when ``jobs > 1``); retries run inline in the
+    parent, where failure modes are directly observable.  If the pool
+    breaks (worker hard-crash) or a shard times out (a hung worker cannot
+    be preempted individually), the pool is abandoned and every
+    unfinished shard continues inline — the sweep degrades to serial
+    execution rather than aborting.  Successful results are bit-identical
+    on every path, so none of this machinery can perturb the numbers.
+
+    Parameters
+    ----------
+    resilience:
+        Retry/timeout policy; ``None`` uses the process-wide
+        :func:`repro.config.get_resilience_settings`.
+    faults:
+        Chaos plan to inject; ``None`` consults ``REPRO_FAULTS`` (an
+        unset variable injects nothing).
+    """
+    if cache is None:
+        cache = get_default_cache()
+    settings = resilience if resilience is not None else get_resilience_settings()
+    if faults is None:
+        faults = FaultPlan.from_env()
+    injector = (
+        FaultInjector(faults) if faults is not None and not faults.is_empty else None
+    )
+    n = len(shards)
+    state = _SweepState(n)
+
+    # ---- pool pass: first attempt of every shard --------------------
+    if jobs > 1 and n > 1:
+        directory = str(cache.directory) if cache.directory is not None else None
+        pool = ProcessPoolExecutor(
+            max_workers=min(jobs, n),
+            initializer=_init_worker,
+            initargs=(device, plan, directory, faults),
+        )
+        abandon = None
+        try:
+            futures = [
+                pool.submit(_run_shard_in_worker, shard, 0) for shard in shards
+            ]
+            for i, future in enumerate(futures):
+                abandon = _harvest_future(
+                    state, plan, shards, i, future, settings.shard_timeout_s
+                )
+                if abandon is not None:
+                    break
+            if abandon is not None:
+                state.fallback_inline = True
+                state.pool_broken = abandon == "broken"
+                # Harvest whatever already finished without waiting on the
+                # sick pool; everything else retries inline below.
+                for j, future in enumerate(futures):
+                    if not state.attempts[j] and future.done():
+                        _harvest_future(state, plan, shards, j, future, 0)
+        finally:
+            # wait=True would block forever on a hung worker; leaked
+            # workers either finish their (finite) injected hang or die
+            # with the parent.
+            pool.shutdown(wait=not state.fallback_inline, cancel_futures=True)
+
+    # ---- inline pass: first attempts at jobs=1, then all retries ----
+    for i, shard in enumerate(shards):
+        while state.results[i] is None and len(state.attempts[i]) <= settings.max_retries:
+            attempt = len(state.attempts[i])
+            if attempt > 0:
+                time.sleep(
+                    backoff_delay(
+                        settings, plan.seed, attempt - 1,
+                        str(shard.li), str(shard.start),
+                    )
+                )
+            t0 = time.perf_counter()
+            try:
+                result = run_shard(
+                    device, plan, shard, cache, injector=injector, attempt=attempt
+                )
+            except Exception as exc:
+                state.record(i, ATTEMPT_ERROR, t0, f"{type(exc).__name__}: {exc}")
+                continue
+            state.accept(plan, shards, i, result, t0)
+
+    # ---- dispositions ----------------------------------------------
+    reports = []
+    for i, shard in enumerate(shards):
+        if state.results[i] is None:
+            disposition = DISPOSITION_QUARANTINED
+        elif len(state.attempts[i]) > 1:
+            disposition = DISPOSITION_RECOVERED
+        else:
+            disposition = DISPOSITION_COMPLETED
+        reports.append(
+            ShardReport(
+                index=i,
+                li=shard.li,
+                start=shard.start,
+                attempts=tuple(state.attempts[i]),
+                disposition=disposition,
+            )
+        )
+    return SweepOutcome(
+        results=tuple(state.results),
+        reports=tuple(reports),
+        fallback_inline=state.fallback_inline,
+        pool_broken=state.pool_broken,
+    )
 
 
 def execute_shards(
@@ -184,22 +438,20 @@ def execute_shards(
     shards: list[Shard],
     jobs: int = 1,
     cache: PlacedDesignCache | None = None,
+    resilience: ResilienceSettings | None = None,
+    faults: FaultPlan | None = None,
 ) -> list[ShardResult]:
     """Run all shards, inline (``jobs=1``) or over a process pool.
 
     The result list is ordered like ``shards`` regardless of completion
-    order, and every entry is bit-identical across worker counts.
+    order, and every entry is bit-identical across worker counts.  This
+    is the strict wrapper over :func:`run_sweep`: any shard still
+    quarantined after retries raises
+    :class:`~repro.errors.SweepFailedError`.  Callers that can use
+    partial results should call :func:`run_sweep` directly.
     """
-    if cache is None:
-        cache = get_default_cache()
-    if jobs <= 1 or len(shards) <= 1:
-        return [run_shard(device, plan, shard, cache) for shard in shards]
-    directory = str(cache.directory) if cache.directory is not None else None
-    workers = min(jobs, len(shards))
-    with ProcessPoolExecutor(
-        max_workers=workers,
-        initializer=_init_worker,
-        initargs=(device, plan, directory),
-    ) as pool:
-        chunksize = max(1, len(shards) // (4 * workers))
-        return list(pool.map(_run_shard_in_worker, shards, chunksize=chunksize))
+    outcome = run_sweep(
+        device, plan, shards, jobs=jobs, cache=cache,
+        resilience=resilience, faults=faults,
+    )
+    return outcome.completed_results()

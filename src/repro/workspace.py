@@ -31,7 +31,7 @@ from pathlib import Path
 import numpy as np
 
 from .characterization.results import CharacterizationResult
-from .config import TableISettings
+from .config import ResilienceSettings, TableISettings
 from .core.design import LinearProjectionDesign
 from .errors import ConfigError
 from .fabric.device import FPGADevice, make_device
@@ -121,9 +121,46 @@ class Workspace:
 
     # ------------------------------------------------------------------
     def save_characterization(self, wl: int, result: CharacterizationResult) -> Path:
+        """Archive one sweep; its execution outcome lands in a JSON sidecar.
+
+        The ``.npz`` holds only the data grids; the resilience provenance
+        (attempt counts, retries, quarantined shards) goes to
+        ``wlNN.outcome.json`` so ``repro-flow status`` can flag degraded
+        artefacts without loading the arrays.
+        """
         path = self.char_dir / f"wl{wl:02d}.npz"
         result.save(path)
+        if result.outcome is not None:
+            self.outcome_path(wl).write_text(
+                json.dumps(result.outcome.as_dict(), indent=2)
+            )
         return path
+
+    def outcome_path(self, wl: int) -> Path:
+        return self.char_dir / f"wl{wl:02d}.outcome.json"
+
+    def sweep_health(self) -> dict[int, dict]:
+        """Sweep-outcome summaries of every archived word-length.
+
+        Word-lengths without a sidecar (pre-resilience archives) map to
+        ``{"status": "complete"}`` — they could only have been written by
+        a sweep that finished every shard.
+        """
+        health: dict[int, dict] = {}
+        for wl in self.characterized_wordlengths():
+            path = self.outcome_path(wl)
+            if path.exists():
+                data = json.loads(path.read_text())
+                health[wl] = {
+                    "status": data.get("status", "complete"),
+                    "n_shards": data.get("n_shards"),
+                    "n_quarantined": data.get("n_quarantined", 0),
+                    "quarantined": data.get("quarantined", []),
+                    "total_attempts": data.get("total_attempts"),
+                }
+            else:
+                health[wl] = {"status": "complete", "n_quarantined": 0}
+        return health
 
     def characterized_wordlengths(self) -> list[int]:
         if not self.char_dir.exists():
@@ -190,14 +227,19 @@ class Workspace:
         """
         return PlacedDesignCache(self.cache_dir)
 
-    def framework(self, jobs: int | None = None) -> OptimizationFramework:
+    def framework(
+        self,
+        jobs: int | None = None,
+        resilience: ResilienceSettings | None = None,
+    ) -> OptimizationFramework:
         """An OptimizationFramework pre-seeded from the archived artefacts.
 
         The characterisation and area-model caches are filled from disk if
         present, so :meth:`OptimizationFramework.optimize` and
         :meth:`~repro.framework.OptimizationFramework.evaluate` run without
         re-simulating the device.  The framework places through this
-        workspace's disk-backed cache; ``jobs`` sets its worker count.
+        workspace's disk-backed cache; ``jobs`` sets its worker count and
+        ``resilience`` its shard retry/degradation policy.
         """
         fw = OptimizationFramework(
             self.device(),
@@ -205,6 +247,7 @@ class Workspace:
             seed=self.seed(),
             jobs=jobs,
             cache=self.placed_cache(),
+            resilience=resilience,
         )
         if self.characterized_wordlengths():
             fw._error_models = self.load_error_models()

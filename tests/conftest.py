@@ -45,6 +45,27 @@ def placed_mult8(flow):
 
 
 @pytest.fixture(scope="session")
+def small_char_config():
+    """Factory for a small characterisation sweep configuration.
+
+    The shared shape for engine/faults tests: two frequencies, two
+    locations, a handful of multiplicands — small enough that a full
+    sweep (even with retries) stays in the tens of milliseconds.
+    """
+
+    def make(n_mult: int = 12, chunk: int = 4, n_samples: int = 40):
+        return CharacterizationConfig(
+            freqs_mhz=(280.0, 320.0),
+            n_samples=n_samples,
+            multiplicands=tuple(range(n_mult)),
+            n_locations=2,
+            segment_chunk=chunk,
+        )
+
+    return make
+
+
+@pytest.fixture(scope="session")
 def char_result(device):
     """A small but real characterisation sweep of a 9x4 multiplier."""
     cfg = CharacterizationConfig(

@@ -1,0 +1,97 @@
+"""CLI coverage for the ``faults`` subcommand and the repro-flow flags."""
+
+import json
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.cli_flow import main as flow_main
+
+PLAN = '{"seed": 7, "specs": [{"kind": "crash", "li": 0, "start": 0, "times": 1}]}'
+
+
+class TestFaultsSubcommand:
+    def test_describe_text(self, capsys):
+        assert cli_main(["faults", "describe", "--plan", PLAN]) == 0
+        out = capsys.readouterr().out
+        assert "crash" in out and "seed 7" in out
+
+    def test_describe_json_round_trips(self, capsys):
+        assert cli_main(["faults", "describe", "--plan", PLAN, "--format", "json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["seed"] == 7
+        assert data["specs"][0]["kind"] == "crash"
+
+    def test_validate_ok(self, capsys):
+        assert cli_main(["faults", "validate", "--plan", PLAN]) == 0
+        assert "valid fault plan" in capsys.readouterr().out
+
+    def test_validate_rejects_bad_plan(self, capsys):
+        rc = cli_main(["faults", "validate", "--plan", '[{"kind": "bogus"}]'])
+        assert rc == 2
+        assert "unknown fault kind" in capsys.readouterr().err
+
+    def test_plan_from_file(self, tmp_path, capsys):
+        path = tmp_path / "plan.json"
+        path.write_text(PLAN)
+        assert cli_main(["faults", "describe", "--plan", f"@{path}"]) == 0
+        assert "crash" in capsys.readouterr().out
+
+    def test_no_plan_anywhere_fails(self, monkeypatch, capsys):
+        monkeypatch.delenv("REPRO_FAULTS", raising=False)
+        assert cli_main(["faults", "describe"]) == 2
+        assert "REPRO_FAULTS" in capsys.readouterr().err
+
+    def test_env_plan_is_the_default(self, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_FAULTS", PLAN)
+        assert cli_main(["faults", "describe"]) == 0
+        assert "crash" in capsys.readouterr().out
+
+
+@pytest.fixture
+def workspace(tmp_path):
+    ws = tmp_path / "ws"
+    assert flow_main(["init", str(ws), "--serial", "3", "--scale", "0.01"]) == 0
+    return ws
+
+
+class TestFlowResilienceFlags:
+    def test_degraded_characterize_and_status_banner(
+        self, workspace, monkeypatch, capsys
+    ):
+        monkeypatch.setenv(
+            "REPRO_FAULTS",
+            '{"seed": 5, "specs": [{"kind": "crash", "li": 0, "start": 0, "times": -1}]}',
+        )
+        rc = flow_main(
+            ["characterize", str(workspace), "--allow-degraded", "--max-retries", "0"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "WARNING: sweep degraded" in out
+        monkeypatch.delenv("REPRO_FAULTS")
+        assert flow_main(["status", str(workspace)]) == 0
+        out = capsys.readouterr().out
+        assert "DEGRADED characterisation data" in out
+        assert "quarantined" in out
+
+    def test_persistent_fault_without_allow_degraded_fails(
+        self, workspace, monkeypatch, capsys
+    ):
+        monkeypatch.setenv(
+            "REPRO_FAULTS",
+            '{"seed": 5, "specs": [{"kind": "crash", "li": 0, "start": 0, "times": -1}]}',
+        )
+        rc = flow_main(["characterize", str(workspace), "--max-retries", "0"])
+        assert rc == 3
+        err = capsys.readouterr().err
+        assert "quarantined" in err and "--allow-degraded" in err
+
+    def test_clean_characterize_keeps_status_quiet(self, workspace, monkeypatch, capsys):
+        # max_retries=0 restores fail-fast, so make sure no ambient chaos
+        # plan (e.g. the check.sh chaos gate) leaks into this scenario.
+        monkeypatch.delenv("REPRO_FAULTS", raising=False)
+        assert flow_main(["characterize", str(workspace), "--max-retries", "0"]) == 0
+        assert flow_main(["status", str(workspace)]) == 0
+        out = capsys.readouterr().out
+        assert "DEGRADED" not in out

@@ -1,0 +1,120 @@
+"""FaultPlan/FaultSpec parsing, validation and injector determinism."""
+
+import json
+
+import pytest
+
+from repro.errors import FaultPlanError
+from repro.faults import FAULT_KINDS, FaultInjector, FaultPlan, FaultSpec
+
+
+class TestFaultSpec:
+    def test_defaults_fire_once_anywhere(self):
+        s = FaultSpec(kind="crash")
+        assert s.matches_shard(0, 0) and s.matches_shard(3, 16)
+        assert not s.persistent
+
+    @pytest.mark.parametrize("kind", FAULT_KINDS)
+    def test_every_kind_constructs(self, kind):
+        assert FaultSpec(kind=kind).kind == kind
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(FaultPlanError, match="unknown fault kind"):
+            FaultSpec(kind="meltdown")
+
+    @pytest.mark.parametrize("times", [0, -2])
+    def test_bad_times_rejected(self, times):
+        with pytest.raises(FaultPlanError, match="times"):
+            FaultSpec(kind="crash", times=times)
+
+    @pytest.mark.parametrize("rate", [0.0, -0.5, 1.5])
+    def test_bad_rate_rejected(self, rate):
+        with pytest.raises(FaultPlanError, match="rate"):
+            FaultSpec(kind="crash", rate=rate)
+
+    def test_targeting(self):
+        s = FaultSpec(kind="corrupt", li=1, start=4)
+        assert s.matches_shard(1, 4)
+        assert not s.matches_shard(0, 4)
+        assert not s.matches_shard(1, 0)
+
+    def test_roundtrip(self):
+        s = FaultSpec(kind="hang", li=2, times=-1, hang_s=0.5)
+        assert FaultSpec.from_dict(s.as_dict()) == s
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(FaultPlanError, match="unknown fault-spec fields"):
+            FaultSpec.from_dict({"kind": "crash", "severity": 9})
+
+
+class TestFaultPlan:
+    def test_json_roundtrip(self):
+        plan = FaultPlan(
+            specs=(FaultSpec(kind="crash", li=0), FaultSpec(kind="corrupt", times=-1)),
+            seed=7,
+        )
+        assert FaultPlan.from_json(json.dumps(plan.as_dict())) == plan
+
+    def test_bare_spec_list(self):
+        plan = FaultPlan.from_json('[{"kind": "crash"}]')
+        assert plan.seed == 0 and len(plan.specs) == 1
+
+    def test_invalid_json_rejected(self):
+        with pytest.raises(FaultPlanError, match="not valid JSON"):
+            FaultPlan.from_json("{nope")
+
+    def test_unknown_plan_field_rejected(self):
+        with pytest.raises(FaultPlanError, match="unknown fault-plan fields"):
+            FaultPlan.from_json('{"specs": [], "retries": 3}')
+
+    def test_from_spec_file(self, tmp_path):
+        path = tmp_path / "plan.json"
+        path.write_text('{"seed": 3, "specs": [{"kind": "hang"}]}')
+        plan = FaultPlan.from_spec(f"@{path}")
+        assert plan.seed == 3 and plan.specs[0].kind == "hang"
+
+    def test_from_spec_missing_file(self):
+        with pytest.raises(FaultPlanError, match="cannot read fault plan"):
+            FaultPlan.from_spec("@/nonexistent/plan.json")
+
+    def test_from_env(self):
+        assert FaultPlan.from_env({}) is None
+        assert FaultPlan.from_env({"REPRO_FAULTS": "  "}) is None
+        plan = FaultPlan.from_env({"REPRO_FAULTS": '[{"kind": "crash"}]'})
+        assert plan is not None and plan.specs[0].kind == "crash"
+
+    def test_describe_mentions_every_spec(self):
+        plan = FaultPlan(
+            specs=(FaultSpec(kind="crash", li=0), FaultSpec(kind="hang", times=-1)),
+            seed=5,
+        )
+        text = plan.describe()
+        assert "crash" in text and "hang" in text and "persistent" in text
+
+
+class TestInjectorDeterminism:
+    def test_transient_fault_stops_after_times(self):
+        inj = FaultInjector(FaultPlan(specs=(FaultSpec(kind="crash", times=2),)))
+        assert inj.active(0, 0, 0) and inj.active(0, 0, 1)
+        assert not inj.active(0, 0, 2)
+
+    def test_persistent_fault_never_stops(self):
+        inj = FaultInjector(FaultPlan(specs=(FaultSpec(kind="crash", times=-1),)))
+        assert all(inj.active(0, 0, a) for a in range(10))
+
+    def test_rate_thinning_is_deterministic(self):
+        plan = FaultPlan(specs=(FaultSpec(kind="corrupt", rate=0.5),), seed=11)
+        a = [bool(FaultInjector(plan).active(li, s, 0))
+             for li in range(4) for s in range(8)]
+        b = [bool(FaultInjector(plan).active(li, s, 0))
+             for li in range(4) for s in range(8)]
+        assert a == b
+        assert any(a) and not all(a)  # rate=0.5 thins but does not silence
+
+    def test_seed_changes_thinning_pattern(self):
+        def pattern(seed):
+            plan = FaultPlan(specs=(FaultSpec(kind="corrupt", rate=0.5),), seed=seed)
+            inj = FaultInjector(plan)
+            return [bool(inj.active(li, s, 0)) for li in range(4) for s in range(16)]
+
+        assert pattern(1) != pattern(2)

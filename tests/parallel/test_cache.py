@@ -89,6 +89,83 @@ class TestPlacedDesignCache:
         second.get_or_place(device, 8, 8, (0, 0), 0)
         assert second.stats().misses == 1  # fell back to synthesis
 
+
+def _write_one_entry(device, directory):
+    """Synthesise one placement into a fresh disk cache; returns its path."""
+    cache = PlacedDesignCache(directory)
+    placed = cache.get_or_place(device, 8, 8, (0, 0), 0)
+    (entry,) = cache.disk_entries()
+    return placed, entry
+
+
+class TestCorruptionRecovery:
+    """Damaged disk entries must rebuild transparently — and loudly.
+
+    Every flavour of damage follows the same contract: the load is
+    *rejected* (not trusted by luck), a warning is logged, the
+    ``corruptions`` counter ticks, the entry is removed, and the miss
+    path rebuilds it bit-identically (the build is pure in the key).
+    """
+
+    def _assert_rebuilt(self, device, directory, placed, caplog):
+        import logging
+
+        fresh = PlacedDesignCache(directory)
+        with caplog.at_level(logging.WARNING, logger="repro.parallel.cache"):
+            rebuilt = fresh.get_or_place(device, 8, 8, (0, 0), 0)
+        stats = fresh.stats()
+        assert stats.corruptions == 1
+        assert stats.misses == 1 and stats.disk_hits == 0
+        assert any("rebuilding from synthesis" in r.message for r in caplog.records)
+        assert np.array_equal(rebuilt.node_delay, placed.node_delay)
+        assert np.array_equal(rebuilt.edge_delay, placed.edge_delay)
+        # The rebuild re-stored a valid entry: the next instance hits disk.
+        after = PlacedDesignCache(directory)
+        after.get_or_place(device, 8, 8, (0, 0), 0)
+        assert after.stats().disk_hits == 1
+        assert after.stats().corruptions == 0
+
+    def test_truncated_pickle_rebuilds(self, device, tmp_path, caplog):
+        placed, entry = _write_one_entry(device, tmp_path / "placed")
+        entry.write_bytes(entry.read_bytes()[: entry.stat().st_size // 3])
+        self._assert_rebuilt(device, tmp_path / "placed", placed, caplog)
+
+    def test_checksum_mismatch_rebuilds(self, device, tmp_path, caplog):
+        placed, entry = _write_one_entry(device, tmp_path / "placed")
+        raw = bytearray(entry.read_bytes())
+        raw[-100] ^= 0xFF  # flip a byte deep in the pickled design blob
+        entry.write_bytes(bytes(raw))
+        self._assert_rebuilt(device, tmp_path / "placed", placed, caplog)
+
+    def test_torn_concurrent_write_rebuilds(self, device, tmp_path, caplog):
+        # A torn file from a crashed concurrent writer: the head of one
+        # valid entry spliced onto the tail of another write.
+        placed, entry = _write_one_entry(device, tmp_path / "placed")
+        raw = entry.read_bytes()
+        entry.write_bytes(raw[: len(raw) // 2] + raw[: len(raw) // 2])
+        self._assert_rebuilt(device, tmp_path / "placed", placed, caplog)
+
+    def test_stale_version_rebuilds(self, device, tmp_path, caplog):
+        import pickle
+
+        placed, entry = _write_one_entry(device, tmp_path / "placed")
+        entry.write_bytes(pickle.dumps({"version": 1, "placed": placed}))
+        self._assert_rebuilt(device, tmp_path / "placed", placed, caplog)
+
+    def test_damaged_entry_is_removed_from_disk(self, device, tmp_path):
+        placed, entry = _write_one_entry(device, tmp_path / "placed")
+        entry.write_bytes(b"garbage")
+        fresh = PlacedDesignCache(tmp_path / "placed")
+        fresh.get_or_place(device, 8, 8, (0, 0), 0)
+        # Exactly one (valid, re-stored) entry remains — the damaged file
+        # was unlinked before the rebuild wrote its replacement.
+        (remaining,) = fresh.disk_entries()
+        assert remaining == entry
+        assert fresh.stats().corruptions == 1
+
+    def test_corruptions_counter_in_stats_dict(self, device, cache):
+        assert cache.stats().as_dict()["corruptions"] == 0
+
     def test_clear_removes_everything(self, device, cache):
         cache.get_or_place(device, 8, 8, (0, 0), 0)
         assert cache.clear(disk=True) == 1

@@ -6,10 +6,11 @@ bit, and a warm placed-design cache must not change a single number.
 """
 
 import numpy as np
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.characterization import CharacterizationConfig, characterize_multiplier
+from repro.characterization import characterize_multiplier
 from repro.parallel import PlacedDesignCache, execute_shards
 from repro.parallel.engine import _segment_statistics
 
@@ -22,16 +23,6 @@ def _grids_equal(a, b) -> bool:
         and np.array_equal(a.freqs_mhz, b.freqs_mhz)
         and np.array_equal(a.multiplicands, b.multiplicands)
         and a.locations == b.locations
-    )
-
-
-def _small_config(n_mult=12, chunk=4):
-    return CharacterizationConfig(
-        freqs_mhz=(280.0, 320.0),
-        n_samples=40,
-        multiplicands=tuple(range(n_mult)),
-        n_locations=2,
-        segment_chunk=chunk,
     )
 
 
@@ -62,23 +53,25 @@ class TestSegmentStatistics:
 
 
 class TestWorkerCountInvariance:
-    def test_pool_matches_serial(self, device):
-        cfg = _small_config()
+    @pytest.mark.slow
+    def test_pool_matches_serial(self, device, small_char_config):
+        cfg = small_char_config()
         serial = characterize_multiplier(device, 8, 8, cfg, seed=3, jobs=1)
         pooled = characterize_multiplier(device, 8, 8, cfg, seed=3, jobs=4)
         assert _grids_equal(serial, pooled)
 
+    @pytest.mark.slow
     @settings(max_examples=4, deadline=None)
     @given(seed=st.integers(0, 2**16), chunk=st.sampled_from([3, 4, 8]))
-    def test_sharding_never_perturbs_grids(self, device, seed, chunk):
+    def test_sharding_never_perturbs_grids(self, device, small_char_config, seed, chunk):
         """Property: any (seed, shard shape) gives jobs-invariant grids."""
-        cfg = _small_config(n_mult=8, chunk=chunk)
+        cfg = small_char_config(n_mult=8, chunk=chunk)
         serial = characterize_multiplier(device, 8, 8, cfg, seed=seed, jobs=1)
         pooled = characterize_multiplier(device, 8, 8, cfg, seed=seed, jobs=4)
         assert _grids_equal(serial, pooled)
 
-    def test_warm_cache_run_equals_cold(self, device, tmp_path):
-        cfg = _small_config()
+    def test_warm_cache_run_equals_cold(self, device, small_char_config, tmp_path):
+        cfg = small_char_config()
         cache = PlacedDesignCache(tmp_path / "placed")
         cold = characterize_multiplier(device, 8, 8, cfg, seed=7, cache=cache)
         assert cache.stats().misses > 0
@@ -89,8 +82,9 @@ class TestWorkerCountInvariance:
         assert stats.disk_hits > 0
         assert _grids_equal(cold, warm)
 
-    def test_pool_workers_share_disk_cache(self, device, tmp_path):
-        cfg = _small_config()
+    @pytest.mark.slow
+    def test_pool_workers_share_disk_cache(self, device, small_char_config, tmp_path):
+        cfg = small_char_config()
         cache = PlacedDesignCache(tmp_path / "placed")
         characterize_multiplier(device, 8, 8, cfg, seed=1, jobs=2, cache=cache)
         # Each probed location's placement landed in the shared store.
