@@ -1,0 +1,171 @@
+#!/usr/bin/env python
+"""Benchmark the word-level dataflow interpreter on the CCM family.
+
+Times :func:`repro.analysis.analyze_dataflow` over the full 8-bit
+constant-coefficient multiplier family (all 256 multiplicands), the
+paper's Sec. III characterisation population: one abstract
+interpretation per generated CCM netlist, unconditional and with the
+data bus pinned (the exact-probe configuration WL004 uses).
+
+Also times the downstream consumers on one representative placement:
+the per-coefficient sensitisation-aware STA sweep and the equivalence
+prover, so a regression anywhere in the analysis stack shows up in one
+file.
+
+Writes ``BENCH_dataflow.json`` (schema validated before writing).
+
+Usage::
+
+    python benchmarks/bench_dataflow.py
+    python benchmarks/bench_dataflow.py --smoke   # 16 coefficients
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.analysis import (
+    analyze_dataflow,
+    coefficient_timing_profile,
+    prove_multiplier,
+)
+from repro.fabric.device import make_device
+from repro.netlist import ccm_multiplier, unsigned_array_multiplier
+from repro.synthesis import SynthesisFlow
+
+SCHEMA_VERSION = 1
+
+_TOP_KEYS = {"schema_version", "benchmark", "smoke", "family", "sta", "proofs"}
+
+
+def _time(fn) -> float:
+    t0 = time.perf_counter()
+    fn()
+    return time.perf_counter() - t0
+
+
+def bench_ccm_family(coefficients: list[int]) -> dict:
+    """Dataflow over every CCM netlist, unconditional + pinned."""
+    compiled = [ccm_multiplier(c, 8).compile() for c in coefficients]
+    n_nodes = sum(cn.n_nodes for cn in compiled)
+
+    t_uncond = _time(lambda: [analyze_dataflow(cn) for cn in compiled])
+    t_pinned = _time(
+        lambda: [analyze_dataflow(cn, {"x": 173}) for cn in compiled]
+    )
+
+    # Sanity on the pinned pass: abstract interpretation is exact there.
+    for c, cn in zip(coefficients, compiled):
+        flow = analyze_dataflow(cn, {"x": 173})
+        assert flow.constant_value("p") == c * 173, c
+
+    n = len(coefficients)
+    return {
+        "n_coefficients": n,
+        "total_nodes": n_nodes,
+        "unconditional_s": round(t_uncond, 4),
+        "pinned_s": round(t_pinned, 4),
+        "per_netlist_ms": round(1000.0 * t_uncond / n, 3),
+        "nodes_per_second": round(n_nodes / t_uncond, 1),
+    }
+
+
+def bench_sta_sweep(coefficients: list[int]) -> dict:
+    """Per-coefficient sensitised STA on one placed 8x8 multiplier."""
+    device = make_device(serial=7)
+    placed = SynthesisFlow(device).run(unsigned_array_multiplier(8, 8))
+    mags = sorted(set(coefficients))
+    out: dict = {}
+    t = _time(
+        lambda: out.setdefault(
+            "profile", coefficient_timing_profile(placed, multiplicands=mags)
+        )
+    )
+    profile = out["profile"]
+    fmax = profile.static_fmax_mhz()
+    return {
+        "n_coefficients": len(mags),
+        "sweep_s": round(t, 4),
+        "per_coefficient_ms": round(1000.0 * t / len(mags), 3),
+        "worst_case_period_ns": round(float(profile.worst_case_period_ns.max()), 4),
+        "n_tighter_than_worst_case": int(
+            (profile.min_period_ns.max(axis=1)
+             < profile.worst_case_period_ns.max()).sum()
+        ),
+        "max_static_fmax_mhz": None
+        if not bool((fmax != float("inf")).any())
+        else round(float(fmax[fmax != float("inf")].max()), 2),
+    }
+
+
+def bench_proofs(coefficients: list[int]) -> dict:
+    """Exhaustive equivalence certificates over the CCM family."""
+    t0 = time.perf_counter()
+    n_vectors = 0
+    for c in coefficients:
+        cert = prove_multiplier(ccm_multiplier(c, 8))
+        assert cert.passed and cert.method == "exhaustive", c
+        n_vectors += cert.n_vectors
+    t = time.perf_counter() - t0
+    return {
+        "n_certificates": len(coefficients),
+        "n_vectors": n_vectors,
+        "total_s": round(t, 4),
+        "per_certificate_ms": round(1000.0 * t / len(coefficients), 3),
+    }
+
+
+def _validate(payload: dict) -> None:
+    assert set(payload) == _TOP_KEYS, sorted(payload)
+    assert payload["schema_version"] == SCHEMA_VERSION
+    fam = payload["family"]
+    assert fam["n_coefficients"] > 0 and fam["unconditional_s"] > 0
+    assert payload["proofs"]["n_certificates"] == fam["n_coefficients"]
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="16 coefficients instead of all 256")
+    parser.add_argument("--output", default=str(
+        Path(__file__).resolve().parent.parent / "BENCH_dataflow.json"))
+    args = parser.parse_args()
+
+    coefficients = list(range(0, 256, 16)) if args.smoke else list(range(256))
+
+    print(f"dataflow family: {len(coefficients)} CCM netlists ...")
+    family = bench_ccm_family(coefficients)
+    print(f"  {family['per_netlist_ms']} ms/netlist, "
+          f"{family['nodes_per_second']} nodes/s")
+
+    sta_coeffs = coefficients if args.smoke else list(range(0, 256, 4))
+    print(f"sensitised STA sweep: {len(sta_coeffs)} coefficients ...")
+    sta = bench_sta_sweep(sta_coeffs)
+    print(f"  {sta['per_coefficient_ms']} ms/coefficient")
+
+    print(f"equivalence proofs: {len(coefficients)} certificates ...")
+    proofs = bench_proofs(coefficients)
+    print(f"  {proofs['per_certificate_ms']} ms/certificate")
+
+    payload = {
+        "schema_version": SCHEMA_VERSION,
+        "benchmark": "dataflow",
+        "smoke": bool(args.smoke),
+        "family": family,
+        "sta": sta,
+        "proofs": proofs,
+    }
+    _validate(payload)
+    Path(args.output).write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -16,12 +16,40 @@ The gate is wired into :meth:`repro.synthesis.flow.SynthesisFlow.run`
 (on by default) and :func:`repro.netlist.generators.generate` (behind
 ``repro.config.AnalysisSettings.lint_generated``), and is exposed on the
 command line as ``repro lint``.
+
+On top of the structural layer sits the word-level semantic layer:
+
+* :mod:`repro.analysis.dataflow` — known-bits/range abstract
+  interpretation (:func:`analyze_dataflow`), feeding the ``WL0xx`` lint
+  rules;
+* :mod:`repro.analysis.equivalence` — :func:`prove_multiplier`
+  certificates against golden integer arithmetic;
+* :mod:`repro.analysis.sensitization` — false-path-aware STA and the
+  per-coefficient timing profiles consumed by
+  :meth:`repro.models.prior.CoefficientPrior.from_static_profile`;
+
+exposed on the command line as ``repro analyze``.
 """
 
 from .context import AnalysisContext
+from .dataflow import (
+    BIT_ONE,
+    BIT_TOP,
+    BIT_ZERO,
+    DataflowResult,
+    IntRange,
+    analyze_dataflow,
+)
 from .diagnostics import Diagnostic, LintReport, Severity
+from .equivalence import EquivalenceCertificate, prove_multiplier
 from .linter import LintConfig, LintWarning, check_netlist, lint_netlist
-from .passes import REGISTRY, Finding, LintRule, rule_table
+from .passes import REGISTRY, Finding, LintRule, rule_table, rule_table_markdown
+from .sensitization import (
+    CoefficientTimingProfile,
+    agreement_report,
+    coefficient_timing_profile,
+    sensitized_sta,
+)
 
 __all__ = [
     "AnalysisContext",
@@ -36,4 +64,17 @@ __all__ = [
     "Finding",
     "LintRule",
     "rule_table",
+    "rule_table_markdown",
+    "BIT_ZERO",
+    "BIT_ONE",
+    "BIT_TOP",
+    "IntRange",
+    "DataflowResult",
+    "analyze_dataflow",
+    "EquivalenceCertificate",
+    "prove_multiplier",
+    "CoefficientTimingProfile",
+    "sensitized_sta",
+    "coefficient_timing_profile",
+    "agreement_report",
 ]

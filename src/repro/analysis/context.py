@@ -16,10 +16,14 @@ so a malformed netlist yields NL000 errors instead of crashes.
 from __future__ import annotations
 
 from functools import cached_property
+from typing import TYPE_CHECKING, Mapping
 
 import numpy as np
 
 from ..netlist.core import MAX_LUT_ARITY, CompiledNetlist, Netlist
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .dataflow import DataflowResult, RangeLike
 
 __all__ = ["AnalysisContext", "KIND_INPUT", "KIND_CONST", "KIND_LUT"]
 
@@ -58,6 +62,9 @@ class AnalysisContext:
         const_values: tuple[int, ...],
         input_buses: dict[str, tuple[int, ...]],
         output_buses: dict[str, tuple[int, ...]],
+        input_bus_signed: dict[str, bool] | None = None,
+        output_bus_signed: dict[str, bool] | None = None,
+        attrs: dict[str, object] | None = None,
     ) -> None:
         self.name = name
         self.kinds = kinds
@@ -66,16 +73,33 @@ class AnalysisContext:
         self.const_values = const_values
         self.input_buses = input_buses
         self.output_buses = output_buses
+        self.input_bus_signed = dict(input_bus_signed or {})
+        self.output_bus_signed = dict(output_bus_signed or {})
+        self.attrs = dict(attrs or {})
+        self.assumptions: Mapping[str, RangeLike] | None = None
+        self._dataflow_cache: dict[object, DataflowResult] = {}
 
     # ------------------------------------------------------------------
     # construction
     # ------------------------------------------------------------------
     @classmethod
-    def build(cls, netlist: Netlist | CompiledNetlist) -> "AnalysisContext":
-        """Normalise either netlist representation."""
+    def build(
+        cls,
+        netlist: Netlist | CompiledNetlist,
+        assumptions: Mapping[str, "RangeLike"] | None = None,
+    ) -> "AnalysisContext":
+        """Normalise either netlist representation.
+
+        ``assumptions`` (bus name -> value or range) are carried on the
+        context for assumption-aware passes; they do not change the
+        structural view.
+        """
         if isinstance(netlist, Netlist):
-            return cls._from_builder(netlist)
-        return cls._from_compiled(netlist)
+            ctx = cls._from_builder(netlist)
+        else:
+            ctx = cls._from_compiled(netlist)
+        ctx.assumptions = assumptions
+        return ctx
 
     @classmethod
     def _from_builder(cls, nl: Netlist) -> "AnalysisContext":
@@ -87,6 +111,9 @@ class AnalysisContext:
             const_values=tuple(nl._const_values),
             input_buses={k: tuple(v) for k, v in nl.input_buses.items()},
             output_buses={k: tuple(v) for k, v in nl.output_buses.items()},
+            input_bus_signed=dict(nl.input_bus_signed),
+            output_bus_signed=dict(nl.output_bus_signed),
+            attrs=dict(nl.attrs),
         )
 
     @classmethod
@@ -113,6 +140,11 @@ class AnalysisContext:
             const_values=tuple(int(v) for v in cn.const_values),
             input_buses={k: tuple(int(b) for b in v) for k, v in cn.input_buses.items()},
             output_buses={k: tuple(int(b) for b in v) for k, v in cn.output_buses.items()},
+            # getattr: tolerate array-form netlists pickled before the
+            # word-level metadata fields existed.
+            input_bus_signed=dict(getattr(cn, "input_bus_signed", None) or {}),
+            output_bus_signed=dict(getattr(cn, "output_bus_signed", None) or {}),
+            attrs=dict(getattr(cn, "attrs", None) or {}),
         )
 
     # ------------------------------------------------------------------
@@ -135,6 +167,34 @@ class AnalysisContext:
     def output_bits(self) -> frozenset[int]:
         """Node ids that appear in at least one output bus."""
         return frozenset(b for bits in self.output_buses.values() for b in bits)
+
+    def bus_signed(self, name: str) -> bool:
+        """Declared signedness of a named bus (unsigned when unannotated)."""
+        if name in self.input_buses:
+            return self.input_bus_signed.get(name, False)
+        if name in self.output_buses:
+            return self.output_bus_signed.get(name, False)
+        raise KeyError(f"unknown bus {name!r}")
+
+    # ------------------------------------------------------------------
+    # word-level dataflow (lazy, cached per assumption set)
+    # ------------------------------------------------------------------
+    def dataflow(
+        self, assumptions: Mapping[str, "RangeLike"] | None = None
+    ) -> "DataflowResult":
+        """Run (or reuse) the known-bits/range abstract interpretation.
+
+        Results are memoised per normalised assumption set, so several
+        passes over one context share a single fixed-point run.
+        """
+        from .dataflow import analyze_context, cache_key
+
+        key = cache_key(assumptions)
+        cached = self._dataflow_cache.get(key)
+        if cached is None:
+            cached = analyze_context(self, assumptions)
+            self._dataflow_cache[key] = cached
+        return cached
 
     # ------------------------------------------------------------------
     # structural integrity (rule NL000)

@@ -1,0 +1,330 @@
+"""Equivalence proofs: certify generated multipliers against integer golden.
+
+:func:`prove_multiplier` checks a multiplier netlist — generic array /
+Wallace (buses ``a``, ``b`` -> ``p``), Baugh-Wooley (same buses, signed),
+sign-magnitude (``a``, ``b``, ``sa``, ``sb`` -> ``p``, ``sp``), CCM
+(``x`` -> ``p``) or MAC (``a``, ``b``, ``acc`` -> ``acc_out``) — against
+exact integer arithmetic:
+
+* **exhaustive** when the free input space is at most ``2**exhaustive_limit``
+  vectors: every reachable input is evaluated, so a passing certificate is
+  a complete functional proof;
+* **stratified** above that: all cross-bus corner combinations
+  (min/min+1/mid/max-1/max per bus) plus seeded uniform random vectors.
+  A passing stratified certificate is strong evidence, not a proof, and
+  says so in its ``method`` field.
+
+Fixing the multiplicand (``m``) restricts the proof to the characterised
+configuration — one operand pinned, the other swept — which both shrinks
+the space (an 8x8 multiplier becomes exhaustively provable per ``m``) and
+matches how :mod:`repro.characterization` drives the hardware.
+
+Certificates are plain data (:class:`EquivalenceCertificate`); the gate
+form is :meth:`EquivalenceCertificate.require`, raising
+:class:`~repro.errors.ProofError` with the counterexample attached.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from ..errors import AnalysisError, ProofError
+from ..netlist.core import CompiledNetlist, Netlist, bits_from_ints, ints_from_bits
+
+__all__ = ["EquivalenceCertificate", "prove_multiplier"]
+
+
+@dataclass(frozen=True)
+class EquivalenceCertificate:
+    """Outcome of one equivalence check.
+
+    ``passed`` with ``method="exhaustive"`` is a complete functional
+    proof over the stated input space; with ``method="stratified"`` it
+    is corner+random evidence.  ``counterexample`` (when ``passed`` is
+    False) maps input bus names to the failing integer vector plus
+    ``got``/``want`` for the first mismatching output bus.
+    """
+
+    netlist: str
+    kind: str  # "generic" | "sign-magnitude" | "ccm" | "mac"
+    method: str  # "exhaustive" | "stratified"
+    n_vectors: int
+    passed: bool
+    widths: Mapping[str, int]
+    signed: bool
+    multiplicand: int | None = None
+    seed: int | None = None
+    counterexample: Mapping[str, object] | None = None
+
+    def require(self) -> "EquivalenceCertificate":
+        """Gate form: return self when passed, raise ProofError otherwise."""
+        if not self.passed:
+            raise ProofError(
+                f"netlist {self.netlist!r} failed {self.method} equivalence "
+                f"({self.kind}"
+                + (f", m={self.multiplicand}" if self.multiplicand is not None else "")
+                + f"): counterexample {dict(self.counterexample or {})}",
+                certificate=self,
+            )
+        return self
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "netlist": self.netlist,
+            "kind": self.kind,
+            "method": self.method,
+            "n_vectors": self.n_vectors,
+            "passed": self.passed,
+            "widths": dict(self.widths),
+            "signed": self.signed,
+            "multiplicand": self.multiplicand,
+            "seed": self.seed,
+            "counterexample": (
+                dict(self.counterexample) if self.counterexample else None
+            ),
+        }
+
+
+@dataclass(frozen=True)
+class _BusSpec:
+    name: str
+    width: int
+    signed: bool
+    fixed: int | None = None  # pinned value (e.g. the multiplicand)
+
+    @property
+    def lo(self) -> int:
+        if self.fixed is not None:
+            return self.fixed
+        return -(1 << (self.width - 1)) if self.signed else 0
+
+    @property
+    def hi(self) -> int:
+        if self.fixed is not None:
+            return self.fixed
+        return ((1 << (self.width - 1)) - 1) if self.signed else ((1 << self.width) - 1)
+
+    @property
+    def free_bits(self) -> int:
+        return 0 if self.fixed is not None else self.width
+
+    def corners(self) -> list[int]:
+        lo, hi = self.lo, self.hi
+        mid = (lo + hi) // 2
+        return sorted({lo, min(lo + 1, hi), mid, max(hi - 1, lo), hi})
+
+
+def _wrap(values: np.ndarray, width: int, signed: bool) -> np.ndarray:
+    """Reduce exact integers to the bus's modular two's-complement value."""
+    mod = 1 << width
+    wrapped = np.mod(values, mod)  # object-safe; result in [0, mod)
+    if signed:
+        wrapped = np.where(wrapped >= (mod >> 1), wrapped - mod, wrapped)
+    return wrapped
+
+
+def _compiled(netlist: Netlist | CompiledNetlist) -> CompiledNetlist:
+    return netlist.compile() if isinstance(netlist, Netlist) else netlist
+
+
+def _classify(cn: CompiledNetlist) -> str:
+    inputs = set(cn.input_buses)
+    if cn.attrs.get("kind") == "ccm" or inputs == {"x"}:
+        return "ccm"
+    if {"a", "b", "sa", "sb"} <= inputs:
+        return "sign-magnitude"
+    if {"a", "b", "acc"} <= inputs:
+        return "mac"
+    if {"a", "b"} <= inputs:
+        return "generic"
+    raise AnalysisError(
+        f"netlist {cn.name!r} is not a recognised multiplier form "
+        f"(inputs {sorted(inputs)})"
+    )
+
+
+def _golden(
+    kind: str,
+    cn: CompiledNetlist,
+    ints: Mapping[str, np.ndarray],
+    coefficient: int | None,
+) -> dict[str, np.ndarray]:
+    """Exact expected outputs (object dtype: arbitrary-precision products)."""
+    if kind == "ccm":
+        assert coefficient is not None
+        x = ints["x"].astype(object)
+        return {"p": x * coefficient}
+    a = ints["a"].astype(object)
+    b = ints["b"].astype(object)
+    if kind == "generic":
+        return {"p": a * b}
+    if kind == "sign-magnitude":
+        return {"p": a * b, "sp": ints["sa"] ^ ints["sb"]}
+    if kind == "mac":
+        # The MAC also exposes its internal product for observability.
+        return {"acc_out": ints["acc"].astype(object) + a * b, "p": a * b}
+    raise AnalysisError(f"unknown multiplier kind {kind!r}")  # pragma: no cover
+
+
+def _bus_specs(
+    cn: CompiledNetlist, kind: str, m: int | None
+) -> tuple[list[_BusSpec], int | None]:
+    """Input-bus specs (with the multiplicand pinned) and the coefficient."""
+    signed_of = dict(cn.input_bus_signed)
+    widths = {name: int(ids.shape[0]) for name, ids in cn.input_buses.items()}
+    coefficient: int | None = None
+
+    if kind == "ccm":
+        declared = cn.attrs.get("coefficient")
+        if isinstance(declared, bool):
+            declared = None
+        if m is not None and declared is not None and m != declared:
+            raise AnalysisError(
+                f"m={m} contradicts the netlist's declared coefficient {declared}"
+            )
+        coefficient = m if m is not None else declared  # type: ignore[assignment]
+        if not isinstance(coefficient, int):
+            raise AnalysisError(
+                "ccm proof needs a coefficient: pass m= or generate via "
+                "ccm_multiplier (which declares it in netlist attrs)"
+            )
+        return (
+            [_BusSpec("x", widths["x"], signed_of.get("x", False))],
+            coefficient,
+        )
+
+    specs: list[_BusSpec] = []
+    for name in sorted(cn.input_buses):
+        signed = signed_of.get(name, False)
+        fixed: int | None = None
+        if name == "b" and m is not None:
+            lo = -(1 << (widths[name] - 1)) if signed else 0
+            hi = ((1 << (widths[name] - 1)) - 1) if signed else ((1 << widths[name]) - 1)
+            if not (lo <= m <= hi):
+                raise AnalysisError(
+                    f"multiplicand {m} does not fit bus 'b' "
+                    f"({widths[name]} bits, {'signed' if signed else 'unsigned'})"
+                )
+            fixed = m
+        specs.append(_BusSpec(name, widths[name], signed, fixed))
+    return specs, None
+
+
+def _exhaustive_vectors(specs: Sequence[_BusSpec]) -> dict[str, np.ndarray]:
+    """Full cartesian product over every free bus value (object dtype)."""
+    axes = [np.arange(s.lo, s.hi + 1, dtype=np.int64) for s in specs]
+    grids = np.meshgrid(*axes, indexing="ij")
+    return {s.name: g.reshape(-1) for s, g in zip(specs, grids)}
+
+
+def _stratified_vectors(
+    specs: Sequence[_BusSpec], n_random: int, seed: int
+) -> dict[str, np.ndarray]:
+    """Cross-bus corner combinations plus seeded uniform random vectors."""
+    corner_axes = [np.array(s.corners(), dtype=np.int64) for s in specs]
+    grids = np.meshgrid(*corner_axes, indexing="ij")
+    corners = {s.name: g.reshape(-1) for s, g in zip(specs, grids)}
+    rng = np.random.default_rng(seed)
+    randoms = {
+        s.name: rng.integers(s.lo, s.hi + 1, size=n_random, dtype=np.int64)
+        for s in specs
+    }
+    return {
+        s.name: np.concatenate([corners[s.name], randoms[s.name]]) for s in specs
+    }
+
+
+def prove_multiplier(
+    netlist: Netlist | CompiledNetlist,
+    m: int | None = None,
+    exhaustive_limit: int = 16,
+    n_random: int = 512,
+    seed: int = 0,
+) -> EquivalenceCertificate:
+    """Certify a multiplier netlist against golden integer arithmetic.
+
+    Parameters
+    ----------
+    netlist:
+        A generated multiplier in builder or compiled form.  The form is
+        recognised from its bus interface (see module docstring).
+    m:
+        Optional multiplicand: pins bus ``b`` (or supplies/validates the
+        CCM coefficient), matching the characterisation configuration.
+    exhaustive_limit:
+        Exhaustive enumeration is used when the free input space has at
+        most ``2**exhaustive_limit`` vectors; corner+random stratified
+        sampling above that.
+    n_random:
+        Random vectors in the stratified regime.
+    seed:
+        Seed for the stratified random vectors (recorded in the
+        certificate so failures reproduce).
+
+    Returns
+    -------
+    EquivalenceCertificate
+        Call :meth:`~EquivalenceCertificate.require` to use it as a gate.
+    """
+    cn = _compiled(netlist)
+    kind = _classify(cn)
+    specs, coefficient = _bus_specs(cn, kind, m)
+    free_bits = sum(s.free_bits for s in specs)
+
+    if free_bits <= exhaustive_limit:
+        method = "exhaustive"
+        vectors = _exhaustive_vectors(specs)
+        used_seed: int | None = None
+    else:
+        method = "stratified"
+        vectors = _stratified_vectors(specs, n_random, seed)
+        used_seed = seed
+
+    n_vectors = int(next(iter(vectors.values())).shape[0])
+    bit_inputs = {
+        s.name: bits_from_ints(vectors[s.name], s.width) for s in specs
+    }
+    out_bits = cn.evaluate(bit_inputs)
+    out_signed = dict(cn.output_bus_signed)
+    got = {
+        name: ints_from_bits(bits, signed=out_signed.get(name, False))
+        for name, bits in out_bits.items()
+    }
+    golden = _golden(kind, cn, vectors, coefficient)
+
+    widths = {s.name: s.width for s in specs}
+    for name, ids in cn.output_buses.items():
+        widths[name] = int(ids.shape[0])
+
+    counterexample: dict[str, object] | None = None
+    for name in sorted(cn.output_buses):
+        if name not in golden:
+            continue  # extra observability buses are not part of the spec
+        want = _wrap(golden[name], widths[name], out_signed.get(name, False))
+        mismatch = np.nonzero(got[name] != want)[0]
+        if mismatch.size:
+            i = int(mismatch[0])
+            counterexample = {
+                s.name: int(vectors[s.name][i]) for s in specs
+            }
+            counterexample["bus"] = name
+            counterexample["got"] = int(got[name][i])
+            counterexample["want"] = int(want[i])
+            break
+
+    return EquivalenceCertificate(
+        netlist=cn.name,
+        kind=kind,
+        method=method,
+        n_vectors=n_vectors,
+        passed=counterexample is None,
+        widths=widths,
+        signed=any(s.signed for s in specs),
+        multiplicand=coefficient if kind == "ccm" else m,
+        seed=used_seed,
+        counterexample=counterexample,
+    )
+

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import warnings as _warnings
 from dataclasses import dataclass, field
-from typing import Iterable, Mapping
+from typing import TYPE_CHECKING, Iterable, Mapping
 
 from ..config import get_analysis_settings
 from ..errors import AnalysisError, LintError
@@ -20,6 +20,9 @@ from ..netlist.core import CompiledNetlist, Netlist
 from .context import AnalysisContext
 from .diagnostics import Diagnostic, LintReport, Severity
 from .passes import REGISTRY
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .dataflow import RangeLike
 
 __all__ = ["LintConfig", "LintWarning", "lint_netlist", "check_netlist"]
 
@@ -102,16 +105,22 @@ class LintConfig:
 
 
 def lint_netlist(
-    netlist: Netlist | CompiledNetlist, config: LintConfig | None = None
+    netlist: Netlist | CompiledNetlist,
+    config: LintConfig | None = None,
+    assumptions: Mapping[str, "RangeLike"] | None = None,
 ) -> LintReport:
     """Run all enabled passes over ``netlist`` and collect a report.
 
     Works on both the mutable builder and the compiled array form; a
     structurally broken netlist produces ``NL000`` errors and skips the
     passes that need a sound DAG instead of crashing.
+
+    ``assumptions`` (bus name -> value or ``(lo, hi)`` range) feed the
+    word-level ``WL0xx`` passes: WL001 validates them against bus
+    boundaries and WL003 reports logic they freeze.
     """
     cfg = config if config is not None else LintConfig.from_settings()
-    ctx = AnalysisContext.build(netlist)
+    ctx = AnalysisContext.build(netlist, assumptions=assumptions)
     diagnostics: list[Diagnostic] = []
     for rule_id in sorted(REGISTRY):
         rule = REGISTRY[rule_id]
@@ -141,6 +150,7 @@ def check_netlist(
     netlist: Netlist | CompiledNetlist,
     config: LintConfig | None = None,
     context: str = "",
+    assumptions: Mapping[str, "RangeLike"] | None = None,
 ) -> LintReport:
     """Lint gate: raise :class:`LintError` on failure, warn otherwise.
 
@@ -156,7 +166,7 @@ def check_netlist(
         The report, when the gate passes.
     """
     cfg = config if config is not None else LintConfig.from_settings()
-    report = lint_netlist(netlist, cfg)
+    report = lint_netlist(netlist, cfg, assumptions=assumptions)
     prefix = f"{context}: " if context else ""
     if not report.ok(cfg.fail_on):
         raise LintError(

@@ -25,6 +25,22 @@ NL010  depth-budget        warning   LUT depth above the budget
 NL011  input-coverage      warning   primary input that cannot affect any
                                      output
 =====  ==================  ========  =======================================
+
+Word-level rules (``WL0xx``) run the dataflow abstract interpreter of
+:mod:`repro.analysis.dataflow` instead of walking raw structure:
+
+=====  =======================  ========  ==================================
+ID     name                     default   finding
+=====  =======================  ========  ==================================
+WL001  bus-overflow             error     input-range assumption overflows
+                                          the bus's width/signedness
+WL002  dead-output-bits         warning   LUT-driven output bit provably
+                                          constant for all inputs
+WL003  static-under-assumption  info      live logic provably constant
+                                          under the given assumptions
+WL004  ccm-contradiction        error     CCM's folded constants disagree
+                                          with its declared coefficient
+=====  =======================  ========  ==================================
 """
 
 from __future__ import annotations
@@ -39,7 +55,7 @@ from .diagnostics import Severity
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from .linter import LintConfig
 
-__all__ = ["Finding", "LintRule", "REGISTRY", "rule_table"]
+__all__ = ["Finding", "LintRule", "REGISTRY", "rule_table", "rule_table_markdown"]
 
 
 class Finding(NamedTuple):
@@ -95,6 +111,23 @@ def rule_table() -> list[tuple[str, str, str, str]]:
         (r.rule_id, r.name, str(r.default_severity), r.description)
         for r in sorted(REGISTRY.values(), key=lambda r: r.rule_id)
     ]
+
+
+def rule_table_markdown() -> str:
+    """The rule catalogue as a GitHub-flavoured markdown table.
+
+    ``docs/static_analysis.md`` embeds this between generated-content
+    markers; ``tests/analysis/test_docs_drift.py`` fails when the two
+    diverge, so the doc can never silently fall behind the registry.
+    """
+    lines = [
+        "| ID | Name | Default severity | Finding |",
+        "|----|------|------------------|---------|",
+    ]
+    for rule_id, name, severity, description in rule_table():
+        desc = " ".join(description.split())
+        lines.append(f"| {rule_id} | `{name}` | {severity} | {desc} |")
+    return "\n".join(lines)
 
 
 # ----------------------------------------------------------------------
@@ -368,3 +401,147 @@ def _check_input_coverage(ctx: AnalysisContext, cfg: "LintConfig") -> Iterator[F
                 nodes=tuple(bits[i] for i in uncovered),
                 bus=bus,
             )
+
+
+# ----------------------------------------------------------------------
+# WL001 — assumption vs bus boundary (overflow/truncation)
+# ----------------------------------------------------------------------
+@_register(
+    "WL001",
+    "bus-overflow",
+    Severity.ERROR,
+    "A declared input-range assumption does not fit the bus it names: the "
+    "range overflows the bus's width/signedness, or the bus does not "
+    "exist, so driving those values would truncate at the word boundary.",
+)
+def _check_bus_overflow(ctx: AnalysisContext, cfg: "LintConfig") -> Iterator[Finding]:
+    from .dataflow import assumption_problems
+
+    if not ctx.assumptions:
+        return
+    for problem in assumption_problems(ctx, ctx.assumptions):
+        yield Finding(problem)
+
+
+# ----------------------------------------------------------------------
+# WL002 — provably-dead output bits
+# ----------------------------------------------------------------------
+@_register(
+    "WL002",
+    "dead-output-bits",
+    Severity.WARNING,
+    "An output-bus bit driven by logic is provably constant for every "
+    "input: the cone feeding it is wasted area.  Bits tied to explicit "
+    "constant nodes are exempt — that is intentional zero/one padding.",
+)
+def _check_dead_output_bits(ctx: AnalysisContext, cfg: "LintConfig") -> Iterator[Finding]:
+    from .dataflow import BIT_TOP
+
+    # Unconditional run: a bit must be dead for *all* inputs to count.
+    flow = ctx.dataflow(None)
+    for bus in sorted(ctx.output_buses):
+        bits = ctx.output_buses[bus]
+        dead = [
+            (i, int(flow.bits[b]))
+            for i, b in enumerate(bits)
+            if ctx.is_lut(b) and int(flow.bits[b]) != BIT_TOP
+        ]
+        if dead:
+            idx = [i for i, _ in dead]
+            vals = [v for _, v in dead]
+            yield Finding(
+                f"output bus {bus!r} bit(s) {idx} are LUT-driven but "
+                f"provably stuck at {vals}",
+                nodes=tuple(bits[i] for i in idx),
+                bus=bus,
+            )
+
+
+# ----------------------------------------------------------------------
+# WL003 — logic static under the given assumptions
+# ----------------------------------------------------------------------
+@_register(
+    "WL003",
+    "static-under-assumption",
+    Severity.INFO,
+    "Live LUTs are provably constant under the declared input assumptions "
+    "(e.g. a fixed multiplicand freezes part of the array); the frozen "
+    "cone cannot glitch and its paths are false for timing purposes.",
+)
+def _check_static_under_assumption(
+    ctx: AnalysisContext, cfg: "LintConfig"
+) -> Iterator[Finding]:
+    from .dataflow import assumption_problems
+
+    if not ctx.assumptions:
+        return  # without assumptions this would duplicate NL004/WL002
+    if assumption_problems(ctx, ctx.assumptions):
+        return  # WL001 reports the contradiction; nothing sound to add
+    flow = ctx.dataflow(ctx.assumptions)
+    baseline = {*ctx.dataflow(None).static_luts()}
+    frozen = [nid for nid in flow.static_luts() if nid not in baseline]
+    if frozen:
+        yield Finding(
+            f"{len(frozen)} live LUT(s) are provably static under the "
+            f"given assumptions",
+            nodes=tuple(frozen),
+        )
+
+
+# ----------------------------------------------------------------------
+# WL004 — CCM coefficient contradiction
+# ----------------------------------------------------------------------
+@_register(
+    "WL004",
+    "ccm-contradiction",
+    Severity.ERROR,
+    "A constant-coefficient multiplier's folded constants disagree with "
+    "its declared coefficient: singleton-input dataflow probes (where "
+    "abstract interpretation is exact) yield a product other than "
+    "coefficient*x, or the product bus width does not match the "
+    "coefficient's magnitude.",
+)
+def _check_ccm_contradiction(ctx: AnalysisContext, cfg: "LintConfig") -> Iterator[Finding]:
+    if ctx.attrs.get("kind") != "ccm":
+        return
+    coefficient = ctx.attrs.get("coefficient")
+    data_bus = str(ctx.attrs.get("data_bus", "x"))
+    product_bus = str(ctx.attrs.get("product_bus", "p"))
+    if not isinstance(coefficient, int) or isinstance(coefficient, bool):
+        yield Finding(
+            f"ccm netlist declares no integer coefficient (attrs: "
+            f"{sorted(ctx.attrs)})"
+        )
+        return
+    if data_bus not in ctx.input_buses or product_bus not in ctx.output_buses:
+        yield Finding(
+            f"ccm netlist is missing its declared buses "
+            f"{data_bus!r} -> {product_bus!r}"
+        )
+        return
+    w_in = len(ctx.input_buses[data_bus])
+    x_max = (1 << w_in) - 1
+    expected_width = max(1, (coefficient * x_max).bit_length())
+    actual_width = len(ctx.output_buses[product_bus])
+    if actual_width != expected_width:
+        yield Finding(
+            f"product bus {product_bus!r} is {actual_width} bits but "
+            f"coefficient {coefficient} over {w_in}-bit data needs "
+            f"{expected_width}",
+            bus=product_bus,
+        )
+    # Singleton probes: with every input bit pinned the abstract
+    # interpretation degenerates to exact evaluation, so any mismatch is
+    # a real functional contradiction, not over-approximation noise.
+    for x in (1, 1 << (w_in - 1), x_max):
+        flow = ctx.dataflow({data_bus: x})
+        got = flow.constant_value(product_bus)
+        want = coefficient * x
+        rep = (1 << actual_width) - 1
+        if got is None or got != (want & rep if actual_width < want.bit_length() else want):
+            yield Finding(
+                f"folded constants contradict coefficient {coefficient}: "
+                f"{data_bus}={x} yields {got}, expected {want}",
+                bus=product_bus,
+            )
+            return  # one witness is enough; later probes add noise

@@ -1,0 +1,306 @@
+"""Sensitisation-aware STA: false-path pruning from dataflow facts.
+
+Plain STA (:mod:`repro.timing.sta`) maxes arrival times over *every*
+structural path.  Under a fixed multiplicand — the paper's operating
+point: one operand of the characterised multiplier is the coefficient —
+whole cones of the array are provably constant, their paths can never
+launch a transition, and the worst-case bound is pessimistic.  This
+module intersects the known-bits reachability computed by
+:mod:`repro.analysis.dataflow` with arrival times:
+
+* a provably-constant node settles at t = 0 (it never toggles — the same
+  rule the transition simulator applies to unchanged nodes);
+* a fanin edge driven by a provably-constant net is excluded from the
+  arrival max.
+
+Only node-level constancy is used; per-row truth-table sensitisation is
+deliberately not (see the dataflow module docstring for the soundness
+argument against the transition-settle model).
+
+The per-(coefficient, output-bit) ``min_period_ns`` surface this yields
+is a *static companion* to the characterised error model E(m, f): the
+paper's prior (Sec. V, eq. 6) downweights error-prone coefficients from
+measurements; :meth:`CoefficientTimingProfile.variance_proxy_at` derives
+the same shape analytically (worst-case squared product error from bits
+whose paths miss the clock), and
+:meth:`repro.models.prior.CoefficientPrior.from_static_profile` turns it
+into a prior without any hardware sweep.  :func:`agreement_report`
+quantifies how the static surface relates to characterisation data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Mapping, Sequence
+
+import numpy as np
+
+from ..errors import AnalysisError
+from .context import AnalysisContext
+from .dataflow import DataflowResult, RangeLike, analyze_context
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..models.error_model import ErrorModel
+    from ..synthesis.flow import PlacedDesign
+    from ..timing.sta import StaticTimingResult
+
+__all__ = [
+    "CoefficientTimingProfile",
+    "sensitized_sta",
+    "coefficient_timing_profile",
+    "agreement_report",
+]
+
+
+def _dataflow_for(placed: "PlacedDesign", assumptions: Mapping[str, RangeLike] | None) -> DataflowResult:
+    ctx = AnalysisContext.build(placed.netlist, assumptions=assumptions)
+    return analyze_context(ctx, assumptions)
+
+
+def sensitized_sta(
+    placed: "PlacedDesign",
+    assumptions: Mapping[str, RangeLike] | None = None,
+) -> "StaticTimingResult":
+    """Device-true STA with false paths pruned under input assumptions.
+
+    With no assumptions this still prunes cones that are constant for
+    structural reasons (folded constants); with assumptions (e.g. the
+    multiplicand bus pinned) it additionally discards every path through
+    logic the pinned value freezes.  The result is always
+    ``<=`` the plain :meth:`PlacedDesign.device_sta` bound per output
+    bit, and remains a sound error-free bound for stimuli drawn from the
+    assumed input set.
+    """
+    from ..timing.sta import static_timing
+
+    flow = _dataflow_for(placed, assumptions)
+    return static_timing(
+        placed.netlist,
+        placed.node_delay,
+        placed.edge_delay,
+        setup_ns=placed.setup_ns,
+        edge_active=flow.edge_active,
+        node_static=flow.node_static,
+    )
+
+
+@dataclass(frozen=True)
+class CoefficientTimingProfile:
+    """Per-(coefficient, output-bit) static timing surface of one placement.
+
+    Attributes
+    ----------
+    multiplicands:
+        Coefficient magnitudes analysed, shape ``(M,)``.
+    min_period_ns:
+        Sensitisation-aware minimum error-free clock period per
+        coefficient per output bit, shape ``(M, width)``; includes the
+        capture-register setup time.
+    worst_case_period_ns:
+        Plain (coefficient-independent) STA bound per output bit,
+        shape ``(width,)``.
+    """
+
+    netlist: str
+    coeff_bus: str
+    out_bus: str
+    multiplicands: np.ndarray
+    min_period_ns: np.ndarray
+    worst_case_period_ns: np.ndarray
+    setup_ns: float
+
+    @property
+    def width(self) -> int:
+        return int(self.worst_case_period_ns.shape[0])
+
+    def row(self, m: int) -> np.ndarray:
+        """``min_period_ns`` over output bits for one coefficient."""
+        idx = int(np.searchsorted(self.multiplicands, m))
+        if idx >= self.multiplicands.shape[0] or self.multiplicands[idx] != m:
+            raise AnalysisError(f"multiplicand {m} not in the analysed set")
+        return self.min_period_ns[idx]
+
+    def static_fmax_mhz(self) -> np.ndarray:
+        """Per-coefficient error-free Fmax (MHz), shape ``(M,)``.
+
+        The slowest still-sensitisable output bit governs; a coefficient
+        that freezes the whole product (m=0) is unbounded and reported
+        as ``inf``.
+        """
+        worst = self.min_period_ns.max(axis=1)
+        with np.errstate(divide="ignore"):
+            return np.where(worst > 0, 1000.0 / worst, np.inf)
+
+    def variance_proxy_at(self, freq_mhz: float) -> np.ndarray:
+        """Worst-case squared product error per coefficient, shape ``(M,)``.
+
+        A product bit whose ``min_period_ns`` exceeds the clock period
+        can latch stale data; if it does, the integer product is wrong
+        by ``2**bit``, contributing ``4**bit`` squared error.  Summing
+        over all late bits gives a static stand-in for the characterised
+        variance E(m, f) — same units (integer-product squared error),
+        same monotonicity in frequency, no hardware sweep.
+        """
+        if freq_mhz <= 0:
+            raise AnalysisError("frequency must be positive")
+        period = 1000.0 / float(freq_mhz)
+        late = self.min_period_ns > period  # (M, width)
+        weights = np.power(4.0, np.arange(self.width, dtype=np.float64))
+        return late @ weights
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "netlist": self.netlist,
+            "coeff_bus": self.coeff_bus,
+            "out_bus": self.out_bus,
+            "setup_ns": self.setup_ns,
+            "multiplicands": [int(m) for m in self.multiplicands],
+            "min_period_ns": self.min_period_ns.tolist(),
+            "worst_case_period_ns": self.worst_case_period_ns.tolist(),
+            "static_fmax_mhz": [
+                None if not np.isfinite(f) else float(f)
+                for f in self.static_fmax_mhz()
+            ],
+        }
+
+
+def coefficient_timing_profile(
+    placed: "PlacedDesign",
+    multiplicands: Sequence[int] | np.ndarray | None = None,
+    coeff_bus: str = "b",
+    out_bus: str = "p",
+) -> CoefficientTimingProfile:
+    """Sweep sensitisation-aware STA over coefficient values.
+
+    For every ``m`` the coefficient bus is pinned to ``m`` and the
+    output bus's per-bit arrival is recomputed with the frozen cones
+    pruned — the static analogue of the characterisation sweep, which
+    fixes the same bus per run (:mod:`repro.characterization.harness`).
+
+    Parameters
+    ----------
+    multiplicands:
+        Coefficient values; defaults to the full range of the bus.
+    """
+    cn = placed.netlist
+    if coeff_bus not in cn.input_buses:
+        raise AnalysisError(
+            f"netlist {cn.name!r} has no input bus {coeff_bus!r} "
+            f"(inputs: {sorted(cn.input_buses)})"
+        )
+    if out_bus not in cn.output_buses:
+        raise AnalysisError(
+            f"netlist {cn.name!r} has no output bus {out_bus!r} "
+            f"(outputs: {sorted(cn.output_buses)})"
+        )
+    if multiplicands is None:
+        w = int(cn.input_buses[coeff_bus].shape[0])
+        multiplicands = np.arange(1 << w, dtype=np.int64)
+    mags = np.asarray(multiplicands, dtype=np.int64)
+    if mags.ndim != 1 or mags.shape[0] == 0:
+        raise AnalysisError("multiplicands must be a non-empty 1-D sequence")
+    if np.any(np.diff(mags) <= 0):
+        raise AnalysisError("multiplicands must be strictly ascending")
+
+    worst = placed.device_sta()
+    worst_period = worst.output_arrival[out_bus] + worst.setup_ns
+
+    rows = np.empty((mags.shape[0], worst_period.shape[0]), dtype=np.float64)
+    for i, m in enumerate(mags):
+        sta = sensitized_sta(placed, {coeff_bus: int(m)})
+        rows[i] = sta.output_arrival[out_bus] + sta.setup_ns
+    return CoefficientTimingProfile(
+        netlist=cn.name,
+        coeff_bus=coeff_bus,
+        out_bus=out_bus,
+        multiplicands=mags,
+        min_period_ns=rows,
+        worst_case_period_ns=worst_period,
+        setup_ns=float(worst.setup_ns),
+    )
+
+
+def agreement_report(
+    profile: CoefficientTimingProfile,
+    model: "ErrorModel",
+    guard_ns: float = 0.045,
+) -> dict[str, object]:
+    """Compare the static timing surface against characterised E(m, f).
+
+    For every characterised ``(m, f)`` cell shared with the profile, the
+    static surface predicts *error-free* when the clock period exceeds
+    the coefficient's worst ``min_period_ns`` by at least ``guard_ns``
+    (clock jitter erodes the capture window by up to its truncation
+    bound — default 3 sigma of the stock 15 ps jitter model — so the
+    deterministic STA bound needs that margin before it promises clean
+    capture).  A *violation* is a cell the static analysis clears but
+    characterisation measured errors in: soundness failures, zero in a
+    correct implementation.  Cells the static analysis flags as risky
+    but measure clean are expected — STA is worst-case over data while
+    the measured stimulus is benign-or-not per sample.
+
+    Returns a JSON-able dict with the violation count, per-coefficient
+    static vs measured error-free Fmax, and tightness statistics
+    (coefficients whose static bound beats the worst-case bound).
+    """
+    if guard_ns < 0:
+        raise AnalysisError("guard_ns must be non-negative")
+    shared = [
+        (i, int(np.searchsorted(model.multiplicands, m)))
+        for i, m in enumerate(profile.multiplicands)
+        if np.any(model.multiplicands == m)
+    ]
+    if not shared:
+        raise AnalysisError(
+            "no multiplicand is shared between the profile and the model"
+        )
+    periods = 1000.0 / model.freqs_mhz  # (F,)
+    static_worst = profile.min_period_ns.max(axis=1)  # (M,)
+
+    n_cells = 0
+    n_static_clean = 0
+    violations: list[dict[str, float | int]] = []
+    per_coefficient: list[dict[str, object]] = []
+    for pi, mi in shared:
+        m = int(profile.multiplicands[pi])
+        measured = model.variance[mi]  # (F,)
+        clean_mask = periods >= static_worst[pi] + guard_ns
+        n_cells += periods.shape[0]
+        n_static_clean += int(clean_mask.sum())
+        bad = clean_mask & (measured > 0)
+        for fi in np.nonzero(bad)[0]:
+            violations.append(
+                {
+                    "m": m,
+                    "freq_mhz": float(model.freqs_mhz[fi]),
+                    "measured_variance": float(measured[fi]),
+                    "static_min_period_ns": float(static_worst[pi]),
+                }
+            )
+        static_fmax = (
+            float(1000.0 / static_worst[pi]) if static_worst[pi] > 0 else None
+        )
+        per_coefficient.append(
+            {
+                "m": m,
+                "static_fmax_mhz": static_fmax,
+                "measured_error_free_fmax_mhz": model.error_free_fmax(m),
+                "tighter_than_worst_case": bool(
+                    static_worst[pi] < profile.worst_case_period_ns.max()
+                ),
+            }
+        )
+
+    tighter = [c for c in per_coefficient if c["tighter_than_worst_case"]]
+    return {
+        "netlist": profile.netlist,
+        "guard_ns": float(guard_ns),
+        "n_coefficients": len(shared),
+        "n_cells": n_cells,
+        "n_static_clean_cells": n_static_clean,
+        "n_violations": len(violations),
+        "violations": violations,
+        "consistent": not violations,
+        "n_tighter_than_worst_case": len(tighter),
+        "per_coefficient": per_coefficient,
+    }

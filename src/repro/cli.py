@@ -17,6 +17,8 @@ Examples
     repro-experiment runtime
     repro-experiment lint ccm 93 8
     repro-experiment lint unsigned_multiplier 8 8 --format json
+    repro-experiment analyze ccm 93 8 --prove
+    repro-experiment analyze unsigned_multiplier 8 8 --assume b=222 --sta
     repro-experiment cache info --workspace WS
     repro-experiment cache clear --dir /tmp/placed-cache
     repro-experiment faults describe --plan '{"seed": 7, "specs": [...]}'
@@ -216,6 +218,151 @@ def _lint_main(argv: list[str]) -> int:
     return 0 if report.ok(config.fail_on) else 1
 
 
+def _parse_assumption(spec: str) -> tuple[str, "int | tuple[int, int]"]:
+    """Parse one ``BUS=V`` or ``BUS=LO:HI`` assumption argument."""
+    if "=" not in spec:
+        raise ValueError(f"assumption {spec!r} is not BUS=V or BUS=LO:HI")
+    bus, _, value = spec.partition("=")
+    if ":" in value:
+        lo, _, hi = value.partition(":")
+        return bus, (int(lo), int(hi))
+    return bus, int(value)
+
+
+def _analyze_main(argv: list[str]) -> int:
+    """``analyze`` subcommand: word-level dataflow / proof / timing report."""
+    from .analysis import Severity, analyze_dataflow, lint_netlist, prove_multiplier
+    from .analysis.sensitization import sensitized_sta
+
+    parser = argparse.ArgumentParser(
+        prog="repro-experiment analyze",
+        description="Word-level static analysis of a generated netlist: "
+        "known-bits/range dataflow, equivalence proof against golden "
+        "integer arithmetic, and false-path-aware STA.",
+        epilog="Assumptions pin input buses, e.g. --assume b=222 (the "
+        "characterised multiplicand) or --assume a=0:15 (a range).",
+    )
+    parser.add_argument(
+        "generator",
+        choices=sorted(GENERATORS),
+        help="registered design-under-test generator",
+    )
+    parser.add_argument(
+        "params",
+        nargs="*",
+        type=int,
+        help="integer generator parameters (e.g. widths, coefficient)",
+    )
+    parser.add_argument(
+        "--assume",
+        action="append",
+        default=[],
+        metavar="BUS=V|BUS=LO:HI",
+        help="input-bus value or range assumption (repeatable)",
+    )
+    parser.add_argument(
+        "--prove",
+        action="store_true",
+        help="run the multiplier equivalence proof (exhaustive when the "
+        "free input space allows, stratified otherwise); exit 1 on failure",
+    )
+    parser.add_argument(
+        "--sta",
+        action="store_true",
+        help="place the design and report worst-case vs sensitisation-"
+        "aware per-output-bit timing under the assumptions",
+    )
+    parser.add_argument(
+        "--format",
+        choices=["text", "json"],
+        default="text",
+        help="report rendering (default: text)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0, help="device serial / placement seed"
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        assumptions = dict(_parse_assumption(s) for s in args.assume)
+        netlist = generate(args.generator, *args.params)
+        # Clamped dataflow stays sound under contradictory assumptions;
+        # the contradiction itself is WL001's job (reported via lint).
+        flow_result = analyze_dataflow(netlist, assumptions or None, clamp=True)
+        report = lint_netlist(netlist, assumptions=assumptions or None)
+    except (ReproError, TypeError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    payload: dict = {"dataflow": flow_result.as_dict(), "lint": report.to_dict()}
+    failed = not report.ok(Severity.ERROR)
+
+    if args.prove:
+        try:
+            m = assumptions.get("b") if isinstance(assumptions.get("b"), int) else None
+            cert = prove_multiplier(netlist, m=m, seed=args.seed)
+        except ReproError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        payload["proof"] = cert.as_dict()
+        failed = failed or not cert.passed
+
+    if args.sta:
+        try:
+            from .fabric import make_device
+            from .synthesis.flow import SynthesisFlow
+
+            placed = SynthesisFlow(make_device(args.seed)).run(
+                netlist, seed=args.seed
+            )
+            worst = placed.device_sta()
+            pruned = sensitized_sta(placed, assumptions or None)
+            payload["sta"] = {
+                "setup_ns": worst.setup_ns,
+                "worst_case": {
+                    bus: [round(float(a) + worst.setup_ns, 4) for a in arr]
+                    for bus, arr in worst.output_arrival.items()
+                },
+                "sensitized": {
+                    bus: [round(float(a) + pruned.setup_ns, 4) for a in arr]
+                    for bus, arr in pruned.output_arrival.items()
+                },
+                "worst_fmax_mhz": round(worst.fmax_mhz, 3),
+                "sensitized_fmax_mhz": round(pruned.fmax_mhz, 3),
+            }
+        except ReproError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+
+    if args.format == "json":
+        print(json.dumps(payload, indent=2))
+    else:
+        df = payload["dataflow"]
+        print(f"dataflow {df['netlist']!r}: {df['n_known_bits']} known bit(s), "
+              f"{df['n_static_live_luts']} static live LUT(s)")
+        for bus, rng in df["output_ranges"].items():
+            known = df["known_output_bits"][bus]
+            print(f"  output {bus!r}: range [{rng[0]}, {rng[1]}]"
+                  + (f", fixed bits {known}" if known else ""))
+        print(report.to_text())
+        if "proof" in payload:
+            proof = payload["proof"]
+            verdict = "PROVED" if proof["passed"] else "FAILED"
+            print(f"proof [{proof['kind']}/{proof['method']}] {verdict} over "
+                  f"{proof['n_vectors']} vector(s)"
+                  + (f"; counterexample {proof['counterexample']}"
+                     if proof["counterexample"] else ""))
+        if "sta" in payload:
+            sta = payload["sta"]
+            print(f"sta: worst-case fmax {sta['worst_fmax_mhz']} MHz, "
+                  f"sensitised fmax {sta['sensitized_fmax_mhz']} MHz")
+            for bus in sorted(sta["worst_case"]):
+                print(f"  {bus!r} min period ns/bit:")
+                print(f"    worst-case: {sta['worst_case'][bus]}")
+                print(f"    sensitised: {sta['sensitized'][bus]}")
+    return 1 if failed else 0
+
+
 def _faults_main(argv: list[str]) -> int:
     """``faults`` subcommand: describe or validate a chaos fault plan."""
     from .faults import FAULT_KINDS, REPRO_FAULTS_ENV, FaultPlan
@@ -335,6 +482,8 @@ def main(argv: list[str] | None = None) -> int:
         argv = sys.argv[1:]
     if argv and argv[0] == "lint":
         return _lint_main(argv[1:])
+    if argv and argv[0] == "analyze":
+        return _analyze_main(argv[1:])
     if argv and argv[0] == "cache":
         return _cache_main(argv[1:])
     if argv and argv[0] == "faults":

@@ -40,6 +40,20 @@ class LintError(AnalysisError):
         self.report = report
 
 
+class ProofError(AnalysisError):
+    """An equivalence proof failed: the netlist computes something other
+    than its golden specification.
+
+    Raised by :meth:`repro.analysis.equivalence.EquivalenceCertificate.require`;
+    the failing certificate (with its counterexample vector) is attached
+    as ``certificate``.
+    """
+
+    def __init__(self, message: str, certificate: object | None = None) -> None:
+        super().__init__(message)
+        self.certificate = certificate
+
+
 class PlacementError(ReproError):
     """Placement could not be completed (region too small, out of bounds)."""
 

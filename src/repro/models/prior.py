@@ -19,13 +19,28 @@ characterised ``E(m, f)``.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from ..errors import ModelError
 from .error_model import ErrorModel
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..analysis.sensitization import CoefficientTimingProfile
+
 __all__ = ["CoefficientPrior", "prior_over_magnitudes"]
+
+
+def _mirror_signed(
+    mags: np.ndarray, variance: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Signed grid: negative magnitudes mirrored, zero not duplicated."""
+    if mags[0] == 0:
+        neg_m, neg_v = -mags[::-1][:-1], variance[::-1][:-1]
+    else:
+        neg_m, neg_v = -mags[::-1], variance[::-1]
+    return np.concatenate([neg_m, mags]), np.concatenate([neg_v, variance])
 
 
 def prior_over_magnitudes(
@@ -94,22 +109,49 @@ class CoefficientPrior:
         wl = wordlength if wordlength is not None else model.w_coeff
         mags = model.multiplicands
         variance = model.variance_at(freq_mhz)
-
-        # Signed grid: negative magnitudes mirrored, zero not duplicated.
-        neg = -mags[::-1][:-1] if mags[0] == 0 else -mags[::-1]
-        signed_m = np.concatenate([neg, mags])
-        scale = float(1 << wl)
-        values = signed_m / scale
-
-        var_neg = variance[::-1][:-1] if mags[0] == 0 else variance[::-1]
-        signed_var = np.concatenate([var_neg, variance])
+        signed_m, signed_var = _mirror_signed(mags, variance)
         mass = prior_over_magnitudes(signed_var, beta)
         return cls(
             wordlength=wl,
             freq_mhz=float(freq_mhz),
             beta=float(beta),
             magnitudes=mags,
-            values=values,
+            values=signed_m / float(1 << wl),
+            mass=mass,
+            variances=signed_var,
+        )
+
+    @classmethod
+    def from_static_profile(
+        cls,
+        profile: "CoefficientTimingProfile",
+        freq_mhz: float,
+        beta: float,
+        wordlength: int | None = None,
+    ) -> "CoefficientPrior":
+        """Form the prior from static timing instead of measurements.
+
+        The variance surface is the sensitisation-aware STA's worst-case
+        squared product error per coefficient
+        (:meth:`~repro.analysis.sensitization.CoefficientTimingProfile.variance_proxy_at`)
+        — same units and the same eq.-(6) shaping as
+        :meth:`from_error_model`, but available before any hardware
+        characterisation sweep.  The sign-magnitude mirroring is shared:
+        both signs of a magnitude have identical timing (the sign XOR is
+        off the multiplier's critical path).
+        """
+        mags = np.asarray(profile.multiplicands, dtype=np.int64)
+        if wordlength is None:
+            wordlength = max(1, int(mags.max()).bit_length())
+        variance = profile.variance_proxy_at(freq_mhz)
+        signed_m, signed_var = _mirror_signed(mags, variance)
+        mass = prior_over_magnitudes(signed_var, beta)
+        return cls(
+            wordlength=wordlength,
+            freq_mhz=float(freq_mhz),
+            beta=float(beta),
+            magnitudes=mags,
+            values=signed_m / float(1 << wordlength),
             mass=mass,
             variances=signed_var,
         )

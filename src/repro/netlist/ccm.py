@@ -62,6 +62,13 @@ def ccm_multiplier(coefficient: int, w_in: int, name: str | None = None) -> Netl
     if w_in < 1:
         raise NetlistError("input width must be >= 1")
     nl = Netlist(name or f"ccm{coefficient}x{w_in}")
+    nl.attrs.update(
+        kind="ccm",
+        coefficient=coefficient,
+        w_in=w_in,
+        data_bus="x",
+        product_bus="p",
+    )
     x = nl.add_input_bus("x", w_in)
 
     max_product = coefficient * ((1 << w_in) - 1)

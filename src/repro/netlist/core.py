@@ -14,7 +14,7 @@ truth table.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
 import numpy as np
@@ -55,11 +55,18 @@ def bits_from_ints(values: np.ndarray | Sequence[int], width: int) -> np.ndarray
     """Unpack integers into a ``(batch, width)`` uint8 LSB-first bit array.
 
     Negative integers are interpreted in ``width``-bit two's complement.
+    Widths up to 64 are supported (the int64 carrier).
     """
     v = np.asarray(values)
     if width < 1:
         raise NetlistError("width must be >= 1")
-    v = v.astype(np.int64) & ((1 << width) - 1)
+    if width > 64:
+        raise NetlistError(f"{width}-bit words do not fit the int64 carrier")
+    v = v.astype(np.int64)
+    if width < 64:
+        v = v & ((1 << width) - 1)
+    # width == 64: int64 already is the 64-bit two's-complement pattern and
+    # the arithmetic right shift below extracts sign-extended bits correctly.
     shifts = np.arange(width, dtype=np.int64)
     return ((v[..., None] >> shifts) & 1).astype(np.uint8)
 
@@ -68,18 +75,28 @@ def ints_from_bits(bits: np.ndarray, signed: bool = False) -> np.ndarray:
     """Pack a ``(batch, width)`` LSB-first bit array into integers.
 
     With ``signed=True`` the most significant bit is a two's-complement
-    sign bit.
+    sign bit.  Signed words up to 64 bits and unsigned words up to 63 bits
+    fit the int64 result (a 64-bit unsigned all-ones word does not).
     """
     b = np.asarray(bits)
     if b.ndim != 2:
         raise NetlistError(f"expected 2-D bit array, got shape {b.shape}")
     width = b.shape[1]
-    weights = (1 << np.arange(width, dtype=np.int64))
-    out = (b.astype(np.int64) * weights).sum(axis=1)
+    if width > (64 if signed else 63):
+        raise NetlistError(
+            f"{width}-bit {'signed' if signed else 'unsigned'} words do not "
+            "fit the int64 carrier"
+        )
+    # Weights as int64 without ever forming 2**63 as a positive Python int:
+    # the sign weight of a w-bit two's-complement word is -(2**(w-1)).
+    weights = np.ones(width, dtype=np.int64)
+    np.left_shift(weights[:63], np.arange(min(width, 63), dtype=np.int64),
+                  out=weights[:63])
     if signed:
-        sign = 1 << (width - 1)
-        out = np.where(out >= sign, out - (1 << width), out)
-    return out
+        weights[-1] = (
+            np.iinfo(np.int64).min if width == 64 else -(1 << (width - 1))
+        )
+    return (b.astype(np.int64) * weights).sum(axis=1)
 
 
 @dataclass(frozen=True)
@@ -114,6 +131,14 @@ class Netlist:
         self._shared_luts: dict[tuple[int, tuple[int, ...]], int] = {}
         self.input_buses: dict[str, list[int]] = {}
         self.output_buses: dict[str, list[int]] = {}
+        #: Per-bus two's-complement flags; unsigned when absent (the
+        #: default).  Word-level analyses (range lattice, equivalence
+        #: proofs) read these to interpret bus values as integers.
+        self.input_bus_signed: dict[str, bool] = {}
+        self.output_bus_signed: dict[str, bool] = {}
+        #: Free-form generator metadata (e.g. a CCM's declared
+        #: ``coefficient``); consumed by the word-level lint rules.
+        self.attrs: dict[str, object] = {}
 
     # ------------------------------------------------------------------
     # construction
@@ -130,14 +155,19 @@ class Netlist:
         self._const_values.append(const)
         return nid
 
-    def add_input_bus(self, name: str, width: int) -> list[int]:
-        """Declare a primary-input bus; returns its bit node ids, LSB first."""
+    def add_input_bus(self, name: str, width: int, signed: bool = False) -> list[int]:
+        """Declare a primary-input bus; returns its bit node ids, LSB first.
+
+        ``signed`` marks the bus as a two's-complement word for word-level
+        analyses; the bit-level structure is unaffected.
+        """
         if width < 1:
             raise NetlistError("bus width must be >= 1")
         if name in self.input_buses:
             raise NetlistError(f"duplicate input bus {name!r}")
         bits = [self._add_node(_KIND_INPUT, 0, ()) for _ in range(width)]
         self.input_buses[name] = bits
+        self.input_bus_signed[name] = bool(signed)
         return bits
 
     def add_const(self, value: int) -> int:
@@ -194,14 +224,19 @@ class Netlist:
             self._shared_luts[key] = nid
         return nid
 
-    def set_output_bus(self, name: str, bits: Sequence[int]) -> None:
-        """Declare an output bus from existing node ids, LSB first."""
+    def set_output_bus(self, name: str, bits: Sequence[int], signed: bool = False) -> None:
+        """Declare an output bus from existing node ids, LSB first.
+
+        ``signed`` marks the bus as a two's-complement word for word-level
+        analyses; the bit-level structure is unaffected.
+        """
         if name in self.output_buses:
             raise NetlistError(f"duplicate output bus {name!r}")
         for x in bits:
             if not (0 <= x < self.n_nodes):
                 raise NetlistError(f"output bit {x} references unknown node")
         self.output_buses[name] = list(int(b) for b in bits)
+        self.output_bus_signed[name] = bool(signed)
 
     def prune_dangling(self) -> int:
         """Remove nodes no output depends on (primary inputs are kept).
@@ -314,9 +349,16 @@ class Netlist:
                         f"output bus {name!r} references unknown node {b}"
                     )
         for nid, kind in enumerate(self._kinds):
-            if kind != _KIND_LUT:
-                continue
             fanins = self._fanins[nid]
+            if kind != _KIND_LUT:
+                # Hand-mutated graphs can thread fanins through input or
+                # constant nodes, hiding a cycle from the LUT-only check.
+                if fanins:
+                    raise NetlistError(
+                        f"non-LUT node {nid} has fanins {tuple(fanins)}; "
+                        "inputs and constants must be sources"
+                    )
+                continue
             arity = len(fanins)
             if not (1 <= arity <= MAX_LUT_ARITY):
                 raise NetlistError(
@@ -331,10 +373,14 @@ class Netlist:
             for f in fanins:
                 if f == nid:
                     raise NetlistError(f"LUT node {nid} is its own fanin")
-                if not (0 <= f < nid):
+                if not (0 <= f < len(self._kinds)):
                     raise NetlistError(
-                        f"LUT node {nid} fanin {f} does not precede it "
-                        "(broken topological construction order)"
+                        f"LUT node {nid} fanin {f} references unknown node"
+                    )
+                if f > nid:
+                    raise NetlistError(
+                        f"LUT node {nid} fanin {f} is a forward reference "
+                        "(cycle or broken topological construction order)"
                     )
 
     def node_levels(self) -> np.ndarray:
@@ -404,6 +450,9 @@ class Netlist:
             level_groups=tuple(level_groups),
             input_buses={k: np.asarray(v, dtype=np.int32) for k, v in self.input_buses.items()},
             output_buses={k: np.asarray(v, dtype=np.int32) for k, v in self.output_buses.items()},
+            input_bus_signed=dict(self.input_bus_signed),
+            output_bus_signed=dict(self.output_bus_signed),
+            attrs=dict(self.attrs),
         )
 
 
@@ -426,6 +475,10 @@ class CompiledNetlist:
     level_groups: tuple[np.ndarray, ...]
     input_buses: dict[str, np.ndarray]
     output_buses: dict[str, np.ndarray]
+    # Word-level metadata (defaults keep pickled/legacy constructors working).
+    input_bus_signed: dict[str, bool] = field(default_factory=dict)
+    output_bus_signed: dict[str, bool] = field(default_factory=dict)
+    attrs: dict[str, object] = field(default_factory=dict)
 
     @property
     def n_nodes(self) -> int:

@@ -45,6 +45,10 @@ def mac_block(
     # Generic unsigned array multiplier (same topology as the DUT).
     if w_coeff == 1:
         product = [nl.AND(a[j], b[0]) for j in range(w_data)] + [nl.add_const(0)]
+    elif w_data == 1:
+        # Degenerate 1-bit data operand: product fits w_coeff bits, so the
+        # MSB is constant 0 padding, not a dead carry LUT (rule WL002).
+        product = [nl.AND(b[i], a[0]) for i in range(w_coeff)] + [nl.add_const(0)]
     else:
         first = [nl.AND(a[j], b[0]) for j in range(w_data)]
         product = [first[0]]

@@ -54,6 +54,14 @@ def unsigned_array_multiplier(wa: int, wb: int, name: str | None = None) -> Netl
         product = [nl.AND(a[j], b[0]) for j in range(wa)] + [nl.add_const(0)]
         nl.set_output_bus("p", product)
         return nl
+    if wa == 1:
+        # Symmetric degenerate case.  The general path would build a
+        # ripple chain whose top carry is provably 0 (a 1-bit operand
+        # product needs only wb bits); pad with a constant instead of a
+        # dead carry LUT (rule WL002).
+        product = [nl.AND(b[i], a[0]) for i in range(wb)] + [nl.add_const(0)]
+        nl.set_output_bus("p", product)
+        return nl
 
     # Row 0 partial product is the initial running sum.
     acc = [nl.AND(a[j], b[0]) for j in range(wa)]
@@ -89,8 +97,8 @@ def baugh_wooley_multiplier(wa: int, wb: int, name: str | None = None) -> Netlis
     if wa < 2 or wb < 2:
         raise NetlistError("Baugh-Wooley needs at least 2-bit operands")
     nl = Netlist(name or f"bwmul{wa}x{wb}")
-    a = nl.add_input_bus("a", wa)
-    b = nl.add_input_bus("b", wb)
+    a = nl.add_input_bus("a", wa, signed=True)
+    b = nl.add_input_bus("b", wb, signed=True)
     wp = wa + wb
 
     # Column-wise lists of partial-product bits (weight = column index).
@@ -106,7 +114,7 @@ def baugh_wooley_multiplier(wa: int, wb: int, name: str | None = None) -> Netlis
     columns[wp - 1].append(nl.add_const(1))
 
     product = _reduce_columns(nl, columns, wp)
-    nl.set_output_bus("p", product)
+    nl.set_output_bus("p", product, signed=True)
     # The correction ones are absorbed numerically; sweep the rail if unused.
     nl.prune_dangling()
     return nl
@@ -195,6 +203,10 @@ def sign_magnitude_multiplier(wa: int, wb: int, name: str | None = None) -> Netl
     # Unsigned array core (same topology as unsigned_array_multiplier).
     if wb == 1:
         product = [nl.AND(a[j], b[0]) for j in range(wa)] + [nl.add_const(0)]
+    elif wa == 1:
+        # Same degenerate form as unsigned_array_multiplier: a 1-bit
+        # operand product needs only wb bits, so the MSB is constant 0.
+        product = [nl.AND(b[i], a[0]) for i in range(wb)] + [nl.add_const(0)]
     else:
         acc = [nl.AND(a[j], b[0]) for j in range(wa)]
         product = [acc[0]]

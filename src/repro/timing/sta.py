@@ -64,6 +64,8 @@ def arrival_times(
     netlist: CompiledNetlist,
     node_delay: np.ndarray,
     edge_delay: np.ndarray,
+    edge_active: np.ndarray | None = None,
+    node_static: np.ndarray | None = None,
 ) -> np.ndarray:
     """Compute worst-case arrival times for every node.
 
@@ -77,12 +79,26 @@ def arrival_times(
     edge_delay:
         Per-fanin-edge routing delay, shape ``(n_nodes, 4)``; entries
         beyond a node's arity are ignored.
+    edge_active:
+        Optional ``(n_nodes, 4)`` bool mask from dataflow analysis: an
+        inactive fanin edge drives a provably-constant value and is
+        excluded from the arrival max (false-path pruning).
+    node_static:
+        Optional ``(n_nodes,)`` bool mask: a static node's value provably
+        never changes, so it settles at t=0 regardless of fanin timing
+        (matching the transition simulator, where an unchanged node
+        contributes no settle delay).  Supplying only ``node_static``
+        without ``edge_active`` is allowed and is already sound.
     """
     n = netlist.n_nodes
     if node_delay.shape != (n,):
         raise TimingError(f"node_delay shape {node_delay.shape} != ({n},)")
     if edge_delay.shape != (n, 4):
         raise TimingError(f"edge_delay shape {edge_delay.shape} != ({n}, 4)")
+    if edge_active is not None and edge_active.shape != (n, 4):
+        raise TimingError(f"edge_active shape {edge_active.shape} != ({n}, 4)")
+    if node_static is not None and node_static.shape != (n,):
+        raise TimingError(f"node_static shape {node_static.shape} != ({n},)")
     arrival = np.zeros(n, dtype=np.float64)
     arity = netlist.arity
     fidx = netlist.fanin_idx
@@ -93,9 +109,16 @@ def arrival_times(
             mask = a > k
             if not mask.any():
                 break
+            if edge_active is not None:
+                mask = mask & edge_active[ids, k]
             cand = arrival[fidx[ids, k]] + edge_delay[ids, k]
             best = np.where(mask, np.maximum(best, cand), best)
+        # A node with no active in-edge cannot be toggled: it settles at
+        # t=0 (its value is constant, so no transition ever launches).
+        best = np.where(np.isfinite(best), best, -node_delay[ids])
         arrival[ids] = node_delay[ids] + best
+        if node_static is not None:
+            arrival[ids] = np.where(node_static[ids], 0.0, arrival[ids])
     return arrival
 
 
@@ -104,11 +127,24 @@ def static_timing(
     node_delay: np.ndarray,
     edge_delay: np.ndarray,
     setup_ns: float = 0.0,
+    edge_active: np.ndarray | None = None,
+    node_static: np.ndarray | None = None,
 ) -> StaticTimingResult:
-    """Run STA and collect per-output critical delays."""
+    """Run STA and collect per-output critical delays.
+
+    ``edge_active`` / ``node_static`` enable sensitisation-aware pruning
+    (see :func:`arrival_times`); omitted, this is the plain worst-case
+    bound.
+    """
     if setup_ns < 0:
         raise TimingError("setup time must be non-negative")
-    arrival = arrival_times(netlist, node_delay, edge_delay)
+    arrival = arrival_times(
+        netlist,
+        node_delay,
+        edge_delay,
+        edge_active=edge_active,
+        node_static=node_static,
+    )
     out = {name: arrival[ids].copy() for name, ids in netlist.output_buses.items()}
     critical = max(float(a.max()) for a in out.values())
     return StaticTimingResult(

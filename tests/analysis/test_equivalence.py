@@ -1,0 +1,144 @@
+"""Equivalence-proof tests (acceptance: 8x8 variants, >=8 multiplicands)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import prove_multiplier
+from repro.errors import AnalysisError, ProofError
+from repro.netlist import (
+    Netlist,
+    baugh_wooley_multiplier,
+    ccm_multiplier,
+    mac_block,
+    sign_magnitude_multiplier,
+    unsigned_array_multiplier,
+    wallace_tree_multiplier,
+)
+
+#: The acceptance grid: eight distinct multiplicands spanning the 8-bit
+#: range (zero, one, low/high popcount, boundary values).
+MULTIPLICANDS = [0, 1, 37, 93, 128, 170, 222, 255]
+
+
+class TestExhaustiveAcceptance:
+    @pytest.mark.parametrize("m", MULTIPLICANDS)
+    def test_wallace_8x8(self, m):
+        cert = prove_multiplier(wallace_tree_multiplier(8, 8), m=m)
+        assert cert.passed and cert.method == "exhaustive"
+        assert cert.n_vectors == 256
+        assert cert.multiplicand == m
+        cert.require()
+
+    @pytest.mark.parametrize("m", MULTIPLICANDS)
+    def test_array_8x8(self, m):
+        cert = prove_multiplier(unsigned_array_multiplier(8, 8), m=m)
+        assert cert.passed and cert.method == "exhaustive"
+        assert cert.n_vectors == 256
+
+    @pytest.mark.parametrize("m", [-128, -93, -1, 0, 1, 37, 93, 127])
+    def test_baugh_wooley_8x8(self, m):
+        cert = prove_multiplier(baugh_wooley_multiplier(8, 8), m=m)
+        assert cert.passed and cert.method == "exhaustive"
+        assert cert.signed
+        assert cert.n_vectors == 256
+
+    @pytest.mark.parametrize("c", MULTIPLICANDS)
+    def test_ccm_8bit(self, c):
+        cert = prove_multiplier(ccm_multiplier(c, 8))
+        assert cert.passed and cert.method == "exhaustive"
+        assert cert.kind == "ccm"
+        assert cert.n_vectors == 256
+
+    def test_full_space_small_multiplier(self):
+        cert = prove_multiplier(unsigned_array_multiplier(4, 4))
+        assert cert.passed and cert.method == "exhaustive"
+        assert cert.n_vectors == 256
+        assert cert.multiplicand is None
+
+    def test_sign_magnitude(self):
+        cert = prove_multiplier(sign_magnitude_multiplier(6, 6))
+        assert cert.passed and cert.method == "exhaustive"
+        assert cert.kind == "sign-magnitude"
+        assert cert.n_vectors == 1 << 14
+
+
+class TestStratified:
+    def test_mac_stratified(self):
+        cert = prove_multiplier(mac_block(8, 8), seed=3)
+        assert cert.passed
+        assert cert.method == "stratified"
+        assert cert.kind == "mac"
+        assert cert.seed == 3
+
+    def test_pinned_mac_exhaustive(self):
+        # Fixing b leaves a (8) + acc (17) = 25 free bits: still
+        # stratified with the default limit, exhaustive when raised.
+        cert = prove_multiplier(mac_block(4, 4), m=9, exhaustive_limit=16)
+        assert cert.passed
+        assert cert.method == "exhaustive"
+
+
+class TestBrokenNetlists:
+    def _broken_multiplier(self):
+        """Claims the a/b->p multiplier interface but computes a & b."""
+        nl = Netlist("broken2x2")
+        a = nl.add_input_bus("a", 2)
+        b = nl.add_input_bus("b", 2)
+        bits = [nl.AND(a[i], b[i]) for i in range(2)]
+        bits += [nl.add_const(0), nl.add_const(0)]
+        nl.set_output_bus("p", bits)
+        return nl
+
+    def test_counterexample_reported(self):
+        cert = prove_multiplier(self._broken_multiplier())
+        assert not cert.passed
+        cex = cert.counterexample
+        assert cex is not None
+        a, b = int(cex["a"]), int(cex["b"])
+        assert int(cex["want"]) == a * b
+        assert int(cex["got"]) != a * b
+
+    def test_require_raises_with_certificate(self):
+        cert = prove_multiplier(self._broken_multiplier())
+        with pytest.raises(ProofError, match="counterexample") as ei:
+            cert.require()
+        assert ei.value.certificate is cert
+
+    def test_ccm_coefficient_conflict_rejected(self):
+        with pytest.raises(AnalysisError, match="coefficient"):
+            prove_multiplier(ccm_multiplier(93, 8), m=94)
+
+    def test_ccm_matching_m_accepted(self):
+        assert prove_multiplier(ccm_multiplier(93, 8), m=93).passed
+
+    def test_unrepresentable_m_rejected(self):
+        with pytest.raises(AnalysisError):
+            prove_multiplier(unsigned_array_multiplier(4, 4), m=16)
+        with pytest.raises(AnalysisError):
+            prove_multiplier(baugh_wooley_multiplier(4, 4), m=-9)
+
+    def test_unrecognised_interface_rejected(self):
+        nl = Netlist("mystery")
+        x = nl.add_input_bus("u", 2)
+        nl.set_output_bus("v", [nl.NOT(x[0]), nl.NOT(x[1])])
+        with pytest.raises(AnalysisError):
+            prove_multiplier(nl)
+
+
+class TestCertificateData:
+    def test_as_dict_jsonable(self):
+        import json
+
+        cert = prove_multiplier(ccm_multiplier(93, 8))
+        blob = json.loads(json.dumps(cert.as_dict()))
+        assert blob["passed"] is True
+        assert blob["kind"] == "ccm"
+        assert blob["widths"]["x"] == 8
+
+    def test_stratified_deterministic(self):
+        c1 = prove_multiplier(mac_block(8, 8), seed=7)
+        c2 = prove_multiplier(mac_block(8, 8), seed=7)
+        assert c1.n_vectors == c2.n_vectors
+        assert c1.passed and c2.passed

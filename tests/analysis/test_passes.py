@@ -16,8 +16,11 @@ def _half_adder():
 
 
 class TestRegistry:
-    def test_all_twelve_rules_registered(self):
-        assert sorted(REGISTRY) == [f"NL{i:03d}" for i in range(12)]
+    def test_all_rules_registered(self):
+        expected = [f"NL{i:03d}" for i in range(12)] + [
+            f"WL{i:03d}" for i in range(1, 5)
+        ]
+        assert sorted(REGISTRY) == expected
 
     def test_rule_table_rows(self):
         rows = rule_table()

@@ -1,0 +1,140 @@
+"""Tests for the word-level WL0xx lint rules."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import Severity, lint_netlist
+from repro.errors import LintError
+from repro.netlist import (
+    Netlist,
+    baugh_wooley_multiplier,
+    ccm_multiplier,
+    mac_block,
+    sign_magnitude_multiplier,
+    unsigned_array_multiplier,
+    wallace_tree_multiplier,
+)
+
+
+def _ids(report):
+    return {d.rule for d in report.diagnostics}
+
+
+class TestWL001BusOverflow:
+    def test_overflowing_assumption_fires(self):
+        nl = unsigned_array_multiplier(4, 4)
+        report = lint_netlist(nl, assumptions={"b": (0, 99)})
+        assert "WL001" in _ids(report)
+        assert not report.ok(Severity.ERROR)
+
+    def test_unknown_bus_fires(self):
+        nl = unsigned_array_multiplier(4, 4)
+        report = lint_netlist(nl, assumptions={"zz": 1})
+        assert "WL001" in _ids(report)
+
+    def test_signed_boundary_respected(self):
+        nl = baugh_wooley_multiplier(4, 4)
+        ok = lint_netlist(nl, assumptions={"a": (-8, 7)})
+        assert "WL001" not in _ids(ok)
+        bad = lint_netlist(nl, assumptions={"a": (-9, 0)})
+        assert "WL001" in _ids(bad)
+
+    def test_valid_assumptions_silent(self):
+        nl = unsigned_array_multiplier(4, 4)
+        report = lint_netlist(nl, assumptions={"a": (0, 15), "b": 7})
+        assert "WL001" not in _ids(report)
+
+
+class TestWL002DeadOutputBits:
+    def test_lut_driven_constant_bit_fires(self):
+        nl = Netlist("dead-bit")
+        a = nl.add_input_bus("a", 2)
+        # AND with a constant-0 net is 0 for every input but LUT-driven.
+        zero = nl.add_const(0)
+        dead = nl.AND(a[0], zero)
+        live = nl.AND(a[0], a[1])
+        nl.set_output_bus("p", [live, dead])
+        report = lint_netlist(nl)
+        assert "WL002" in _ids(report)
+        [diag] = [d for d in report.diagnostics if d.rule == "WL002"]
+        assert "stuck" in diag.message
+
+    def test_const_padding_exempt(self):
+        # Generators pad with explicit const nodes; that must stay clean.
+        nl = unsigned_array_multiplier(1, 2)
+        report = lint_netlist(nl)
+        assert "WL002" not in _ids(report)
+
+    @pytest.mark.parametrize(
+        "nl",
+        [
+            unsigned_array_multiplier(8, 8),
+            baugh_wooley_multiplier(8, 8),
+            sign_magnitude_multiplier(6, 6),
+            wallace_tree_multiplier(8, 8),
+            ccm_multiplier(93, 8),
+            mac_block(4, 4),
+        ],
+        ids=lambda nl: nl.name,
+    )
+    def test_generators_stay_clean(self, nl):
+        report = lint_netlist(nl)
+        assert report.ok(Severity.WARNING), report.to_text()
+
+
+class TestWL003StaticUnderAssumption:
+    def test_pinned_multiplicand_reports_frozen_cone(self):
+        nl = unsigned_array_multiplier(4, 4)
+        report = lint_netlist(nl, assumptions={"b": 5})
+        [diag] = [d for d in report.diagnostics if d.rule == "WL003"]
+        assert diag.severity is Severity.INFO
+        assert "static under" in diag.message
+
+    def test_silent_without_assumptions(self):
+        report = lint_netlist(unsigned_array_multiplier(4, 4))
+        assert "WL003" not in _ids(report)
+
+    def test_silent_when_assumptions_invalid(self):
+        report = lint_netlist(
+            unsigned_array_multiplier(4, 4), assumptions={"b": (0, 99)}
+        )
+        assert "WL003" not in _ids(report)
+        assert "WL001" in _ids(report)
+
+
+class TestWL004CcmContradiction:
+    def test_correct_ccm_silent(self):
+        report = lint_netlist(ccm_multiplier(93, 8))
+        assert "WL004" not in _ids(report)
+
+    def test_lying_coefficient_fires(self):
+        nl = ccm_multiplier(93, 8)
+        nl.attrs["coefficient"] = 94  # logic still computes 93*x
+        report = lint_netlist(nl)
+        assert "WL004" in _ids(report)
+        assert not report.ok(Severity.ERROR)
+
+    def test_missing_coefficient_fires(self):
+        nl = ccm_multiplier(93, 8)
+        del nl.attrs["coefficient"]
+        report = lint_netlist(nl)
+        assert "WL004" in _ids(report)
+
+    def test_missing_bus_fires(self):
+        nl = ccm_multiplier(93, 8)
+        nl.attrs["data_bus"] = "nope"
+        report = lint_netlist(nl)
+        assert "WL004" in _ids(report)
+
+    def test_non_ccm_exempt(self):
+        report = lint_netlist(unsigned_array_multiplier(4, 4))
+        assert "WL004" not in _ids(report)
+
+    def test_gate_raises_on_contradiction(self):
+        from repro.analysis import check_netlist
+
+        nl = ccm_multiplier(93, 8)
+        nl.attrs["coefficient"] = 92
+        with pytest.raises(LintError, match="WL004"):
+            check_netlist(nl)

@@ -91,3 +91,41 @@ class TestCoefficientPrior:
         # Mass must be the eq.-6 transform of the aligned variances.
         expected = (1.0 + p.variances) ** -1.0
         assert np.allclose(p.mass, expected / expected.sum())
+
+
+class TestStaticProfilePrior:
+    @pytest.fixture(scope="class")
+    def profile(self, placed_mult8):
+        from repro.analysis import coefficient_timing_profile
+
+        return coefficient_timing_profile(
+            placed_mult8, multiplicands=[0, 1, 37, 128, 222, 255]
+        )
+
+    def test_builds_and_normalises(self, profile):
+        p = CoefficientPrior.from_static_profile(profile, 600.0, beta=1.0)
+        assert p.mass.sum() == pytest.approx(1.0)
+        assert p.wordlength == 8
+        assert np.all(np.diff(p.values) > 0)
+
+    def test_m0_gets_maximal_mass(self, profile):
+        # m=0 never errs at any frequency: its static variance proxy is 0.
+        p = CoefficientPrior.from_static_profile(profile, 2000.0, beta=2.0)
+        zero_idx = int(np.argmin(np.abs(p.values)))
+        assert p.mass[zero_idx] == pytest.approx(p.mass.max())
+
+    def test_flat_at_slow_clock(self, profile):
+        # Below every min_period the proxy is all-zero: uniform prior.
+        p = CoefficientPrior.from_static_profile(profile, 1.0, beta=4.0)
+        assert p.mass.max() == pytest.approx(p.mass.min())
+
+    def test_sign_symmetry(self, profile):
+        p = CoefficientPrior.from_static_profile(profile, 600.0, beta=1.0)
+        assert p.mass[0] == pytest.approx(p.mass[-1])
+
+    def test_wordlength_override(self, profile):
+        p = CoefficientPrior.from_static_profile(
+            profile, 600.0, beta=1.0, wordlength=9
+        )
+        assert p.wordlength == 9
+        assert np.all(np.abs(p.values) < 1.0)

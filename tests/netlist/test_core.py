@@ -33,6 +33,67 @@ class TestBitPacking:
         bits = bits_from_ints(arr, 9)
         assert np.array_equal(ints_from_bits(bits, signed=True), arr)
 
+    @given(
+        st.integers(min_value=1, max_value=63).flatmap(
+            lambda w: st.tuples(
+                st.just(w),
+                st.lists(
+                    st.integers(0, (1 << w) - 1), min_size=1, max_size=20
+                ),
+            )
+        )
+    )
+    def test_roundtrip_unsigned_any_width(self, w_vals):
+        w, vals = w_vals
+        arr = np.asarray(vals)
+        bits = bits_from_ints(arr, w)
+        assert bits.shape == (len(vals), w)
+        assert np.array_equal(ints_from_bits(bits), arr)
+
+    @given(
+        st.integers(min_value=1, max_value=64).flatmap(
+            lambda w: st.tuples(
+                st.just(w),
+                st.lists(
+                    st.integers(-(1 << (w - 1)), (1 << (w - 1)) - 1),
+                    min_size=1,
+                    max_size=20,
+                ),
+            )
+        )
+    )
+    def test_roundtrip_signed_any_width(self, w_vals):
+        w, vals = w_vals
+        arr = np.asarray(vals)
+        bits = bits_from_ints(arr, w)
+        assert np.array_equal(ints_from_bits(bits, signed=True), arr)
+
+    @pytest.mark.parametrize("w", [1, 63, 64])
+    def test_signed_boundaries_roundtrip(self, w):
+        lo, hi = -(1 << (w - 1)), (1 << (w - 1)) - 1
+        arr = np.array([lo, lo + 1, -1, 0, hi - 1, hi] if w > 1 else [lo, hi])
+        bits = bits_from_ints(arr, w)
+        assert np.array_equal(ints_from_bits(bits, signed=True), arr)
+
+    def test_width_one_unsigned(self):
+        arr = np.array([0, 1, 1, 0])
+        assert np.array_equal(
+            ints_from_bits(bits_from_ints(arr, 1)), arr
+        )
+
+    def test_unsigned_width_63_boundary(self):
+        hi = (1 << 63) - 1
+        arr = np.array([0, 1, hi - 1, hi], dtype=np.uint64).astype(np.int64)
+        # values fit int64 exactly at width 63
+        assert np.array_equal(ints_from_bits(bits_from_ints(arr, 63)), arr)
+
+    def test_carrier_overflow_rejected(self):
+        with pytest.raises(NetlistError):
+            bits_from_ints([0], 65)
+        # unsigned width 64 cannot round-trip through the int64 carrier
+        with pytest.raises(NetlistError, match="int64 carrier"):
+            ints_from_bits(bits_from_ints([0], 64))
+
     def test_zero_width_rejected(self):
         with pytest.raises(NetlistError):
             bits_from_ints([1], 0)
@@ -225,7 +286,15 @@ class TestValidateRegressions:
     def test_forward_fanin_rejected(self):
         nl = self._ha()
         nl._fanins[2] = (3, 0)  # node 2 consuming node 3
-        with pytest.raises(NetlistError, match="precede"):
+        with pytest.raises(NetlistError, match="node 2 fanin 3 is a forward reference"):
+            nl.validate()
+
+    def test_non_lut_fanin_rejected(self):
+        # A cycle threaded through an input node must not hide from the
+        # LUT-only checks: sources may not have fanins at all.
+        nl = self._ha()
+        nl._fanins[0] = (2,)
+        with pytest.raises(NetlistError, match="non-LUT node 0 has fanins"):
             nl.validate()
 
     def test_empty_output_bus_rejected(self):

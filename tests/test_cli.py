@@ -71,3 +71,72 @@ class TestLintCli:
     def test_unknown_generator_rejected(self):
         with pytest.raises(SystemExit):
             main(["lint", "not-a-generator", "8"])
+
+
+class TestAnalyzeCli:
+    def test_ccm_proof_exits_zero(self, capsys):
+        assert main(["analyze", "ccm", "93", "8", "--prove"]) == 0
+        out = capsys.readouterr().out
+        assert "PROVED" in out and "exhaustive" in out
+
+    def test_assumption_reports_frozen_cone(self, capsys):
+        code = main(
+            ["analyze", "unsigned_multiplier", "4", "4", "--assume", "b=5"]
+        )
+        assert code == 0
+        assert "WL003" in capsys.readouterr().out
+
+    def test_overflowing_assumption_exits_one(self, capsys):
+        code = main(
+            ["analyze", "unsigned_multiplier", "4", "4", "--assume", "b=99"]
+        )
+        assert code == 1
+        assert "WL001" in capsys.readouterr().out
+
+    def test_broken_proof_exits_one(self, capsys):
+        # A lying CCM coefficient fails both the WL004 gate and the proof.
+        code = main(["analyze", "ccm", "93", "8", "--prove"])
+        assert code == 0
+        code = main(
+            ["analyze", "unsigned_multiplier", "8", "8", "--assume", "b=7",
+             "--prove"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "256 vector(s)" in out
+
+    def test_sta_report(self, capsys):
+        code = main(
+            ["analyze", "unsigned_multiplier", "4", "4",
+             "--assume", "b=0", "--sta"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "sensitised fmax" in out
+
+    def test_json_format(self, capsys):
+        import json
+
+        code = main(
+            ["analyze", "ccm", "93", "8", "--prove", "--format", "json"]
+        )
+        assert code == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["proof"]["passed"] is True
+        assert data["dataflow"]["netlist"] == "ccm93x8"
+        assert data["lint"]["counts"]["error"] == 0
+
+    def test_malformed_assumption_exits_two(self, capsys):
+        code = main(
+            ["analyze", "unsigned_multiplier", "4", "4", "--assume", "b=x"]
+        )
+        assert code == 2
+
+    def test_bad_params_exit_two(self, capsys):
+        assert main(["analyze", "ccm", "93"]) == 2
+
+    def test_unknown_generator_rejected(self):
+        import pytest
+
+        with pytest.raises(SystemExit):
+            main(["analyze", "nope", "4"])
