@@ -1,0 +1,219 @@
+#!/usr/bin/env python
+"""Benchmark the observability layer's cost and re-assert its guarantees.
+
+Three measurements on the reference characterisation sweep:
+
+* **disabled** — telemetry off (the default): what every ordinary run
+  pays for the instrumentation points (a guard read per call site);
+* **enabled** — trace + metrics on: the full-fat recording cost;
+* **no-op micro-bench** — nanoseconds per disabled ``span()`` +
+  ``counter_add()`` pair, the per-call-site price in the hot path.
+
+Every run re-asserts the layer's two contracts before writing JSON:
+
+* the sweep grids are **bit-identical** with telemetry on and off
+  (telemetry never consumes RNG or touches a numeric path);
+* the enabled run's trace and metrics actually **cover the pipeline
+  stages** (characterisation, sweep execution, shards, the placed-design
+  cache) — instrumentation that silently stopped recording would
+  otherwise look infinitely cheap.
+
+Writes ``BENCH_observability.json``.  ``--smoke`` shrinks the sweep to
+seconds for the ``scripts/check.sh`` gate.
+
+Usage::
+
+    python benchmarks/bench_observability.py
+    python benchmarks/bench_observability.py --smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.characterization.harness import (
+    CharacterizationConfig,
+    characterize_multiplier,
+)
+from repro.fabric.device import make_device
+from repro.obs import runtime
+from repro.parallel import PlacedDesignCache
+
+SCHEMA_VERSION = 1
+
+_TOP_KEYS = {"schema_version", "benchmark", "smoke", "cpus", "sweep", "noop"}
+_SWEEP_KEYS = {
+    "disabled_seconds",
+    "enabled_seconds",
+    "overhead_ratio",
+    "bit_identical",
+    "n_spans",
+    "span_names",
+    "deterministic_counters",
+}
+_NOOP_KEYS = {"calls", "seconds", "ns_per_call"}
+
+#: Stages the enabled run must have recorded (span names / counter names).
+_REQUIRED_SPANS = {"characterize.sweep", "sweep.run", "sweep.shard", "cache.synthesize"}
+_REQUIRED_COUNTERS = {
+    "characterize.sweeps",
+    "sweep.shards.total",
+    "sweep.attempts.total",
+    "cache.placed.misses",
+    "cache.placed.stores",
+}
+
+#: Generous bound on the disabled per-call-site cost: a guard read plus a
+#: dict-free early return must stay far under a microsecond pair even on
+#: slow CI hardware.
+_NOOP_NS_BOUND = 5000.0
+
+
+def _grids_equal(a, b) -> bool:
+    return (
+        np.array_equal(a.variance, b.variance)
+        and np.array_equal(a.mean, b.mean)
+        and np.array_equal(a.error_rate, b.error_rate)
+        and np.array_equal(a.freqs_mhz, b.freqs_mhz)
+        and np.array_equal(a.multiplicands, b.multiplicands)
+        and a.locations == b.locations
+    )
+
+
+def _timed_sweep(device, config, seed):
+    t0 = time.perf_counter()
+    result = characterize_multiplier(
+        device, 8, 8, config, seed=seed, cache=PlacedDesignCache()
+    )
+    return result, time.perf_counter() - t0
+
+
+def _bench_sweep(device, config, seed, repeats):
+    runtime.disable_observability()
+    _timed_sweep(device, config, seed)  # warm-up: PLL memoisation, imports
+
+    disabled_result, disabled_s = _timed_sweep(device, config, seed)
+    for _ in range(repeats - 1):  # best-of-N: single-host timing is noisy
+        disabled_s = min(disabled_s, _timed_sweep(device, config, seed)[1])
+    print(f"  disabled: {disabled_s:.2f}s")
+
+    enabled_s = None
+    for _ in range(repeats):
+        with runtime.observability(trace=True, metrics=True) as observer:
+            enabled_result, dt = _timed_sweep(device, config, seed)
+            snapshot = observer.metrics.snapshot()
+            records = observer.tracer.records
+        enabled_s = dt if enabled_s is None else min(enabled_s, dt)
+    ratio = enabled_s / disabled_s
+    print(f"  enabled:  {enabled_s:.2f}s ({ratio:.3f}x)")
+
+    span_names = sorted({r.name for r in records})
+    return {
+        "disabled_seconds": round(disabled_s, 4),
+        "enabled_seconds": round(enabled_s, 4),
+        "overhead_ratio": round(ratio, 4),
+        "bit_identical": _grids_equal(disabled_result, enabled_result),
+        "n_spans": len(records),
+        "span_names": span_names,
+        "deterministic_counters": snapshot.deterministic_counters(),
+        "counters": snapshot.counters,
+    }
+
+
+def _bench_noop(calls: int):
+    """Per-call-site cost of the disabled helpers (one span + one counter)."""
+    runtime.disable_observability()
+    span, counter_add = runtime.span, runtime.counter_add
+    t0 = time.perf_counter()
+    for _ in range(calls):
+        with span("sweep.shard", li=0, start=0, attempt=1):
+            counter_add("sweep.attempts.total")
+    dt = time.perf_counter() - t0
+    ns = dt / calls * 1e9
+    print(f"  no-op: {calls} span+counter pairs in {dt:.3f}s ({ns:.0f} ns/pair)")
+    return {"calls": calls, "seconds": round(dt, 4), "ns_per_call": round(ns, 1)}
+
+
+def _validate(payload: dict) -> None:
+    for section, keys in (
+        (payload, _TOP_KEYS),
+        (payload["sweep"], _SWEEP_KEYS),
+        (payload["noop"], _NOOP_KEYS),
+    ):
+        missing = keys - section.keys()
+        if missing:
+            raise AssertionError(f"payload missing keys: {sorted(missing)}")
+    sweep = payload["sweep"]
+    if not sweep["bit_identical"]:
+        raise AssertionError("telemetry changed the sweep grids")
+    missing_spans = _REQUIRED_SPANS - set(sweep["span_names"])
+    if missing_spans:
+        raise AssertionError(f"trace lost pipeline stages: {sorted(missing_spans)}")
+    missing_counters = _REQUIRED_COUNTERS - set(sweep["counters"])
+    if missing_counters:
+        raise AssertionError(f"metrics lost counters: {sorted(missing_counters)}")
+    if sweep["deterministic_counters"].get("characterize.sweeps") != 1:
+        raise AssertionError("deterministic subset does not reflect the sweep")
+    if payload["noop"]["ns_per_call"] > _NOOP_NS_BOUND:
+        raise AssertionError(
+            f"disabled-path cost {payload['noop']['ns_per_call']:.0f} ns/pair "
+            f"exceeds the {_NOOP_NS_BOUND:.0f} ns bound"
+        )
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--smoke", action="store_true", help="tiny sweep for CI gates")
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument(
+        "--output",
+        default="BENCH_observability.json",
+        help="where to write the results JSON",
+    )
+    args = parser.parse_args(argv)
+
+    device = make_device(args.seed)
+    if args.smoke:
+        config = CharacterizationConfig(
+            freqs_mhz=(270.0, 300.0, 330.0),
+            n_samples=60,
+            multiplicands=tuple(range(16)),
+            n_locations=2,
+        )
+        noop_calls = 200_000
+    else:
+        config = CharacterizationConfig(
+            n_samples=200, multiplicands=None, n_locations=2
+        )
+        noop_calls = 2_000_000
+
+    print(f"sweep ({'smoke' if args.smoke else 'reference'}):")
+    sweep = _bench_sweep(device, config, args.seed, repeats=1 if args.smoke else 3)
+    print("no-op path:")
+    noop = _bench_noop(noop_calls)
+
+    payload = {
+        "schema_version": SCHEMA_VERSION,
+        "benchmark": "observability",
+        "smoke": args.smoke,
+        "cpus": os.cpu_count() or 1,
+        "sweep": sweep,
+        "noop": noop,
+    }
+    _validate(payload)
+    Path(args.output).write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

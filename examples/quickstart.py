@@ -13,9 +13,13 @@ Walks the paper's Fig. 2 design flow end to end on a simulated device:
 
 Run time: ~1 minute with the default --scale 0.05.  Pass --jobs N (or
 set REPRO_JOBS) to fan the characterisation out over N worker
-processes — the numbers do not change, only the wall-clock.
+processes — the numbers do not change, only the wall-clock.  Pass
+--trace PATH to record the run with repro.obs: PATH.jsonl (sidecar),
+PATH.json (open in chrome://tracing or Perfetto) and a metrics snapshot
+next to them — the numbers still do not change.
 
     python examples/quickstart.py [--scale 0.05] [--serial 42] [--jobs 4]
+    python examples/quickstart.py --trace /tmp/quickstart-trace
 """
 
 from __future__ import annotations
@@ -24,9 +28,10 @@ import argparse
 
 import numpy as np
 
-from repro import Domain, OptimizationFramework, TableISettings, make_device
+from repro import Domain, OptimizationFramework, TableISettings, make_device, obs
 from repro.analysis import lint_netlist
 from repro.characterization import CharacterizationConfig
+from repro.cli_flow import export_telemetry, resolve_telemetry_paths
 from repro.datasets import low_rank_gaussian
 from repro.eval.report import render_table
 from repro.framework import default_frequency_grid
@@ -43,8 +48,18 @@ def main() -> None:
     parser.add_argument("--beta", type=float, default=4.0)
     parser.add_argument("--jobs", type=int, default=None,
                         help="worker processes (default: $REPRO_JOBS or 1)")
+    parser.add_argument("--trace", default=None, metavar="PATH",
+                        help="record a repro.obs trace of the run "
+                             "(default: $REPRO_TRACE)")
+    parser.add_argument("--metrics", default=None, metavar="PATH",
+                        help="write a repro.obs metrics snapshot "
+                             "(default: $REPRO_METRICS)")
     args = parser.parse_args()
     jobs = resolve_jobs(args.jobs)  # rejects jobs < 1 up front
+    trace_path, metrics_path = resolve_telemetry_paths(args.trace, args.metrics)
+    if trace_path or metrics_path:
+        obs.enable_observability(trace=bool(trace_path),
+                                 metrics=bool(metrics_path))
 
     # 1. Fabricate the device.
     device = make_device(args.serial)
@@ -101,6 +116,9 @@ def main() -> None:
     ))
     print("\nNote how the KLT curve degrades at large word-lengths (over-"
           "clocking errors) while the OF designs stay on model.")
+
+    if trace_path or metrics_path:
+        export_telemetry(trace_path, metrics_path)
 
 
 if __name__ == "__main__":

@@ -29,8 +29,9 @@ if command -v ruff >/dev/null 2>&1; then
     # The analysis package is held to a stricter bar: pylint-parity and
     # ruff-specific rules are hard failures there, warn-only elsewhere.
     run_gate "ruff (analysis, strict)" ruff check --select PL,RUF src/repro/analysis
+    run_gate "ruff (obs, strict)" ruff check --select PL,RUF src/repro/obs
     if ! ruff check --select PL,RUF src/repro >/dev/null 2>&1; then
-        echo "warning: ruff --select PL,RUF reports pre-existing findings outside repro.analysis (warn-only)" >&2
+        echo "warning: ruff --select PL,RUF reports pre-existing findings outside repro.analysis/repro.obs (warn-only)" >&2
     fi
 else
     echo "warning: ruff not installed; skipping style lint" >&2
@@ -38,8 +39,9 @@ fi
 
 if command -v mypy >/dev/null 2>&1; then
     run_gate "mypy" mypy src/repro
-    # New analysis modules carry full annotations; keep them strict.
+    # New analysis/observability modules carry full annotations; keep them strict.
     run_gate "mypy (analysis, strict)" mypy --strict src/repro/analysis
+    run_gate "mypy (obs, strict)" mypy --strict src/repro/obs
 else
     echo "warning: mypy not installed; skipping type check" >&2
 fi
@@ -124,6 +126,29 @@ dataflow_json="$(mktemp -t bench_dataflow.XXXXXX.json)"
 run_gate "bench (dataflow smoke)" python benchmarks/bench_dataflow.py \
     --smoke --output "${dataflow_json}"
 rm -f "${dataflow_json}"
+
+# Observability smoke bench: asserts telemetry is bit-transparent (grids
+# identical on/off), the trace/metrics cover the pipeline stages, and the
+# disabled path stays within its per-call-site cost bound.
+obs_json="$(mktemp -t bench_observability.XXXXXX.json)"
+run_gate "bench (observability smoke)" python benchmarks/bench_observability.py \
+    --smoke --output "${obs_json}"
+run_gate "bench (observability schema)" python - "${obs_json}" <<'PY'
+import json, sys
+payload = json.load(open(sys.argv[1]))
+assert payload["schema_version"] == 1
+assert payload["smoke"] is True
+assert payload["sweep"]["bit_identical"] is True
+assert "sweep.shard" in payload["sweep"]["span_names"]
+assert payload["noop"]["ns_per_call"] > 0
+print("observability bench schema OK")
+PY
+rm -f "${obs_json}"
+
+# Telemetry docs drift: the generated reference in docs/observability.md
+# must match the catalogue (same contract as the lint-rule table).
+run_gate "docs drift (telemetry reference)" env PYTHONPATH=src \
+    python -m pytest -x -q tests/obs/test_docs_drift.py
 
 if [ "${failures}" -ne 0 ]; then
     echo "${failures} gate(s) failed"

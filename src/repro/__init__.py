@@ -23,7 +23,9 @@ substrate:
 * :mod:`repro.framework` — :class:`~repro.framework.OptimizationFramework`,
   the end-to-end Fig. 2 flow;
 * :mod:`repro.eval` — experiment drivers regenerating every figure and
-  table of the paper's evaluation.
+  table of the paper's evaluation;
+* :mod:`repro.obs` — opt-in tracing/metrics/profiling across the whole
+  pipeline (off by default; never changes the numbers).
 
 Quickstart
 ----------
@@ -38,6 +40,7 @@ Quickstart
 >>> designs = fw.optimize(x, beta=4.0).designs  # doctest: +SKIP
 """
 
+from . import obs
 from .config import DEFAULT_SEED, TableISettings, TimingConfig
 from .errors import ReproError
 from .fabric import CYCLONE_III_3C16, FPGADevice, OperatingConditions, make_device
@@ -57,5 +60,6 @@ __all__ = [
     "make_device",
     "OptimizationFramework",
     "Domain",
+    "obs",
     "__version__",
 ]

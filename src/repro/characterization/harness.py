@@ -28,6 +28,7 @@ determinism argument — bit-identical to undisturbed ones.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, replace
 
 import numpy as np
@@ -36,6 +37,7 @@ from ..config import ResilienceSettings, get_resilience_settings
 from ..errors import CharacterizationError
 from ..fabric.device import FPGADevice
 from ..faults import FaultPlan
+from ..obs import runtime as obs
 from ..parallel.cache import PlacedDesignCache, multiplier_netlist
 from ..parallel.engine import Shard, SweepPlan, run_sweep
 from ..parallel.jobs import resolve_jobs
@@ -136,6 +138,35 @@ def characterize_multiplier(
         Chaos plan to inject into the sweep (tests/drills); ``None``
         consults ``REPRO_FAULTS``.
     """
+    t0 = time.perf_counter()
+    with obs.span(
+        "characterize.sweep", w_data=w_data, w_coeff=w_coeff, seed=seed
+    ) as span:
+        result = _characterize_multiplier_impl(
+            device, w_data, w_coeff, config=config, seed=seed, jobs=jobs,
+            cache=cache, resilience=resilience, faults=faults,
+        )
+        span.set(
+            locations=len(result.locations),
+            frequencies=int(result.freqs_mhz.shape[0]),
+            status=result.outcome.status if result.outcome is not None else "",
+        )
+    obs.counter_add("characterize.sweeps")
+    obs.observe("characterize.sweep_seconds", time.perf_counter() - t0)
+    return result
+
+
+def _characterize_multiplier_impl(
+    device: FPGADevice,
+    w_data: int,
+    w_coeff: int,
+    config: CharacterizationConfig | None = None,
+    seed: int = 0,
+    jobs: int | None = None,
+    cache: PlacedDesignCache | None = None,
+    resilience: ResilienceSettings | None = None,
+    faults: FaultPlan | None = None,
+) -> CharacterizationResult:
     if config is None:
         config = CharacterizationConfig()
     n_jobs = resolve_jobs(jobs)

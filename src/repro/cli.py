@@ -5,7 +5,9 @@ the figure's numeric series as ASCII tables.  The ``lint`` subcommand
 instead runs the netlist static analyser over a generated design and
 reports its diagnostics (text or JSON); the ``cache`` subcommand
 inspects or clears an on-disk placed-design cache; the ``faults``
-subcommand describes/validates a chaos fault-injection plan.
+subcommand describes/validates a chaos fault-injection plan; the ``obs``
+subcommand prints the telemetry reference or summarises exported
+trace/metrics artefacts.
 
 Examples
 --------
@@ -23,6 +25,9 @@ Examples
     repro-experiment cache clear --dir /tmp/placed-cache
     repro-experiment faults describe --plan '{"seed": 7, "specs": [...]}'
     repro-experiment faults validate --plan @plan.json
+    repro-experiment obs reference
+    repro-experiment obs trace run.jsonl
+    repro-experiment obs metrics run.metrics.json
 """
 
 from __future__ import annotations
@@ -476,6 +481,82 @@ def _cache_main(argv: list[str]) -> int:
     return 0
 
 
+def _obs_main(argv: list[str]) -> int:
+    """``obs`` subcommand: telemetry reference and artefact inspection."""
+    from .errors import ObservabilityError
+    from .obs import (
+        load_metrics_snapshot,
+        load_trace_jsonl,
+        summarize_spans,
+        telemetry_reference_markdown,
+    )
+
+    parser = argparse.ArgumentParser(
+        prog="repro-experiment obs",
+        description="Inspect repro.obs telemetry: print the span/metric "
+        "reference (generated from the catalogue) or summarise exported "
+        "trace/metrics artefacts (see docs/observability.md).",
+    )
+    parser.add_argument(
+        "action",
+        choices=["reference", "trace", "metrics"],
+        help="reference: print the telemetry catalogue; trace: summarise "
+        "a JSONL trace sidecar; metrics: pretty-print a metrics snapshot",
+    )
+    parser.add_argument(
+        "path",
+        nargs="?",
+        default=None,
+        help="artefact path (required for trace/metrics)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=["text", "json"],
+        default="text",
+        help="report rendering (default: text)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.action == "reference":
+        print(telemetry_reference_markdown())
+        return 0
+    if args.path is None:
+        print(f"error: obs {args.action} requires a path", file=sys.stderr)
+        return 2
+    try:
+        if args.action == "trace":
+            rows = summarize_spans(load_trace_jsonl(args.path))
+            if args.format == "json":
+                print(json.dumps(rows, indent=2))
+            else:
+                print(render_table(
+                    ["span", "count", "total s", "mean s", "max s"],
+                    [(r["name"], r["count"], r["total_s"], r["mean_s"], r["max_s"])
+                     for r in rows],
+                    title=f"trace summary: {args.path}",
+                ))
+            return 0
+        snapshot = load_metrics_snapshot(args.path)
+        if args.format == "json":
+            print(json.dumps(snapshot, indent=2, sort_keys=True))
+        else:
+            for name, value in sorted(snapshot.get("counters", {}).items()):
+                print(f"counter   {name} = {value}")
+            for name, value in sorted(snapshot.get("gauges", {}).items()):
+                print(f"gauge     {name} = {value}")
+            for name, h in sorted(snapshot.get("histograms", {}).items()):
+                print(f"histogram {name}: count={h['count']} sum={h['sum']:.6g}"
+                      + (f" min={h['min']:.6g} max={h['max']:.6g}"
+                         if h["count"] else ""))
+            for p in snapshot.get("profiles", []):
+                print(f"profile   {p['stage']}: wall={p['wall_s']}s "
+                      f"cpu={p['cpu_s']}s peak_rss={p['peak_rss_bytes']}B")
+        return 0
+    except ObservabilityError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     if argv is None:
@@ -488,6 +569,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cache_main(argv[1:])
     if argv and argv[0] == "faults":
         return _faults_main(argv[1:])
+    if argv and argv[0] == "obs":
+        return _obs_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro-experiment",
         description="Regenerate a figure/table of the IPDPSW'14 over-clocked "

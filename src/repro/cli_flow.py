@@ -17,6 +17,13 @@ session (or on another machine):
 a process pool; results are identical at any worker count.  Placed
 designs are cached under ``WS/cache/placed`` and reused across stages
 and sessions.
+
+Telemetry: the top-level ``--trace PATH`` / ``--metrics PATH`` flags (or
+``REPRO_TRACE`` / ``REPRO_METRICS``) enable :mod:`repro.obs` for the
+invoked stage — ``--trace`` writes both a JSONL sidecar and a Chrome
+``trace_event`` file (and, unless ``--metrics`` names its own path, a
+metrics snapshot next to them).  Telemetry never changes the numbers;
+see ``docs/observability.md``.
 """
 
 from __future__ import annotations
@@ -37,10 +44,11 @@ from .eval.report import render_table
 from .fabric.device import make_device
 from .framework import default_frequency_grid
 from .models.area_model import collect_area_samples, fit_area_model
+from .obs import runtime as obs
 from .parallel.jobs import resolve_jobs
 from .workspace import Workspace
 
-__all__ = ["main"]
+__all__ = ["export_telemetry", "main", "resolve_telemetry_paths"]
 
 
 def _add_jobs_argument(parser: argparse.ArgumentParser) -> None:
@@ -204,10 +212,54 @@ def _cmd_status(args: argparse.Namespace) -> int:
     return 0
 
 
+def resolve_telemetry_paths(
+    trace: str | None, metrics: str | None
+) -> tuple[str | None, str | None]:
+    """Final (trace_base, metrics_path): flags first, then env vars.
+
+    A trace request without a metrics path still snapshots metrics, next
+    to the trace files (``<base>.metrics.json``) — a trace without its
+    counters is half a story.
+    """
+    env_trace, env_metrics = obs.tracing_paths_from_env()
+    trace = trace or env_trace
+    metrics = metrics or env_metrics
+    if trace and not metrics:
+        metrics = str(obs.default_metrics_path(trace))
+    return trace, metrics
+
+
+def export_telemetry(trace: str | None, metrics: str | None) -> None:
+    """Write whatever telemetry was requested; report the paths on stderr."""
+    if trace:
+        jsonl_path, chrome_path = obs.export_trace_files(trace)
+        print(
+            f"trace written: {jsonl_path} (JSONL), {chrome_path} (chrome://tracing)",
+            file=sys.stderr,
+        )
+    if metrics:
+        obs.snapshot_metrics(metrics)
+        print(f"metrics written: {metrics}", file=sys.stderr)
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro-flow",
         description="Per-device optimisation flow with persistent artefacts.",
+    )
+    parser.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help="trace the run: writes PATH.jsonl and PATH.json (Chrome "
+        "trace_event) plus a metrics snapshot (default: $REPRO_TRACE)",
+    )
+    parser.add_argument(
+        "--metrics",
+        default=None,
+        metavar="PATH",
+        help="write a metrics snapshot of the run to PATH "
+        "(default: $REPRO_METRICS)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -268,6 +320,11 @@ def main(argv: list[str] | None = None) -> int:
     p.set_defaults(fn=_cmd_status)
 
     args = parser.parse_args(argv)
+    trace_path, metrics_path = resolve_telemetry_paths(args.trace, args.metrics)
+    if trace_path or metrics_path:
+        obs.enable_observability(
+            trace=bool(trace_path), metrics=bool(metrics_path)
+        )
     try:
         return args.fn(args)
     except SweepFailedError as exc:
@@ -281,6 +338,12 @@ def main(argv: list[str] | None = None) -> int:
     except ConfigError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    finally:
+        if trace_path or metrics_path:
+            # Export even on a failed stage: a trace of the failure is
+            # exactly when you want the telemetry.
+            export_telemetry(trace_path, metrics_path)
+            obs.disable_observability()
 
 
 if __name__ == "__main__":

@@ -94,6 +94,16 @@ class SweepFailedError(CharacterizationError):
         self.outcome = outcome
 
 
+class ObservabilityError(ReproError):
+    """The observability subsystem was misused: an uncatalogued span or
+    metric name, a kind mismatch against the telemetry catalogue, or an
+    unreadable trace/metrics artefact.
+
+    Telemetry names are closed-world on purpose — every span and metric the
+    library can emit is declared in :mod:`repro.obs.spec`, which is what
+    lets ``docs/observability.md`` be generated and drift-tested."""
+
+
 class ModelError(ReproError):
     """An analytical model (error/area/prior/runtime) was queried outside
     its supported domain or fitted from insufficient data."""

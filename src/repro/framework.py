@@ -35,6 +35,7 @@ from .errors import OptimizationError
 from .fabric.device import FPGADevice
 from .models.area_model import AreaModel, collect_area_samples, fit_area_model
 from .models.error_model import ErrorModel, ErrorModelSet, build_error_model
+from .obs import runtime as obs
 from .parallel.cache import PlacedDesignCache
 from .parallel.jobs import resolve_jobs
 
@@ -148,52 +149,55 @@ class OptimizationFramework:
         wordlengths = list(self.settings.coeff_wordlengths)
         n_jobs = resolve_jobs(self.jobs)
         w_data = self.settings.input_wordlength
-        if n_jobs > 1 and len(wordlengths) > 1:
-            cache_dir = (
-                str(self.cache.directory)
-                if self.cache is not None and self.cache.directory is not None
-                else None
-            )
-            with ProcessPoolExecutor(
-                max_workers=min(n_jobs, len(wordlengths))
-            ) as pool:
-                results = list(
-                    pool.map(
-                        _characterize_one_wordlength,
-                        [self.device] * len(wordlengths),
-                        [w_data] * len(wordlengths),
-                        wordlengths,
-                        [cfg] * len(wordlengths),
-                        [self.seed] * len(wordlengths),
-                        [cache_dir] * len(wordlengths),
-                        [self.resilience] * len(wordlengths),
-                    )
+        with obs.span(
+            "flow.characterize", wordlengths=len(wordlengths), jobs=n_jobs
+        ), obs.profile_stage("characterize"):
+            if n_jobs > 1 and len(wordlengths) > 1:
+                cache_dir = (
+                    str(self.cache.directory)
+                    if self.cache is not None and self.cache.directory is not None
+                    else None
                 )
-        else:
-            results = []
-            for wl in wordlengths:
-                if verbose:
-                    print(f"[characterize] {w_data}x{wl} ...")
-                results.append(
-                    characterize_multiplier(
-                        self.device,
-                        w_data,
-                        wl,
-                        cfg,
-                        seed=self.seed,
-                        jobs=n_jobs,
-                        cache=self.cache,
-                        resilience=self.resilience,
+                with ProcessPoolExecutor(
+                    max_workers=min(n_jobs, len(wordlengths))
+                ) as pool:
+                    results = list(
+                        pool.map(
+                            _characterize_one_wordlength,
+                            [self.device] * len(wordlengths),
+                            [w_data] * len(wordlengths),
+                            wordlengths,
+                            [cfg] * len(wordlengths),
+                            [self.seed] * len(wordlengths),
+                            [cache_dir] * len(wordlengths),
+                            [self.resilience] * len(wordlengths),
+                        )
                     )
-                )
-        self._sweep_outcomes = {
-            wl: result.outcome for wl, result in zip(wordlengths, results)
-        }
-        models: dict[int, ErrorModel] = {
-            wl: build_error_model(result)
-            for wl, result in zip(wordlengths, results)
-        }
-        self._error_models = ErrorModelSet(models)
+            else:
+                results = []
+                for wl in wordlengths:
+                    if verbose:
+                        print(f"[characterize] {w_data}x{wl} ...")
+                    results.append(
+                        characterize_multiplier(
+                            self.device,
+                            w_data,
+                            wl,
+                            cfg,
+                            seed=self.seed,
+                            jobs=n_jobs,
+                            cache=self.cache,
+                            resilience=self.resilience,
+                        )
+                    )
+            self._sweep_outcomes = {
+                wl: result.outcome for wl, result in zip(wordlengths, results)
+            }
+            models: dict[int, ErrorModel] = {
+                wl: build_error_model(result)
+                for wl, result in zip(wordlengths, results)
+            }
+            self._error_models = ErrorModelSet(models)
         return self._error_models
 
     def sweep_health(self) -> dict[int, str]:
@@ -213,16 +217,19 @@ class OptimizationFramework:
         """Fit the LE-cost model from synthesis runs (cached)."""
         if self._area_model is not None:
             return self._area_model
-        samples = collect_area_samples(
-            self.device,
-            self.settings.coeff_wordlengths,
-            w_data=self.settings.input_wordlength,
-            n_runs=n_runs,
-            seed=self.seed,
-        )
-        # A narrow word-length sweep cannot support the default quadratic.
-        degree = min(2, len(set(self.settings.coeff_wordlengths)) - 1)
-        self._area_model = fit_area_model(samples, degree=max(1, degree))
+        with obs.span(
+            "flow.fit_area_model", n_runs=n_runs
+        ), obs.profile_stage("fit_area_model"):
+            samples = collect_area_samples(
+                self.device,
+                self.settings.coeff_wordlengths,
+                w_data=self.settings.input_wordlength,
+                n_runs=n_runs,
+                seed=self.seed,
+            )
+            # A narrow word-length sweep cannot support the default quadratic.
+            degree = min(2, len(set(self.settings.coeff_wordlengths)) - 1)
+            self._area_model = fit_area_model(samples, degree=max(1, degree))
         return self._area_model
 
     # ------------------------------------------------------------------
@@ -267,16 +274,17 @@ class OptimizationFramework:
         anchor: tuple[int, int] = (0, 0),
     ) -> DomainEvaluation:
         """Evaluate one design in one domain on this framework's device."""
-        return evaluate_design(
-            design,
-            x_test,
-            domain,
-            error_models=self.characterize(),
-            device=self.device,
-            anchor=anchor,
-            seed=self.seed,
-            cache=self.cache,
-        )
+        with obs.span("flow.evaluate", domain=domain.value):
+            return evaluate_design(
+                design,
+                x_test,
+                domain,
+                error_models=self.characterize(),
+                device=self.device,
+                anchor=anchor,
+                seed=self.seed,
+                cache=self.cache,
+            )
 
     def evaluate_all_domains(
         self,

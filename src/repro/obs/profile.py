@@ -1,0 +1,68 @@
+"""Lightweight stage profiling: wall/CPU time and peak RSS.
+
+A stage profile is one dict record::
+
+    {"stage": "characterize", "wall_s": 12.4, "cpu_s": 11.9,
+     "peak_rss_bytes": 734003200}
+
+collected by :func:`stage_profiler` (used through
+:func:`repro.obs.runtime.profile_stage`) and exported inside the metrics
+snapshot's ``profiles`` list.  Peak RSS comes from
+``resource.getrusage`` — a high-water mark of the whole process, so a
+stage's value reflects the maximum reached *up to the end of* that
+stage, not an isolated per-stage peak (documented in
+``docs/observability.md``).  On platforms without ``resource`` (the
+module is POSIX-only) the field is 0 rather than an error.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from contextlib import contextmanager
+from typing import Any, Callable, Iterator
+
+try:  # POSIX only; Windows runs with peak_rss_bytes=0.
+    import resource
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    resource = None  # type: ignore[assignment]
+
+__all__ = ["peak_rss_bytes", "stage_profiler"]
+
+
+def peak_rss_bytes() -> int:
+    """The process's peak resident-set size in bytes (0 if unavailable).
+
+    ``ru_maxrss`` is kilobytes on Linux and bytes on macOS; normalise.
+    """
+    if resource is None:  # pragma: no cover - non-POSIX platforms
+        return 0
+    raw = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":  # pragma: no cover - exercised on macOS only
+        return int(raw)
+    return int(raw) * 1024
+
+
+@contextmanager
+def stage_profiler(
+    stage: str, sink: Callable[[dict[str, Any]], None]
+) -> Iterator[None]:
+    """Measure one stage and hand the finished record to ``sink``.
+
+    Pure observation: wall clock (``perf_counter``), process CPU time
+    (``process_time``) and the RSS high-water mark; no RNG, no numeric
+    side effects.
+    """
+    t0 = time.perf_counter()
+    c0 = time.process_time()
+    try:
+        yield
+    finally:
+        sink(
+            {
+                "stage": stage,
+                "wall_s": round(time.perf_counter() - t0, 6),
+                "cpu_s": round(time.process_time() - c0, 6),
+                "peak_rss_bytes": peak_rss_bytes(),
+            }
+        )

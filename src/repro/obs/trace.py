@@ -1,0 +1,277 @@
+"""Hierarchical trace spans with JSONL and Chrome ``trace_event`` export.
+
+A :class:`Tracer` records :class:`SpanRecord` entries — name, monotonic
+start offset, duration, structured attributes, and the parent span —
+through a context-manager API::
+
+    with tracer.span("characterize.sweep", w_data=9, w_coeff=3) as sp:
+        ...
+        sp.set(n_shards=len(shards))
+
+Span names are validated against the telemetry catalogue
+(:mod:`repro.obs.spec`) so every span that can appear in a trace is
+documented in ``docs/observability.md``.
+
+Two export formats:
+
+* **JSONL sidecar** (:meth:`Tracer.export_jsonl`): one JSON object per
+  finished span, in completion order — greppable, streamable, diffable;
+* **Chrome trace JSON** (:meth:`Tracer.export_chrome`): complete
+  (``"ph": "X"``) events loadable by ``chrome://tracing`` / Perfetto for
+  flamegraph viewing.
+
+The formats round-trip: :func:`chrome_trace_from_records` rebuilds the
+Chrome document from loaded JSONL records, byte-identical to the direct
+export (``tests/obs/test_trace.py`` pins this).
+
+Timing uses ``time.perf_counter`` (monotonic); recorded offsets are
+relative to the tracer's construction so traces are machine-relocatable.
+All of this is wall-clock *observation only* — no RNG is consumed and no
+numeric path is touched, which is what keeps traced runs bit-identical
+to untraced ones.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Iterable
+
+from ..errors import ObservabilityError
+from .spec import span_spec
+
+__all__ = [
+    "SpanRecord",
+    "Span",
+    "Tracer",
+    "chrome_trace_from_records",
+    "load_trace_jsonl",
+    "summarize_spans",
+]
+
+#: Schema version stamped into every JSONL record.
+TRACE_SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True)
+class SpanRecord:
+    """One finished span.
+
+    ``start_s`` is the offset from the tracer's origin in seconds;
+    ``attrs`` holds the structured attributes (JSON-scalar values).
+    """
+
+    name: str
+    span_id: int
+    parent_id: int | None
+    start_s: float
+    duration_s: float
+    attrs: dict[str, Any]
+    pid: int
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "schema_version": TRACE_SCHEMA_VERSION,
+            "name": self.name,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "start_s": self.start_s,
+            "duration_s": self.duration_s,
+            "attrs": self.attrs,
+            "pid": self.pid,
+        }
+
+
+class Span:
+    """A live span; use as a context manager, set attributes via :meth:`set`."""
+
+    __slots__ = ("_tracer", "name", "span_id", "parent_id", "attrs", "_t0")
+
+    def __init__(
+        self,
+        tracer: "Tracer",
+        name: str,
+        span_id: int,
+        parent_id: int | None,
+        attrs: dict[str, Any],
+    ) -> None:
+        self._tracer = tracer
+        self.name = name
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.attrs = attrs
+        self._t0 = 0.0
+
+    def set(self, **attrs: Any) -> "Span":
+        """Attach structured attributes to the span (JSON scalars)."""
+        self.attrs.update(attrs)
+        return self
+
+    def __enter__(self) -> "Span":
+        self._tracer._stack_of_thread().append(self.span_id)
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        duration = time.perf_counter() - self._t0
+        stack = self._tracer._stack_of_thread()
+        if stack and stack[-1] == self.span_id:
+            stack.pop()
+        self._tracer._finish(self, duration)
+
+
+class Tracer:
+    """Collects spans for one process; thread-safe, catalogue-validated."""
+
+    def __init__(self) -> None:
+        self._origin = time.perf_counter()
+        self._records: list[SpanRecord] = []
+        self._lock = threading.Lock()
+        self._next_id = 1
+        self._local = threading.local()
+        self._pid = os.getpid()
+
+    # ------------------------------------------------------------------
+    def _stack_of_thread(self) -> list[int]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        return stack
+
+    def span(self, name: str, **attrs: Any) -> Span:
+        """Open a span named ``name``; the name must be catalogued."""
+        span_spec(name)  # closed-world: uncatalogued spans raise
+        with self._lock:
+            span_id = self._next_id
+            self._next_id += 1
+        stack = self._stack_of_thread()
+        parent_id = stack[-1] if stack else None
+        return Span(self, name, span_id, parent_id, dict(attrs))
+
+    def _finish(self, span: Span, duration_s: float) -> None:
+        record = SpanRecord(
+            name=span.name,
+            span_id=span.span_id,
+            parent_id=span.parent_id,
+            start_s=span._t0 - self._origin,
+            duration_s=duration_s,
+            attrs=span.attrs,
+            pid=self._pid,
+        )
+        with self._lock:
+            self._records.append(record)
+
+    # ------------------------------------------------------------------
+    @property
+    def records(self) -> tuple[SpanRecord, ...]:
+        """Finished spans, in completion order."""
+        with self._lock:
+            return tuple(self._records)
+
+    def reset(self) -> None:
+        with self._lock:
+            self._records.clear()
+            self._next_id = 1
+        self._origin = time.perf_counter()
+
+    # ------------------------------------------------------------------
+    def export_jsonl(self, path: str | Path) -> Path:
+        """Write the JSONL sidecar: one record per line, completion order."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        lines = [json.dumps(r.as_dict(), sort_keys=True) for r in self.records]
+        path.write_text("\n".join(lines) + ("\n" if lines else ""))
+        return path
+
+    def export_chrome(self, path: str | Path) -> Path:
+        """Write the Chrome ``trace_event`` document for flamegraph viewing."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        doc = chrome_trace_from_records(r.as_dict() for r in self.records)
+        path.write_text(json.dumps(doc, sort_keys=True, indent=1) + "\n")
+        return path
+
+
+# ----------------------------------------------------------------------
+def load_trace_jsonl(path: str | Path) -> list[dict[str, Any]]:
+    """Load a JSONL trace sidecar back into record dicts."""
+    path = Path(path)
+    try:
+        text = path.read_text()
+    except OSError as exc:
+        raise ObservabilityError(f"cannot read trace {path}: {exc}") from None
+    records = []
+    for i, line in enumerate(text.splitlines()):
+        if not line.strip():
+            continue
+        try:
+            rec = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ObservabilityError(
+                f"{path}:{i + 1}: not a JSON trace record: {exc}"
+            ) from None
+        if not isinstance(rec, dict) or "name" not in rec:
+            raise ObservabilityError(f"{path}:{i + 1}: not a span record")
+        records.append(rec)
+    return records
+
+
+def chrome_trace_from_records(records: Iterable[dict[str, Any]]) -> dict[str, Any]:
+    """Chrome ``trace_event`` document from JSONL-shaped records.
+
+    Complete events (``"ph": "X"``), microsecond timestamps relative to
+    the trace origin; span attributes ride in ``args`` (with the span
+    identity, so the hierarchy survives the conversion).
+    """
+    events = []
+    for rec in records:
+        events.append(
+            {
+                "name": rec["name"],
+                "cat": rec["name"].split(".", 1)[0],
+                "ph": "X",
+                "ts": round(float(rec["start_s"]) * 1e6, 3),
+                "dur": round(float(rec["duration_s"]) * 1e6, 3),
+                "pid": int(rec.get("pid", 0)),
+                "tid": int(rec.get("pid", 0)),
+                "args": {
+                    **dict(rec.get("attrs", {})),
+                    "span_id": rec.get("span_id"),
+                    "parent_id": rec.get("parent_id"),
+                },
+            }
+        )
+    events.sort(key=lambda e: (e["ts"], e["args"]["span_id"] or 0))
+    return {
+        "displayTimeUnit": "ms",
+        "otherData": {"producer": "repro.obs", "schema_version": TRACE_SCHEMA_VERSION},
+        "traceEvents": events,
+    }
+
+
+def summarize_spans(records: Iterable[dict[str, Any]]) -> list[dict[str, Any]]:
+    """Per-name aggregate rows for trace inspection (``repro obs trace``).
+
+    Returns rows sorted by total time descending:
+    ``{"name", "count", "total_s", "mean_s", "max_s"}``.
+    """
+    agg: dict[str, list[float]] = {}
+    for rec in records:
+        agg.setdefault(str(rec["name"]), []).append(float(rec["duration_s"]))
+    rows = [
+        {
+            "name": name,
+            "count": len(durs),
+            "total_s": round(sum(durs), 6),
+            "mean_s": round(sum(durs) / len(durs), 6),
+            "max_s": round(max(durs), 6),
+        }
+        for name, durs in agg.items()
+    ]
+    rows.sort(key=lambda r: (-r["total_s"], r["name"]))
+    return rows

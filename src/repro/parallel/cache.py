@@ -35,6 +35,7 @@ from pathlib import Path
 
 from ..analysis import check_netlist
 from ..fabric.device import FPGADevice
+from ..obs import runtime as obs
 from ..netlist.core import CompiledNetlist
 from ..netlist.multipliers import unsigned_array_multiplier
 from ..synthesis.flow import PlacedDesign, SynthesisFlow
@@ -201,6 +202,7 @@ class PlacedDesignCache:
         recovers from it transparently.
         """
         self._corruptions += 1
+        obs.counter_add("cache.placed.corruptions")
         logger.warning(
             "placed-design cache entry %s: %s; rebuilding from synthesis",
             path.name,
@@ -284,19 +286,31 @@ class PlacedDesignCache:
         hit = self._memory.get(key)
         if hit is not None:
             self._memory_hits += 1
+            obs.counter_add("cache.placed.hits")
             return hit
         placed = self._load_disk(key)
         if placed is not None:
             self._disk_hits += 1
+            obs.counter_add("cache.placed.hits")
             self._memory[key] = placed
             return placed
         self._misses += 1
-        netlist = multiplier_netlist(w_data, w_coeff)
-        # The netlist was linted when built; skip the per-placement gate.
-        placed = SynthesisFlow(device).run(netlist, anchor=anchor, seed=seed, lint=False)
+        obs.counter_add("cache.placed.misses")
+        with obs.span(
+            "cache.synthesize",
+            w_data=w_data,
+            w_coeff=w_coeff,
+            anchor=f"{anchor[0]},{anchor[1]}",
+        ):
+            netlist = multiplier_netlist(w_data, w_coeff)
+            # The netlist was linted when built; skip the per-placement gate.
+            placed = SynthesisFlow(device).run(
+                netlist, anchor=anchor, seed=seed, lint=False
+            )
         self._memory[key] = placed
         self._store_disk(key, placed)
         self._stores += 1
+        obs.counter_add("cache.placed.stores")
         return placed
 
     # ------------------------------------------------------------------

@@ -25,6 +25,7 @@ import numpy as np
 
 from ..config import ResilienceSettings, get_resilience_settings
 from ..fabric.device import FPGADevice
+from ..obs import runtime as obs
 from ..faults import FaultInjector, FaultPlan
 from ..netlist.core import bits_from_ints
 from ..rng import SeedTree
@@ -180,7 +181,17 @@ def run_shard(
         tree.rng("capture", str(shard.location), f"{f}", str(shard.start))
         for f in plan.freqs_mhz
     ]
+    do_metrics = obs.metrics_enabled()
+    t_capture = time.perf_counter() if do_metrics else 0.0
     batch = circuit.capture_batch(timing, plan.achieved_mhz, rngs)
+    if do_metrics:
+        dt = time.perf_counter() - t_capture
+        if dt > 0.0:
+            n_transitions = shard.stimulus.shape[0] - 1
+            obs.observe(
+                "capture.samples_per_second",
+                n_transitions * len(plan.freqs_mhz) / dt,
+            )
     variance, mean, rate = _segment_statistics(
         batch.errors(), chunk.shape[0], seg_len
     )
@@ -264,11 +275,13 @@ class _SweepState:
         self.pool_broken = False
 
     def record(self, i: int, outcome: str, t0: float, detail: str = "") -> None:
+        latency_s = time.perf_counter() - t0
+        obs.observe("sweep.shard_seconds", latency_s)
         self.attempts[i].append(
             ShardAttempt(
                 attempt=len(self.attempts[i]),
                 outcome=outcome,
-                latency_s=time.perf_counter() - t0,
+                latency_s=latency_s,
                 detail=detail,
             )
         )
@@ -341,6 +354,65 @@ def run_sweep(
         Chaos plan to inject; ``None`` consults ``REPRO_FAULTS`` (an
         unset variable injects nothing).
     """
+    with obs.span(
+        "sweep.run",
+        shards=len(shards),
+        jobs=jobs,
+        w_data=plan.w_data,
+        w_coeff=plan.w_coeff,
+    ) as sweep_span:
+        outcome = _run_sweep_body(
+            device, plan, shards, jobs=jobs, cache=cache,
+            resilience=resilience, faults=faults,
+        )
+        sweep_span.set(
+            status=outcome.status,
+            attempts=outcome.total_attempts,
+            fallback_inline=outcome.fallback_inline,
+        )
+    _record_sweep_metrics(outcome)
+    return outcome
+
+
+def _record_sweep_metrics(outcome: SweepOutcome) -> None:
+    """Derive the sweep counters from the finished outcome.
+
+    Counted in the parent from the shard reports — not inside workers —
+    so the deterministic ``sweep.shards.*`` values are identical at any
+    ``jobs`` worker count on fault-free runs.
+    """
+    if not obs.metrics_enabled():
+        return
+    by_disposition = {
+        DISPOSITION_COMPLETED: 0,
+        DISPOSITION_RECOVERED: 0,
+        DISPOSITION_QUARANTINED: 0,
+    }
+    for report in outcome.reports:
+        by_disposition[report.disposition] += 1
+    obs.counter_add("sweep.shards.total", len(outcome.reports))
+    obs.counter_add("sweep.shards.completed", by_disposition[DISPOSITION_COMPLETED])
+    obs.counter_add("sweep.shards.recovered", by_disposition[DISPOSITION_RECOVERED])
+    obs.counter_add(
+        "sweep.shards.quarantined", by_disposition[DISPOSITION_QUARANTINED]
+    )
+    obs.counter_add("sweep.shards.retried", len(outcome.retried))
+    obs.counter_add("sweep.attempts.total", outcome.total_attempts)
+    if outcome.fallback_inline:
+        obs.counter_add("sweep.pool.fallbacks")
+    if outcome.pool_broken:
+        obs.counter_add("sweep.pool.broken")
+
+
+def _run_sweep_body(
+    device: FPGADevice,
+    plan: SweepPlan,
+    shards: list[Shard],
+    jobs: int = 1,
+    cache: PlacedDesignCache | None = None,
+    resilience: ResilienceSettings | None = None,
+    faults: FaultPlan | None = None,
+) -> SweepOutcome:
     if cache is None:
         cache = get_default_cache()
     settings = resilience if resilience is not None else get_resilience_settings()
@@ -354,36 +426,38 @@ def run_sweep(
 
     # ---- pool pass: first attempt of every shard --------------------
     if jobs > 1 and n > 1:
-        directory = str(cache.directory) if cache.directory is not None else None
-        pool = ProcessPoolExecutor(
-            max_workers=min(jobs, n),
-            initializer=_init_worker,
-            initargs=(device, plan, directory, faults),
-        )
-        abandon = None
-        try:
-            futures = [
-                pool.submit(_run_shard_in_worker, shard, 0) for shard in shards
-            ]
-            for i, future in enumerate(futures):
-                abandon = _harvest_future(
-                    state, plan, shards, i, future, settings.shard_timeout_s
-                )
+        with obs.span("sweep.pool", jobs=min(jobs, n), shards=n) as pool_span:
+            directory = str(cache.directory) if cache.directory is not None else None
+            pool = ProcessPoolExecutor(
+                max_workers=min(jobs, n),
+                initializer=_init_worker,
+                initargs=(device, plan, directory, faults),
+            )
+            abandon = None
+            try:
+                futures = [
+                    pool.submit(_run_shard_in_worker, shard, 0) for shard in shards
+                ]
+                for i, future in enumerate(futures):
+                    abandon = _harvest_future(
+                        state, plan, shards, i, future, settings.shard_timeout_s
+                    )
+                    if abandon is not None:
+                        break
                 if abandon is not None:
-                    break
-            if abandon is not None:
-                state.fallback_inline = True
-                state.pool_broken = abandon == "broken"
-                # Harvest whatever already finished without waiting on the
-                # sick pool; everything else retries inline below.
-                for j, future in enumerate(futures):
-                    if not state.attempts[j] and future.done():
-                        _harvest_future(state, plan, shards, j, future, 0)
-        finally:
-            # wait=True would block forever on a hung worker; leaked
-            # workers either finish their (finite) injected hang or die
-            # with the parent.
-            pool.shutdown(wait=not state.fallback_inline, cancel_futures=True)
+                    state.fallback_inline = True
+                    state.pool_broken = abandon == "broken"
+                    # Harvest whatever already finished without waiting on the
+                    # sick pool; everything else retries inline below.
+                    for j, future in enumerate(futures):
+                        if not state.attempts[j] and future.done():
+                            _harvest_future(state, plan, shards, j, future, 0)
+            finally:
+                # wait=True would block forever on a hung worker; leaked
+                # workers either finish their (finite) injected hang or die
+                # with the parent.
+                pool.shutdown(wait=not state.fallback_inline, cancel_futures=True)
+            pool_span.set(abandoned=abandon or "")
 
     # ---- inline pass: first attempts at jobs=1, then all retries ----
     for i, shard in enumerate(shards):
@@ -397,14 +471,17 @@ def run_sweep(
                     )
                 )
             t0 = time.perf_counter()
-            try:
-                result = run_shard(
-                    device, plan, shard, cache, injector=injector, attempt=attempt
-                )
-            except Exception as exc:
-                state.record(i, ATTEMPT_ERROR, t0, f"{type(exc).__name__}: {exc}")
-                continue
-            state.accept(plan, shards, i, result, t0)
+            with obs.span(
+                "sweep.shard", li=shard.li, start=shard.start, attempt=attempt
+            ):
+                try:
+                    result = run_shard(
+                        device, plan, shard, cache, injector=injector, attempt=attempt
+                    )
+                except Exception as exc:
+                    state.record(i, ATTEMPT_ERROR, t0, f"{type(exc).__name__}: {exc}")
+                    continue
+                state.accept(plan, shards, i, result, t0)
 
     # ---- dispositions ----------------------------------------------
     reports = []

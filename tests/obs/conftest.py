@@ -1,0 +1,16 @@
+"""Observability tests always leave the process-wide observer disabled."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import runtime
+
+
+@pytest.fixture(autouse=True)
+def _pristine_observer():
+    previous = runtime.set_observer(None)
+    try:
+        yield
+    finally:
+        runtime.set_observer(previous)

@@ -1,0 +1,42 @@
+"""The deterministic metric subset is invariant across worker counts."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.characterization import characterize_multiplier
+from repro.obs import runtime
+
+
+def _deterministic_counters(device, cfg, jobs):
+    with runtime.observability(trace=False, metrics=True) as observer:
+        characterize_multiplier(device, 8, 8, cfg, seed=9, jobs=jobs)
+    return observer.metrics.snapshot().deterministic_counters()
+
+
+class TestJobsInvariance:
+    @pytest.mark.slow
+    def test_deterministic_counters_identical_across_jobs(
+        self, device, small_char_config
+    ):
+        cfg = small_char_config(n_mult=8, chunk=4)
+        serial = _deterministic_counters(device, cfg, jobs=1)
+        pooled = _deterministic_counters(device, cfg, jobs=2)
+
+        assert serial == pooled
+        # And they describe a real sweep, not an empty registry.
+        assert serial["characterize.sweeps"] == 1
+        assert serial["sweep.shards.total"] == serial["sweep.shards.completed"] > 0
+        assert serial["sweep.shards.retried"] == 0
+        assert serial["sweep.shards.quarantined"] == 0
+
+    def test_shard_counters_derive_from_the_outcome(self, device, small_char_config):
+        """Counters mirror the SweepOutcome report exactly (parent-derived)."""
+        cfg = small_char_config(n_mult=8, chunk=4)
+        with runtime.observability(trace=False, metrics=True) as observer:
+            result = characterize_multiplier(device, 8, 8, cfg, seed=9)
+        counters = observer.metrics.snapshot().counters
+        outcome = result.outcome
+        assert counters["sweep.shards.total"] == len(outcome.reports)
+        assert counters["sweep.attempts.total"] == outcome.total_attempts
+        assert "sweep.pool.fallbacks" not in counters  # no pool, no fallback

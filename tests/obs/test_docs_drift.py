@@ -1,0 +1,99 @@
+"""The telemetry reference in docs/observability.md is generated; keep it so.
+
+Also pins the cross-references the performance/resilience pages make to
+named code surfaces, so a rename breaks a test instead of a document.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+from repro.obs import METRIC_CATALOG, SPAN_CATALOG, telemetry_reference_markdown
+
+DOCS = Path(__file__).resolve().parents[2] / "docs"
+DOC = DOCS / "observability.md"
+
+BEGIN = "<!-- telemetry-reference:begin"
+END = "<!-- telemetry-reference:end -->"
+
+
+def _doc_reference() -> str:
+    text = DOC.read_text()
+    assert BEGIN in text and END in text, "telemetry-reference markers missing"
+    start = text.index("\n", text.index(BEGIN)) + 1
+    return text[start : text.index(END)].strip()
+
+
+def test_doc_reference_matches_catalogue():
+    assert _doc_reference() == telemetry_reference_markdown().strip(), (
+        "docs/observability.md telemetry reference is stale; regenerate "
+        "the block between the telemetry-reference markers with "
+        "repro.obs.telemetry_reference_markdown()"
+    )
+
+
+def test_every_span_documented_exactly_once():
+    table = _doc_reference()
+    for spec in SPAN_CATALOG:
+        assert len(re.findall(rf"\| `{re.escape(spec.name)}` \|", table)) == 1
+
+
+def test_every_metric_documented_exactly_once():
+    table = _doc_reference()
+    for spec in METRIC_CATALOG:
+        assert len(re.findall(rf"\| `{re.escape(spec.name)}` \|", table)) == 1
+
+
+def test_doc_mentions_the_surfaces():
+    text = DOC.read_text()
+    for needle in (
+        "REPRO_TRACE",
+        "REPRO_METRICS",
+        "repro obs reference",
+        "repro obs trace",
+        "repro obs metrics",
+        "deterministic_counters",
+        "chrome://tracing",
+        "tests/obs/test_noop_identity.py",
+        "benchmarks/bench_observability.py",
+    ):
+        assert needle in text, f"docs/observability.md lost {needle}"
+
+
+def test_docs_index_links_every_page():
+    index = (DOCS / "index.md").read_text()
+    for page in sorted(p.name for p in DOCS.glob("*.md") if p.name != "index.md"):
+        assert f"({page})" in index, f"docs/index.md does not link {page}"
+
+
+def test_performance_doc_names_are_current():
+    text = (DOCS / "performance.md").read_text()
+    for needle in (
+        "characterize_multiplier",
+        "capture_stream_batch",
+        "PlacedDesignCache",
+        "REPRO_JOBS",
+        "REPRO_CACHE_DIR",
+        "repro cache info",
+        "BENCH_characterization.json",
+        "capture.samples_per_second",   # obs cross-reference
+        "docs/observability.md",
+    ):
+        assert needle in text, f"docs/performance.md lost {needle}"
+
+
+def test_resilience_doc_names_are_current():
+    text = (DOCS / "resilience.md").read_text()
+    for needle in (
+        "REPRO_FAULTS",
+        "REPRO_SHARD_TIMEOUT",
+        "REPRO_MAX_RETRIES",
+        "REPRO_ALLOW_DEGRADED",
+        "SweepOutcome",
+        "fallback_inline",
+        "SweepFailedError",
+        "sweep.shards.{total,completed,retried,recovered,quarantined}",
+        "docs/observability.md",
+    ):
+        assert needle in text, f"docs/resilience.md lost {needle}"

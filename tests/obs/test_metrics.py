@@ -1,0 +1,157 @@
+"""Metrics registry: catalogue strictness, instruments, snapshot determinism."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.obs import (
+    DEFAULT_BOUNDARIES,
+    Histogram,
+    MetricsRegistry,
+    load_metrics_snapshot,
+    metric_spec,
+)
+from repro.obs import runtime
+from repro.obs.spec import METRIC_CATALOG
+
+
+class TestCatalogueStrictness:
+    def test_unknown_metric_raises(self):
+        with pytest.raises(ObservabilityError, match="not in the telemetry catalogue"):
+            MetricsRegistry().counter("made.up")
+
+    def test_kind_mismatch_raises(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ObservabilityError, match="catalogued as a counter"):
+            registry.gauge("gibbs.draws")
+
+    def test_kind_mismatch_on_existing_instrument(self):
+        registry = MetricsRegistry()
+        registry.counter("gibbs.draws").add()
+        with pytest.raises(ObservabilityError, match="is a counter, not a histogram"):
+            registry.histogram("gibbs.draws")
+
+
+class TestInstruments:
+    def test_counter_accumulates_and_rejects_negative(self):
+        counter = MetricsRegistry().counter("gibbs.draws")
+        counter.add()
+        counter.add(4)
+        assert counter.value == 5
+        with pytest.raises(ObservabilityError, match="cannot decrease"):
+            counter.add(-1)
+
+    def test_gauge_last_write_wins(self):
+        # No gauge is catalogued today; exercise the instrument directly.
+        from repro.obs.metrics import Gauge
+
+        gauge = Gauge(metric_spec("gibbs.draws"))
+        gauge.set(3)
+        gauge.set(1.5)
+        assert gauge.value == 1.5
+
+    def test_histogram_buckets_and_extremes(self):
+        hist = Histogram(metric_spec("sweep.shard_seconds"), boundaries=(1.0, 10.0))
+        for value in (0.5, 0.9, 5.0, 100.0):
+            hist.observe(value)
+        assert hist.bucket_counts == [2, 1, 1]
+        assert hist.count == 4
+        assert hist.minimum == 0.5 and hist.maximum == 100.0
+        assert hist.as_dict()["sum"] == pytest.approx(106.4)
+
+    def test_empty_histogram_serialises_without_infinities(self):
+        hist = Histogram(metric_spec("sweep.shard_seconds"))
+        payload = hist.as_dict()
+        assert payload["count"] == 0
+        assert payload["min"] is None and payload["max"] is None
+        assert payload["bucket_counts"] == [0] * (len(DEFAULT_BOUNDARIES) + 1)
+
+    def test_unsorted_boundaries_rejected(self):
+        with pytest.raises(ObservabilityError, match="strictly increasing"):
+            Histogram(metric_spec("sweep.shard_seconds"), boundaries=(2.0, 1.0))
+        with pytest.raises(ObservabilityError, match="strictly increasing"):
+            Histogram(metric_spec("sweep.shard_seconds"), boundaries=(1.0, 1.0))
+
+
+class TestSnapshot:
+    def _populated(self, order):
+        registry = MetricsRegistry()
+        for name in order:
+            registry.counter(name).add(3)
+        registry.histogram("sweep.shard_seconds").observe(0.25)
+        return registry
+
+    def test_creation_order_does_not_change_serialisation(self):
+        a = self._populated(["gibbs.draws", "sweep.shards.total"])
+        b = self._populated(["sweep.shards.total", "gibbs.draws"])
+        assert a.snapshot().to_json() == b.snapshot().to_json()
+
+    def test_snapshot_is_point_in_time(self):
+        registry = self._populated(["gibbs.draws"])
+        snap = registry.snapshot()
+        registry.counter("gibbs.draws").add(10)
+        assert snap.counters["gibbs.draws"] == 3
+
+    def test_deterministic_counters_subset(self):
+        registry = self._populated(["gibbs.draws"])
+        registry.counter("cache.placed.hits").add(7)
+        det = registry.snapshot().deterministic_counters()
+        assert det == {"gibbs.draws": 3}
+
+    def test_deterministic_flags_match_catalogue_intent(self):
+        by_name = {m.name: m for m in METRIC_CATALOG}
+        # Workload-pure counts are deterministic; timing and per-process
+        # cache/pool counts must not be.
+        assert by_name["sweep.shards.total"].deterministic
+        assert by_name["gibbs.draws"].deterministic
+        assert not by_name["cache.placed.hits"].deterministic
+        assert not by_name["sweep.pool.fallbacks"].deterministic
+        for metric in METRIC_CATALOG:
+            if metric.kind == "histogram":
+                assert not metric.deterministic, metric.name
+
+    def test_write_and_load_round_trip(self, tmp_path):
+        registry = self._populated(["gibbs.draws"])
+        path = registry.snapshot().write(tmp_path / "m.json")
+        payload = load_metrics_snapshot(path)
+        assert payload["schema_version"] == 1
+        assert payload["counters"]["gibbs.draws"] == 3
+        assert payload == json.loads(registry.snapshot().to_json())
+
+    def test_load_rejects_non_snapshots(self, tmp_path):
+        with pytest.raises(ObservabilityError, match="cannot read metrics"):
+            load_metrics_snapshot(tmp_path / "absent.json")
+        bad = tmp_path / "bad.json"
+        bad.write_text("{]")
+        with pytest.raises(ObservabilityError, match="not a metrics snapshot"):
+            load_metrics_snapshot(bad)
+        bad.write_text('{"no": "counters"}')
+        with pytest.raises(ObservabilityError, match="not a metrics snapshot"):
+            load_metrics_snapshot(bad)
+
+    def test_reset_clears_instruments_and_profiles(self):
+        registry = self._populated(["gibbs.draws"])
+        registry.record_profile({"stage": "x", "wall_s": 0.0})
+        registry.reset()
+        snap = registry.snapshot()
+        assert snap.counters == {} and snap.histograms == {}
+        assert snap.profiles == ()
+
+
+class TestProfiles:
+    def test_profile_stage_records_when_enabled(self):
+        with runtime.observability(trace=False, metrics=True) as observer:
+            with runtime.profile_stage("characterize"):
+                pass
+        (profile,) = observer.metrics.snapshot().profiles
+        assert profile["stage"] == "characterize"
+        assert set(profile) == {"stage", "wall_s", "cpu_s", "peak_rss_bytes"}
+        assert profile["wall_s"] >= 0.0
+
+    def test_profile_stage_noop_when_disabled(self):
+        with runtime.profile_stage("characterize"):
+            pass
+        assert runtime.get_observer().metrics.snapshot().profiles == ()

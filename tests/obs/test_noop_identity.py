@@ -1,0 +1,74 @@
+"""Telemetry must never change a number — on, off, or half-on."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.characterization import characterize_multiplier
+from repro.obs import runtime
+
+
+def _grids_equal(a, b) -> bool:
+    return (
+        np.array_equal(a.variance, b.variance)
+        and np.array_equal(a.mean, b.mean)
+        and np.array_equal(a.error_rate, b.error_rate)
+        and np.array_equal(a.freqs_mhz, b.freqs_mhz)
+        and np.array_equal(a.multiplicands, b.multiplicands)
+        and a.locations == b.locations
+    )
+
+
+class TestBitIdentity:
+    def test_sweep_identical_with_telemetry_on_off_and_half_on(
+        self, device, small_char_config
+    ):
+        cfg = small_char_config(n_mult=8, chunk=4)
+        baseline = characterize_multiplier(device, 8, 8, cfg, seed=5)
+
+        with runtime.observability(trace=True, metrics=True) as observer:
+            traced = characterize_multiplier(device, 8, 8, cfg, seed=5)
+        with runtime.observability(trace=True, metrics=False):
+            trace_only = characterize_multiplier(device, 8, 8, cfg, seed=5)
+        with runtime.observability(trace=False, metrics=True):
+            metrics_only = characterize_multiplier(device, 8, 8, cfg, seed=5)
+
+        assert _grids_equal(baseline, traced)
+        assert _grids_equal(baseline, trace_only)
+        assert _grids_equal(baseline, metrics_only)
+
+        # The enabled run actually recorded the sweep stages.
+        names = {r.name for r in observer.tracer.records}
+        assert {"characterize.sweep", "sweep.run", "sweep.shard"} <= names
+        counters = observer.metrics.snapshot().counters
+        assert counters["characterize.sweeps"] == 1
+        assert counters["sweep.shards.total"] > 0
+
+
+class TestDisabledPath:
+    def test_span_returns_the_shared_null_span(self):
+        a = runtime.span("sweep.run", shards=3)
+        b = runtime.span("optimize.run")
+        assert a is b is runtime._NULL_SPAN
+        with a as entered:
+            assert entered.set(anything=1) is entered
+
+    def test_disabled_helpers_touch_no_instruments(self):
+        runtime.counter_add("gibbs.draws", 5)
+        runtime.gauge_set("gibbs.draws", 1.0)
+        runtime.observe("sweep.shard_seconds", 0.1)
+        snap = runtime.get_observer().metrics.snapshot()
+        assert snap.counters == {}
+        assert snap.gauges == {}
+        assert snap.histograms == {}
+
+    def test_disabled_span_skips_catalogue_validation(self):
+        # The null span is shared and stateless; no name lookup happens,
+        # which is what keeps the disabled path near-free.
+        assert runtime.span("not.even.catalogued") is runtime._NULL_SPAN
+
+    def test_enable_disable_round_trip(self):
+        runtime.enable_observability()
+        assert runtime.trace_enabled() and runtime.metrics_enabled()
+        runtime.disable_observability()
+        assert not runtime.get_observer().enabled

@@ -1,0 +1,157 @@
+"""Tracer semantics: hierarchy, catalogue strictness, export round-trip."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.obs import (
+    Tracer,
+    chrome_trace_from_records,
+    load_trace_jsonl,
+    summarize_spans,
+)
+from repro.obs import runtime
+
+
+def _tiny_trace() -> Tracer:
+    tracer = Tracer()
+    with tracer.span("sweep.run", shards=2) as run:
+        with tracer.span("sweep.shard", li=0, start=0, attempt=1):
+            pass
+        with tracer.span("sweep.shard", li=1, start=0, attempt=1):
+            pass
+        run.set(status="complete")
+    return tracer
+
+
+class TestSpans:
+    def test_parenting_follows_nesting(self):
+        records = _tiny_trace().records
+        # Completion order: the two shards finish before the run.
+        assert [r.name for r in records] == [
+            "sweep.shard", "sweep.shard", "sweep.run",
+        ]
+        run = records[2]
+        assert run.parent_id is None
+        assert all(r.parent_id == run.span_id for r in records[:2])
+        assert run.attrs == {"shards": 2, "status": "complete"}
+
+    def test_sibling_spans_do_not_nest(self):
+        tracer = Tracer()
+        with tracer.span("sweep.run"):
+            pass
+        with tracer.span("optimize.run"):
+            pass
+        first, second = tracer.records
+        assert second.parent_id is None
+        assert first.span_id != second.span_id
+
+    def test_uncatalogued_span_raises(self):
+        with pytest.raises(ObservabilityError, match="not in the telemetry catalogue"):
+            Tracer().span("bogus.name")
+
+    def test_reset_clears_records_and_ids(self):
+        tracer = _tiny_trace()
+        tracer.reset()
+        assert tracer.records == ()
+        with tracer.span("sweep.run"):
+            pass
+        assert tracer.records[0].span_id == 1
+
+    def test_timings_are_monotone(self):
+        for record in _tiny_trace().records:
+            assert record.start_s >= 0.0
+            assert record.duration_s >= 0.0
+
+
+class TestExport:
+    def test_jsonl_chrome_round_trip_is_byte_identical(self, tmp_path):
+        tracer = _tiny_trace()
+        jsonl = tracer.export_jsonl(tmp_path / "run.jsonl")
+        chrome = tracer.export_chrome(tmp_path / "run.json")
+
+        rebuilt = chrome_trace_from_records(load_trace_jsonl(jsonl))
+        assert (
+            json.dumps(rebuilt, sort_keys=True, indent=1) + "\n"
+            == chrome.read_text()
+        )
+
+    def test_chrome_document_shape(self):
+        doc = chrome_trace_from_records(
+            r.as_dict() for r in _tiny_trace().records
+        )
+        assert doc["displayTimeUnit"] == "ms"
+        assert doc["otherData"]["producer"] == "repro.obs"
+        events = doc["traceEvents"]
+        assert len(events) == 3
+        assert all(e["ph"] == "X" for e in events)
+        # Category is the name prefix; timestamps are sorted microseconds.
+        assert all(e["cat"] == e["name"].split(".", 1)[0] for e in events)
+        assert [e["ts"] for e in events] == sorted(e["ts"] for e in events)
+        # Hierarchy survives via args.
+        run = next(e for e in events if e["name"] == "sweep.run")
+        shard = next(e for e in events if e["name"] == "sweep.shard")
+        assert shard["args"]["parent_id"] == run["args"]["span_id"]
+
+    def test_jsonl_records_carry_schema_version(self, tmp_path):
+        path = _tiny_trace().export_jsonl(tmp_path / "run.jsonl")
+        for record in load_trace_jsonl(path):
+            assert record["schema_version"] == 1
+
+    def test_empty_tracer_exports_empty_files(self, tmp_path):
+        tracer = Tracer()
+        assert (tracer.export_jsonl(tmp_path / "e.jsonl")).read_text() == ""
+        doc = json.loads((tracer.export_chrome(tmp_path / "e.json")).read_text())
+        assert doc["traceEvents"] == []
+
+    def test_load_missing_file_raises(self, tmp_path):
+        with pytest.raises(ObservabilityError, match="cannot read trace"):
+            load_trace_jsonl(tmp_path / "absent.jsonl")
+
+    def test_load_invalid_json_raises_with_line(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"name": "sweep.run"}\nnot json\n')
+        with pytest.raises(ObservabilityError, match="bad.jsonl:2"):
+            load_trace_jsonl(path)
+
+    def test_load_non_record_raises(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("[1, 2, 3]\n")
+        with pytest.raises(ObservabilityError, match="not a span record"):
+            load_trace_jsonl(path)
+
+
+class TestSummarize:
+    def test_aggregates_by_name_sorted_by_total(self):
+        records = [
+            {"name": "a.x", "duration_s": 1.0},
+            {"name": "a.x", "duration_s": 3.0},
+            {"name": "b.y", "duration_s": 0.5},
+        ]
+        rows = summarize_spans(records)
+        assert [r["name"] for r in rows] == ["a.x", "b.y"]
+        assert rows[0] == {
+            "name": "a.x", "count": 2, "total_s": 4.0, "mean_s": 2.0, "max_s": 3.0,
+        }
+
+
+class TestPathConventions:
+    def test_trace_suffix_stripped(self, tmp_path):
+        runtime.enable_observability(trace=True, metrics=False)
+        with runtime.span("sweep.run"):
+            pass
+        jsonl, chrome = runtime.export_trace_files(tmp_path / "run.json")
+        assert jsonl == tmp_path / "run.jsonl"
+        assert chrome == tmp_path / "run.json"
+        assert len(load_trace_jsonl(jsonl)) == 1
+
+    def test_default_metrics_path_preserves_dotted_names(self, tmp_path):
+        base = tmp_path / "night.run"
+        assert runtime.default_metrics_path(base).name == "night.run.metrics.json"
+        assert (
+            runtime.default_metrics_path(tmp_path / "run.jsonl").name
+            == "run.metrics.json"
+        )
