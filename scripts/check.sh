@@ -1,5 +1,7 @@
 #!/usr/bin/env bash
-# Repository quality gate: style lint, type check, tier-1 test suite.
+# Repository quality gate: style lint, type check, tier-1 test suite,
+# chaos drills, smoke benches, the determinism audit and the cache
+# stress test.
 #
 # Tools that are not installed are skipped with a warning instead of
 # failing, so the script works in minimal offline environments; the
@@ -149,6 +151,29 @@ rm -f "${obs_json}"
 # must match the catalogue (same contract as the lint-rule table).
 run_gate "docs drift (telemetry reference)" env PYTHONPATH=src \
     python -m pytest -x -q tests/obs/test_docs_drift.py
+
+# Determinism audit: the library's own source must be clean under the
+# DTxxx sanitizer — zero unsuppressed findings, every pragma justified.
+run_gate "audit (determinism sanitizer)" env PYTHONPATH=src \
+    python -m repro.cli audit src/repro
+
+# Cache-race gate: the runtime sanitizer's unit layer plus the
+# multi-process stress test (N processes racing one on-disk cache with
+# REPRO_SANITIZE=1: zero lost updates, bit-identical placements).
+run_gate "pytest (cache sanitizer + stress)" env PYTHONPATH=src \
+    python -m pytest -x -q tests/parallel/test_sanitize.py
+
+# Audit smoke bench: re-asserts the clean/justified/deterministic
+# contracts and records audit wall time.
+audit_json="$(mktemp -t bench_audit.XXXXXX.json)"
+run_gate "bench (audit smoke)" python benchmarks/bench_audit.py \
+    --smoke --output "${audit_json}"
+rm -f "${audit_json}"
+
+# Sanitizer docs drift: the DT-rule table and effect catalogue in
+# docs/static_analysis.md must match the registries.
+run_gate "docs drift (DT-rule reference)" env PYTHONPATH=src \
+    python -m pytest -x -q tests/analysis/sanitizer/test_docs_drift.py
 
 if [ "${failures}" -ne 0 ]; then
     echo "${failures} gate(s) failed"

@@ -29,6 +29,10 @@ On top of the structural layer sits the word-level semantic layer:
   :meth:`repro.models.prior.CoefficientPrior.from_static_profile`;
 
 exposed on the command line as ``repro analyze``.
+
+Orthogonal to both: :mod:`repro.analysis.sanitizer` audits the repo's
+*own Python source* (not netlists) for determinism and concurrency
+hazards — the ``DTnnn`` rules behind ``repro audit``.
 """
 
 from .context import AnalysisContext
@@ -44,6 +48,15 @@ from .diagnostics import Diagnostic, LintReport, Severity
 from .equivalence import EquivalenceCertificate, prove_multiplier
 from .linter import LintConfig, LintWarning, check_netlist, lint_netlist
 from .passes import REGISTRY, Finding, LintRule, rule_table, rule_table_markdown
+from .sanitizer import (
+    AuditFinding,
+    AuditReport,
+    DT_REGISTRY,
+    DTRule,
+    audit_paths,
+    dt_rule_table_markdown,
+    effect_catalogue_markdown,
+)
 from .sensitization import (
     CoefficientTimingProfile,
     agreement_report,
@@ -77,4 +90,11 @@ __all__ = [
     "sensitized_sta",
     "coefficient_timing_profile",
     "agreement_report",
+    "AuditFinding",
+    "AuditReport",
+    "DTRule",
+    "DT_REGISTRY",
+    "audit_paths",
+    "dt_rule_table_markdown",
+    "effect_catalogue_markdown",
 ]

@@ -35,6 +35,7 @@ class FSMState(enum.Enum):
     DONE = "done"
 
 
+# repro: allow[DT005] -- fixed transition table; written once at import, only read thereafter
 _TRANSITIONS: dict[FSMState, FSMState] = {
     FSMState.IDLE: FSMState.LOAD,
     FSMState.LOAD: FSMState.ARM,

@@ -7,7 +7,8 @@ reports its diagnostics (text or JSON); the ``cache`` subcommand
 inspects or clears an on-disk placed-design cache; the ``faults``
 subcommand describes/validates a chaos fault-injection plan; the ``obs``
 subcommand prints the telemetry reference or summarises exported
-trace/metrics artefacts.
+trace/metrics artefacts; the ``audit`` subcommand runs the determinism
+and concurrency sanitizer (DT rules) over repro's own source.
 
 Examples
 --------
@@ -28,6 +29,8 @@ Examples
     repro-experiment obs reference
     repro-experiment obs trace run.jsonl
     repro-experiment obs metrics run.metrics.json
+    repro-experiment audit src/repro
+    repro-experiment audit --rules
 """
 
 from __future__ import annotations
@@ -481,6 +484,54 @@ def _cache_main(argv: list[str]) -> int:
     return 0
 
 
+def _audit_main(argv: list[str]) -> int:
+    """``audit`` subcommand: determinism/concurrency audit of repro source."""
+    from .analysis.sanitizer import audit_paths, dt_rule_table_markdown
+
+    parser = argparse.ArgumentParser(
+        prog="repro-experiment audit",
+        description="Audit Python source for determinism and concurrency "
+        "hazards (DT rules): ambient RNG, clock/env reads, hash-order "
+        "iteration, unlocked shared-cache writes. Reachability is rooted "
+        "at the shard entry points (see docs/static_analysis.md).",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src/repro"],
+        help="files or directories to audit (default: src/repro)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=["text", "json"],
+        default="text",
+        help="report rendering (default: text)",
+    )
+    parser.add_argument(
+        "--disable",
+        action="append",
+        default=[],
+        metavar="DTnnn",
+        help="skip a rule entirely (repeatable)",
+    )
+    parser.add_argument(
+        "--rules",
+        action="store_true",
+        help="print the DT rule reference table and exit",
+    )
+    args = parser.parse_args(argv)
+
+    if args.rules:
+        print(dt_rule_table_markdown())
+        return 0
+    report = audit_paths(args.paths or ["src/repro"], disabled=frozenset(args.disable))
+    if args.format == "json":
+        print(report.to_json())
+    else:
+        print(report.to_text())
+    return 0 if report.clean else 1
+
+
 def _obs_main(argv: list[str]) -> int:
     """``obs`` subcommand: telemetry reference and artefact inspection."""
     from .errors import ObservabilityError
@@ -565,6 +616,8 @@ def main(argv: list[str] | None = None) -> int:
         return _lint_main(argv[1:])
     if argv and argv[0] == "analyze":
         return _analyze_main(argv[1:])
+    if argv and argv[0] == "audit":
+        return _audit_main(argv[1:])
     if argv and argv[0] == "cache":
         return _cache_main(argv[1:])
     if argv and argv[0] == "faults":

@@ -124,6 +124,11 @@ def _synthesize_search(cfg: PLLConfig, freq_mhz: float) -> SynthesizedClock:
             if not (cfg.vco_min_mhz <= vco <= cfg.vco_max_mhz):
                 continue
             c = max(cfg.c_range[0], min(cfg.c_range[1], round(vco / freq_mhz)))
+            # Small-int set: hash(int) == int in CPython, so iteration is
+            # value-ordered and PYTHONHASHSEED-independent; sorted() would
+            # reorder the `err < best_err` tie-breaks and change achieved
+            # frequencies archived in golden results.
+            # repro: allow[DT004] -- int-set order is hashseed-free; sorted() flips tie-breaks
             for cc in {c, max(cfg.c_range[0], c - 1), min(cfg.c_range[1], c + 1)}:
                 f = vco / cc
                 err = abs(f - freq_mhz)

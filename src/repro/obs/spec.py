@@ -181,6 +181,15 @@ METRIC_CATALOG: tuple[MetricSpec, ...] = (
         "Placed-design cache misses that fell through to a synthesis run in this process.",
     ),
     MetricSpec(
+        "cache.placed.sanitizer_violations",
+        COUNTER,
+        "violations",
+        "repro.parallel.sanitize",
+        False,
+        "Shared-cache discipline violations (lost updates, torn entries, unlocked installs) "
+        "observed by the REPRO_SANITIZE runtime sanitizer.",
+    ),
+    MetricSpec(
         "cache.placed.stores",
         COUNTER,
         "entries",

@@ -13,7 +13,10 @@ Three coordinated pieces (see ``docs/performance.md``):
 * :mod:`repro.parallel.retry` — the resilience layer's bookkeeping:
   per-shard attempt histories, quarantine dispositions and the typed
   :class:`SweepOutcome` returned by :func:`run_sweep` (see
-  ``docs/resilience.md``).
+  ``docs/resilience.md``);
+* :mod:`repro.parallel.sanitize` — the ``REPRO_SANITIZE=1`` runtime
+  cache-race detector guarding the shared disk tier (see
+  ``docs/static_analysis.md``).
 """
 
 from .cache import (
@@ -35,10 +38,22 @@ from .engine import (
 )
 from .jobs import REPRO_JOBS_ENV, resolve_jobs
 from .retry import ShardAttempt, ShardReport, SweepOutcome, backoff_delay
+from .sanitize import (
+    REPRO_SANITIZE_ENV,
+    CacheSanitizer,
+    SanitizerViolation,
+    read_journal,
+    sanitize_enabled,
+)
 
 __all__ = [
     "REPRO_CACHE_DIR_ENV",
     "REPRO_JOBS_ENV",
+    "REPRO_SANITIZE_ENV",
+    "CacheSanitizer",
+    "SanitizerViolation",
+    "read_journal",
+    "sanitize_enabled",
     "CacheStats",
     "PlacedDesignCache",
     "PlacedKey",

@@ -15,6 +15,15 @@ Disk layout (one pickle per entry, written atomically)::
 
     <directory>/
       <sha256-of-key>.pkl     {"version", "key", "sha256", "placed"}
+      <sha256-of-key>.lock    advisory fcntl lock serialising installs
+      .sanitizer/             violation journal (REPRO_SANITIZE=1 only)
+
+Entries are installed write-to-temp + ``os.replace`` under a per-entry
+advisory ``fcntl`` lock, so any number of concurrent processes can share
+one directory: racing same-key writers serialise, and the pure build
+path guarantees whoever wins installed bit-identical bytes.  With
+``REPRO_SANITIZE=1`` a :class:`~repro.parallel.sanitize.CacheSanitizer`
+verifies both claims at runtime.
 
 ``placed`` is the pickled design as bytes and ``sha256`` its checksum:
 a truncated, torn, bit-flipped or otherwise corrupt entry is *detected*
@@ -25,13 +34,16 @@ is bit-identical to the lost entry.
 
 from __future__ import annotations
 
+import fcntl
 import hashlib
 import logging
 import os
 import pickle
+from contextlib import contextmanager
 from dataclasses import dataclass
 from functools import lru_cache
 from pathlib import Path
+from typing import Iterator
 
 from ..analysis import check_netlist
 from ..fabric.device import FPGADevice
@@ -39,6 +51,7 @@ from ..obs import runtime as obs
 from ..netlist.core import CompiledNetlist
 from ..netlist.multipliers import unsigned_array_multiplier
 from ..synthesis.flow import PlacedDesign, SynthesisFlow
+from .sanitize import CacheSanitizer, sanitize_enabled
 
 logger = logging.getLogger(__name__)
 
@@ -141,6 +154,7 @@ class CacheStats:
     disk_entries: int
     disk_bytes: int
     directory: str | None
+    sanitizer_violations: int = 0
 
     @property
     def requests(self) -> int:
@@ -165,6 +179,7 @@ class CacheStats:
             "disk_bytes": self.disk_bytes,
             "hit_rate": self.hit_rate,
             "directory": self.directory,
+            "sanitizer_violations": self.sanitizer_violations,
         }
 
 
@@ -186,6 +201,14 @@ class PlacedDesignCache:
         self._misses = 0
         self._stores = 0
         self._corruptions = 0
+        self._sanitizer: CacheSanitizer | None = None
+        if self.directory is not None and sanitize_enabled():
+            self._sanitizer = CacheSanitizer(self.directory)
+
+    @property
+    def sanitizer(self) -> CacheSanitizer | None:
+        """The runtime sanitizer, when ``REPRO_SANITIZE=1`` and disk-backed."""
+        return self._sanitizer
 
     # ------------------------------------------------------------------
     def _entry_path(self, key: PlacedKey) -> Path | None:
@@ -247,25 +270,55 @@ class PlacedDesignCache:
             return None
         return placed
 
+    @contextmanager
+    def _entry_lock(self, path: Path) -> Iterator[None]:
+        """Advisory per-entry ``fcntl`` lock serialising installs.
+
+        Concurrent processes sharing the directory block here instead of
+        racing their ``os.replace`` calls; the lock file rides alongside
+        the entry so locking never touches entry bytes.  Advisory only —
+        readers stay lock-free (the atomic replace keeps them safe).
+        """
+        lock_path = path.with_suffix(".lock")
+        fd = os.open(lock_path, os.O_CREAT | os.O_RDWR, 0o644)
+        try:
+            fcntl.flock(fd, fcntl.LOCK_EX)
+            if self._sanitizer is not None:
+                self._sanitizer.lock_acquired(path.stem)
+            try:
+                yield
+            finally:
+                if self._sanitizer is not None:
+                    self._sanitizer.lock_released(path.stem)
+                fcntl.flock(fd, fcntl.LOCK_UN)
+        finally:
+            os.close(fd)
+
     def _store_disk(self, key: PlacedKey, placed: PlacedDesign) -> None:
         path = self._entry_path(key)
         if path is None:
             return
         path.parent.mkdir(parents=True, exist_ok=True)
         blob = pickle.dumps(placed, protocol=pickle.HIGHEST_PROTOCOL)
+        sha256 = hashlib.sha256(blob).hexdigest()
         payload = {
             "version": _DISK_VERSION,
             "key": key,
-            "sha256": hashlib.sha256(blob).hexdigest(),
+            "sha256": sha256,
             "placed": blob,
         }
         tmp = path.with_suffix(f".tmp.{os.getpid()}")
-        try:
-            with tmp.open("wb") as fh:
-                pickle.dump(payload, fh, protocol=pickle.HIGHEST_PROTOCOL)
-            os.replace(tmp, path)  # atomic: concurrent writers race benignly
-        finally:
-            tmp.unlink(missing_ok=True)
+        with self._entry_lock(path):
+            if self._sanitizer is not None:
+                self._sanitizer.check_install(path, key, sha256)
+            try:
+                with tmp.open("wb") as fh:
+                    pickle.dump(payload, fh, protocol=pickle.HIGHEST_PROTOCOL)
+                os.replace(tmp, path)  # atomic: readers never see a torn entry
+            finally:
+                tmp.unlink(missing_ok=True)
+            if self._sanitizer is not None:
+                self._sanitizer.verify_install(path, sha256)
 
     # ------------------------------------------------------------------
     def get_or_place(
@@ -331,16 +384,26 @@ class PlacedDesignCache:
             disk_entries=len(entries),
             disk_bytes=sum(p.stat().st_size for p in entries),
             directory=str(self.directory) if self.directory is not None else None,
+            sanitizer_violations=(
+                len(self._sanitizer.violations) if self._sanitizer is not None else 0
+            ),
         )
 
     def clear(self, disk: bool = True) -> int:
-        """Drop all entries; returns the number of disk entries removed."""
+        """Drop all entries; returns the number of disk entries removed.
+
+        Lock files are removed alongside their entries; the sanitizer
+        journal (an audit trail, not an entry) is left in place.
+        """
         self._memory.clear()
         removed = 0
         if disk:
             for path in self.disk_entries():
                 path.unlink(missing_ok=True)
                 removed += 1
+            if self.directory is not None and self.directory.exists():
+                for lock in self.directory.glob("*.lock"):
+                    lock.unlink(missing_ok=True)
         return removed
 
 

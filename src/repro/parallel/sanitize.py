@@ -1,0 +1,221 @@
+"""Runtime cache-race sanitizer: the dynamic half of the determinism story.
+
+Enabled by ``REPRO_SANITIZE=1``, this module instruments the
+:class:`~repro.parallel.cache.PlacedDesignCache` disk tier with a
+lost-update / lock-order checker.  The static auditor
+(:mod:`repro.analysis.sanitizer`) proves the install *discipline* exists
+(write-to-temp + ``os.replace`` under the advisory entry lock); the
+runtime sanitizer verifies the discipline actually *holds* when N
+processes share one cache directory:
+
+* **unlocked-install** — an entry install observed while the advisory
+  lock for that digest is not held by this process;
+* **lost-update** — an install would replace a valid entry for the same
+  key whose payload bytes differ.  The build path is pure in the key, so
+  two racing writers must produce bit-identical payloads; a difference
+  means nondeterministic synthesis or a clobbered foreign entry;
+* **torn-entry** — the entry re-read immediately after install does not
+  match what was written (torn replace, interleaved writer without the
+  lock, or dying disk).
+
+Violations are logged, counted on the ``cache.placed.sanitizer_violations``
+telemetry counter, and appended to a shared JSONL journal under
+``<cache-dir>/.sanitizer/`` so the stress test (and operators) can
+aggregate across all participating processes.  The sanitizer only
+observes: results are bit-identical with it on or off.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import logging
+import os
+import pickle
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any
+
+from ..obs import runtime as obs
+
+logger = logging.getLogger(__name__)
+
+__all__ = [
+    "CacheSanitizer",
+    "REPRO_SANITIZE_ENV",
+    "SanitizerViolation",
+    "read_journal",
+    "sanitize_enabled",
+]
+
+#: Environment variable enabling the runtime sanitizer.
+REPRO_SANITIZE_ENV = "REPRO_SANITIZE"
+
+#: Journal subdirectory and file inside the cache directory.
+_JOURNAL_DIR = ".sanitizer"
+_JOURNAL_FILE = "journal.jsonl"
+
+
+def sanitize_enabled() -> bool:
+    """Whether ``REPRO_SANITIZE`` requests the runtime sanitizer."""
+    value = os.environ.get(REPRO_SANITIZE_ENV, "").strip().lower()
+    return value not in ("", "0", "false", "no", "off")
+
+
+@dataclass(frozen=True)
+class SanitizerViolation:
+    """One observed violation of the shared-cache install discipline."""
+
+    kind: str
+    digest: str
+    detail: str
+    pid: int
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "digest": self.digest,
+            "detail": self.detail,
+            "pid": self.pid,
+        }
+
+
+def journal_path(directory: Path) -> Path:
+    """The shared violation journal for a cache directory."""
+    return directory / _JOURNAL_DIR / _JOURNAL_FILE
+
+
+def read_journal(directory: Path) -> list[dict[str, Any]]:
+    """All violation records journalled by any process sharing ``directory``."""
+    path = journal_path(directory)
+    if not path.exists():
+        return []
+    records: list[dict[str, Any]] = []
+    for line in path.read_text(encoding="utf-8").splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError:
+            # A torn journal line is itself evidence of an interleaved
+            # writer; surface it rather than hiding it.
+            record = {"kind": "torn-journal-line", "detail": line[:120]}
+        records.append(record)
+    return records
+
+
+class CacheSanitizer:
+    """Observes disk-tier installs of one :class:`PlacedDesignCache`.
+
+    The cache calls :meth:`lock_acquired`/:meth:`lock_released` from its
+    advisory-lock context manager and brackets each install with
+    :meth:`check_install` (pre-``os.replace``) and :meth:`verify_install`
+    (post).  All checks are read-only with respect to cache entries.
+    """
+
+    def __init__(self, directory: Path) -> None:
+        self.directory = directory
+        self.violations: list[SanitizerViolation] = []
+        self._held: set[str] = set()
+
+    # -- lock-order tracking -------------------------------------------
+    def lock_acquired(self, digest: str) -> None:
+        self._held.add(digest)
+
+    def lock_released(self, digest: str) -> None:
+        self._held.discard(digest)
+
+    def holds_lock(self, digest: str) -> bool:
+        return digest in self._held
+
+    # -- install checks ------------------------------------------------
+    def check_install(self, path: Path, expected_key: object, new_sha: str) -> None:
+        """Pre-install check: lock discipline + lost-update detection."""
+        digest = path.stem
+        if digest not in self._held:
+            self._record(
+                "unlocked-install",
+                digest,
+                "entry install attempted without the advisory entry lock",
+            )
+        existing = self._read_payload(path)
+        if existing is None:
+            return
+        if existing.get("key") != expected_key:
+            self._record(
+                "lost-update",
+                digest,
+                "install would clobber a valid entry for a *different* key "
+                "(digest collision)",
+            )
+        elif existing.get("sha256") != new_sha:
+            self._record(
+                "lost-update",
+                digest,
+                "install would replace a valid same-key entry with different "
+                f"payload bytes (theirs {existing.get('sha256')!r:.12}..., "
+                f"ours {new_sha[:8]}...): the build path is not pure in the key",
+            )
+
+    def verify_install(self, path: Path, new_sha: str) -> None:
+        """Post-install check: the entry on disk matches what was written.
+
+        Under the entry lock no other writer can interleave, and the pure
+        build path means even a racing same-key writer outside the lock
+        would land identical bytes — so any mismatch here is a real torn
+        or clobbered entry.
+        """
+        payload = self._read_payload(path)
+        if payload is None:
+            self._record(
+                "torn-entry",
+                path.stem,
+                "entry unreadable immediately after its own atomic install",
+            )
+            return
+        blob = payload.get("placed")
+        stored_sha = payload.get("sha256")
+        actual_sha = (
+            hashlib.sha256(blob).hexdigest() if isinstance(blob, bytes) else None
+        )
+        if stored_sha != new_sha or actual_sha != new_sha:
+            self._record(
+                "torn-entry",
+                path.stem,
+                f"entry re-read after install has sha {stored_sha!r} "
+                f"(payload {actual_sha!r}), expected {new_sha!r}",
+            )
+
+    # -- plumbing ------------------------------------------------------
+    @staticmethod
+    def _read_payload(path: Path) -> dict[str, Any] | None:
+        """The entry's payload dict, or ``None`` if absent/unreadable."""
+        try:
+            with path.open("rb") as fh:
+                payload = pickle.load(fh)
+        except (OSError, pickle.UnpicklingError, EOFError, AttributeError):
+            return None
+        return payload if isinstance(payload, dict) else None
+
+    def _record(self, kind: str, digest: str, detail: str) -> None:
+        violation = SanitizerViolation(
+            kind=kind, digest=digest, detail=detail, pid=os.getpid()
+        )
+        self.violations.append(violation)
+        obs.counter_add("cache.placed.sanitizer_violations")
+        logger.error(
+            "cache sanitizer: %s on entry %s: %s", kind, digest, detail
+        )
+        self._journal(violation)
+
+    def _journal(self, violation: SanitizerViolation) -> None:
+        path = journal_path(self.directory)
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            line = json.dumps(violation.as_dict(), sort_keys=True)
+            # repro: allow[DT006] -- append-only journal; whole-line records, append semantics
+            with path.open("a", encoding="utf-8") as fh:
+                fh.write(line + "\n")
+        except OSError:
+            logger.exception("cache sanitizer: journal write failed")

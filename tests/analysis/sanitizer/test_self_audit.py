@@ -1,0 +1,55 @@
+"""The library's own source must satisfy its own determinism policy.
+
+This is the in-tree twin of the ``scripts/check.sh`` gate: ``repro audit
+src/repro`` reports zero unsuppressed findings, and every pragma that
+does suppress something carries a justification (DT000 enforces the
+latter by construction — an unjustified pragma is itself a finding).
+"""
+
+from __future__ import annotations
+
+from functools import cache
+from pathlib import Path
+
+from repro.analysis.sanitizer import ENTRY_POINTS, audit_paths
+
+SRC = Path(__file__).resolve().parents[3] / "src" / "repro"
+
+
+@cache
+def _report():
+    return audit_paths([SRC])
+
+
+def test_library_source_is_audit_clean():
+    report = _report()
+    assert report.clean, "\n" + report.to_text()
+
+
+def test_every_suppression_is_justified():
+    report = _report()
+    assert report.suppressions, (
+        "expected the known pragma suppressions (pll.py DT004, fsm.py "
+        "DT005, sanitize.py DT006) to be recorded, not silently dropped"
+    )
+    for supp in report.suppressions:
+        assert supp.reason and len(supp.reason) > 10, (
+            f"{supp.path}:{supp.lineno} pragma lacks a real justification"
+        )
+
+
+def test_entry_points_all_resolve():
+    # A renamed shard entry point must fail loudly here, not silently
+    # shrink the reachable set to nothing.
+    report = _report()
+    assert report.entry_points == ENTRY_POINTS
+    assert report.n_reachable >= len(ENTRY_POINTS), (
+        f"only {report.n_reachable} reachable functions from "
+        f"{len(ENTRY_POINTS)} entry points: an entry point no longer resolves"
+    )
+
+
+def test_audit_scales_sanely():
+    report = _report()
+    assert report.n_files > 80
+    assert report.n_functions > 500

@@ -1,0 +1,88 @@
+"""PYTHONHASHSEED invariance: the reference sweep is hash-salt blind.
+
+Python salts string hashes per process (`PYTHONHASHSEED`), so any code
+whose results leak set/dict-view iteration order — exactly what rule
+DT004 polices statically — produces different bytes under different
+seeds.  This regression runs the small reference sweep in *subprocesses*
+(the seed only takes effect at interpreter startup) under two different
+hash seeds and asserts the `SweepOutcome` sidecar JSON and the result
+grids are byte-identical.  Attempt latencies are wall-clock execution
+provenance — excluded from result equality by contract — so the sidecar
+is compared with `latency_s` canonicalised to zero.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+_SWEEP_SCRIPT = """
+import hashlib, json, sys
+
+from repro.characterization import CharacterizationConfig, characterize_multiplier
+from repro.fabric import DeviceFamily, make_device
+
+device = make_device(
+    serial=1234, family=DeviceFamily(name="test-family", rows=64, cols=64)
+)
+cfg = CharacterizationConfig(
+    freqs_mhz=(280.0, 320.0),
+    n_samples=24,
+    multiplicands=tuple(range(6)),
+    n_locations=2,
+    segment_chunk=3,
+)
+result = characterize_multiplier(device, 6, 4, cfg, seed=9, jobs=1)
+
+sidecar = result.outcome.as_dict()
+# latency_s is wall-clock execution provenance (excluded from result
+# equality by contract); everything else in the sidecar must be stable.
+for report in sidecar["reports"]:
+    for attempt in report["attempts"]:
+        attempt["latency_s"] = 0.0
+
+print(json.dumps({
+    "variance": hashlib.sha256(result.variance.tobytes()).hexdigest(),
+    "mean": hashlib.sha256(result.mean.tobytes()).hexdigest(),
+    "error_rate": hashlib.sha256(result.error_rate.tobytes()).hexdigest(),
+    "freqs_mhz": list(result.freqs_mhz),
+    "multiplicands": [int(m) for m in result.multiplicands],
+    "locations": [list(l) for l in result.locations],
+    "sidecar": sidecar,
+}, sort_keys=True))
+"""
+
+
+def _run_under_hashseed(seed: str) -> str:
+    env = dict(os.environ)
+    env["PYTHONHASHSEED"] = seed
+    src = str(Path(__file__).resolve().parents[2] / "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.run(
+        [sys.executable, "-c", _SWEEP_SCRIPT],
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert proc.returncode == 0, proc.stderr
+    return proc.stdout.strip()
+
+
+@pytest.mark.slow
+def test_reference_sweep_invariant_under_hashseed():
+    first = _run_under_hashseed("1")
+    second = _run_under_hashseed("4242")
+    assert first == second, (
+        "sweep output depends on PYTHONHASHSEED: some code path leaks "
+        "set/dict-view iteration order (see DT004 in docs/static_analysis.md)"
+    )
+    # Sanity: the payload really carries the grids and the sidecar.
+    payload = json.loads(first)
+    assert payload["sidecar"]["status"] == "complete"
+    assert len(payload["variance"]) == 64

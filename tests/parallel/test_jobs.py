@@ -39,3 +39,31 @@ class TestResolveJobs:
         monkeypatch.setenv(REPRO_JOBS_ENV, "0")
         with pytest.raises(ConfigError):
             resolve_jobs(None)
+
+    @pytest.mark.parametrize("bad", ["-3", "2.5", "1e2", "0x4", ""])
+    def test_rejects_malformed_env_values(self, monkeypatch, bad):
+        monkeypatch.setenv(REPRO_JOBS_ENV, bad)
+        with pytest.raises(ConfigError):
+            resolve_jobs(None)
+
+    def test_env_whitespace_tolerated(self, monkeypatch):
+        # int() strips whitespace; the knob should match that leniency.
+        monkeypatch.setenv(REPRO_JOBS_ENV, "  4  ")
+        assert resolve_jobs(None) == 4
+
+    def test_explicit_arg_ignores_broken_env(self, monkeypatch):
+        # Precedence means a bad env value cannot poison an explicit arg.
+        monkeypatch.setenv(REPRO_JOBS_ENV, "many")
+        assert resolve_jobs(2) == 2
+
+    def test_error_names_the_source(self, monkeypatch):
+        monkeypatch.setenv(REPRO_JOBS_ENV, "-1")
+        with pytest.raises(ConfigError, match=REPRO_JOBS_ENV):
+            resolve_jobs(None)
+        monkeypatch.delenv(REPRO_JOBS_ENV, raising=False)
+        with pytest.raises(ConfigError, match="jobs"):
+            resolve_jobs(0)
+
+    def test_large_counts_pass_through(self, monkeypatch):
+        monkeypatch.delenv(REPRO_JOBS_ENV, raising=False)
+        assert resolve_jobs(128) == 128

@@ -1,0 +1,305 @@
+"""Tests for repro.parallel.sanitize — the runtime cache-race detector.
+
+Unit layer: the checker's three violation kinds fire on manufactured
+races and stay silent on disciplined installs.  Integration layer: a
+multi-process stress test shares one on-disk cache between N concurrent
+processes with ``REPRO_SANITIZE=1`` and asserts zero lost updates, zero
+corruption ticks, and bit-identical placements everywhere — plus the
+bit-transparency contract: a sweep's results are identical with the
+sanitizer on or off.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from concurrent.futures import ProcessPoolExecutor
+
+import numpy as np
+import pytest
+
+from repro.characterization import CharacterizationConfig, characterize_multiplier
+from repro.fabric import DeviceFamily, make_device
+from repro.parallel.cache import PlacedDesignCache, PlacedKey
+from repro.parallel.sanitize import (
+    CacheSanitizer,
+    SanitizerViolation,
+    journal_path,
+    read_journal,
+    sanitize_enabled,
+)
+
+FAMILY = DeviceFamily(name="test-family", rows=64, cols=64)
+
+
+class TestSanitizeEnabled:
+    @pytest.mark.parametrize("value", ["1", "true", "yes", "on", "2"])
+    def test_truthy_values(self, monkeypatch, value):
+        monkeypatch.setenv("REPRO_SANITIZE", value)
+        assert sanitize_enabled()
+
+    @pytest.mark.parametrize("value", ["", "0", "false", "no", "off", " OFF "])
+    def test_falsy_values(self, monkeypatch, value):
+        monkeypatch.setenv("REPRO_SANITIZE", value)
+        assert not sanitize_enabled()
+
+    def test_unset_is_off(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SANITIZE", raising=False)
+        assert not sanitize_enabled()
+
+
+class TestCacheWiring:
+    def test_cache_attaches_sanitizer_when_enabled(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_SANITIZE", "1")
+        cache = PlacedDesignCache(tmp_path / "placed")
+        assert cache.sanitizer is not None
+
+    def test_memory_only_cache_has_no_sanitizer(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SANITIZE", "1")
+        assert PlacedDesignCache().sanitizer is None
+
+    def test_disabled_by_default(self, monkeypatch, tmp_path):
+        monkeypatch.delenv("REPRO_SANITIZE", raising=False)
+        assert PlacedDesignCache(tmp_path / "placed").sanitizer is None
+
+    def test_clean_store_records_no_violations(self, monkeypatch, tmp_path, device):
+        monkeypatch.setenv("REPRO_SANITIZE", "1")
+        cache = PlacedDesignCache(tmp_path / "placed")
+        cache.get_or_place(device, 8, 8, (0, 0), 0)
+        assert cache.sanitizer.violations == []
+        assert cache.stats().sanitizer_violations == 0
+        assert read_journal(tmp_path / "placed") == []
+
+    def test_same_key_restore_from_second_instance_is_clean(
+        self, monkeypatch, tmp_path, device
+    ):
+        monkeypatch.setenv("REPRO_SANITIZE", "1")
+        directory = tmp_path / "placed"
+        first = PlacedDesignCache(directory)
+        first.get_or_place(device, 8, 8, (1, 1), 3)
+        # A second process-alike instance misses memory, hits disk — and
+        # even a forced rebuild would install identical bytes.
+        second = PlacedDesignCache(directory)
+        second.get_or_place(device, 8, 8, (1, 1), 3)
+        assert second.stats().disk_hits == 1
+        assert second.stats().sanitizer_violations == 0
+
+    def test_clear_removes_lock_files(self, monkeypatch, tmp_path, device):
+        monkeypatch.delenv("REPRO_SANITIZE", raising=False)
+        directory = tmp_path / "placed"
+        cache = PlacedDesignCache(directory)
+        cache.get_or_place(device, 8, 8, (0, 0), 0)
+        assert list(directory.glob("*.lock"))
+        cache.clear(disk=True)
+        assert not list(directory.glob("*.lock"))
+        assert not list(directory.glob("*.pkl"))
+
+
+def _store_raw_entry(directory, key, blob: bytes):
+    """Plant a valid v2 entry for ``key`` with payload ``blob``."""
+    import pickle
+
+    from repro.parallel.cache import _DISK_VERSION
+
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"{key.digest()}.pkl"
+    payload = {
+        "version": _DISK_VERSION,
+        "key": key,
+        "sha256": hashlib.sha256(blob).hexdigest(),
+        "placed": blob,
+    }
+    path.write_bytes(pickle.dumps(payload))
+    return path
+
+
+def _key() -> PlacedKey:
+    return PlacedKey(
+        family="test-family",
+        serial=1,
+        w_data=8,
+        w_coeff=8,
+        anchor=(0, 0),
+        seed=0,
+        temperature_c=25.0,
+        vdd=1.0,
+        aging_years=0.0,
+    )
+
+
+class TestViolationDetection:
+    def test_unlocked_install_flagged(self, tmp_path):
+        sanitizer = CacheSanitizer(tmp_path)
+        sanitizer.check_install(tmp_path / "abc123.pkl", _key(), "0" * 64)
+        (violation,) = [v for v in sanitizer.violations if v.kind == "unlocked-install"]
+        assert violation.digest == "abc123"
+
+    def test_locked_install_not_flagged(self, tmp_path):
+        sanitizer = CacheSanitizer(tmp_path)
+        sanitizer.lock_acquired("abc123")
+        sanitizer.check_install(tmp_path / "abc123.pkl", _key(), "0" * 64)
+        sanitizer.lock_released("abc123")
+        assert not sanitizer.holds_lock("abc123")
+        assert sanitizer.violations == []
+
+    def test_lost_update_on_divergent_same_key_payload(self, tmp_path):
+        key = _key()
+        path = _store_raw_entry(tmp_path, key, b"original payload bytes")
+        sanitizer = CacheSanitizer(tmp_path)
+        sanitizer.lock_acquired(path.stem)
+        different_sha = hashlib.sha256(b"DIFFERENT bytes").hexdigest()
+        sanitizer.check_install(path, key, different_sha)
+        (violation,) = sanitizer.violations
+        assert violation.kind == "lost-update"
+        assert "not pure in the key" in violation.detail
+
+    def test_same_payload_reinstall_is_not_lost_update(self, tmp_path):
+        key = _key()
+        blob = b"identical payload bytes"
+        path = _store_raw_entry(tmp_path, key, blob)
+        sanitizer = CacheSanitizer(tmp_path)
+        sanitizer.lock_acquired(path.stem)
+        sanitizer.check_install(path, key, hashlib.sha256(blob).hexdigest())
+        assert sanitizer.violations == []
+
+    def test_foreign_key_clobber_is_lost_update(self, tmp_path):
+        key = _key()
+        path = _store_raw_entry(tmp_path, key, b"payload")
+        other = PlacedKey(
+            family="test-family",
+            serial=2,
+            w_data=8,
+            w_coeff=8,
+            anchor=(0, 0),
+            seed=0,
+            temperature_c=25.0,
+            vdd=1.0,
+            aging_years=0.0,
+        )
+        sanitizer = CacheSanitizer(tmp_path)
+        sanitizer.lock_acquired(path.stem)
+        sanitizer.check_install(path, other, "0" * 64)
+        (violation,) = sanitizer.violations
+        assert violation.kind == "lost-update"
+        assert "different" in violation.detail
+
+    def test_torn_entry_on_postinstall_mismatch(self, tmp_path):
+        key = _key()
+        path = _store_raw_entry(tmp_path, key, b"what actually landed")
+        sanitizer = CacheSanitizer(tmp_path)
+        sanitizer.verify_install(path, hashlib.sha256(b"what we wrote").hexdigest())
+        (violation,) = sanitizer.violations
+        assert violation.kind == "torn-entry"
+
+    def test_missing_entry_after_install_is_torn(self, tmp_path):
+        sanitizer = CacheSanitizer(tmp_path)
+        sanitizer.verify_install(tmp_path / "gone.pkl", "0" * 64)
+        (violation,) = sanitizer.violations
+        assert violation.kind == "torn-entry"
+        assert "unreadable" in violation.detail
+
+    def test_violations_are_journalled_across_processes(self, tmp_path):
+        sanitizer = CacheSanitizer(tmp_path)
+        sanitizer.check_install(tmp_path / "abc.pkl", _key(), "0" * 64)
+        records = read_journal(tmp_path)
+        assert len(records) == 1
+        assert records[0]["kind"] == "unlocked-install"
+        assert records[0]["pid"] == os.getpid()
+
+    def test_torn_journal_line_surfaces(self, tmp_path):
+        path = journal_path(tmp_path)
+        path.parent.mkdir(parents=True)
+        good = json.dumps(SanitizerViolation("torn-entry", "d", "x", 1).as_dict())
+        path.write_text(good + "\n" + '{"kind": "torn-en')
+        kinds = [r["kind"] for r in read_journal(tmp_path)]
+        assert kinds == ["torn-entry", "torn-journal-line"]
+
+
+# ----------------------------------------------------------------------
+# Multi-process stress + bit-transparency
+
+
+def _stress_worker(args):
+    """One participant process: hammer shared keys through one cache dir.
+
+    Module-level (not a closure) so it ships to the pool fork-safely —
+    the discipline DT008 enforces on the library itself.
+    """
+    directory, serial, keys, repeats = args
+    os.environ["REPRO_SANITIZE"] = "1"
+    device = make_device(serial=serial, family=FAMILY)
+    cache = PlacedDesignCache(directory)
+    digests = []
+    for _ in range(repeats):
+        for w_data, w_coeff, anchor, seed in keys:
+            placed = cache.get_or_place(device, w_data, w_coeff, anchor, seed)
+            digests.append(
+                hashlib.sha256(
+                    placed.node_delay.tobytes() + placed.edge_delay.tobytes()
+                ).hexdigest()
+            )
+    stats = cache.stats()
+    return digests, stats.corruptions, stats.sanitizer_violations
+
+
+@pytest.mark.slow
+def test_multiprocess_stress_no_lost_updates(tmp_path):
+    """N concurrent processes share one cache: no corruption, no races.
+
+    Every process opens its own ``PlacedDesignCache`` on the same
+    directory and races the others through an identical key set (cold
+    start: nothing pre-seeded, so first-writers genuinely collide on the
+    advisory locks).  The sanitizer must observe zero violations, the
+    corruption counter must stay zero everywhere, and all processes must
+    see bit-identical placements.
+    """
+    directory = tmp_path / "shared-cache"
+    keys = [
+        (6, 4, (0, 0), 0),
+        (6, 4, (2, 2), 0),
+        (5, 5, (1, 1), 7),
+    ]
+    n_procs = 4
+    jobs = [(str(directory), 1234, tuple(keys), 2) for _ in range(n_procs)]
+    with ProcessPoolExecutor(max_workers=n_procs) as pool:
+        results = list(pool.map(_stress_worker, jobs))
+
+    reference_digests = results[0][0]
+    for digests, corruptions, violations in results:
+        assert digests == reference_digests, "processes disagree on placed bytes"
+        assert corruptions == 0
+        assert violations == 0
+    # The shared journal aggregates every process: it must be empty.
+    assert read_journal(directory) == []
+    # Exactly one entry per distinct key survived the race.
+    assert len(list(directory.glob("*.pkl"))) == len(keys)
+
+
+def _run_reference_sweep(device, directory):
+    cfg = CharacterizationConfig(
+        freqs_mhz=(280.0, 320.0),
+        n_samples=24,
+        multiplicands=tuple(range(6)),
+        n_locations=2,
+        segment_chunk=3,
+    )
+    cache = PlacedDesignCache(directory)
+    return characterize_multiplier(device, 6, 4, cfg, seed=9, jobs=1, cache=cache)
+
+
+@pytest.mark.slow
+def test_sweep_bit_identical_with_sanitizer_on_and_off(
+    monkeypatch, tmp_path, device
+):
+    """REPRO_SANITIZE observes only: grids are byte-equal on vs off."""
+    monkeypatch.delenv("REPRO_SANITIZE", raising=False)
+    off = _run_reference_sweep(device, tmp_path / "cache-off")
+    monkeypatch.setenv("REPRO_SANITIZE", "1")
+    on = _run_reference_sweep(device, tmp_path / "cache-on")
+    assert np.array_equal(off.freqs_mhz, on.freqs_mhz)
+    for name in ("variance", "mean", "error_rate"):
+        grid_off, grid_on = getattr(off, name), getattr(on, name)
+        assert np.array_equal(grid_off, grid_on, equal_nan=True)
+        assert grid_off.tobytes() == grid_on.tobytes()
+    assert read_journal(tmp_path / "cache-on") == []
