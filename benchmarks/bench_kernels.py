@@ -6,8 +6,11 @@ hot paths show up directly.
 """
 
 import numpy as np
+import pytest
 
+from repro.config import kernel_mode
 from repro.core.bayesian import GibbsConfig, sample_projection_vector
+from repro.kernels import evaluate_tile
 from repro.models.prior import CoefficientPrior
 from repro.netlist.core import bits_from_ints
 from repro.netlist.multipliers import unsigned_array_multiplier
@@ -33,20 +36,38 @@ def _inputs():
     }
 
 
-def test_functional_evaluation_throughput(ctx, benchmark):
+@pytest.mark.parametrize("kernel", ["packed", "interp"])
+def test_functional_evaluation_throughput(ctx, benchmark, kernel):
     placed = _placed(ctx)
     ins = _inputs()
-    out = benchmark(placed.netlist.evaluate, ins)
+    with kernel_mode(kernel):
+        out = benchmark(placed.netlist.evaluate, ins)
     assert out["p"].shape == (N_STREAM, 16)
 
 
-def test_transition_simulation_throughput(ctx, benchmark):
+@pytest.mark.parametrize("kernel", ["packed", "interp"])
+def test_transition_simulation_throughput(ctx, benchmark, kernel):
     placed = _placed(ctx)
     ins = _inputs()
-    res = benchmark(
-        simulate_transitions, placed.netlist, ins, placed.node_delay, placed.edge_delay
-    )
+    with kernel_mode(kernel):
+        res = benchmark(
+            simulate_transitions,
+            placed.netlist,
+            ins,
+            placed.node_delay,
+            placed.edge_delay,
+        )
     assert res.settle.shape[1] == N_STREAM - 1
+
+
+def test_tile_sweep_throughput(ctx, benchmark):
+    cn = unsigned_array_multiplier(8, 8).compile()
+    ms = np.arange(64, dtype=np.int64)
+    samples = np.random.default_rng(0).integers(0, 256, 1024)
+    out = benchmark(
+        evaluate_tile, cn, fixed={"b": ms}, streamed={"a": samples}
+    )
+    assert out["p"].shape == (64, 1024)
 
 
 def test_capture_throughput(ctx, benchmark):

@@ -32,6 +32,7 @@ if command -v ruff >/dev/null 2>&1; then
     # ruff-specific rules are hard failures there, warn-only elsewhere.
     run_gate "ruff (analysis, strict)" ruff check --select PL,RUF src/repro/analysis
     run_gate "ruff (obs, strict)" ruff check --select PL,RUF src/repro/obs
+    run_gate "ruff (kernels, strict)" ruff check --select PL,RUF src/repro/kernels
     if ! ruff check --select PL,RUF src/repro >/dev/null 2>&1; then
         echo "warning: ruff --select PL,RUF reports pre-existing findings outside repro.analysis/repro.obs (warn-only)" >&2
     fi
@@ -44,6 +45,7 @@ if command -v mypy >/dev/null 2>&1; then
     # New analysis/observability modules carry full annotations; keep them strict.
     run_gate "mypy (analysis, strict)" mypy --strict src/repro/analysis
     run_gate "mypy (obs, strict)" mypy --strict src/repro/obs
+    run_gate "mypy (kernels, strict)" mypy --strict src/repro/kernels
 else
     echo "warning: mypy not installed; skipping type check" >&2
 fi
@@ -146,6 +148,27 @@ assert payload["noop"]["ns_per_call"] > 0
 print("observability bench schema OK")
 PY
 rm -f "${obs_json}"
+
+# Kernel-compiler smoke bench: asserts the packed kernel is bit-identical
+# to the interpreted reference on every consumer (functional, timing,
+# full sweep, tiled family) and the speedup floor holds.
+compile_json="$(mktemp -t bench_compile.XXXXXX.json)"
+run_gate "bench (kernel compiler smoke)" python benchmarks/bench_compile.py \
+    --smoke --output "${compile_json}"
+run_gate "bench (kernel compiler schema)" python - "${compile_json}" <<'PY'
+import json, sys
+payload = json.load(open(sys.argv[1]))
+assert payload["schema_version"] == 1
+assert payload["smoke"] is True
+assert payload["functional"]["bit_identical_vs_interp"] is True
+assert payload["timing"]["bit_identical_vs_interp"] is True
+assert all(e["bit_identical_vs_interp"] for e in payload["sweep"]["jobs"].values())
+assert payload["tile"]["bit_identical_vs_interp"] is True
+assert payload["functional"]["speedup"] > 1.0
+assert payload["plan"]["cache_hit_seconds"] < payload["plan"]["compile_seconds"]
+print("kernel compiler bench schema OK")
+PY
+rm -f "${compile_json}"
 
 # Telemetry docs drift: the generated reference in docs/observability.md
 # must match the catalogue (same contract as the lint-rule table).

@@ -42,10 +42,16 @@ from .dataflow import (
     BIT_ZERO,
     DataflowResult,
     IntRange,
+    ProbeReport,
     analyze_dataflow,
+    probe_dataflow,
 )
 from .diagnostics import Diagnostic, LintReport, Severity
-from .equivalence import EquivalenceCertificate, prove_multiplier
+from .equivalence import (
+    EquivalenceCertificate,
+    prove_multiplier,
+    prove_multiplier_family,
+)
 from .linter import LintConfig, LintWarning, check_netlist, lint_netlist
 from .passes import REGISTRY, Finding, LintRule, rule_table, rule_table_markdown
 from .sanitizer import (
@@ -84,8 +90,11 @@ __all__ = [
     "IntRange",
     "DataflowResult",
     "analyze_dataflow",
+    "ProbeReport",
+    "probe_dataflow",
     "EquivalenceCertificate",
     "prove_multiplier",
+    "prove_multiplier_family",
     "CoefficientTimingProfile",
     "sensitized_sta",
     "coefficient_timing_profile",

@@ -34,7 +34,7 @@ import numpy as np
 from ..errors import AnalysisError, ProofError
 from ..netlist.core import CompiledNetlist, Netlist, bits_from_ints, ints_from_bits
 
-__all__ = ["EquivalenceCertificate", "prove_multiplier"]
+__all__ = ["EquivalenceCertificate", "prove_multiplier", "prove_multiplier_family"]
 
 
 @dataclass(frozen=True)
@@ -327,4 +327,115 @@ def prove_multiplier(
         seed=used_seed,
         counterexample=counterexample,
     )
+
+
+def prove_multiplier_family(
+    netlist: Netlist | CompiledNetlist,
+    ms: Sequence[int],
+    exhaustive_limit: int = 16,
+    n_random: int = 512,
+    seed: int = 0,
+) -> list[EquivalenceCertificate]:
+    """Certify one multiplier at many multiplicands in a single tiled sweep.
+
+    Equivalent to calling :func:`prove_multiplier` once per ``m`` in
+    ``ms`` on a generic ``a * b`` multiplier, but the whole family is
+    evaluated as one ``(len(ms), |a-space|)`` tile through
+    :func:`repro.kernels.evaluate_tile` — the streamed operand's vectors
+    are shared across every multiplicand, so the kernel plan compiles
+    once and each batch covers many rows.  This is the characterisation
+    configuration (one operand pinned per row, the other swept) proved
+    for every multiplicand of a sweep at once.
+
+    The free space is bus ``a`` alone: exhaustive when ``a``'s width is
+    at most ``exhaustive_limit`` bits, corner+random stratified above
+    that (one shared seeded sample of ``a`` for every row).
+
+    Returns one certificate per multiplicand, in ``ms`` order.
+    """
+    from ..kernels.execute import evaluate_tile
+
+    cn = _compiled(netlist)
+    kind = _classify(cn)
+    if kind != "generic":
+        raise AnalysisError(
+            f"family proof needs a generic a*b multiplier, got {kind!r} "
+            f"(use prove_multiplier per configuration instead)"
+        )
+    if len(ms) == 0:
+        raise AnalysisError("family proof needs at least one multiplicand")
+
+    signed_of = dict(cn.input_bus_signed)
+    widths = {name: int(ids.shape[0]) for name, ids in cn.input_buses.items()}
+    b_spec = _BusSpec("b", widths["b"], signed_of.get("b", False))
+    for m in ms:
+        if not (b_spec.lo <= int(m) <= b_spec.hi):
+            raise AnalysisError(
+                f"multiplicand {m} does not fit bus 'b' "
+                f"({b_spec.width} bits, "
+                f"{'signed' if b_spec.signed else 'unsigned'})"
+            )
+    a_spec = _BusSpec("a", widths["a"], signed_of.get("a", False))
+
+    if a_spec.free_bits <= exhaustive_limit:
+        method = "exhaustive"
+        a_values = np.arange(a_spec.lo, a_spec.hi + 1, dtype=np.int64)
+        used_seed: int | None = None
+    else:
+        method = "stratified"
+        rng = np.random.default_rng(seed)
+        a_values = np.concatenate(
+            [
+                np.array(a_spec.corners(), dtype=np.int64),
+                rng.integers(a_spec.lo, a_spec.hi + 1, size=n_random, dtype=np.int64),
+            ]
+        )
+        used_seed = seed
+
+    out_signed = dict(cn.output_bus_signed)
+    tile = evaluate_tile(
+        cn,
+        fixed={"b": np.asarray(ms, dtype=np.int64)},
+        streamed={"a": a_values},
+        signed_out=out_signed.get("p", False),
+    )
+    got = tile["p"]  # (M, S) int64
+
+    cert_widths = {"a": a_spec.width, "b": b_spec.width}
+    for name, ids in cn.output_buses.items():
+        cert_widths[name] = int(ids.shape[0])
+
+    certificates: list[EquivalenceCertificate] = []
+    for mi, m in enumerate(ms):
+        want = _wrap(
+            a_values.astype(object) * int(m),
+            cert_widths["p"],
+            out_signed.get("p", False),
+        )
+        mismatch = np.nonzero(got[mi] != want)[0]
+        counterexample: dict[str, object] | None = None
+        if mismatch.size:
+            i = int(mismatch[0])
+            counterexample = {
+                "a": int(a_values[i]),
+                "b": int(m),
+                "bus": "p",
+                "got": int(got[mi, i]),
+                "want": int(want[i]),
+            }
+        certificates.append(
+            EquivalenceCertificate(
+                netlist=cn.name,
+                kind=kind,
+                method=method,
+                n_vectors=int(a_values.shape[0]),
+                passed=counterexample is None,
+                widths=cert_widths,
+                signed=a_spec.signed or b_spec.signed,
+                multiplicand=int(m),
+                seed=used_seed,
+                counterexample=counterexample,
+            )
+        )
+    return certificates
 

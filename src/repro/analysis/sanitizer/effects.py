@@ -332,6 +332,14 @@ ALLOWANCES: tuple[Allowance, ...] = (
     ),
     Allowance(
         EFFECT_MODULE_STATE,
+        "repro.kernels.plan",
+        "_PLAN_CACHE",
+        "Execution-plan memo keyed by netlist content hash; entries are "
+        "immutable once built and installs go through _PLAN_CACHE_LOCK "
+        "with setdefault, so concurrent compilers converge on one plan.",
+    ),
+    Allowance(
+        EFFECT_MODULE_STATE,
         "repro.obs.spec",
         "_SPANS_BY_NAME",
         "Telemetry-catalogue index built from the frozen SPAN_CATALOG "

@@ -20,7 +20,7 @@ from typing import Sequence
 
 from ..errors import CharacterizationError
 from ..fabric.device import FPGADevice
-from ..netlist.core import bits_from_ints
+from ..netlist.core import EvalScratch, bits_from_ints
 from ..parallel.cache import PlacedDesignCache, get_default_cache
 from ..synthesis.flow import PlacedDesign
 from ..timing.capture import BatchCaptureResult, capture_stream, capture_stream_batch
@@ -118,13 +118,19 @@ class CharacterizationCircuit:
         self.pll = device.family.pll
 
     # ------------------------------------------------------------------
-    def simulate_stream(self, multiplicand: int, stimulus: np.ndarray) -> TransitionTimingResult:
+    def simulate_stream(
+        self,
+        multiplicand: int,
+        stimulus: np.ndarray,
+        scratch: EvalScratch | None = None,
+    ) -> TransitionTimingResult:
         """Run the DUT-side timing simulation for one fixed multiplicand.
 
         Exposed separately so the harness can reuse one (expensive)
         simulation across a whole frequency sweep — the physical analogue
         being that the logic's settling behaviour does not depend on the
-        capture clock.
+        capture clock.  ``scratch`` reuses simulation temporaries across
+        repeated same-shape streams.
         """
         if not (0 <= multiplicand < (1 << self.w_coeff)):
             raise CharacterizationError(
@@ -139,7 +145,11 @@ class CharacterizationCircuit:
             "b": bits_from_ints(np.full(data.shape[0], multiplicand), self.w_coeff),
         }
         return simulate_transitions(
-            self.placed.netlist, inputs, self.placed.node_delay, self.placed.edge_delay
+            self.placed.netlist,
+            inputs,
+            self.placed.node_delay,
+            self.placed.edge_delay,
+            scratch=scratch,
         )
 
     def capture(

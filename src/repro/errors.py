@@ -54,6 +54,17 @@ class ProofError(AnalysisError):
         self.certificate = certificate
 
 
+class KernelError(ReproError):
+    """The bit-sliced kernel compiler failed an internal contract.
+
+    Raised by :mod:`repro.kernels` when a truth-table lowering does not
+    verify against its table, a plan is executed against a mismatched
+    netlist, or the packed representation cannot be built on this
+    platform.  User-input problems (unknown bus, bad shapes) keep
+    raising :class:`NetlistError` exactly like the interpreted path.
+    """
+
+
 class PlacementError(ReproError):
     """Placement could not be completed (region too small, out of bounds)."""
 

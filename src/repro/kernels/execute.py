@@ -1,0 +1,300 @@
+"""Bit-sliced plan execution: 64 stimuli per uint64 word.
+
+The packed value representation is a ``(n_nodes, W)`` uint64 plane with
+``W = ceil(batch / 64)``: bit ``b`` of word ``w`` in row ``nid`` is node
+``nid``'s value on sample ``64*w + b``.  One whole-array AND/OR/XOR over
+a row group therefore evaluates 64 samples for every node in the group
+at once — this is what replaces the per-sample ``take_along_axis``
+gather of the interpreted path.
+
+Packing uses ``np.packbits``/``np.unpackbits`` with
+``bitorder="little"`` through a ``uint8`` view of the word plane.  All
+word-level operations are purely bitwise (never arithmetic), so the
+byte order inside each word is irrelevant: unpacking applies the exact
+inverse permutation of packing on any platform.
+
+Entry points
+------------
+* :func:`evaluate_packed` — drop-in core of
+  :meth:`CompiledNetlist.evaluate`.
+* :func:`stream_values` — full node-value plane for the transition
+  simulator (which also needs intermediate nodes, not just outputs).
+* :func:`evaluate_tile` — an ``(M multiplicands × S samples)`` sweep
+  that pins one bus per row as packed constants and shares the streamed
+  buses across rows; used by characterisation-style sweeps and the
+  equivalence family prover instead of per-row python loops.
+
+All user-facing validation (unknown bus, bad shape, missing buses)
+raises :class:`~repro.errors.NetlistError` with the same messages as
+the interpreted path, so callers cannot tell the kernels apart except
+by speed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import NetlistError
+from ..netlist.core import (
+    CompiledNetlist,
+    EvalScratch,
+    bits_from_ints,
+    ints_from_bits,
+)
+from ..obs import runtime as obs
+from .plan import ExecutionPlan, OpGroup, plan_for
+
+__all__ = [
+    "evaluate_packed",
+    "evaluate_tile",
+    "pack_bits",
+    "stream_values",
+    "unpack_plane",
+]
+
+WORD_BITS = 64
+_ALL_ONES = np.uint64(0xFFFFFFFFFFFFFFFF)
+
+
+def pack_bits(bits: np.ndarray) -> np.ndarray:
+    """Pack ``(batch, width)`` uint8 bits into a ``(width, W)`` uint64 plane."""
+    b = np.ascontiguousarray(bits, dtype=np.uint8)
+    batch, width = b.shape
+    n_words = (batch + WORD_BITS - 1) // WORD_BITS
+    packed = np.packbits(b.T, axis=1, bitorder="little")  # (width, ceil(batch/8))
+    buf = np.zeros((width, n_words * 8), dtype=np.uint8)
+    buf[:, : packed.shape[1]] = packed
+    return buf.view(np.uint64)
+
+
+def unpack_plane(words: np.ndarray, batch: int) -> np.ndarray:
+    """Unpack a ``(rows, W)`` uint64 plane into ``(rows, batch)`` uint8 bits."""
+    u8 = np.ascontiguousarray(words).view(np.uint8)
+    if batch == 0:
+        return np.zeros((words.shape[0], 0), dtype=np.uint8)
+    return np.unpackbits(u8, axis=1, bitorder="little", count=batch)
+
+
+def _run_group(group: OpGroup, vals: np.ndarray) -> None:
+    if group.kind == "const":
+        vals[group.out_ids] = _ALL_ONES if group.value else np.uint64(0)
+        return
+    if group.kind == "xor":
+        acc = vals[group.var_srcs[0]]  # fancy index: a fresh buffer
+        for srcs in group.var_srcs[1:]:
+            acc ^= vals[srcs]
+        if group.invert:
+            np.invert(acc, out=acc)
+        vals[group.out_ids] = acc
+        return
+    # Sum of products (also literals / single AND / single OR).
+    total: np.ndarray | None = None
+    for term in group.terms:
+        src0, neg0 = term[0]
+        t = vals[src0]  # fancy index: a fresh buffer
+        if neg0:
+            np.invert(t, out=t)
+        for srcs, negated in term[1:]:
+            lit = vals[srcs]
+            if negated:
+                np.invert(lit, out=lit)
+            t &= lit
+        if total is None:
+            total = t
+        else:
+            total |= t
+    assert total is not None  # groups always hold >= 1 term
+    vals[group.out_ids] = total
+
+
+def _run_plan(plan: ExecutionPlan, vals: np.ndarray) -> None:
+    for level in plan.levels:
+        for group in level:
+            _run_group(group, vals)
+
+
+def _packed_plane(
+    cn: CompiledNetlist,
+    plan: ExecutionPlan,
+    inputs: dict[str, np.ndarray],
+    scratch: EvalScratch | None,
+) -> tuple[np.ndarray, int]:
+    """Validate + bind + execute; returns the word plane and batch size."""
+    first = next(iter(inputs.values()))
+    batch = int(np.asarray(first).shape[0])
+    n_words = (batch + WORD_BITS - 1) // WORD_BITS
+    if scratch is not None:
+        vals = scratch.array("kernel.vals", (cn.n_nodes, n_words), np.uint64)
+        vals.fill(0)
+    else:
+        vals = np.zeros((cn.n_nodes, n_words), dtype=np.uint64)
+    vals[plan.const_one_ids] = _ALL_ONES
+    for name, bits in inputs.items():
+        if name not in cn.input_buses:
+            raise NetlistError(f"unknown input bus {name!r}")
+        ids = cn.input_buses[name]
+        b = np.asarray(bits, dtype=np.uint8)
+        if b.ndim != 2 or b.shape[1] != ids.shape[0]:
+            raise NetlistError(
+                f"input {name!r}: expected shape (batch, {ids.shape[0]}), got {b.shape}"
+            )
+        if b.shape[0] != batch:
+            raise NetlistError(
+                f"input {name!r}: batch {b.shape[0]} disagrees with {batch}"
+            )
+        vals[ids] = pack_bits(b)
+    missing = set(cn.input_buses) - set(inputs)
+    if missing:
+        raise NetlistError(f"missing input buses: {sorted(missing)}")
+    _run_plan(plan, vals)
+    return vals, batch
+
+
+def evaluate_packed(
+    cn: CompiledNetlist,
+    inputs: dict[str, np.ndarray],
+    scratch: EvalScratch | None = None,
+) -> dict[str, np.ndarray]:
+    """Functional evaluation via the bit-sliced plan.
+
+    Same contract (and same :class:`~repro.errors.NetlistError`
+    messages) as the interpreted :meth:`CompiledNetlist.evaluate`; the
+    results are proven bit-identical by the kernel test suite.
+    """
+    plan = plan_for(cn)
+    with obs.span("kernel.eval", netlist=cn.name, consumer="evaluate"):
+        vals, batch = _packed_plane(cn, plan, inputs, scratch)
+        out: dict[str, np.ndarray] = {}
+        for name, ids in cn.output_buses.items():
+            bits = unpack_plane(vals[ids], batch)  # (width, batch)
+            if scratch is None:
+                out[name] = np.ascontiguousarray(bits.T)
+            else:
+                buf = scratch.array(
+                    f"kernel.out.{name}", (batch, ids.shape[0]), np.uint8
+                )
+                np.copyto(buf, bits.T)
+                out[name] = buf
+        return out
+
+
+def stream_values(
+    cn: CompiledNetlist,
+    inputs: dict[str, np.ndarray],
+    scratch: EvalScratch | None = None,
+) -> np.ndarray:
+    """Full ``(n_nodes, N)`` uint8 value plane for a stimulus stream.
+
+    The transition simulator consumes every node's values (to form the
+    ``changed`` masks), so this unpacks the whole word plane rather than
+    just the output rows.
+    """
+    plan = plan_for(cn)
+    with obs.span("kernel.eval", netlist=cn.name, consumer="stream"):
+        vals, batch = _packed_plane(cn, plan, inputs, scratch)
+        return unpack_plane(vals, batch)
+
+
+#: Target samples per chunked tile evaluation: large enough to amortise
+#: the per-level python overhead, small enough to keep the word plane in
+#: cache-friendly territory (~64k samples ≈ 1k words per node row).
+_TILE_CHUNK_SAMPLES = 65536
+
+
+def evaluate_tile(
+    cn: CompiledNetlist,
+    fixed: dict[str, np.ndarray],
+    streamed: dict[str, np.ndarray],
+    signed_out: bool = False,
+    scratch: EvalScratch | None = None,
+) -> dict[str, np.ndarray]:
+    """Evaluate an ``(M, S)`` tile of (fixed value × streamed sample) pairs.
+
+    Parameters
+    ----------
+    fixed:
+        Bus name → ``(M,)`` integers.  Row ``m`` of the tile pins these
+        buses to their ``m``-th value.
+    streamed:
+        Bus name → ``(S,)`` integers, shared by every row.
+    signed_out:
+        Interpret output buses as two's complement.
+    scratch:
+        Optional buffer pool reused across the tile's chunks.
+
+    Returns
+    -------
+    dict
+        Output bus name → ``(M, S)`` int64 values.
+
+    Together ``fixed`` and ``streamed`` must cover the input buses
+    exactly.  Rows are processed in chunks whose combined batch is
+    ~:data:`_TILE_CHUNK_SAMPLES`, each chunk evaluated as one broadcast
+    batch (fixed values repeated across the sample axis, streamed
+    samples tiled across rows).  One plan execution then covers many
+    rows, which is what replaces per-multiplicand python loops over
+    :meth:`CompiledNetlist.evaluate_ints` in characterisation-style
+    sweeps.  Evaluation goes through :meth:`CompiledNetlist.evaluate`,
+    so the tile honours ``REPRO_KERNEL`` and is bit-identical across
+    kernels like every other consumer.
+    """
+    for name in list(fixed) + list(streamed):
+        if name not in cn.input_buses:
+            raise NetlistError(f"unknown input bus {name!r}")
+    overlap = set(fixed) & set(streamed)
+    if overlap:
+        raise NetlistError(f"buses both fixed and streamed: {sorted(overlap)}")
+    missing = set(cn.input_buses) - set(fixed) - set(streamed)
+    if missing:
+        raise NetlistError(f"missing input buses: {sorted(missing)}")
+    if not fixed:
+        raise NetlistError("evaluate_tile needs at least one fixed bus")
+    if not streamed:
+        raise NetlistError("evaluate_tile needs at least one streamed bus")
+
+    fixed_vals = {k: np.atleast_1d(np.asarray(v)) for k, v in fixed.items()}
+    n_rows = {int(v.shape[0]) for v in fixed_vals.values()}
+    if len(n_rows) != 1:
+        raise NetlistError(f"fixed buses disagree on row count: {sorted(n_rows)}")
+    m_count = n_rows.pop()
+    stream_vals = {k: np.atleast_1d(np.asarray(v)) for k, v in streamed.items()}
+    s_counts = {int(v.shape[0]) for v in stream_vals.values()}
+    if len(s_counts) != 1:
+        raise NetlistError(
+            f"streamed buses disagree on sample count: {sorted(s_counts)}"
+        )
+    s_count = s_counts.pop()
+
+    # Pre-expand each bus to bits once; chunks slice the row axis.
+    fixed_bits = {
+        name: bits_from_ints(ints, cn.input_buses[name].shape[0])
+        for name, ints in fixed_vals.items()
+    }  # (M, width)
+    stream_bits = {
+        name: bits_from_ints(ints, cn.input_buses[name].shape[0])
+        for name, ints in stream_vals.items()
+    }  # (S, width)
+
+    rows_per_chunk = max(1, _TILE_CHUNK_SAMPLES // max(1, s_count))
+    out = {
+        name: np.empty((m_count, s_count), dtype=np.int64)
+        for name in cn.output_buses
+    }
+    with obs.span(
+        "kernel.eval", netlist=cn.name, consumer="tile", rows=m_count
+    ):
+        for lo in range(0, m_count, rows_per_chunk):
+            hi = min(m_count, lo + rows_per_chunk)
+            rows = hi - lo
+            batch_inputs = {}
+            for name, bits in fixed_bits.items():
+                # Row values repeat across the sample axis.
+                batch_inputs[name] = np.repeat(bits[lo:hi], s_count, axis=0)
+            for name, bits in stream_bits.items():
+                # Samples tile across the chunk's rows.
+                batch_inputs[name] = np.tile(bits, (rows, 1))
+            res = cn.evaluate(batch_inputs, scratch=scratch)
+            for name, obits in res.items():
+                ints = ints_from_bits(obits, signed=signed_out)
+                out[name][lo:hi] = ints.reshape(rows, s_count)
+    return out

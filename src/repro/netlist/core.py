@@ -19,11 +19,13 @@ from typing import Iterable, Sequence
 
 import numpy as np
 
+from ..config import KERNEL_PACKED, get_kernel_mode
 from ..errors import NetlistError
 
 __all__ = [
     "Netlist",
     "CompiledNetlist",
+    "EvalScratch",
     "NetlistStats",
     "bits_from_ints",
     "ints_from_bits",
@@ -97,6 +99,39 @@ def ints_from_bits(bits: np.ndarray, signed: bool = False) -> np.ndarray:
             np.iinfo(np.int64).min if width == 64 else -(1 << (width - 1))
         )
     return (b.astype(np.int64) * weights).sum(axis=1)
+
+
+class EvalScratch:
+    """Reusable buffer pool for repeated same-shape evaluations.
+
+    Hot sweeps (segment-chunked characterisation, equivalence sweeps)
+    evaluate the same netlist at the same batch size thousands of times;
+    without a scratch every call re-allocates the node-value plane and
+    one output array per bus.  Passing one ``EvalScratch`` to
+    :meth:`CompiledNetlist.evaluate` / :func:`simulate_transitions`
+    reuses those buffers across calls.
+
+    Contract: arrays handed out for a given key are **overwritten by the
+    next call** that uses the same scratch — callers that keep results
+    across calls must copy them.  A scratch is single-threaded state;
+    use one per worker, never share across threads.
+    """
+
+    __slots__ = ("_buffers",)
+
+    def __init__(self) -> None:
+        self._buffers: dict[str, np.ndarray] = {}
+
+    def array(self, key: str, shape: tuple[int, ...], dtype: object) -> np.ndarray:
+        """An uninitialised ``(shape, dtype)`` array, reused when possible."""
+        buf = self._buffers.get(key)
+        if buf is None or buf.shape != shape or buf.dtype != np.dtype(dtype):
+            buf = np.empty(shape, dtype=dtype)
+            self._buffers[key] = buf
+        return buf
+
+    def __len__(self) -> int:
+        return len(self._buffers)
 
 
 @dataclass(frozen=True)
@@ -496,9 +531,17 @@ class CompiledNetlist:
     def lut_mask(self) -> np.ndarray:
         return self.kinds == _KIND_LUT
 
-    def initial_values(self, batch: int) -> np.ndarray:
-        """Node-value array of shape ``(n_nodes, batch)`` with constants set."""
-        vals = np.zeros((self.n_nodes, batch), dtype=np.uint8)
+    def initial_values(self, batch: int, scratch: EvalScratch | None = None) -> np.ndarray:
+        """Node-value array of shape ``(n_nodes, batch)`` with constants set.
+
+        With ``scratch``, the plane is drawn from the pool instead of
+        freshly allocated (and is clobbered by the next scratch user).
+        """
+        if scratch is None:
+            vals = np.zeros((self.n_nodes, batch), dtype=np.uint8)
+        else:
+            vals = scratch.array("values", (self.n_nodes, batch), np.uint8)
+            vals.fill(0)
         const_mask = self.kinds == _KIND_CONST
         vals[const_mask] = self.const_values[const_mask, None]
         return vals
@@ -522,22 +565,48 @@ class CompiledNetlist:
         if missing:
             raise NetlistError(f"missing input buses: {sorted(missing)}")
 
-    def evaluate(self, inputs: dict[str, np.ndarray]) -> dict[str, np.ndarray]:
+    def evaluate(
+        self,
+        inputs: dict[str, np.ndarray],
+        scratch: EvalScratch | None = None,
+    ) -> dict[str, np.ndarray]:
         """Pure functional evaluation (no timing), batched.
+
+        Dispatches on :func:`repro.config.get_kernel_mode`: ``"packed"``
+        (the default) runs the bit-sliced execution plan of
+        :mod:`repro.kernels`; ``"interp"`` runs the original per-sample
+        truth-table interpreter, kept verbatim as the golden reference
+        the packed kernel is proven bit-identical to.
 
         Parameters
         ----------
         inputs:
             Mapping bus name -> ``(batch, width)`` uint8 bit array.
+        scratch:
+            Optional :class:`EvalScratch`; reuses the value plane and
+            output buffers across repeated same-shape calls (returned
+            arrays are then overwritten by the next call).
 
         Returns
         -------
         dict
             Mapping output bus name -> ``(batch, width)`` uint8 bit array.
         """
+        if get_kernel_mode() == KERNEL_PACKED:
+            from ..kernels.execute import evaluate_packed
+
+            return evaluate_packed(self, inputs, scratch=scratch)
+        return self._evaluate_interp(inputs, scratch)
+
+    def _evaluate_interp(
+        self,
+        inputs: dict[str, np.ndarray],
+        scratch: EvalScratch | None = None,
+    ) -> dict[str, np.ndarray]:
+        """The interpreted (per-sample gather) evaluator: golden reference."""
         first = next(iter(inputs.values()))
         batch = np.asarray(first).shape[0]
-        values = self.initial_values(batch)
+        values = self.initial_values(batch, scratch)
         self.bind_inputs(values, inputs)
         for ids in self.level_groups:
             idx = values[self.fanin_idx[ids, 0]].astype(np.intp)
@@ -547,9 +616,16 @@ class CompiledNetlist:
             values[ids] = np.take_along_axis(
                 self.tt_bits[ids], idx, axis=1
             )
-        return {
-            name: values[ids].T.copy() for name, ids in self.output_buses.items()
-        }
+        if scratch is None:
+            return {
+                name: values[ids].T.copy() for name, ids in self.output_buses.items()
+            }
+        out: dict[str, np.ndarray] = {}
+        for name, ids in self.output_buses.items():
+            buf = scratch.array(f"out.{name}", (batch, int(ids.shape[0])), np.uint8)
+            np.copyto(buf, values[ids].T)
+            out[name] = buf
+        return out
 
     def evaluate_ints(
         self, signed_out: bool = False, **int_inputs: np.ndarray

@@ -123,6 +123,17 @@ SPAN_CATALOG: tuple[SpanSpec, ...] = (
         "One Gibbs run drawing a candidate projection vector (burn-in + sampling + polish).",
     ),
     SpanSpec(
+        "kernel.compile",
+        "repro.kernels.plan",
+        "Plan-cache miss: one netlist lowered to a bit-sliced execution plan (truth-table "
+        "minimisation + level grouping + timing gathers).",
+    ),
+    SpanSpec(
+        "kernel.eval",
+        "repro.kernels.execute",
+        "One bit-sliced plan execution; the consumer attribute tells evaluate / stream / tile apart.",
+    ),
+    SpanSpec(
         "optimize.dimension",
         "repro.core.optimizer",
         "One output dimension of Algorithm 1: Q survivors x word-length sweep of candidate draws.",
@@ -236,6 +247,23 @@ METRIC_CATALOG: tuple[MetricSpec, ...] = (
         "repro.core.optimizer",
         False,
         "Wall-clock of one Gibbs run — the quantity the paper's runtime model (eq. 8) predicts.",
+    ),
+    MetricSpec(
+        "kernel.plan.cache_hits",
+        COUNTER,
+        "lookups",
+        "repro.kernels.plan",
+        False,
+        "Execution-plan cache hits: netlists whose bit-sliced plan was already compiled "
+        "in this process.",
+    ),
+    MetricSpec(
+        "kernel.plan.cache_misses",
+        COUNTER,
+        "lookups",
+        "repro.kernels.plan",
+        False,
+        "Execution-plan cache misses that ran a kernel.compile lowering in this process.",
     ),
     MetricSpec(
         "optimize.candidates",

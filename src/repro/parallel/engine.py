@@ -27,7 +27,7 @@ from ..config import ResilienceSettings, get_resilience_settings
 from ..fabric.device import FPGADevice
 from ..obs import runtime as obs
 from ..faults import FaultInjector, FaultPlan
-from ..netlist.core import bits_from_ints
+from ..netlist.core import EvalScratch, bits_from_ints
 from ..rng import SeedTree
 from ..timing.simulator import simulate_transitions
 from .cache import PlacedDesignCache, get_default_cache
@@ -137,6 +137,7 @@ def run_shard(
     cache: PlacedDesignCache | None = None,
     injector: FaultInjector | None = None,
     attempt: int = 0,
+    scratch: EvalScratch | None = None,
 ) -> ShardResult:
     """Execute one shard: place (via cache), simulate once, capture batch.
 
@@ -148,6 +149,8 @@ def run_shard(
 
     ``injector``/``attempt`` arm a chaos plan for this attempt (see
     :mod:`repro.faults`); production sweeps leave them at their defaults.
+    ``scratch`` reuses simulation temporaries across same-shape shards
+    (one pool per worker / per inline loop) without affecting results.
     """
     from ..characterization.circuit import CharacterizationCircuit
 
@@ -173,6 +176,7 @@ def run_shard(
         inputs,
         circuit.placed.node_delay,
         circuit.placed.edge_delay,
+        scratch=scratch,
     )
     tree = SeedTree(plan.seed).child(
         "characterization", f"{plan.w_data}x{plan.w_coeff}"
@@ -211,6 +215,7 @@ _worker_device: FPGADevice | None = None
 _worker_plan: SweepPlan | None = None
 _worker_cache: PlacedDesignCache | None = None
 _worker_injector: FaultInjector | None = None
+_worker_scratch: EvalScratch | None = None
 
 
 def _init_worker(
@@ -220,12 +225,18 @@ def _init_worker(
     faults: FaultPlan | None = None,
 ) -> None:
     global _worker_device, _worker_plan, _worker_cache, _worker_injector
+    global _worker_scratch
     _worker_device = device
     _worker_plan = plan
     _worker_cache = PlacedDesignCache(cache_directory)
     _worker_injector = (
         FaultInjector(faults) if faults is not None and not faults.is_empty else None
     )
+    # Per-worker-process simulation buffer pool: shards of one sweep share
+    # shapes, so the pool amortises every allocation after the first shard.
+    # Results are copied out of scratch space before returning, so reuse
+    # cannot leak across shards.
+    _worker_scratch = EvalScratch()
 
 
 def _run_shard_in_worker(shard: Shard, attempt: int = 0) -> ShardResult:
@@ -237,6 +248,7 @@ def _run_shard_in_worker(shard: Shard, attempt: int = 0) -> ShardResult:
         _worker_cache,
         injector=_worker_injector,
         attempt=attempt,
+        scratch=_worker_scratch,
     )
 
 
@@ -460,6 +472,7 @@ def _run_sweep_body(
             pool_span.set(abandoned=abandon or "")
 
     # ---- inline pass: first attempts at jobs=1, then all retries ----
+    inline_scratch = EvalScratch()
     for i, shard in enumerate(shards):
         while state.results[i] is None and len(state.attempts[i]) <= settings.max_retries:
             attempt = len(state.attempts[i])
@@ -476,7 +489,8 @@ def _run_sweep_body(
             ):
                 try:
                     result = run_shard(
-                        device, plan, shard, cache, injector=injector, attempt=attempt
+                        device, plan, shard, cache, injector=injector,
+                        attempt=attempt, scratch=inline_scratch,
                     )
                 except Exception as exc:
                     state.record(i, ATTEMPT_ERROR, t0, f"{type(exc).__name__}: {exc}")

@@ -198,16 +198,23 @@ def capture_stream_batch(
     old_bits = values[:-1]
     n_cycles = settle.shape[0]
 
-    windows = np.empty((len(freqs_mhz), n_cycles))
-    for fi, freq in enumerate(freqs_mhz):
-        period = mhz_to_period_ns(freq)
-        if jitter is not None and jitter.sigma_ns > 0:
-            if rngs is None:
-                raise TimingError("jitter requested but no rngs supplied")
+    # One period vector for the whole sweep, then one broadcast for the
+    # no-jitter windows — not an np.full + subtract per frequency.
+    periods = np.array([mhz_to_period_ns(f) for f in freqs_mhz])
+    if jitter is not None and jitter.sigma_ns > 0:
+        if rngs is None:
+            raise TimingError("jitter requested but no rngs supplied")
+        # Jittered windows keep the per-frequency draw order: each
+        # frequency's generator produces exactly the draws it would in a
+        # lone capture_stream call (bit-identity contract above).
+        windows = np.empty((len(freqs_mhz), n_cycles))
+        for fi, period in enumerate(periods):
             eff = jitter.effective_periods(period, n_cycles, rngs[fi])
-        else:
-            eff = np.full(n_cycles, period)
-        windows[fi] = eff - setup_ns
+            windows[fi] = eff - setup_ns
+    else:
+        windows = np.broadcast_to(
+            (periods - setup_ns)[:, None], (len(freqs_mhz), n_cycles)
+        )
 
     late = settle[None, :, :] > windows[:, :, None]  # (F, N-1, width)
     captured_bits = np.where(late, old_bits[None], new_bits[None])

@@ -24,8 +24,9 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..config import KERNEL_PACKED, get_kernel_mode
 from ..errors import TimingError
-from ..netlist.core import CompiledNetlist
+from ..netlist.core import CompiledNetlist, EvalScratch
 
 __all__ = ["TransitionTimingResult", "simulate_transitions"]
 
@@ -70,8 +71,17 @@ def simulate_transitions(
     inputs: dict[str, np.ndarray],
     node_delay: np.ndarray,
     edge_delay: np.ndarray,
+    scratch: EvalScratch | None = None,
 ) -> TransitionTimingResult:
     """Simulate a stream of input vectors through a placed netlist.
+
+    Dispatches on :func:`repro.config.get_kernel_mode`: in ``"packed"``
+    mode the functional value plane comes from the bit-sliced kernel
+    and the float32 settle propagation uses the plan's precomputed
+    per-level gather indices; in ``"interp"`` mode the original
+    per-sample path runs verbatim.  Both produce bit-identical results
+    (same values, same float32 settle times) — the settle arithmetic
+    performs the identical float operations in the identical order.
 
     Parameters
     ----------
@@ -82,6 +92,11 @@ def simulate_transitions(
         All buses must share the same stream length ``N >= 2``.
     node_delay, edge_delay:
         Placed delay annotations as for :func:`repro.timing.sta.static_timing`.
+    scratch:
+        Optional :class:`~repro.netlist.core.EvalScratch` reusing
+        internal buffers across repeated same-shape calls.  The returned
+        ``values``/``settle`` arrays are always freshly owned — only
+        temporaries are pooled — so results stay valid across calls.
 
     Returns
     -------
@@ -96,6 +111,11 @@ def simulate_transitions(
     stream_len = lengths.pop()
     if stream_len < 2:
         raise TimingError("need at least 2 stimulus vectors to form a transition")
+
+    if get_kernel_mode() == KERNEL_PACKED:
+        return _simulate_packed(
+            netlist, inputs, node_delay, edge_delay, stream_len, scratch
+        )
 
     # Functional values for the whole stream.
     values = netlist.initial_values(stream_len)
@@ -131,6 +151,59 @@ def simulate_transitions(
         settle[ids] = np.where(changed[ids], node_settle, 0.0)
         # A changed node must have at least one changed fanin; if the
         # best is still -inf the netlist values are inconsistent.
+        bad = changed[ids] & ~np.isfinite(node_settle)
+        if bad.any():
+            raise TimingError("changed node with no changed fanin (internal error)")
+
+    return TransitionTimingResult(netlist=netlist, values=values, settle=settle)
+
+
+def _simulate_packed(
+    netlist: CompiledNetlist,
+    inputs: dict[str, np.ndarray],
+    node_delay: np.ndarray,
+    edge_delay: np.ndarray,
+    stream_len: int,
+    scratch: EvalScratch | None,
+) -> TransitionTimingResult:
+    """Packed-kernel body: bit-sliced values + pre-gathered settle loop.
+
+    The settle recurrence mirrors the interpreted loop's float32
+    operations exactly; the only difference is that the ``arity > k``
+    row selection and fanin gathers come precomputed from the plan
+    (``TimingLevel``), so each level touches only populated fanin slots.
+    """
+    from ..kernels.execute import stream_values
+    from ..kernels.plan import plan_for
+
+    values = stream_values(netlist, inputs, scratch=scratch)
+    plan = plan_for(netlist)
+
+    n = netlist.n_nodes
+    n_tr = stream_len - 1
+    if scratch is None:
+        changed = np.empty((n, n_tr), dtype=np.bool_)
+    else:
+        changed = scratch.array("timing.changed", (n, n_tr), np.bool_)
+    np.not_equal(values[:, 1:], values[:, :-1], out=changed)
+    settle = np.zeros((n, n_tr), dtype=np.float32)
+
+    for li, level in enumerate(plan.timing_levels):
+        ids = level.ids
+        if scratch is None:
+            best = np.empty((ids.shape[0], n_tr), dtype=np.float32)
+        else:
+            best = scratch.array(
+                f"timing.best.{li}", (int(ids.shape[0]), n_tr), np.float32
+            )
+        best.fill(-np.inf)
+        for k, rows_k, ids_k, srcs_k in level.gathers:
+            cand = settle[srcs_k] + edge_delay[ids_k, k, None].astype(np.float32)
+            cand = np.where(changed[srcs_k], cand, -np.inf)
+            np.maximum(best[rows_k], cand, out=cand)
+            best[rows_k] = cand
+        node_settle = node_delay[ids, None].astype(np.float32) + best
+        settle[ids] = np.where(changed[ids], node_settle, 0.0)
         bad = changed[ids] & ~np.isfinite(node_settle)
         if bad.any():
             raise TimingError("changed node with no changed fanin (internal error)")

@@ -1,0 +1,95 @@
+"""Kernel-mode selection (REPRO_KERNEL) and end-to-end byte-equality.
+
+The mode is a pure implementation switch: every consumer must produce
+byte-identical artefacts under ``interp`` and ``packed``.  The
+characterisation regression here is the strongest end-to-end form — a
+full sweep (placement, timing, jittered capture, statistics) compared
+grid-for-grid across kernels, inline and through the process pool.
+"""
+
+import numpy as np
+import pytest
+
+from repro.characterization import CharacterizationConfig, characterize_multiplier
+from repro.config import (
+    KERNEL_INTERP,
+    KERNEL_PACKED,
+    REPRO_KERNEL_ENV,
+    _kernel_mode_from_env,
+    get_kernel_mode,
+    kernel_mode,
+    set_kernel_mode,
+)
+from repro.errors import ConfigError
+
+
+class TestModeConfig:
+    def test_default_is_packed(self):
+        assert get_kernel_mode() in (KERNEL_PACKED, KERNEL_INTERP)
+
+    def test_set_and_restore(self):
+        prev = set_kernel_mode(KERNEL_INTERP)
+        try:
+            assert get_kernel_mode() == KERNEL_INTERP
+        finally:
+            set_kernel_mode(prev)
+
+    def test_context_manager_restores(self):
+        before = get_kernel_mode()
+        with kernel_mode(KERNEL_INTERP):
+            assert get_kernel_mode() == KERNEL_INTERP
+        assert get_kernel_mode() == before
+
+    def test_rejects_unknown_mode(self):
+        with pytest.raises(ConfigError):
+            set_kernel_mode("simd")
+
+    def test_env_parsing(self, monkeypatch):
+        monkeypatch.setenv(REPRO_KERNEL_ENV, KERNEL_INTERP)
+        assert _kernel_mode_from_env() == KERNEL_INTERP
+        monkeypatch.delenv(REPRO_KERNEL_ENV)
+        assert _kernel_mode_from_env() == KERNEL_PACKED
+        monkeypatch.setenv(REPRO_KERNEL_ENV, "turbo")
+        with pytest.raises(ConfigError, match="turbo"):
+            _kernel_mode_from_env()
+
+
+def _sweep(device, jobs: int):
+    cfg = CharacterizationConfig(
+        freqs_mhz=(300.0, 360.0, 420.0),
+        n_samples=60,
+        multiplicands=tuple(range(8)),
+        n_locations=2,
+    )
+    return characterize_multiplier(device, 6, 3, cfg, seed=5, jobs=jobs)
+
+
+class TestEndToEndByteEquality:
+    def test_characterization_grids_equal_inline(self, device):
+        with kernel_mode(KERNEL_INTERP):
+            ref = _sweep(device, jobs=1)
+        with kernel_mode(KERNEL_PACKED):
+            got = _sweep(device, jobs=1)
+        np.testing.assert_array_equal(
+            got.variance.view(np.uint64), ref.variance.view(np.uint64)
+        )
+        np.testing.assert_array_equal(
+            got.mean.view(np.uint64), ref.mean.view(np.uint64)
+        )
+        np.testing.assert_array_equal(got.freqs_mhz, ref.freqs_mhz)
+
+    @pytest.mark.slow
+    def test_characterization_grids_equal_pooled(self, device, monkeypatch):
+        # The env var covers spawn-started workers; fork inherits anyway.
+        monkeypatch.setenv(REPRO_KERNEL_ENV, KERNEL_INTERP)
+        with kernel_mode(KERNEL_INTERP):
+            ref = _sweep(device, jobs=2)
+        monkeypatch.setenv(REPRO_KERNEL_ENV, KERNEL_PACKED)
+        with kernel_mode(KERNEL_PACKED):
+            got = _sweep(device, jobs=2)
+        np.testing.assert_array_equal(
+            got.variance.view(np.uint64), ref.variance.view(np.uint64)
+        )
+        np.testing.assert_array_equal(
+            got.mean.view(np.uint64), ref.mean.view(np.uint64)
+        )

@@ -1,0 +1,115 @@
+"""Truth-table lowering: every LUT reduces to a verified boolean form."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kernels.lower import (
+    OP_AND,
+    OP_CONST,
+    OP_LITERAL,
+    OP_OR,
+    OP_SOP,
+    OP_XOR,
+    Literal,
+    eval_lowered,
+    lower_tt,
+)
+
+# Named 2-input truth tables (LSB-first row order: row = a | b<<1).
+TT_AND2 = 0b1000
+TT_OR2 = 0b1110
+TT_XOR2 = 0b0110
+TT_XNOR2 = 0b1001
+TT_NAND2 = 0b0111
+
+
+def _truth_rows(arity: int, tt: int) -> list[int]:
+    return [(tt >> r) & 1 for r in range(1 << arity)]
+
+
+def _check_against_rows(arity: int, tt: int) -> None:
+    """eval_lowered over integer planes must reproduce every tt row."""
+    lowered = lower_tt(arity, tt)
+    # Bit r of plane k is input k's value on truth-table row r.
+    planes = tuple(
+        sum(1 << r for r in range(1 << arity) if (r >> k) & 1)
+        for k in range(arity)
+    )
+    mask = (1 << (1 << arity)) - 1
+    assert eval_lowered(lowered, planes, mask) == (tt & mask)
+
+
+class TestNamedForms:
+    def test_constants(self):
+        assert lower_tt(2, 0).kind == OP_CONST
+        assert lower_tt(2, 0).value == 0
+        full = lower_tt(3, 0xFF)
+        assert full.kind == OP_CONST and full.value == 1
+
+    def test_literal_and_negation(self):
+        buf = lower_tt(2, 0b1010)  # passes input 0 through
+        assert buf.kind == OP_LITERAL and buf.literal == Literal(0, False)
+        inv = lower_tt(2, 0b0101)  # NOT input 0
+        assert inv.kind == OP_LITERAL and inv.literal == Literal(0, True)
+
+    def test_parity_forms(self):
+        assert lower_tt(2, TT_XOR2).kind == OP_XOR
+        xnor = lower_tt(2, TT_XNOR2)
+        assert xnor.kind == OP_XOR and xnor.invert
+        # 3-input parity
+        tt3 = sum(1 << r for r in range(8) if bin(r).count("1") % 2 == 1)
+        assert lower_tt(3, tt3).kind == OP_XOR
+
+    def test_and_or_forms(self):
+        assert lower_tt(2, TT_AND2).kind == OP_AND
+        assert lower_tt(2, TT_OR2).kind == OP_OR
+        # NAND is an OR of negated literals (De Morgan via maxterm rule).
+        nand = lower_tt(2, TT_NAND2)
+        assert nand.kind in (OP_OR, OP_SOP)
+
+    def test_support_reduction(self):
+        # tt over 3 inputs that only depends on input 1.
+        tt = sum(1 << r for r in range(8) if (r >> 1) & 1)
+        lowered = lower_tt(3, tt)
+        assert lowered.kind == OP_LITERAL and lowered.literal == Literal(1, False)
+
+
+class TestExhaustiveSmallArities:
+    @pytest.mark.parametrize("arity", [1, 2, 3])
+    def test_all_truth_tables_verify(self, arity):
+        for tt in range(1 << (1 << arity)):
+            _check_against_rows(arity, tt)
+
+    def test_ops_counted(self):
+        assert lower_tt(2, TT_AND2).n_ops >= 1
+        assert lower_tt(2, 0).n_ops == 1  # one constant fill
+
+
+class TestArity4:
+    @given(st.integers(0, 65535))
+    @settings(max_examples=200, deadline=None)
+    def test_random_tt4_verifies(self, tt):
+        _check_against_rows(4, tt)
+
+    def test_majority_and_mux(self):
+        maj = sum(1 << r for r in range(8) if bin(r).count("1") >= 2)
+        _check_against_rows(3, maj)
+        # MUX(d0, d1, sel): row = d0 | d1<<1 | sel<<2
+        mux = sum(
+            1 << r
+            for r in range(8)
+            if ((r >> 1) & 1 if (r >> 2) & 1 else r & 1)
+        )
+        _check_against_rows(3, mux)
+
+
+class TestEvalLoweredPlanes:
+    def test_numpy_uint64_planes(self):
+        """eval_lowered also works on packed numpy word planes."""
+        lowered = lower_tt(2, TT_XOR2)
+        a = np.uint64(0b1100)
+        b = np.uint64(0b1010)
+        mask = np.uint64(0xF)
+        assert eval_lowered(lowered, [a, b], mask) == np.uint64(0b0110)

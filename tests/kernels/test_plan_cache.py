@@ -1,0 +1,98 @@
+"""Execution-plan cache: memoisation, counters, fingerprints, tiling."""
+
+import numpy as np
+import pytest
+
+from repro.kernels import (
+    clear_plan_cache,
+    evaluate_tile,
+    netlist_fingerprint,
+    plan_cache_size,
+    plan_for,
+)
+from repro.netlist.core import EvalScratch
+from repro.netlist.generators import generate
+from repro.obs import runtime as obs
+
+
+@pytest.fixture()
+def mult5():
+    return generate("unsigned_multiplier", 5, 4).compile()
+
+
+class TestPlanCache:
+    def test_hit_miss_counters(self, mult5):
+        clear_plan_cache()
+        with obs.observability(trace=False, metrics=True) as observer:
+            p1 = plan_for(mult5)
+            p2 = plan_for(mult5)
+            counters = observer.metrics.snapshot().counters
+        assert p1 is p2
+        assert counters["kernel.plan.cache_misses"] == 1
+        assert counters["kernel.plan.cache_hits"] == 1
+        assert plan_cache_size() >= 1
+
+    def test_structural_identity_shares_plans(self):
+        clear_plan_cache()
+        a = generate("unsigned_multiplier", 4, 4).compile()
+        b = generate("unsigned_multiplier", 4, 4).compile()
+        assert a is not b
+        assert netlist_fingerprint(a) == netlist_fingerprint(b)
+        assert plan_for(a) is plan_for(b)
+        assert plan_cache_size() == 1
+
+    def test_fingerprint_distinguishes_geometry(self):
+        a = generate("unsigned_multiplier", 4, 4).compile()
+        c = generate("unsigned_multiplier", 4, 5).compile()
+        assert netlist_fingerprint(a) != netlist_fingerprint(c)
+
+    def test_fingerprint_is_stable_string(self, mult5):
+        f1 = netlist_fingerprint(mult5)
+        f2 = netlist_fingerprint(mult5)
+        assert f1 == f2
+        assert isinstance(f1, str) and len(f1) == 64  # sha256 hex
+
+    def test_plan_shape(self, mult5):
+        plan = plan_for(mult5)
+        assert plan.n_nodes == mult5.n_nodes
+        assert plan.n_groups >= 1
+        assert len(plan.levels) == len(mult5.level_groups)
+        assert len(plan.timing_levels) == len(mult5.level_groups)
+
+
+class TestEvaluateTile:
+    def test_matches_evaluate_ints_loop(self, mult5):
+        ms = np.arange(16)
+        samples = np.arange(32)
+        tile = evaluate_tile(mult5, fixed={"b": ms}, streamed={"a": samples})
+        assert tile["p"].shape == (16, 32)
+        for mi, m in enumerate(ms):
+            ref = mult5.evaluate_ints(
+                a=samples, b=np.full(samples.shape, m)
+            )["p"]
+            np.testing.assert_array_equal(tile["p"][mi], ref)
+
+    def test_scratch_reuse(self, mult5):
+        scratch = EvalScratch()
+        ms = np.arange(8)
+        samples = np.arange(32)
+        t1 = evaluate_tile(
+            mult5, fixed={"b": ms}, streamed={"a": samples}, scratch=scratch
+        )
+        t2 = evaluate_tile(
+            mult5, fixed={"b": ms}, streamed={"a": samples}, scratch=scratch
+        )
+        np.testing.assert_array_equal(t1["p"], t2["p"])
+        assert len(scratch) > 0
+
+    def test_validation(self, mult5):
+        from repro.errors import NetlistError
+
+        with pytest.raises(NetlistError, match="unknown input bus"):
+            evaluate_tile(mult5, fixed={"z": [1]}, streamed={"a": [1]})
+        with pytest.raises(NetlistError, match="missing input buses"):
+            evaluate_tile(mult5, fixed={"b": [1]}, streamed={})
+        with pytest.raises(NetlistError, match="both fixed and streamed"):
+            evaluate_tile(
+                mult5, fixed={"a": [1], "b": [1]}, streamed={"a": [1]}
+            )
