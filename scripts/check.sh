@@ -33,6 +33,7 @@ if command -v ruff >/dev/null 2>&1; then
     run_gate "ruff (analysis, strict)" ruff check --select PL,RUF src/repro/analysis
     run_gate "ruff (obs, strict)" ruff check --select PL,RUF src/repro/obs
     run_gate "ruff (kernels, strict)" ruff check --select PL,RUF src/repro/kernels
+    run_gate "ruff (serve, strict)" ruff check --select PL,RUF src/repro/serve
     if ! ruff check --select PL,RUF src/repro >/dev/null 2>&1; then
         echo "warning: ruff --select PL,RUF reports pre-existing findings outside repro.analysis/repro.obs (warn-only)" >&2
     fi
@@ -46,6 +47,7 @@ if command -v mypy >/dev/null 2>&1; then
     run_gate "mypy (analysis, strict)" mypy --strict src/repro/analysis
     run_gate "mypy (obs, strict)" mypy --strict src/repro/obs
     run_gate "mypy (kernels, strict)" mypy --strict src/repro/kernels
+    run_gate "mypy (serve, strict)" mypy --strict src/repro/serve
 else
     echo "warning: mypy not installed; skipping type check" >&2
 fi
@@ -179,6 +181,52 @@ run_gate "docs drift (telemetry reference)" env PYTHONPATH=src \
 # DTxxx sanitizer — zero unsuppressed findings, every pragma justified.
 run_gate "audit (determinism sanitizer)" env PYTHONPATH=src \
     python -m repro.cli audit src/repro
+
+# Serve gate: the characterisation-as-a-service suite (byte-equality vs
+# the batch CLI, admission properties, chaos parity, cancellation).
+run_gate "pytest (serve suite)" env PYTHONPATH=src \
+    python -m pytest -x -q tests/serve
+
+# Serve smoke: boot a real server on a socket, submit a characterise
+# job through the thin client, and require the archive byte-equal to a
+# batch `repro-flow characterize` of the same workspace identity.
+serve_dir="$(mktemp -d -t serve_smoke.XXXXXX)"
+run_gate "serve (boot-submit-byte-check)" env PYTHONPATH=src \
+    SERVE_SMOKE_DIR="${serve_dir}" python - <<'PY'
+import os, threading
+from pathlib import Path
+
+from repro.cli_flow import main as flow_main
+from repro.serve import JobServer, ServeClient
+
+root = Path(os.environ["SERVE_SMOKE_DIR"])
+cli_ws, srv_ws = root / "cli_ws", root / "srv_ws"
+assert flow_main(["init", str(cli_ws), "--serial", "7", "--scale", "0.012"]) == 0
+assert flow_main(["characterize", str(cli_ws)]) == 0
+
+server = JobServer(root / "serve.sock", cache_dir=root / "cache")
+ready = threading.Event()
+thread = threading.Thread(target=server.run_blocking, args=(ready,), daemon=True)
+thread.start()
+assert ready.wait(10.0), "server did not boot"
+client = ServeClient(root / "serve.sock")
+job = client.submit(
+    "smoke", "characterize", srv_ws,
+    params={"init": {"serial": 7, "scale": 0.012}},
+)
+done = client.wait(job["job_id"], timeout_s=600.0)
+assert done["state"] == "done", done
+mismatches = []
+for path in sorted((cli_ws / "characterization").glob("wl*.npz")):
+    twin = srv_ws / "characterization" / path.name
+    if twin.read_bytes() != path.read_bytes():
+        mismatches.append(path.name)
+assert not mismatches, f"served archives differ from batch: {mismatches}"
+client.shutdown()
+thread.join(60.0)
+print("serve smoke OK: served archives byte-equal the batch CLI's")
+PY
+rm -rf "${serve_dir}"
 
 # Cache-race gate: the runtime sanitizer's unit layer plus the
 # multi-process stress test (N processes racing one on-disk cache with

@@ -278,6 +278,21 @@ ALLOWANCES: tuple[Allowance, ...] = (
         "CLI front door: flags fall back to documented environment "
         "variables before the pipeline is entered.",
     ),
+    Allowance(
+        EFFECT_ENV_READ,
+        "repro.serve.settings",
+        "ServeSettings.from_env",
+        "REPRO_SERVE_* knobs (workers, queue limits, tenant quotas) are "
+        "parsed here once into a typed settings object; scheduling "
+        "policy never touches job numerics.",
+    ),
+    Allowance(
+        EFFECT_ENV_READ,
+        "repro.serve.cli",
+        None,
+        "CLI front door: flags fall back to documented environment "
+        "variables before the server is booted.",
+    ),
     # --- wall_clock: sanctioned latency bookkeeping ---------------------
     Allowance(
         EFFECT_WALL_CLOCK,

@@ -625,6 +625,10 @@ def main(argv: list[str] | None = None) -> int:
         return _faults_main(argv[1:])
     if argv and argv[0] == "obs":
         return _obs_main(argv[1:])
+    if argv and argv[0] == "serve":
+        from .serve.cli import serve_main
+
+        return serve_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro-experiment",
         description="Regenerate a figure/table of the IPDPSW'14 over-clocked "

@@ -32,11 +32,8 @@ import argparse
 import os
 import sys
 
-import numpy as np
-
 from dataclasses import replace
 
-from .characterization.harness import CharacterizationConfig, characterize_multiplier
 from .circuits.domains import Domain
 from .config import (
     KERNEL_MODES,
@@ -45,14 +42,16 @@ from .config import (
     get_resilience_settings,
     set_kernel_mode,
 )
-from .datasets import low_rank_gaussian
 from .errors import ConfigError, SweepFailedError
 from .eval.report import render_table
 from .fabric.device import make_device
-from .framework import default_frequency_grid
-from .models.area_model import collect_area_samples, fit_area_model
 from .obs import runtime as obs
-from .parallel.jobs import resolve_jobs
+from .stages import (
+    characterize_workspace,
+    evaluate_workspace,
+    fit_area_workspace,
+    optimize_workspace,
+)
 from .workspace import Workspace
 
 __all__ = ["export_telemetry", "main", "resolve_telemetry_paths"]
@@ -96,79 +95,44 @@ def _resilience_from_args(args: argparse.Namespace):
     return replace(settings, **overrides) if overrides else settings
 
 
-def _cmd_characterize(args: argparse.Namespace) -> int:
-    ws = Workspace(args.workspace)
-    device = ws.device()
-    settings = ws.settings()
-    jobs = resolve_jobs(args.jobs)
-    resilience = _resilience_from_args(args)
-    cache = ws.placed_cache()
-    cfg = CharacterizationConfig(
-        freqs_mhz=default_frequency_grid(settings.clock_frequency_mhz),
-        n_samples=settings.n_characterization,
-        n_locations=2,
-    )
-    for wl in settings.coeff_wordlengths:
-        print(f"characterising {settings.input_wordlength}x{wl} ...", flush=True)
-        result = characterize_multiplier(
-            device,
-            settings.input_wordlength,
-            wl,
-            cfg,
-            seed=ws.seed(),
-            jobs=jobs,
-            cache=cache,
-            resilience=resilience,
-        )
-        path = ws.save_characterization(wl, result)
-        print(f"  -> {path}")
-        if result.outcome is not None and result.outcome.status != "complete":
+def _print_characterize_progress(event: dict) -> None:
+    """Render stage progress events exactly as the flow CLI always has."""
+    if event["event"] == "wordlength.start":
+        print(f"characterising {event['w_data']}x{event['wl']} ...", flush=True)
+    elif event["event"] == "wordlength.done":
+        print(f"  -> {event['path']}")
+        if event["status"] != "complete":
             quarantined = ", ".join(
-                f"(li={li}, start={start})" for li, start in result.outcome.quarantined
+                f"(li={li}, start={start})" for li, start in event["quarantined"]
             )
             print(
                 f"  WARNING: sweep degraded — quarantined shards: {quarantined}; "
                 f"the affected grid cells are NaN",
                 flush=True,
             )
+
+
+def _cmd_characterize(args: argparse.Namespace) -> int:
+    ws = Workspace(args.workspace)
+    characterize_workspace(
+        ws,
+        jobs=args.jobs,
+        resilience=_resilience_from_args(args),
+        progress=_print_characterize_progress,
+    )
     return 0
 
 
 def _cmd_fit_area(args: argparse.Namespace) -> int:
     ws = Workspace(args.workspace)
-    settings = ws.settings()
-    samples = collect_area_samples(
-        ws.device(),
-        settings.coeff_wordlengths,
-        w_data=settings.input_wordlength,
-        n_runs=6,
-        seed=ws.seed(),
-    )
-    degree = max(1, min(2, len(set(settings.coeff_wordlengths)) - 1))
-    model = fit_area_model(samples, degree=degree)
-    path = ws.save_area_model(model)
+    model, path = fit_area_workspace(ws)
     print(f"fitted area model (relative sigma {model.residual_sigma:.1%}) -> {path}")
     return 0
 
 
-def _training_data(ws: Workspace) -> tuple[np.ndarray, np.ndarray]:
-    settings = ws.settings()
-    x = low_rank_gaussian(
-        settings.p,
-        settings.k,
-        settings.n_train + settings.n_test,
-        np.random.default_rng(ws.seed()),
-        noise=0.02,
-    )
-    return x[:, : settings.n_train], x[:, settings.n_train :]
-
-
 def _cmd_optimize(args: argparse.Namespace) -> int:
     ws = Workspace(args.workspace)
-    fw = ws.framework(jobs=resolve_jobs(args.jobs))
-    x_train, _ = _training_data(ws)
-    result = fw.optimize(x_train, beta=args.beta)
-    path = ws.save_design_set(args.name, result.designs)
+    result, path = optimize_workspace(ws, args.name, args.beta, jobs=args.jobs)
     print(f"Algorithm 1 produced {len(result.designs)} designs "
           f"(beta={args.beta}) -> {path}")
     for d in sorted(result.designs, key=lambda d: d.area_le or 0):
@@ -178,17 +142,11 @@ def _cmd_optimize(args: argparse.Namespace) -> int:
 
 def _cmd_evaluate(args: argparse.Namespace) -> int:
     ws = Workspace(args.workspace)
-    fw = ws.framework(jobs=resolve_jobs(args.jobs))
-    _, x_test = _training_data(ws)
-    designs = ws.load_design_set(args.name)
     domain = Domain(args.domain)
-    rows = []
-    for d in sorted(designs, key=lambda d: d.area_le or 0):
-        ev = fw.evaluate(d, x_test, domain)
-        rows.append((str(d.wordlengths), f"{ev.area_le:.0f}", ev.mse))
+    rows = evaluate_workspace(ws, args.name, domain, jobs=args.jobs)
     print(render_table(
         ["wordlengths", "area LE", f"{domain.value} MSE"],
-        rows,
+        [(str(tuple(r["wordlengths"])), f"{r['area_le']:.0f}", r["mse"]) for r in rows],
         title=f"design set {args.name!r} @ {ws.settings().clock_frequency_mhz:.0f} MHz",
     ))
     return 0

@@ -144,6 +144,12 @@ SPAN_CATALOG: tuple[SpanSpec, ...] = (
         "One full Algorithm 1 run (all K dimensions) for one beta.",
     ),
     SpanSpec(
+        "serve.job",
+        "repro.serve.runner",
+        "One served job start to terminal state: workspace wiring, stage execution, "
+        "result installation.",
+    ),
+    SpanSpec(
         "sweep.pool",
         "repro.parallel.engine",
         "The process-pool pass of a sweep: dispatch and harvest of every shard's first attempt.",
@@ -280,6 +286,72 @@ METRIC_CATALOG: tuple[MetricSpec, ...] = (
         "repro.core.optimizer",
         True,
         "Output dimensions explored by Algorithm 1 (K per run).",
+    ),
+    MetricSpec(
+        "serve.job.cancelled",
+        COUNTER,
+        "jobs",
+        "repro.serve.runner",
+        False,
+        "Served jobs that reached the CANCELLED state (tenant cancel, queued or mid-run).",
+    ),
+    MetricSpec(
+        "serve.job.degraded",
+        COUNTER,
+        "jobs",
+        "repro.serve.runner",
+        False,
+        "Served jobs that finished with quarantined shards (results flagged DEGRADED).",
+    ),
+    MetricSpec(
+        "serve.job.done",
+        COUNTER,
+        "jobs",
+        "repro.serve.runner",
+        False,
+        "Served jobs that finished cleanly (every sweep complete).",
+    ),
+    MetricSpec(
+        "serve.job.failed",
+        COUNTER,
+        "jobs",
+        "repro.serve.runner",
+        False,
+        "Served jobs that failed; the job record carries the batch CLI's exit code "
+        "(3 sweep-failed, 2 config).",
+    ),
+    MetricSpec(
+        "serve.job.rejected",
+        COUNTER,
+        "jobs",
+        "repro.serve.server",
+        False,
+        "Submissions bounced by admission control (queue-full or tenant-quota, "
+        "HTTP-429 semantics).",
+    ),
+    MetricSpec(
+        "serve.job.seconds",
+        HISTOGRAM,
+        "s",
+        "repro.serve.runner",
+        False,
+        "Wall-clock of one served job from dispatch to terminal state.",
+    ),
+    MetricSpec(
+        "serve.job.submitted",
+        COUNTER,
+        "jobs",
+        "repro.serve.server",
+        False,
+        "Jobs admitted into the queue (rejected submissions are counted separately).",
+    ),
+    MetricSpec(
+        "serve.queue.depth",
+        GAUGE,
+        "jobs",
+        "repro.serve.server",
+        False,
+        "Current admission-queue depth (queued, not yet dispatched jobs).",
     ),
     MetricSpec(
         "sweep.attempts.total",

@@ -39,6 +39,7 @@ import hashlib
 import logging
 import os
 import pickle
+import threading
 from contextlib import contextmanager
 from dataclasses import dataclass
 from functools import lru_cache
@@ -195,6 +196,11 @@ class PlacedDesignCache:
 
     def __init__(self, directory: str | Path | None = None) -> None:
         self.directory = Path(directory) if directory is not None else None
+        # One handle may be shared by concurrent in-process jobs (the
+        # serve front-end's worker threads); the mutex guards the memory
+        # tier and the counters.  Cross-process safety is the per-entry
+        # fcntl lock's job, not this one's.
+        self._mutex = threading.Lock()
         self._memory: dict[PlacedKey, PlacedDesign] = {}
         self._memory_hits = 0
         self._disk_hits = 0
@@ -224,7 +230,8 @@ class PlacedDesignCache:
         signal (dying disk, concurrent-writer bug) even though the cache
         recovers from it transparently.
         """
-        self._corruptions += 1
+        with self._mutex:
+            self._corruptions += 1
         obs.counter_add("cache.placed.corruptions")
         logger.warning(
             "placed-design cache entry %s: %s; rebuilding from synthesis",
@@ -336,18 +343,22 @@ class PlacedDesignCache:
         pure in the key, so a hit is bit-identical to a rebuild.
         """
         key = PlacedKey.for_device(device, w_data, w_coeff, anchor, seed)
-        hit = self._memory.get(key)
+        with self._mutex:
+            hit = self._memory.get(key)
+            if hit is not None:
+                self._memory_hits += 1
         if hit is not None:
-            self._memory_hits += 1
             obs.counter_add("cache.placed.hits")
             return hit
         placed = self._load_disk(key)
         if placed is not None:
-            self._disk_hits += 1
+            with self._mutex:
+                self._disk_hits += 1
+                self._memory[key] = placed
             obs.counter_add("cache.placed.hits")
-            self._memory[key] = placed
             return placed
-        self._misses += 1
+        with self._mutex:
+            self._misses += 1
         obs.counter_add("cache.placed.misses")
         with obs.span(
             "cache.synthesize",
@@ -360,9 +371,15 @@ class PlacedDesignCache:
             placed = SynthesisFlow(device).run(
                 netlist, anchor=anchor, seed=seed, lint=False
             )
-        self._memory[key] = placed
+        # Racing same-key threads both reach here; the build is pure in
+        # the key, so both built bit-identical designs and either install
+        # order is fine (the disk install additionally serialises under
+        # the entry lock).
+        with self._mutex:
+            self._memory[key] = placed
         self._store_disk(key, placed)
-        self._stores += 1
+        with self._mutex:
+            self._stores += 1
         obs.counter_add("cache.placed.stores")
         return placed
 
@@ -374,20 +391,21 @@ class PlacedDesignCache:
 
     def stats(self) -> CacheStats:
         entries = self.disk_entries()
-        return CacheStats(
-            memory_hits=self._memory_hits,
-            disk_hits=self._disk_hits,
-            misses=self._misses,
-            stores=self._stores,
-            corruptions=self._corruptions,
-            memory_entries=len(self._memory),
-            disk_entries=len(entries),
-            disk_bytes=sum(p.stat().st_size for p in entries),
-            directory=str(self.directory) if self.directory is not None else None,
-            sanitizer_violations=(
-                len(self._sanitizer.violations) if self._sanitizer is not None else 0
-            ),
-        )
+        with self._mutex:
+            return CacheStats(
+                memory_hits=self._memory_hits,
+                disk_hits=self._disk_hits,
+                misses=self._misses,
+                stores=self._stores,
+                corruptions=self._corruptions,
+                memory_entries=len(self._memory),
+                disk_entries=len(entries),
+                disk_bytes=sum(p.stat().st_size for p in entries),
+                directory=str(self.directory) if self.directory is not None else None,
+                sanitizer_violations=(
+                    len(self._sanitizer.violations) if self._sanitizer is not None else 0
+                ),
+            )
 
     def clear(self, disk: bool = True) -> int:
         """Drop all entries; returns the number of disk entries removed.
@@ -395,7 +413,8 @@ class PlacedDesignCache:
         Lock files are removed alongside their entries; the sanitizer
         journal (an audit trail, not an entry) is left in place.
         """
-        self._memory.clear()
+        with self._mutex:
+            self._memory.clear()
         removed = 0
         if disk:
             for path in self.disk_entries():

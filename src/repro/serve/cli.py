@@ -1,0 +1,87 @@
+"""The ``repro serve`` subcommand: boot a job server in the foreground.
+
+::
+
+    repro serve --socket /tmp/repro.sock --cache-dir /var/cache/repro \
+        --workers 4 --queue-limit 128
+
+The server runs until a client sends ``shutdown`` (or the process gets
+SIGINT).  ``--kernel`` pins the evaluation kernel exactly like the batch
+CLIs do — the env var makes spawn-started pool workers agree.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+from ..config import KERNEL_MODES, REPRO_KERNEL_ENV, set_kernel_mode
+from ..errors import ReproError
+from .server import JobServer
+from .settings import ServeSettings
+
+__all__ = ["serve_main"]
+
+
+def serve_main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro serve",
+        description="Serve characterise/optimize/evaluate jobs over a Unix socket.",
+    )
+    parser.add_argument("--socket", required=True, metavar="PATH",
+                        help="Unix-domain socket to listen on")
+    parser.add_argument("--cache-dir", default=None, metavar="DIR",
+                        help="shared placed-design cache directory "
+                             "(default: memory-only)")
+    parser.add_argument("--workers", type=int, default=None, metavar="N",
+                        help="concurrent jobs (default: $REPRO_SERVE_WORKERS or 2)")
+    parser.add_argument("--queue-limit", type=int, default=None, metavar="N",
+                        help="total queued jobs before 429 "
+                             "(default: $REPRO_SERVE_QUEUE_LIMIT or 64)")
+    parser.add_argument("--tenant-queue-limit", type=int, default=None, metavar="N",
+                        help="queued jobs per tenant before 429 "
+                             "(default: $REPRO_SERVE_TENANT_QUEUE_LIMIT or 8)")
+    parser.add_argument("--tenant-running-limit", type=int, default=None, metavar="N",
+                        help="running jobs per tenant "
+                             "(default: $REPRO_SERVE_TENANT_RUNNING_LIMIT or 2)")
+    parser.add_argument(
+        "--kernel",
+        choices=sorted(KERNEL_MODES),
+        default=None,
+        help="netlist evaluation kernel for served jobs "
+             "(default: $REPRO_KERNEL or packed; bit-identical either way)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.kernel is not None:
+        os.environ[REPRO_KERNEL_ENV] = args.kernel
+        set_kernel_mode(args.kernel)
+
+    settings = ServeSettings.from_env()
+    overrides = {
+        "max_workers": args.workers,
+        "queue_limit": args.queue_limit,
+        "tenant_queue_limit": args.tenant_queue_limit,
+        "tenant_running_limit": args.tenant_running_limit,
+    }
+    from dataclasses import replace
+
+    applied = {k: v for k, v in overrides.items() if v is not None}
+    if applied:
+        settings = replace(settings, **applied)
+
+    try:
+        server = JobServer(args.socket, settings=settings, cache_dir=args.cache_dir)
+        print(f"repro serve: listening on {args.socket} "
+              f"({settings.max_workers} worker(s), "
+              f"queue limit {settings.queue_limit})", flush=True)
+        server.run_blocking()
+    except KeyboardInterrupt:
+        print("repro serve: interrupted", file=sys.stderr)
+        return 130
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print("repro serve: shut down cleanly", flush=True)
+    return 0

@@ -1,0 +1,125 @@
+"""Thin synchronous client for the job server.
+
+Stdlib-only (one JSON line per request over a Unix-domain socket), so
+tests, examples and shell tooling can talk to a :class:`JobServer`
+without pulling in any HTTP machinery.  Each call opens a fresh
+connection — the server multiplexes clients natively, and one connection
+per request keeps the client trivially thread-safe.
+
+::
+
+    client = ServeClient(socket_path)
+    job = client.submit("tenant-a", "characterize", workspace="/path/ws")
+    done = client.wait(job["job_id"])
+    assert done["state"] == "done"
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from pathlib import Path
+from typing import Any
+
+from ..errors import JobRejectedError, ServeError
+
+__all__ = ["ServeClient"]
+
+
+class ServeClient:
+    """One server endpoint, addressed by its Unix-socket path."""
+
+    def __init__(self, socket_path: str | Path, timeout_s: float = 120.0) -> None:
+        self.socket_path = Path(socket_path)
+        self.timeout_s = float(timeout_s)
+
+    # ------------------------------------------------------------------
+    def request(self, payload: dict[str, Any], timeout_s: float | None = None) -> dict[str, Any]:
+        """One raw request/response exchange; raises on transport errors."""
+        data = json.dumps(payload).encode("utf-8") + b"\n"
+        with socket.socket(socket.AF_UNIX, socket.SOCK_STREAM) as sock:
+            sock.settimeout(self.timeout_s if timeout_s is None else timeout_s)
+            try:
+                sock.connect(str(self.socket_path))
+            except OSError as exc:
+                raise ServeError(
+                    f"cannot reach job server at {self.socket_path}: {exc}"
+                ) from None
+            sock.sendall(data)
+            buffer = b""
+            while not buffer.endswith(b"\n"):
+                chunk = sock.recv(65536)
+                if not chunk:
+                    break  # EOF: fall through with whatever arrived
+                buffer += chunk
+        if not buffer:
+            raise ServeError("job server closed the connection without a response")
+        response = json.loads(buffer.decode("utf-8"))
+        if not isinstance(response, dict):
+            raise ServeError("malformed response from job server")
+        return response
+
+    # ------------------------------------------------------------------
+    def ping(self) -> dict[str, Any]:
+        return self.request({"op": "ping"})
+
+    def submit(
+        self,
+        tenant: str,
+        kind: str,
+        workspace: str | Path,
+        priority: int = 0,
+        params: dict[str, Any] | None = None,
+    ) -> dict[str, Any]:
+        """Submit one job; raises :class:`JobRejectedError` on backpressure.
+
+        A rejection (``queue-full`` / ``tenant-quota``, HTTP-429
+        semantics) means *retry later*, not failure — the exception
+        carries ``reason`` and ``http_status`` so callers can back off.
+        """
+        response = self.request({
+            "op": "submit",
+            "tenant": tenant,
+            "kind": kind,
+            "workspace": str(workspace),
+            "priority": priority,
+            "params": params or {},
+        })
+        if not response.get("ok"):
+            if response.get("rejected"):
+                raise JobRejectedError(
+                    str(response.get("error")),
+                    reason=str(response.get("reason")),
+                    http_status=int(response.get("http_status", 429)),
+                )
+            raise ServeError(str(response.get("error")))
+        return response
+
+    def status(self, job_id: str) -> dict[str, Any]:
+        return self.request({"op": "status", "job_id": job_id})
+
+    def result(self, job_id: str) -> dict[str, Any]:
+        return self.request({"op": "result", "job_id": job_id})
+
+    def wait(self, job_id: str, timeout_s: float | None = None) -> dict[str, Any]:
+        """Block until the job is terminal; returns its result payload."""
+        response = self.request(
+            {"op": "wait", "job_id": job_id, "timeout": timeout_s},
+            # The socket must outlive the server-side wait.
+            timeout_s=None if timeout_s is None else timeout_s + 10.0,
+        )
+        if not response.get("ok"):
+            raise ServeError(str(response.get("error")))
+        return response
+
+    def progress(self, job_id: str, since: int = 0) -> dict[str, Any]:
+        return self.request({"op": "progress", "job_id": job_id, "since": since})
+
+    def cancel(self, job_id: str) -> dict[str, Any]:
+        return self.request({"op": "cancel", "job_id": job_id})
+
+    def stats(self) -> dict[str, Any]:
+        return self.request({"op": "stats"})
+
+    def shutdown(self) -> dict[str, Any]:
+        return self.request({"op": "shutdown"})

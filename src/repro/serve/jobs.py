@@ -1,0 +1,177 @@
+"""The job model: specs, deterministic ids, states, records.
+
+A :class:`JobSpec` is the immutable description a tenant submits; a
+:class:`JobRecord` is the server's mutable bookkeeping around it.  Job
+ids are *deterministic*: the SHA-256 of ``tenant | sequence-number |
+canonical-JSON(spec)``, so replaying the same submission sequence against
+a fresh server yields the same ids — schedules and ids are reproducible,
+exactly like everything else in this library.
+
+State machine::
+
+    QUEUED -> RUNNING -> DONE            every sweep complete
+                      -> DEGRADED        finished, some shards quarantined
+                      -> FAILED          SweepFailedError (exit-3 parity),
+                                         ConfigError (exit-2 parity), ...
+           \\-> CANCELLED <- RUNNING      tenant cancel (queued or mid-run)
+
+``FAILED`` carries the batch CLI's exit code for the same failure, so a
+served job and a ``repro-flow`` invocation tell one SLO story.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..errors import ServeError
+
+__all__ = [
+    "CANCELLED",
+    "DEGRADED",
+    "DONE",
+    "FAILED",
+    "JOB_KINDS",
+    "JOB_STATES",
+    "JobCancelled",
+    "JobRecord",
+    "JobSpec",
+    "QUEUED",
+    "RUNNING",
+    "TERMINAL_STATES",
+    "job_id_for",
+]
+
+#: Job kinds — one per flow stage (see repro.stages).
+JOB_KINDS = ("characterize", "fit_area", "optimize", "evaluate")
+
+QUEUED = "queued"
+RUNNING = "running"
+DONE = "done"
+DEGRADED = "degraded"
+FAILED = "failed"
+CANCELLED = "cancelled"
+
+#: Every job state, in lifecycle order.
+JOB_STATES = (QUEUED, RUNNING, DONE, DEGRADED, FAILED, CANCELLED)
+
+#: States a job never leaves (DEGRADED is terminal *and* carries results).
+TERMINAL_STATES = (DONE, DEGRADED, FAILED, CANCELLED)
+
+
+class JobCancelled(Exception):  # noqa: N818 -- a control signal, not an error
+    """Raised inside a worker when its job's cancel flag is set."""
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One tenant's immutable job description.
+
+    Attributes
+    ----------
+    tenant:
+        Tenant identity — the unit of quota accounting.
+    kind:
+        One of :data:`JOB_KINDS`.
+    workspace:
+        Path of the :class:`~repro.workspace.Workspace` the stage runs
+        against (created idempotently if ``params['init']`` is given).
+    priority:
+        Higher runs first; ties break by submission order.
+    params:
+        Stage parameters (``jobs``, ``beta``, ``name``, ``domain``,
+        resilience overrides, an optional ``faults`` chaos-plan JSON and
+        an optional ``init`` block) — all JSON-serialisable.
+    """
+
+    tenant: str
+    kind: str
+    workspace: str
+    priority: int = 0
+    params: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.tenant:
+            raise ServeError("job spec needs a non-empty tenant")
+        if self.kind not in JOB_KINDS:
+            raise ServeError(
+                f"unknown job kind {self.kind!r}; expected one of {JOB_KINDS}"
+            )
+        if not self.workspace:
+            raise ServeError("job spec needs a workspace path")
+
+    def canonical_json(self) -> str:
+        """The spec as canonical JSON — the basis of the deterministic id."""
+        payload = {
+            "tenant": self.tenant,
+            "kind": self.kind,
+            "workspace": self.workspace,
+            "priority": self.priority,
+            "params": self.params,
+        }
+        try:
+            return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        except (TypeError, ValueError) as exc:
+            raise ServeError(f"job params are not JSON-serialisable: {exc}") from None
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> "JobSpec":
+        """Build a spec from a decoded submit-request payload."""
+        params = payload.get("params") or {}
+        if not isinstance(params, dict):
+            raise ServeError("job 'params' must be a JSON object")
+        return cls(
+            tenant=str(payload.get("tenant", "")),
+            kind=str(payload.get("kind", "")),
+            workspace=str(payload.get("workspace", "")),
+            priority=int(payload.get("priority", 0)),
+            params=params,
+        )
+
+
+def job_id_for(spec: JobSpec, seq: int) -> str:
+    """Deterministic job id: sha256(tenant | seq | canonical spec), truncated."""
+    basis = f"{spec.tenant}|{seq}|{spec.canonical_json()}"
+    return hashlib.sha256(basis.encode("utf-8")).hexdigest()[:16]
+
+
+@dataclass
+class JobRecord:
+    """Server-side bookkeeping for one submitted job.
+
+    Mutated by the scheduler (state transitions) and the worker thread
+    (progress appends, result installation); read by status/result/watch
+    handlers.  Progress events are append-only, so readers can stream
+    them by index without locking.
+    """
+
+    job_id: str
+    seq: int
+    spec: JobSpec
+    state: str = QUEUED
+    progress: list[dict[str, Any]] = field(default_factory=list)
+    result: dict[str, Any] | None = None
+    error: str | None = None
+    exit_code: int | None = None
+
+    @property
+    def finished(self) -> bool:
+        return self.state in TERMINAL_STATES
+
+    def status_dict(self) -> dict[str, Any]:
+        """The wire form of this record's current status."""
+        return {
+            "job_id": self.job_id,
+            "seq": self.seq,
+            "tenant": self.spec.tenant,
+            "kind": self.spec.kind,
+            "workspace": self.spec.workspace,
+            "priority": self.spec.priority,
+            "state": self.state,
+            "finished": self.finished,
+            "n_progress": len(self.progress),
+            "error": self.error,
+            "exit_code": self.exit_code,
+        }

@@ -1,0 +1,122 @@
+"""Admission control: a pure, deterministic priority queue with quotas.
+
+The queue is plain data + plain rules — no clocks, no randomness, no I/O
+— so its every decision is a function of the submission history.  That is
+what the Hypothesis property in ``tests/serve`` pins: the same submission
+sequence always produces the same admissions, rejections and schedule
+order.
+
+Ordering: higher ``priority`` first, then first-come-first-served within
+a priority (ascending sequence number).  Admission: a submission bounces
+with ``"queue-full"`` when the whole queue is at ``queue_limit`` and with
+``"tenant-quota"`` when the submitting tenant already holds
+``tenant_queue_limit`` queued entries.  Scheduling respects
+``tenant_running_limit``: an entry whose tenant is saturated is skipped
+(it keeps its place) in favour of the best entry of any other tenant.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import Mapping
+
+from ..errors import JobRejectedError
+from .settings import ServeSettings
+
+__all__ = ["AdmissionQueue", "QueueEntry", "REASON_QUEUE_FULL", "REASON_TENANT_QUOTA"]
+
+#: Machine-readable rejection reasons (HTTP 429 semantics, see docs/serving.md).
+REASON_QUEUE_FULL = "queue-full"
+REASON_TENANT_QUOTA = "tenant-quota"
+
+
+@dataclass(frozen=True)
+class QueueEntry:
+    """One queued job: just enough identity for admission and ordering."""
+
+    seq: int
+    tenant: str
+    priority: int = 0
+
+    @property
+    def sort_key(self) -> tuple[int, int]:
+        """Schedule order: priority descending, then submission order."""
+        return (-self.priority, self.seq)
+
+
+class AdmissionQueue:
+    """Bounded multi-tenant priority queue; every decision deterministic."""
+
+    def __init__(self, settings: ServeSettings) -> None:
+        self.settings = settings
+        self._entries: list[tuple[tuple[int, int], QueueEntry]] = []
+        self._queued_by_tenant: dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def depth_for(self, tenant: str) -> int:
+        return self._queued_by_tenant.get(tenant, 0)
+
+    def admit(self, entry: QueueEntry) -> int:
+        """Admit ``entry`` or raise :class:`~repro.errors.JobRejectedError`.
+
+        Returns the entry's current schedule position (0 = next up).
+        Quota checks run in a fixed order — tenant quota before global
+        capacity — so rejection reasons are reproducible too.
+        """
+        if self.depth_for(entry.tenant) >= self.settings.tenant_queue_limit:
+            raise JobRejectedError(
+                f"tenant {entry.tenant!r} already has "
+                f"{self.settings.tenant_queue_limit} queued job(s)",
+                reason=REASON_TENANT_QUOTA,
+            )
+        if len(self._entries) >= self.settings.queue_limit:
+            raise JobRejectedError(
+                f"queue is full ({self.settings.queue_limit} job(s))",
+                reason=REASON_QUEUE_FULL,
+            )
+        item = (entry.sort_key, entry)
+        position = bisect.bisect_left(self._entries, item)
+        self._entries.insert(position, item)
+        self._queued_by_tenant[entry.tenant] = self.depth_for(entry.tenant) + 1
+        return position
+
+    # ------------------------------------------------------------------
+    def pop_next(self, running: Mapping[str, int] | None = None) -> QueueEntry | None:
+        """Remove and return the next schedulable entry, or ``None``.
+
+        ``running`` maps tenant -> currently-running job count; entries
+        of tenants at ``tenant_running_limit`` are passed over (keeping
+        their queue position) in favour of the best other-tenant entry.
+        """
+        counts: Mapping[str, int] = running if running is not None else {}
+        limit = self.settings.tenant_running_limit
+        for index, (_, entry) in enumerate(self._entries):
+            if counts.get(entry.tenant, 0) < limit:
+                del self._entries[index]
+                self._decrement(entry.tenant)
+                return entry
+        return None
+
+    def remove(self, seq: int) -> QueueEntry | None:
+        """Withdraw a queued entry by sequence number (cancellation)."""
+        for index, (_, entry) in enumerate(self._entries):
+            if entry.seq == seq:
+                del self._entries[index]
+                self._decrement(entry.tenant)
+                return entry
+        return None
+
+    def snapshot(self) -> list[QueueEntry]:
+        """The queued entries in schedule order (for stats/tests)."""
+        return [entry for _, entry in self._entries]
+
+    def _decrement(self, tenant: str) -> None:
+        remaining = self.depth_for(tenant) - 1
+        if remaining <= 0:
+            self._queued_by_tenant.pop(tenant, None)
+        else:
+            self._queued_by_tenant[tenant] = remaining

@@ -1,0 +1,319 @@
+"""The asyncio job server: characterisation-as-a-service.
+
+One long-running :class:`JobServer` multiplexes any number of tenants
+onto one warm :class:`~repro.parallel.cache.PlacedDesignCache` and a
+bounded pool of worker threads.  The wire protocol is JSON lines over a
+Unix-domain socket — one request object per line, one response object per
+line — which keeps the thin client (:mod:`repro.serve.client`)
+dependency-free and the server trivially scriptable.
+
+Operations::
+
+    ping | submit | status | result | wait | progress | cancel | stats | shutdown
+
+Scheduling is the deterministic :class:`~repro.serve.queue.AdmissionQueue`
+policy; execution is :func:`~repro.serve.runner.execute_job` — the same
+:mod:`repro.stages` code the batch CLI runs, so served artefacts are
+byte-identical to ``repro-flow``'s.  Backpressure is an admission
+rejection (HTTP-429 semantics), never a dropped job: once ``submit``
+returns ``ok`` the job reaches a terminal state.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+from pathlib import Path
+from typing import Any
+
+from ..errors import JobRejectedError, ReproError, ServeError
+from ..obs import runtime as obs
+from ..parallel.cache import PlacedDesignCache
+from .jobs import CANCELLED, QUEUED, RUNNING, JobRecord, JobSpec, job_id_for
+from .queue import AdmissionQueue, QueueEntry
+from .runner import execute_job
+from .settings import ServeSettings
+
+__all__ = ["JobServer"]
+
+
+class JobServer:
+    """A multi-tenant job server over the sweep pipeline.
+
+    Parameters
+    ----------
+    socket_path:
+        Unix-domain socket to listen on (created on start, removed on
+        shutdown).
+    settings:
+        Admission/concurrency policy; ``None`` reads ``REPRO_SERVE_*``.
+    cache_dir:
+        Directory of the shared placed-design cache every job places
+        through; ``None`` shares a memory-only cache.  Per-entry fcntl
+        locks + atomic installs make the directory safe to share with
+        concurrent batch runs too.
+    """
+
+    def __init__(
+        self,
+        socket_path: str | Path,
+        settings: ServeSettings | None = None,
+        cache_dir: str | Path | None = None,
+    ) -> None:
+        self.socket_path = Path(socket_path)
+        self.settings = settings if settings is not None else ServeSettings.from_env()
+        self.cache = PlacedDesignCache(cache_dir)
+        self._queue = AdmissionQueue(self.settings)
+        self._records: dict[str, JobRecord] = {}
+        self._by_seq: dict[int, JobRecord] = {}
+        self._cancel_events: dict[str, threading.Event] = {}
+        self._done_events: dict[str, asyncio.Event] = {}
+        self._running: dict[str, int] = {}
+        self._active = 0
+        self._seq = 0
+        self._job_tasks: list[asyncio.Task[None]] = []
+        self._stop = asyncio.Event()
+        self._kick = asyncio.Event()
+        from concurrent.futures import ThreadPoolExecutor
+
+        self._executor = ThreadPoolExecutor(
+            max_workers=self.settings.max_workers,
+            thread_name_prefix="repro-serve",
+        )
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    async def run(self, ready: threading.Event | None = None) -> None:
+        """Serve until a ``shutdown`` request; drains running jobs first."""
+        self.socket_path.parent.mkdir(parents=True, exist_ok=True)
+        server = await asyncio.start_unix_server(
+            self._handle_client, path=str(self.socket_path)
+        )
+        scheduler = asyncio.create_task(self._scheduler())
+        if ready is not None:
+            ready.set()
+        try:
+            async with server:
+                await self._stop.wait()
+                # Graceful drain: running jobs finish, queued jobs stay
+                # queued (they were admitted; a restart would resume them
+                # in a persistent deployment — documented limitation).
+                self._job_tasks = [t for t in self._job_tasks if not t.done()]
+                if self._job_tasks:
+                    await asyncio.gather(*self._job_tasks, return_exceptions=True)
+        finally:
+            scheduler.cancel()
+            self._executor.shutdown(wait=True)
+            self.socket_path.unlink(missing_ok=True)
+
+    def run_blocking(self, ready: threading.Event | None = None) -> None:
+        """Entry point for a dedicated server thread/process."""
+        asyncio.run(self.run(ready))
+
+    # ------------------------------------------------------------------
+    # scheduling
+    # ------------------------------------------------------------------
+    def _update_depth_gauge(self) -> None:
+        obs.gauge_set("serve.queue.depth", float(len(self._queue)))
+
+    async def _scheduler(self) -> None:
+        """Dispatch queued jobs into free worker slots, deterministically."""
+        while not self._stop.is_set():
+            while self._active < self.settings.max_workers:
+                entry = self._queue.pop_next(self._running)
+                if entry is None:
+                    break
+                self._dispatch(entry)
+            self._update_depth_gauge()
+            await self._kick.wait()
+            self._kick.clear()
+
+    def _dispatch(self, entry: QueueEntry) -> None:
+        record = self._by_seq[entry.seq]
+        record.state = RUNNING
+        self._running[entry.tenant] = self._running.get(entry.tenant, 0) + 1
+        self._active += 1
+        task = asyncio.create_task(self._run_job(record))
+        self._job_tasks.append(task)
+
+    async def _run_job(self, record: JobRecord) -> None:
+        cancel = self._cancel_events[record.job_id]
+        loop = asyncio.get_running_loop()
+        try:
+            await loop.run_in_executor(
+                self._executor, execute_job, record, self.cache, cancel
+            )
+        finally:
+            tenant = record.spec.tenant
+            remaining = self._running.get(tenant, 1) - 1
+            if remaining <= 0:
+                self._running.pop(tenant, None)
+            else:
+                self._running[tenant] = remaining
+            self._active -= 1
+            self._done_events[record.job_id].set()
+            self._kick.set()
+
+    # ------------------------------------------------------------------
+    # request handling
+    # ------------------------------------------------------------------
+    async def _handle_client(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                try:
+                    request = json.loads(line.decode("utf-8"))
+                    if not isinstance(request, dict):
+                        raise ServeError("request must be a JSON object")
+                    response = await self._handle_request(request)
+                except ReproError as exc:
+                    response = {"ok": False, "error": str(exc)}
+                except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+                    response = {"ok": False, "error": f"bad request line: {exc}"}
+                writer.write(json.dumps(response).encode("utf-8") + b"\n")
+                await writer.drain()
+        except (ConnectionResetError, BrokenPipeError):
+            pass  # client went away mid-exchange; nothing to clean up
+        except asyncio.CancelledError:
+            # Loop teardown with this connection idle: end quietly so the
+            # transport's done-callback has no exception to re-raise.
+            pass
+        finally:
+            writer.close()
+
+    async def _handle_request(self, request: dict[str, Any]) -> dict[str, Any]:
+        op = request.get("op")
+        if op == "ping":
+            return {"ok": True, "server": "repro.serve", "active": self._active}
+        if op == "submit":
+            return self._op_submit(request)
+        if op == "status":
+            return {"ok": True, **self._record_for(request).status_dict()}
+        if op == "result":
+            return self._op_result(self._record_for(request))
+        if op == "wait":
+            return await self._op_wait(request)
+        if op == "progress":
+            record = self._record_for(request)
+            since = int(request.get("since", 0))
+            return {
+                "ok": True,
+                "state": record.state,
+                "finished": record.finished,
+                "events": list(record.progress[since:]),
+            }
+        if op == "cancel":
+            return self._op_cancel(self._record_for(request))
+        if op == "stats":
+            return self._op_stats()
+        if op == "shutdown":
+            self._stop.set()
+            self._kick.set()
+            return {"ok": True, "stopping": True}
+        raise ServeError(f"unknown op {op!r}")
+
+    def _record_for(self, request: dict[str, Any]) -> JobRecord:
+        job_id = str(request.get("job_id", ""))
+        record = self._records.get(job_id)
+        if record is None:
+            raise ServeError(f"unknown job id {job_id!r}")
+        return record
+
+    def _op_submit(self, request: dict[str, Any]) -> dict[str, Any]:
+        spec = JobSpec.from_dict(request)
+        seq = self._seq
+        try:
+            position = self._queue.admit(QueueEntry(seq, spec.tenant, spec.priority))
+        except JobRejectedError as exc:
+            obs.counter_add("serve.job.rejected")
+            return {
+                "ok": False,
+                "rejected": True,
+                "error": str(exc),
+                "reason": exc.reason,
+                "http_status": exc.http_status,
+            }
+        self._seq = seq + 1
+        job_id = job_id_for(spec, seq)
+        record = JobRecord(job_id=job_id, seq=seq, spec=spec)
+        self._records[job_id] = record
+        self._by_seq[seq] = record
+        self._cancel_events[job_id] = threading.Event()
+        self._done_events[job_id] = asyncio.Event()
+        obs.counter_add("serve.job.submitted")
+        self._update_depth_gauge()
+        self._kick.set()
+        return {"ok": True, "job_id": job_id, "state": QUEUED, "position": position}
+
+    def _op_result(self, record: JobRecord) -> dict[str, Any]:
+        if not record.finished:
+            return {
+                "ok": False,
+                "error": f"job {record.job_id} is {record.state}, not finished",
+                "state": record.state,
+            }
+        return {
+            "ok": True,
+            "job_id": record.job_id,
+            "state": record.state,
+            "result": record.result,
+            "error": record.error,
+            "exit_code": record.exit_code,
+        }
+
+    async def _op_wait(self, request: dict[str, Any]) -> dict[str, Any]:
+        record = self._record_for(request)
+        timeout = request.get("timeout")
+        event = self._done_events[record.job_id]
+        try:
+            await asyncio.wait_for(
+                event.wait(), None if timeout is None else float(timeout)
+            )
+        except asyncio.TimeoutError:
+            return {"ok": False, "error": "timeout", "state": record.state}
+        return self._op_result(record)
+
+    def _op_cancel(self, record: JobRecord) -> dict[str, Any]:
+        if record.finished:
+            return {"ok": True, "job_id": record.job_id, "state": record.state}
+        if record.state == QUEUED and self._queue.remove(record.seq) is not None:
+            record.state = CANCELLED
+            record.error = "cancelled before start"
+            self._done_events[record.job_id].set()
+            obs.counter_add("serve.job.cancelled")
+            self._update_depth_gauge()
+            return {"ok": True, "job_id": record.job_id, "state": record.state}
+        # Running (or just dispatched): cooperative — the worker observes
+        # the flag at its next progress milestone and stops at an
+        # artefact boundary, leaving workspace and cache valid.
+        self._cancel_events[record.job_id].set()
+        return {"ok": True, "job_id": record.job_id, "state": record.state}
+
+    def _op_stats(self) -> dict[str, Any]:
+        states: dict[str, int] = {}
+        for seq in sorted(self._by_seq):
+            state = self._by_seq[seq].state
+            states[state] = states.get(state, 0) + 1
+        return {
+            "ok": True,
+            "queue_depth": len(self._queue),
+            "queued": [entry.seq for entry in self._queue.snapshot()],
+            "active": self._active,
+            "running_by_tenant": {
+                tenant: self._running[tenant] for tenant in sorted(self._running)
+            },
+            "states": states,
+            "settings": {
+                "max_workers": self.settings.max_workers,
+                "queue_limit": self.settings.queue_limit,
+                "tenant_queue_limit": self.settings.tenant_queue_limit,
+                "tenant_running_limit": self.settings.tenant_running_limit,
+            },
+            "cache": self.cache.stats().as_dict(),
+        }

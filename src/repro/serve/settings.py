@@ -1,0 +1,88 @@
+"""Serve-side configuration: worker bound, queue limits, tenant quotas.
+
+Every knob has a matching ``REPRO_SERVE_*`` environment variable so a
+deployment can be tuned without code changes; explicit arguments always
+win.  Like :class:`~repro.config.ResilienceSettings`, the environment is
+read in exactly one place (:meth:`ServeSettings.from_env`) — the
+designated boundary the determinism audit allows.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Mapping
+
+from ..errors import ConfigError
+
+__all__ = [
+    "REPRO_SERVE_QUEUE_LIMIT_ENV",
+    "REPRO_SERVE_TENANT_QUEUE_LIMIT_ENV",
+    "REPRO_SERVE_TENANT_RUNNING_LIMIT_ENV",
+    "REPRO_SERVE_WORKERS_ENV",
+    "ServeSettings",
+]
+
+#: Environment knobs for the job server (see docs/serving.md).
+REPRO_SERVE_WORKERS_ENV = "REPRO_SERVE_WORKERS"
+REPRO_SERVE_QUEUE_LIMIT_ENV = "REPRO_SERVE_QUEUE_LIMIT"
+REPRO_SERVE_TENANT_QUEUE_LIMIT_ENV = "REPRO_SERVE_TENANT_QUEUE_LIMIT"
+REPRO_SERVE_TENANT_RUNNING_LIMIT_ENV = "REPRO_SERVE_TENANT_RUNNING_LIMIT"
+
+
+@dataclass(frozen=True)
+class ServeSettings:
+    """Admission-control and concurrency policy of one server instance.
+
+    Attributes
+    ----------
+    max_workers:
+        Jobs executing concurrently (each on its own worker thread;
+        a job's sweep may additionally fan out over ``jobs`` processes).
+    queue_limit:
+        Total queued jobs accepted before submissions bounce with
+        ``queue-full`` (HTTP 429 semantics — backpressure, not failure).
+    tenant_queue_limit:
+        Queued jobs one tenant may hold; beyond it submissions bounce
+        with ``tenant-quota`` so a single noisy tenant cannot occupy the
+        whole queue.
+    tenant_running_limit:
+        Jobs one tenant may have running at once; further jobs stay
+        queued (admitted, but not scheduled) until a slot frees up.
+    """
+
+    max_workers: int = 2
+    queue_limit: int = 64
+    tenant_queue_limit: int = 8
+    tenant_running_limit: int = 2
+
+    def __post_init__(self) -> None:
+        for name in (
+            "max_workers",
+            "queue_limit",
+            "tenant_queue_limit",
+            "tenant_running_limit",
+        ):
+            if int(getattr(self, name)) < 1:
+                raise ConfigError(f"{name} must be >= 1")
+
+    @classmethod
+    def from_env(cls, environ: Mapping[str, str] | None = None) -> "ServeSettings":
+        """Settings with the ``REPRO_SERVE_*`` environment overrides applied."""
+        env: Mapping[str, str] = os.environ if environ is None else environ
+        kwargs: dict[str, int] = {}
+        for key, envvar in (
+            ("max_workers", REPRO_SERVE_WORKERS_ENV),
+            ("queue_limit", REPRO_SERVE_QUEUE_LIMIT_ENV),
+            ("tenant_queue_limit", REPRO_SERVE_TENANT_QUEUE_LIMIT_ENV),
+            ("tenant_running_limit", REPRO_SERVE_TENANT_RUNNING_LIMIT_ENV),
+        ):
+            raw = env.get(envvar)
+            if raw is not None:
+                try:
+                    kwargs[key] = int(raw)
+                except ValueError:
+                    raise ConfigError(
+                        f"{envvar}={raw!r} is not an integer"
+                    ) from None
+        return cls(**kwargs)

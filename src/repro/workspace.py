@@ -25,6 +25,8 @@ characterisation/area caches are pre-seeded from disk — no re-simulation.
 from __future__ import annotations
 
 import json
+import os
+import threading
 from dataclasses import asdict
 from pathlib import Path
 
@@ -49,14 +51,28 @@ _META_VERSION = 1
 class Workspace:
     """A directory of per-device flow artefacts.
 
+    Safe to share: every artefact write is atomic (write-to-temp +
+    ``os.replace`` in the same directory), so concurrent readers — other
+    processes, or the job server's other tenants — never observe a torn
+    file, and a job cancelled mid-stage leaves only complete artefacts
+    behind.
+
     Parameters
     ----------
     root:
         Workspace directory (created on :meth:`initialize`).
+    cache:
+        Placed-design cache this workspace should place through;
+        ``None`` (the default) lazily creates a disk-backed cache under
+        ``<root>/cache/placed``.  A server multiplexing many jobs passes
+        its one warm shared cache here instead — the cache is keyed on
+        device identity, never on the workspace, so sharing is
+        bit-transparent.
     """
 
-    def __init__(self, root: str | Path) -> None:
+    def __init__(self, root: str | Path, cache: PlacedDesignCache | None = None) -> None:
         self.root = Path(root)
+        self._cache = cache
 
     # ------------------------------------------------------------------
     @property
@@ -83,13 +99,45 @@ class Workspace:
         return self.meta_path.exists()
 
     # ------------------------------------------------------------------
-    def initialize(self, device: FPGADevice, settings: TableISettings, seed: int) -> None:
-        """Create the workspace for one device + settings combination."""
-        if self.exists():
-            raise ConfigError(f"workspace already initialised at {self.root}")
-        self.root.mkdir(parents=True, exist_ok=True)
-        self.char_dir.mkdir(exist_ok=True)
-        self.designs_dir.mkdir(exist_ok=True)
+    @staticmethod
+    def _writer_tag() -> str:
+        """Unique-per-writer temp-name tag: pid plus thread id.
+
+        The pid separates racing processes (mirroring the placed cache's
+        install discipline); the thread id separates the job server's
+        worker threads, which share one pid.
+        """
+        return f"{os.getpid()}.{threading.get_ident()}"
+
+    def _write_atomic(self, path: Path, text: str) -> None:
+        """Atomic text write: same-directory temp file + ``os.replace``.
+
+        The temp name carries a per-writer tag so concurrent same-file
+        writers never collide on the temp path, and is dot-prefixed so
+        directory globs (``wl*.npz``, ``*.json``) never pick up an
+        in-flight write.
+        """
+        tmp = path.parent / f".{path.name}.tmp.{self._writer_tag()}"
+        try:
+            tmp.write_text(text)
+            os.replace(tmp, path)
+        finally:
+            tmp.unlink(missing_ok=True)
+
+    def initialize(
+        self,
+        device: FPGADevice,
+        settings: TableISettings,
+        seed: int,
+        exist_ok: bool = False,
+    ) -> None:
+        """Create the workspace for one device + settings combination.
+
+        With ``exist_ok=True`` an already-initialised workspace is
+        accepted *iff* its recorded identity (device, settings, seed)
+        matches — the idempotent form concurrent tenants can all call;
+        a mismatch still raises :class:`~repro.errors.ConfigError`.
+        """
         meta = {
             "version": _META_VERSION,
             "device_serial": device.serial,
@@ -97,7 +145,21 @@ class Workspace:
             "seed": seed,
             "settings": asdict(settings),
         }
-        self.meta_path.write_text(json.dumps(meta, indent=2))
+        if self.exists():
+            if not exist_ok:
+                raise ConfigError(f"workspace already initialised at {self.root}")
+            existing = self._meta()
+            # Round-trip through JSON so tuple-vs-list differences vanish.
+            if existing != json.loads(json.dumps(meta)):
+                raise ConfigError(
+                    f"workspace at {self.root} is initialised with a different "
+                    f"device/settings/seed combination"
+                )
+            return
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.char_dir.mkdir(exist_ok=True)
+        self.designs_dir.mkdir(exist_ok=True)
+        self._write_atomic(self.meta_path, json.dumps(meta, indent=2))
 
     def _meta(self) -> dict:
         if not self.exists():
@@ -129,10 +191,20 @@ class Workspace:
         artefacts without loading the arrays.
         """
         path = self.char_dir / f"wl{wl:02d}.npz"
-        result.save(path)
+        # The temp name keeps the .npz suffix (so numpy does not append
+        # one) but is dot-prefixed and writer-tagged like every workspace
+        # write: racing jobs archiving the same sweep install atomically
+        # and bit-identically, whoever wins.
+        tmp = path.parent / f".{path.name}.tmp.{self._writer_tag()}.npz"
+        try:
+            result.save(tmp)
+            os.replace(tmp, path)
+        finally:
+            tmp.unlink(missing_ok=True)
         if result.outcome is not None:
-            self.outcome_path(wl).write_text(
-                json.dumps(result.outcome.as_dict(), indent=2)
+            self._write_atomic(
+                self.outcome_path(wl),
+                json.dumps(result.outcome.as_dict(), indent=2),
             )
         return path
 
@@ -188,7 +260,7 @@ class Workspace:
             "wl_range": list(model.wl_range),
             "n_samples": model.n_samples,
         }
-        self.area_model_path.write_text(json.dumps(payload, indent=2))
+        self._write_atomic(self.area_model_path, json.dumps(payload, indent=2))
         return self.area_model_path
 
     def load_area_model(self) -> AreaModel:
@@ -207,7 +279,12 @@ class Workspace:
         if not name or "/" in name:
             raise ConfigError(f"invalid design-set name {name!r}")
         path = self.designs_dir / f"{name}.json"
-        save_designs(designs, path)
+        tmp = path.parent / f".{path.name}.tmp.{self._writer_tag()}"
+        try:
+            save_designs(designs, tmp)
+            os.replace(tmp, path)
+        finally:
+            tmp.unlink(missing_ok=True)
         return path
 
     def load_design_set(self, name: str) -> list[LinearProjectionDesign]:
@@ -220,12 +297,18 @@ class Workspace:
 
     # ------------------------------------------------------------------
     def placed_cache(self) -> PlacedDesignCache:
-        """A disk-backed placed-design cache rooted in this workspace.
+        """The placed-design cache this workspace places through.
 
-        Entries persist across sessions next to the other artefacts, so
-        repeat characterisation/evaluation runs skip synthesis.
+        Memoised: every stage of one Workspace instance shares one cache
+        handle (and its warm memory tier) instead of re-opening the
+        directory per call.  If a cache was injected at construction
+        (the server's shared warm cache), that instance is returned;
+        otherwise a disk-backed cache under ``<root>/cache/placed`` is
+        created on first use and persists across sessions.
         """
-        return PlacedDesignCache(self.cache_dir)
+        if self._cache is None:
+            self._cache = PlacedDesignCache(self.cache_dir)
+        return self._cache
 
     def framework(
         self,

@@ -1,0 +1,129 @@
+"""The headline guarantee: served artefacts byte-equal ``repro-flow``'s.
+
+The ``.npz`` archives — the E(m, f) grids every later stage consumes —
+must be *byte-for-byte identical* whether a characterisation ran through
+the batch CLI or the job server, at any worker count and tenant
+concurrency, under either kernel.  The ``.outcome.json`` sidecars carry
+attempt provenance including per-attempt wall-clock latency, so they are
+compared structurally with the latency fields scrubbed: every
+deterministic field (status, shard dispositions, attempt outcomes,
+quarantine lists) must match exactly.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.cli_flow import main as flow_main
+from repro.config import get_kernel_mode, set_kernel_mode
+from repro.serve import DONE, FAILED, ServeSettings
+
+from .conftest import TINY, make_workspace
+
+
+def _scrub_latencies(outcome: dict) -> dict:
+    for report in outcome.get("reports", []):
+        for attempt in report.get("attempts", []):
+            attempt.pop("latency_s", None)
+    return outcome
+
+
+def artefacts(root) -> tuple[dict[str, bytes], dict[str, dict]]:
+    """(npz bytes, scrubbed outcome sidecars) of one workspace."""
+    char = Path(root) / "characterization"
+    grids = {p.name: p.read_bytes() for p in sorted(char.glob("wl*.npz"))}
+    sidecars = {
+        p.name: _scrub_latencies(json.loads(p.read_text()))
+        for p in sorted(char.glob("wl*.outcome.json"))
+    }
+    return grids, sidecars
+
+
+def assert_same_artefacts(reference, candidate) -> None:
+    ref_grids, ref_sidecars = artefacts(reference)
+    cand_grids, cand_sidecars = artefacts(candidate)
+    assert ref_grids, "reference workspace has no characterisation archives"
+    assert cand_grids.keys() == ref_grids.keys()
+    for name in ref_grids:
+        assert cand_grids[name] == ref_grids[name], f"{name} differs byte-wise"
+    assert cand_sidecars == ref_sidecars
+
+
+@pytest.fixture(params=["packed", "interp"])
+def kernel(request, monkeypatch):
+    """Run the test under each evaluation kernel, restoring the default."""
+    previous = get_kernel_mode()
+    monkeypatch.setenv("REPRO_KERNEL", request.param)
+    set_kernel_mode(request.param)
+    yield request.param
+    set_kernel_mode(previous)
+
+
+class TestServerVsCli:
+    def test_characterize_bytes_match_cli(self, tmp_path, serve_factory, kernel):
+        """One served job == one ``repro-flow characterize``, byte for byte."""
+        cli_ws = make_workspace(tmp_path / "cli_ws")
+        assert flow_main(["characterize", str(cli_ws.root)]) == 0
+
+        srv_ws = make_workspace(tmp_path / "srv_ws")
+        _, client = serve_factory()
+        job = client.submit("tenant-a", "characterize", srv_ws.root)
+        done = client.wait(job["job_id"], timeout_s=120.0)
+        assert done["state"] == DONE
+        assert done["result"]["sweep_health"]["3"]["status"] == "complete"
+        assert_same_artefacts(cli_ws.root, srv_ws.root)
+
+    @pytest.mark.slow
+    def test_four_tenants_jobs4_match_cli(self, tmp_path, serve_factory):
+        """4 concurrent tenants, each sweeping with a 4-worker pool, all
+        byte-identical to a serial batch run — the acceptance matrix's
+        jobs=4 x concurrency cell."""
+        cli_ws = make_workspace(tmp_path / "cli_ws")
+        assert flow_main(["characterize", str(cli_ws.root), "--jobs", "1"]) == 0
+
+        settings = ServeSettings(
+            max_workers=4, queue_limit=16, tenant_queue_limit=4,
+            tenant_running_limit=4,
+        )
+        _, client = serve_factory(
+            settings=settings, cache_dir=tmp_path / "shared_cache"
+        )
+        jobs = {}
+        for tenant in ("alpha", "beta", "gamma", "delta"):
+            ws = make_workspace(tmp_path / f"ws_{tenant}")
+            job = client.submit(
+                tenant, "characterize", ws.root, params={"jobs": 4}
+            )
+            jobs[tenant] = (job["job_id"], ws)
+        for tenant, (job_id, ws) in jobs.items():
+            done = client.wait(job_id, timeout_s=300.0)
+            assert done["state"] == DONE, f"{tenant}: {done}"
+            assert_same_artefacts(cli_ws.root, ws.root)
+
+    def test_init_parity_with_cli(self, tmp_path, serve_factory):
+        """A served ``init`` block writes the exact ``workspace.json`` the
+        CLI's ``repro-flow init`` writes (byte-equal metadata), even when
+        the job's stage itself fails — initialisation is a separate,
+        idempotent step."""
+        cli_root = tmp_path / "cli_ws"
+        assert flow_main(["init", str(cli_root), "--serial", "5",
+                          "--scale", "0.012"]) == 0
+
+        srv_root = tmp_path / "srv_ws"
+        _, client = serve_factory()
+        # ``evaluate`` fails fast (no design set yet: DesignError, the
+        # generic ReproError exit) but the init block runs first — a
+        # cheap probe of init parity.
+        job = client.submit(
+            "tenant-a", "evaluate", srv_root,
+            params={"init": {"serial": 5, "scale": 0.012}},
+        )
+        done = client.wait(job["job_id"], timeout_s=60.0)
+        assert done["state"] == FAILED
+        assert done["exit_code"] == 1
+        cli_meta = (cli_root / "workspace.json").read_bytes()
+        srv_meta = (srv_root / "workspace.json").read_bytes()
+        assert srv_meta == cli_meta

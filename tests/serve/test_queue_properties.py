@@ -1,0 +1,157 @@
+"""Property tests: admission control is a pure function of history.
+
+The :class:`~repro.serve.queue.AdmissionQueue` has no clocks, no
+randomness and no I/O, so replaying a submission sequence must reproduce
+every admission, every rejection (and its reason) and the complete
+schedule order.  Hypothesis drives arbitrary multi-tenant submission
+sequences through a model server loop and pins exactly that.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import JobRejectedError, ServeError
+from repro.serve import (
+    AdmissionQueue,
+    QueueEntry,
+    REASON_QUEUE_FULL,
+    REASON_TENANT_QUOTA,
+    JobSpec,
+    ServeSettings,
+    job_id_for,
+)
+
+SMALL = ServeSettings(
+    max_workers=2, queue_limit=5, tenant_queue_limit=2, tenant_running_limit=1
+)
+
+submissions_strategy = st.lists(
+    st.tuples(st.sampled_from(["a", "b", "c"]), st.integers(0, 3)),
+    max_size=40,
+)
+
+
+def simulate(submissions, policy=SMALL):
+    """Run submissions through a model server loop; return its decisions.
+
+    Mirrors the real scheduler: admit everything up front (recording
+    rejections), then repeatedly fill ``max_workers`` slots via
+    ``pop_next`` and complete the oldest running job — fully
+    deterministic, with the tenant-running skip logic exercised.
+    """
+    queue = AdmissionQueue(policy)
+    decisions = []
+    for seq, (tenant, priority) in enumerate(submissions):
+        try:
+            position = queue.admit(QueueEntry(seq, tenant, priority))
+            decisions.append(("admit", seq, position))
+        except JobRejectedError as exc:
+            decisions.append(("reject", seq, exc.reason))
+    schedule = []
+    running: list[QueueEntry] = []
+    counts: dict[str, int] = {}
+    while True:
+        while len(running) < policy.max_workers:
+            entry = queue.pop_next(counts)
+            if entry is None:
+                break
+            running.append(entry)
+            counts[entry.tenant] = counts.get(entry.tenant, 0) + 1
+            schedule.append(entry.seq)
+        if not running:
+            break  # queue drained (or only quota-starved entries left)
+        finished = running.pop(0)
+        counts[finished.tenant] -= 1
+        if counts[finished.tenant] == 0:
+            del counts[finished.tenant]
+    return decisions, schedule
+
+
+class TestQueueDeterminism:
+    @given(submissions=submissions_strategy)
+    @settings(max_examples=200, deadline=None)
+    def test_replay_reproduces_every_decision(self, submissions):
+        first = simulate(submissions)
+        second = simulate(submissions)
+        assert first == second
+
+    @given(submissions=submissions_strategy)
+    @settings(max_examples=200, deadline=None)
+    def test_rejection_reasons_follow_the_documented_rules(self, submissions):
+        queue = AdmissionQueue(SMALL)
+        queued_by_tenant: dict[str, int] = {}
+        total = 0
+        for seq, (tenant, priority) in enumerate(submissions):
+            try:
+                queue.admit(QueueEntry(seq, tenant, priority))
+                queued_by_tenant[tenant] = queued_by_tenant.get(tenant, 0) + 1
+                total += 1
+            except JobRejectedError as exc:
+                if queued_by_tenant.get(tenant, 0) >= SMALL.tenant_queue_limit:
+                    assert exc.reason == REASON_TENANT_QUOTA
+                else:
+                    assert total >= SMALL.queue_limit
+                    assert exc.reason == REASON_QUEUE_FULL
+                assert exc.http_status == 429
+            assert len(queue) == total <= SMALL.queue_limit
+            assert queue.depth_for(tenant) <= SMALL.tenant_queue_limit
+
+    @given(submissions=submissions_strategy)
+    @settings(max_examples=200, deadline=None)
+    def test_schedule_covers_every_admission_exactly_once(self, submissions):
+        decisions, schedule = simulate(submissions)
+        admitted = [seq for verdict, seq, _ in decisions if verdict == "admit"]
+        assert sorted(schedule) == sorted(admitted)
+
+    @given(submissions=st.lists(
+        st.tuples(st.sampled_from(["a", "b"]), st.integers(0, 3)), max_size=10
+    ))
+    @settings(max_examples=200, deadline=None)
+    def test_snapshot_is_priority_then_fifo(self, submissions):
+        queue = AdmissionQueue(
+            ServeSettings(max_workers=1, queue_limit=64,
+                          tenant_queue_limit=64, tenant_running_limit=1)
+        )
+        for seq, (tenant, priority) in enumerate(submissions):
+            queue.admit(QueueEntry(seq, tenant, priority))
+        keys = [entry.sort_key for entry in queue.snapshot()]
+        assert keys == sorted(keys)
+
+
+class TestDeterministicJobIds:
+    @given(
+        tenant=st.sampled_from(["a", "tenant-b"]),
+        seq=st.integers(0, 10_000),
+        priority=st.integers(-2, 9),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_id_is_a_pure_function_of_spec_and_seq(self, tenant, seq, priority):
+        spec = JobSpec(tenant=tenant, kind="characterize", workspace="/ws",
+                       priority=priority, params={"jobs": 2})
+        clone = JobSpec.from_dict({
+            "tenant": tenant, "kind": "characterize", "workspace": "/ws",
+            "priority": priority, "params": {"jobs": 2},
+        })
+        assert job_id_for(spec, seq) == job_id_for(clone, seq)
+        assert len(job_id_for(spec, seq)) == 16
+
+    def test_seq_and_params_separate_ids(self):
+        spec = JobSpec(tenant="a", kind="characterize", workspace="/ws")
+        other = JobSpec(tenant="a", kind="characterize", workspace="/ws",
+                        params={"jobs": 4})
+        assert job_id_for(spec, 0) != job_id_for(spec, 1)
+        assert job_id_for(spec, 0) != job_id_for(other, 0)
+
+    def test_spec_validation(self):
+        with pytest.raises(ServeError):
+            JobSpec(tenant="", kind="characterize", workspace="/ws")
+        with pytest.raises(ServeError):
+            JobSpec(tenant="a", kind="bogus", workspace="/ws")
+        with pytest.raises(ServeError):
+            JobSpec(tenant="a", kind="characterize", workspace="")
+        with pytest.raises(ServeError):
+            JobSpec(tenant="a", kind="characterize", workspace="/ws",
+                    params={"bad": object()}).canonical_json()

@@ -124,3 +124,76 @@ class TestFlowCli:
         assert main(["status", ws]) == 0
         out = capsys.readouterr().out
         assert "t1" in out
+
+
+class TestSharedWorkspace:
+    """Regressions for the serve-era sharing contract: idempotent
+    initialisation, one memoised cache handle, and atomic writes."""
+
+    def test_initialize_exist_ok_is_idempotent(self, ws, device):
+        before = ws.meta_path.read_bytes()
+        ws.initialize(device, SETTINGS, seed=3, exist_ok=True)
+        assert ws.meta_path.read_bytes() == before
+
+    def test_initialize_exist_ok_rejects_identity_mismatch(
+        self, ws, device, other_device
+    ):
+        with pytest.raises(ConfigError, match="different"):
+            ws.initialize(other_device, SETTINGS, seed=3, exist_ok=True)
+        with pytest.raises(ConfigError, match="different"):
+            ws.initialize(device, SETTINGS, seed=4, exist_ok=True)
+
+    def test_placed_cache_is_memoised(self, ws):
+        assert ws.placed_cache() is ws.placed_cache()
+
+    def test_injected_cache_wins(self, tmp_path, device):
+        from repro.parallel.cache import PlacedDesignCache
+
+        shared = PlacedDesignCache(tmp_path / "shared")
+        w = Workspace(tmp_path / "ws2", cache=shared)
+        w.initialize(device, SETTINGS, seed=3)
+        assert w.placed_cache() is shared
+        # The framework places through the injected cache too.
+        assert w.framework().cache is shared
+
+    def test_atomic_writes_leave_no_temp_files(self, ws, device):
+        cfg = CharacterizationConfig(
+            freqs_mhz=(400.0, 500.0), n_samples=60,
+            multiplicands=(1, 7), n_locations=1,
+        )
+        ws.save_characterization(
+            3, characterize_multiplier(device, 9, 3, cfg, seed=3)
+        )
+        samples = collect_area_samples(device, (3, 4), w_data=9, n_runs=3, seed=0)
+        ws.save_area_model(fit_area_model(samples, degree=1))
+        ws.save_design_set("t", [])
+        leftovers = [p for p in ws.root.rglob("*") if ".tmp." in p.name]
+        assert leftovers == []
+        # Globs only ever see complete artefacts, never in-flight temps.
+        assert ws.characterized_wordlengths() == [3]
+        assert ws.design_sets() == ["t"]
+
+    def test_concurrent_saves_of_same_wordlength(self, ws, device):
+        import threading
+
+        cfg = CharacterizationConfig(
+            freqs_mhz=(400.0, 500.0), n_samples=60,
+            multiplicands=(1, 7), n_locations=1,
+        )
+        result = characterize_multiplier(device, 9, 3, cfg, seed=3)
+        errors = []
+
+        def save():
+            try:
+                ws.save_characterization(3, result)
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=save) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert errors == []
+        loaded = ws.load_error_models()
+        assert loaded.wordlengths == (3,)
