@@ -34,9 +34,9 @@ if command -v ruff >/dev/null 2>&1; then
     run_gate "ruff (obs, strict)" ruff check --select PL,RUF src/repro/obs
     run_gate "ruff (kernels, strict)" ruff check --select PL,RUF src/repro/kernels
     run_gate "ruff (serve, strict)" ruff check --select PL,RUF src/repro/serve
-    if ! ruff check --select PL,RUF src/repro >/dev/null 2>&1; then
-        echo "warning: ruff --select PL,RUF reports pre-existing findings outside repro.analysis/repro.obs (warn-only)" >&2
-    fi
+    # Promoted from warn-only: the whole library now holds the
+    # pylint-parity + ruff-specific bar, not just the newer subsystems.
+    run_gate "ruff (library, strict)" ruff check --select PL,RUF src/repro
 else
     echo "warning: ruff not installed; skipping style lint" >&2
 fi
@@ -180,7 +180,19 @@ run_gate "docs drift (telemetry reference)" env PYTHONPATH=src \
 # Determinism audit: the library's own source must be clean under the
 # DTxxx sanitizer — zero unsuppressed findings, every pragma justified.
 run_gate "audit (determinism sanitizer)" env PYTHONPATH=src \
-    python -m repro.cli audit src/repro
+    python -m repro.cli audit --family dt src/repro
+
+# Distribution-readiness audit: the DXxxx portability family must also
+# be clean — pure boundary payloads, complete cache keys, no host
+# identity reaching artefacts.
+run_gate "audit (distribution readiness)" env PYTHONPATH=src \
+    python -m repro.cli audit --family dx src/repro
+
+# Wire-contract gate: every frozen wire-schema fingerprint must match
+# the shape derived from source; schema changes land with an explicit
+# FROZEN_CONTRACTS update or they fail here.
+run_gate "audit (wire contracts)" env PYTHONPATH=src \
+    python -m repro.cli audit --contracts src/repro
 
 # Serve gate: the characterisation-as-a-service suite (byte-equality vs
 # the batch CLI, admission properties, chaos parity, cancellation).
@@ -241,10 +253,13 @@ run_gate "bench (audit smoke)" python benchmarks/bench_audit.py \
     --smoke --output "${audit_json}"
 rm -f "${audit_json}"
 
-# Sanitizer docs drift: the DT-rule table and effect catalogue in
-# docs/static_analysis.md must match the registries.
+# Sanitizer docs drift: the DT/DX rule tables, effect catalogue and
+# wire-contract registry in docs/static_analysis.md must match the
+# registries.
 run_gate "docs drift (DT-rule reference)" env PYTHONPATH=src \
     python -m pytest -x -q tests/analysis/sanitizer/test_docs_drift.py
+run_gate "docs drift (DX-rule + contracts reference)" env PYTHONPATH=src \
+    python -m pytest -x -q tests/analysis/portability/test_docs_drift.py
 
 if [ "${failures}" -ne 0 ]; then
     echo "${failures} gate(s) failed"

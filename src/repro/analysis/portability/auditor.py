@@ -1,0 +1,603 @@
+"""The DX portability audit: static proof of location transparency.
+
+Three passes over the shared :class:`~repro.analysis.sanitizer.auditor.
+ModuleIndex` (one parse serves both the DT determinism audit and this
+one), plus the frozen wire-contract check:
+
+* **payload purity** (DX001–DX004): walks the annotated field graph of
+  every catalogued boundary type transitively — through tuple/dict/
+  Optional/union annotations, string forward references, scanned field
+  types and base classes — and flags any path that reaches a
+  thread-affine object, open handle, callable or process-ambient object.
+  Unknown types are treated as opaque data (the audit proves what it
+  can see; the catalogue's tables define impurity, not purity).
+* **cache-key completeness** (DX005): for each declared
+  :class:`~repro.analysis.portability.catalog.CacheKeyContract`, every
+  getter parameter the body uses must syntactically reach the key-type
+  construction — directly in its arguments, or via a call to a
+  same-module helper from which the key construction is reachable on the
+  DT call graph.  A used-but-unkeyed input means two workers with
+  different values would share one cache entry.
+* **host dependence** (DX006–DX008): roots reachability at the
+  catalogued artefact entry points (cache installs, workspace archives,
+  job-id derivation) using the same conservative call graph the DT audit
+  uses, and flags host-identity reads, cwd dependence and absolute
+  paths anywhere in that cone.
+* **wire contracts** (DX009): re-derives each frozen schema fingerprint
+  from the index and reports unacknowledged drift
+  (:mod:`repro.analysis.portability.contracts`).
+
+Findings flow through the same allowance + ``# repro: allow[DXnnn]``
+pragma policy as the DT family and render with the shared
+:class:`~repro.analysis.sanitizer.report.AuditReport`.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from ..sanitizer.auditor import (
+    MODULE_UNIT,
+    ModuleIndex,
+    _allowed,
+    _ClassInfo,
+    _Module,
+    _Occurrence,
+    _pragma_for_line,
+    _Unit,
+    build_module_index,
+)
+from ..sanitizer.effects import Allowance
+from ..sanitizer.report import AuditFinding, AuditReport, Suppression
+from .catalog import (
+    ABS_PATH_CALLS,
+    AMBIENT_TYPES,
+    ARTEFACT_ENTRY_POINTS,
+    BOUNDARY_TYPES,
+    CACHE_KEY_CONTRACTS,
+    CALLABLE_TYPES,
+    CWD_CALLS,
+    DX_ALLOWANCES,
+    CacheKeyContract,
+    HANDLE_PREFIXES,
+    HANDLE_TYPES,
+    HOST_IDENTITY_CALLS,
+    THREAD_AFFINE_PREFIXES,
+)
+from .contracts import verify_contracts
+from .rules import (
+    EFFECT_ABS_PATH,
+    EFFECT_AMBIENT_FIELD,
+    EFFECT_CALLABLE_FIELD,
+    EFFECT_CONTRACT_DRIFT,
+    EFFECT_CWD,
+    EFFECT_HANDLE_FIELD,
+    EFFECT_HOST_IDENTITY,
+    EFFECT_KEY_INCOMPLETE,
+    EFFECT_THREAD_AFFINE_FIELD,
+    dx_rule_for_effect,
+)
+
+__all__ = ["audit_portability"]
+
+
+# ----------------------------------------------------------------------
+# Payload purity (DX001-DX004).
+
+
+def _annotation_atoms(
+    node: ast.expr | None, module: _Module
+) -> list[str]:
+    """Import-rooted dotted type names appearing in an annotation.
+
+    Walks subscripts (``tuple[X, ...]``), PEP-604 unions (``X | None``),
+    ``Optional``/``Callable`` arguments and quoted forward references;
+    ``None``/``...`` constants vanish.  Roots resolve through the
+    module's import map, so ``Lock`` imported from ``threading`` comes
+    back as ``threading.Lock``.
+    """
+    if node is None:
+        return []
+    atoms: list[str] = []
+    if isinstance(node, ast.Name):
+        atoms.append(module.imports.get(node.id, node.id))
+    elif isinstance(node, ast.Attribute):
+        parts: list[str] = []
+        current: ast.expr = node
+        while isinstance(current, ast.Attribute):
+            parts.insert(0, current.attr)
+            current = current.value
+        if isinstance(current, ast.Name):
+            parts.insert(0, module.imports.get(current.id, current.id))
+            atoms.append(".".join(parts))
+    elif isinstance(node, ast.Subscript):
+        atoms.extend(_annotation_atoms(node.value, module))
+        atoms.extend(_annotation_atoms(node.slice, module))
+    elif isinstance(node, (ast.Tuple, ast.List)):
+        for elt in node.elts:
+            atoms.extend(_annotation_atoms(elt, module))
+    elif isinstance(node, ast.BinOp) and isinstance(node.op, ast.BitOr):
+        atoms.extend(_annotation_atoms(node.left, module))
+        atoms.extend(_annotation_atoms(node.right, module))
+    elif isinstance(node, ast.Constant) and isinstance(node.value, str):
+        try:
+            parsed = ast.parse(node.value, mode="eval")
+        except SyntaxError:
+            return []
+        atoms.extend(_annotation_atoms(parsed.body, module))
+    return atoms
+
+
+def _impure_effect(atom: str) -> str | None:
+    """The DX effect an annotation atom triggers, or ``None`` if opaque."""
+    if any(atom.startswith(prefix) for prefix in THREAD_AFFINE_PREFIXES):
+        return EFFECT_THREAD_AFFINE_FIELD
+    if atom in HANDLE_TYPES or any(
+        atom.startswith(prefix) for prefix in HANDLE_PREFIXES
+    ):
+        return EFFECT_HANDLE_FIELD
+    if atom in CALLABLE_TYPES:
+        return EFFECT_CALLABLE_FIELD
+    if atom in AMBIENT_TYPES:
+        return EFFECT_AMBIENT_FIELD
+    return None
+
+
+def _resolve_class(
+    atom: str, module: _Module, index: ModuleIndex
+) -> tuple[_Module, _ClassInfo] | None:
+    """A scanned class an (import-rooted) annotation atom names, if any."""
+    if "." not in atom:
+        info = module.classes.get(atom)
+        return (module, info) if info is not None else None
+    parts = atom.split(".")
+    for i in range(len(parts) - 1, 0, -1):
+        owner = index.modules.get(".".join(parts[:i]))
+        if owner is None:
+            continue
+        info = owner.classes.get(".".join(parts[i:]))
+        return (owner, info) if info is not None else None
+    return None
+
+
+def _walk_class(
+    module: _Module,
+    info: _ClassInfo,
+    trail: tuple[str, ...],
+    seen: set[tuple[str, str]],
+    index: ModuleIndex,
+    out: dict[tuple[str, str, str, int], _Occurrence],
+    modules_out: dict[tuple[str, str, str, int], _Module],
+) -> None:
+    via = "" if len(trail) == 1 else f" (via {' -> '.join(trail)})"
+    for field_info in info.fields:
+        for atom in _annotation_atoms(field_info.annotation, module):
+            effect = _impure_effect(atom)
+            if effect is not None:
+                occ = _Occurrence(
+                    effect,
+                    field_info.lineno,
+                    f"boundary field `{info.name}.{field_info.name}` holds "
+                    f"`{atom}`{via}; payloads crossing a process/host "
+                    "boundary must be pure data",
+                    f"{info.name}.{field_info.name}",
+                )
+                key = (effect, module.name, occ.qualname, occ.lineno)
+                if key not in out:
+                    out[key] = occ
+                    modules_out[key] = module
+                continue
+            resolved = _resolve_class(atom, module, index)
+            if resolved is None:
+                continue
+            owner, nested = resolved
+            mark = (owner.name, nested.name)
+            if mark in seen:
+                continue
+            seen.add(mark)
+            _walk_class(
+                owner, nested, trail + (nested.name,), seen, index, out, modules_out
+            )
+    for base in info.bases:
+        resolved = _resolve_class(base, module, index)
+        if resolved is None:
+            continue
+        owner, base_info = resolved
+        mark = (owner.name, base_info.name)
+        if mark not in seen:
+            seen.add(mark)
+            _walk_class(owner, base_info, trail, seen, index, out, modules_out)
+
+
+def _purity_occurrences(
+    index: ModuleIndex, boundary_types: Sequence[str]
+) -> list[tuple[_Module, _Occurrence]]:
+    out: dict[tuple[str, str, str, int], _Occurrence] = {}
+    modules_out: dict[tuple[str, str, str, int], _Module] = {}
+    for spec in boundary_types:
+        mod_name, _, cls_name = spec.partition(":")
+        module = index.modules.get(mod_name)
+        if module is None:
+            continue
+        info = module.classes.get(cls_name)
+        if info is None:
+            continue
+        _walk_class(
+            module,
+            info,
+            (cls_name,),
+            {(mod_name, cls_name)},
+            index,
+            out,
+            modules_out,
+        )
+    return [(modules_out[key], out[key]) for key in sorted(out)]
+
+
+# ----------------------------------------------------------------------
+# Cache-key completeness (DX005).
+
+
+def _is_key_call(call: ast.Call, key_cls: str, key_full: str, module: _Module) -> bool:
+    func = call.func
+    if isinstance(func, ast.Name):
+        return func.id == key_cls or module.imports.get(func.id) == key_full
+    if isinstance(func, ast.Attribute):
+        parts: list[str] = []
+        current: ast.expr = func
+        while isinstance(current, ast.Attribute):
+            parts.insert(0, current.attr)
+            current = current.value
+        if not isinstance(current, ast.Name):
+            return False
+        root = module.imports.get(current.id, current.id)
+        dotted = ".".join([root, *parts])
+        return (
+            current.id == key_cls
+            or dotted == key_full
+            or dotted.startswith(f"{key_full}.")
+        )
+    return False
+
+
+def _key_calls(node: ast.AST, key_cls: str, key_full: str, module: _Module) -> list[ast.Call]:
+    return [
+        sub
+        for sub in ast.walk(node)
+        if isinstance(sub, ast.Call) and _is_key_call(sub, key_cls, key_full, module)
+    ]
+
+
+def _call_arg_names(call: ast.Call) -> set[str]:
+    names: set[str] = set()
+    for arg in [*call.args, *(kw.value for kw in call.keywords)]:
+        names.update(
+            sub.id for sub in ast.walk(arg) if isinstance(sub, ast.Name)
+        )
+    return names
+
+
+def _key_reaching_units(
+    index: ModuleIndex, module: _Module, key_cls: str, key_full: str
+) -> set[str]:
+    """Same-module unit keys from which a key construction is reachable."""
+    direct = {
+        unit.key
+        for unit in module.units.values()
+        if unit.node is not None and _key_calls(unit.node, key_cls, key_full, module)
+    }
+    reaching = set(direct)
+    changed = True
+    module_keys = {unit.key for unit in module.units.values()}
+    while changed:
+        changed = False
+        for key in module_keys - reaching:
+            if index.edges.get(key, set()) & reaching:
+                reaching.add(key)
+                changed = True
+    return reaching
+
+
+def _callee_unit_key(call: ast.Call, module: _Module) -> str | None:
+    """The same-module unit a call statically targets, if resolvable."""
+    func = call.func
+    if isinstance(func, ast.Name) and func.id in module.units:
+        return module.units[func.id].key
+    if isinstance(func, ast.Attribute) and isinstance(func.value, ast.Name):
+        if func.value.id in ("self", "cls"):
+            for qualname, unit in module.units.items():
+                if qualname.endswith(f".{func.attr}"):
+                    return unit.key
+    return None
+
+
+def _cache_key_occurrences(
+    index: ModuleIndex, contracts: Sequence[CacheKeyContract]
+) -> list[tuple[_Module, _Occurrence]]:
+    out: list[tuple[_Module, _Occurrence]] = []
+    for contract in contracts:
+        mod_name, _, qualname = contract.getter.partition(":")
+        module = index.modules.get(mod_name)
+        if module is None:
+            continue
+        unit = module.units.get(qualname)
+        key_mod, _, key_cls = contract.key_type.partition(":")
+        key_full = f"{key_mod}.{key_cls}"
+        if unit is None or unit.node is None:
+            out.append(
+                (
+                    module,
+                    _Occurrence(
+                        EFFECT_KEY_INCOMPLETE,
+                        1,
+                        f"declared cache getter `{contract.getter}` was not "
+                        "found in the audited tree; fix the catalogue or the "
+                        "rename",
+                        qualname,
+                    ),
+                )
+            )
+            continue
+        reaching = _key_reaching_units(index, module, key_cls, key_full)
+        if not reaching:
+            out.append(
+                (
+                    module,
+                    _Occurrence(
+                        EFFECT_KEY_INCOMPLETE,
+                        unit.lineno,
+                        f"cache getter `{qualname}` never constructs its "
+                        f"declared key type `{key_cls}`",
+                        qualname,
+                    ),
+                )
+            )
+            continue
+        keyed: set[str] = set()
+        used: set[str] = set()
+        for stmt in unit.node.body:
+            for sub in ast.walk(stmt):
+                if isinstance(sub, ast.Name):
+                    used.add(sub.id)
+                if not isinstance(sub, ast.Call):
+                    continue
+                if _is_key_call(sub, key_cls, key_full, module):
+                    keyed.update(_call_arg_names(sub))
+                else:
+                    callee = _callee_unit_key(sub, module)
+                    if callee is not None and callee in reaching:
+                        keyed.update(_call_arg_names(sub))
+        args = unit.node.args
+        params = [
+            a.arg
+            for a in [*args.posonlyargs, *args.args, *args.kwonlyargs]
+            if a.arg not in ("self", "cls") and a.arg not in contract.exempt
+        ]
+        for param in params:
+            if param in used and param not in keyed:
+                out.append(
+                    (
+                        module,
+                        _Occurrence(
+                            EFFECT_KEY_INCOMPLETE,
+                            unit.lineno,
+                            f"parameter `{param}` of `{qualname}` influences "
+                            "the produced artefact but never reaches the "
+                            f"`{key_cls}` construction; two workers with "
+                            "different values would share one cache entry",
+                            qualname,
+                        ),
+                    )
+                )
+    return out
+
+
+# ----------------------------------------------------------------------
+# Host dependence (DX006-DX008).
+
+
+def _host_occurrences(
+    index: ModuleIndex, entry_points: Sequence[str]
+) -> tuple[list[tuple[_Module, _Occurrence]], int]:
+    reachable = index.reachable_units(entry_points)
+    reachable_mods = index.reachable_modules(reachable)
+    out: list[tuple[_Module, _Occurrence]] = []
+
+    def in_scope(module: _Module, unit: _Unit) -> bool:
+        if unit.qualname == MODULE_UNIT:
+            return module.name in reachable_mods
+        return unit.key in reachable
+
+    for module in index.modules.values():
+        for unit in module.units.values():
+            if not in_scope(module, unit):
+                continue
+            for dotted, lineno in unit.dotted_call_sites:
+                if dotted in HOST_IDENTITY_CALLS:
+                    out.append(
+                        (
+                            module,
+                            _Occurrence(
+                                EFFECT_HOST_IDENTITY,
+                                lineno,
+                                f"artefact-reachable code reads host identity "
+                                f"via `{dotted}`",
+                                unit.qualname,
+                            ),
+                        )
+                    )
+                elif dotted in CWD_CALLS:
+                    out.append(
+                        (
+                            module,
+                            _Occurrence(
+                                EFFECT_CWD,
+                                lineno,
+                                f"artefact-reachable code depends on the "
+                                f"working directory via `{dotted}`",
+                                unit.qualname,
+                            ),
+                        )
+                    )
+                elif dotted in ABS_PATH_CALLS:
+                    out.append(
+                        (
+                            module,
+                            _Occurrence(
+                                EFFECT_ABS_PATH,
+                                lineno,
+                                f"artefact-reachable code anchors paths to "
+                                f"this host via `{dotted}`",
+                                unit.qualname,
+                            ),
+                        )
+                    )
+            for value, lineno in unit.abs_path_literals:
+                out.append(
+                    (
+                        module,
+                        _Occurrence(
+                            EFFECT_ABS_PATH,
+                            lineno,
+                            f"artefact-reachable code embeds the absolute "
+                            f"path literal {value!r}",
+                            unit.qualname,
+                        ),
+                    )
+                )
+    return out, len(reachable)
+
+
+# ----------------------------------------------------------------------
+# Contract drift (DX009).
+
+
+def _contract_occurrences(
+    index: ModuleIndex, frozen: dict[str, str] | None
+) -> list[tuple[_Module, _Occurrence]]:
+    out: list[tuple[_Module, _Occurrence]] = []
+    for drift in verify_contracts(index, frozen):
+        module = index.modules.get(drift.source)
+        if module is None:
+            # Shape underivable because the source module is absent; pin
+            # the finding to any scanned module so it still surfaces.
+            if not index.modules:
+                continue
+            module = index.modules[sorted(index.modules)[0]]
+        out.append(
+            (
+                module,
+                _Occurrence(
+                    EFFECT_CONTRACT_DRIFT,
+                    1,
+                    f"wire contract `{drift.name}` drifted: {drift.detail}",
+                    MODULE_UNIT,
+                ),
+            )
+        )
+    return out
+
+
+# ----------------------------------------------------------------------
+# The assembled DX audit.
+
+
+def audit_portability(
+    paths: Iterable[str | Path] = (),
+    boundary_types: Sequence[str] | None = None,
+    cache_contracts: Sequence[CacheKeyContract] | None = None,
+    entry_points: Sequence[str] | None = None,
+    allowances: Sequence[Allowance] | None = None,
+    disabled: frozenset[str] = frozenset(),
+    index: ModuleIndex | None = None,
+    check_contracts: bool = True,
+    frozen_contracts: dict[str, str] | None = None,
+) -> AuditReport:
+    """Run the DX location-transparency audit and return the report.
+
+    Parameters
+    ----------
+    paths:
+        Files or directories to audit; ignored when ``index`` is given.
+    boundary_types / cache_contracts / entry_points / allowances:
+        Catalogue overrides (defaults: :mod:`~repro.analysis.portability.
+        catalog`).  Boundary types or contract getters that do not
+        resolve in the audited tree are skipped for purity (the
+        entry-point resolution test pins that they resolve on
+        ``src/repro``) but missing cache getters are findings.
+    disabled:
+        Rule IDs to skip entirely (CLI ``--disable``).
+    index:
+        A prebuilt shared :class:`ModuleIndex`; keeps a combined DT + DX
+        run single-parse.
+    check_contracts / frozen_contracts:
+        Whether to include DX009 wire-contract verification, and an
+        override for the frozen registry (fixtures pin their own).
+    """
+    if index is None:
+        index = build_module_index(paths)
+    boundaries = BOUNDARY_TYPES if boundary_types is None else tuple(boundary_types)
+    contracts = (
+        CACHE_KEY_CONTRACTS if cache_contracts is None else tuple(cache_contracts)
+    )
+    roots = ARTEFACT_ENTRY_POINTS if entry_points is None else tuple(entry_points)
+    policy = DX_ALLOWANCES if allowances is None else tuple(allowances)
+
+    occurrences: list[tuple[_Module, _Occurrence]] = []
+    occurrences.extend(_purity_occurrences(index, boundaries))
+    occurrences.extend(_cache_key_occurrences(index, contracts))
+    host_occurrences, n_reachable = _host_occurrences(index, roots)
+    occurrences.extend(host_occurrences)
+    if check_contracts:
+        occurrences.extend(_contract_occurrences(index, frozen_contracts))
+
+    findings: list[AuditFinding] = []
+    suppressions: list[Suppression] = []
+    for module, occ in occurrences:
+        rule = dx_rule_for_effect(occ.effect)
+        if rule.rule_id in disabled:
+            continue
+        if _allowed(occ, module.name, policy):
+            continue
+        pragma = _pragma_for_line(module, occ.lineno)
+        if pragma is not None and not pragma.problems and rule.rule_id in pragma.rules:
+            suppressions.append(
+                Suppression(
+                    rule=rule.rule_id,
+                    module=module.name,
+                    path=str(module.path),
+                    lineno=occ.lineno,
+                    reason=pragma.reason,
+                )
+            )
+            continue
+        findings.append(
+            AuditFinding(
+                rule=rule.rule_id,
+                name=rule.name,
+                module=module.name,
+                qualname=occ.qualname,
+                path=str(module.path),
+                lineno=occ.lineno,
+                message=occ.detail,
+            )
+        )
+
+    n_functions = sum(
+        1
+        for module in index.modules.values()
+        for unit in module.units.values()
+        if unit.qualname != MODULE_UNIT
+    )
+    findings.sort(key=lambda f: (f.rule, f.path, f.lineno))
+    suppressions.sort(key=lambda s: (s.rule, s.path, s.lineno))
+    return AuditReport(
+        findings=tuple(findings),
+        suppressions=tuple(suppressions),
+        n_files=len(index.files),
+        n_functions=n_functions,
+        n_reachable=n_reachable,
+        entry_points=tuple(roots),
+    )

@@ -1,0 +1,223 @@
+"""The portability catalogue: what the DX audit holds where.
+
+Closed-world in the same sense as the DT effect catalogue
+(:mod:`repro.analysis.sanitizer.effects`): the boundary types whose
+payload purity is proven, the impure-type tables that define "pure", the
+cache-key contracts, the artefact entry points that root the
+host-dependence rules, and the sanctioned exceptions are all declared
+*here*, in one reviewable table.
+
+Why these boundaries: the ROADMAP's distributed sweep fabric ships
+``(location, chunk)`` shards to stateless cross-host workers and shares
+a content-addressed placed-design cache between them.  Every type below
+is something that fabric will serialize (shards, plans, results, fault
+plans, job specs) or hash (cache keys); every artefact entry point below
+writes bytes a remote peer will read back.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..sanitizer.effects import Allowance
+from .rules import EFFECT_HOST_IDENTITY
+
+__all__ = [
+    "ABS_PATH_CALLS",
+    "AMBIENT_TYPES",
+    "ARTEFACT_ENTRY_POINTS",
+    "BOUNDARY_TYPES",
+    "CACHE_KEY_CONTRACTS",
+    "CALLABLE_TYPES",
+    "CWD_CALLS",
+    "DX_ALLOWANCES",
+    "CacheKeyContract",
+    "HANDLE_PREFIXES",
+    "HANDLE_TYPES",
+    "HOST_IDENTITY_CALLS",
+    "THREAD_AFFINE_PREFIXES",
+]
+
+#: ``module:Class`` names whose transitive field graphs must be pure
+#: data.  Everything the future fabric serializes across a process or
+#: host boundary, plus the placed-cache key it hashes.
+BOUNDARY_TYPES: tuple[str, ...] = (
+    "repro.faults.plan:FaultPlan",
+    "repro.faults.plan:FaultSpec",
+    "repro.parallel.cache:PlacedKey",
+    "repro.parallel.engine:Shard",
+    "repro.parallel.engine:ShardResult",
+    "repro.parallel.engine:SweepPlan",
+    "repro.parallel.retry:ShardAttempt",
+    "repro.parallel.retry:ShardReport",
+    "repro.parallel.retry:SweepOutcome",
+    "repro.serve.jobs:JobSpec",
+)
+
+#: Annotation roots that mark a field thread-affine (DX001).  Matched by
+#: module prefix: anything these modules export pins a payload to one
+#: process (locks, events, threads, pools, futures, queues).
+THREAD_AFFINE_PREFIXES: tuple[str, ...] = (
+    "_thread.",
+    "asyncio.",
+    "concurrent.futures.",
+    "multiprocessing.",
+    "queue.",
+    "threading.",
+)
+
+#: Annotation roots that mark a field an open handle (DX002).
+HANDLE_PREFIXES: tuple[str, ...] = ("io.", "socket.")
+
+#: Exact handle types (DX002) that live outside the handle modules.
+HANDLE_TYPES: frozenset[str] = frozenset(
+    {
+        "mmap.mmap",
+        "typing.BinaryIO",
+        "typing.IO",
+        "typing.TextIO",
+    }
+)
+
+#: Exact callable annotations (DX003).
+CALLABLE_TYPES: frozenset[str] = frozenset(
+    {
+        "collections.abc.Callable",
+        "types.BuiltinFunctionType",
+        "types.FunctionType",
+        "types.LambdaType",
+        "types.MethodType",
+        "typing.Callable",
+    }
+)
+
+#: Exact process-ambient object types (DX004).
+AMBIENT_TYPES: frozenset[str] = frozenset(
+    {
+        "logging.Handler",
+        "logging.Logger",
+        "numpy.random.Generator",
+        "numpy.random.RandomState",
+        "random.Random",
+        "types.FrameType",
+        "types.ModuleType",
+        "weakref.ref",
+    }
+)
+
+
+@dataclass(frozen=True)
+class CacheKeyContract:
+    """One cache getter whose key must capture every influential input.
+
+    Attributes
+    ----------
+    getter:
+        ``module:qualname`` of the memoising entry point.  Every
+        parameter the getter's body *uses* must syntactically reach the
+        key construction (directly, or through a same-module helper the
+        key construction is reachable from) — a used-but-unkeyed
+        parameter is a DX005 finding.
+    key_type:
+        ``module:Class`` of the key the getter must construct.
+    exempt:
+        Parameters excluded from the completeness demand (``self`` and
+        ``cls`` are always exempt).
+    """
+
+    getter: str
+    key_type: str
+    exempt: tuple[str, ...] = ()
+
+
+#: Every memoising boundary the fabric shares between workers.
+CACHE_KEY_CONTRACTS: tuple[CacheKeyContract, ...] = (
+    CacheKeyContract(
+        getter="repro.parallel.cache:PlacedDesignCache.get_or_place",
+        key_type="repro.parallel.cache:PlacedKey",
+    ),
+)
+
+#: ``module:qualname`` roots for the host-dependence rules (DX006–DX008):
+#: everything that writes shared artefact bytes or derives shared
+#: identities (cache entries, workspace archives, job ids).
+ARTEFACT_ENTRY_POINTS: tuple[str, ...] = (
+    "repro.parallel.cache:PlacedDesignCache._store_disk",
+    "repro.parallel.cache:PlacedKey.digest",
+    "repro.parallel.cache:PlacedKey.for_device",
+    "repro.serve.jobs:JobSpec.canonical_json",
+    "repro.serve.jobs:job_id_for",
+    "repro.workspace:Workspace.save_area_model",
+    "repro.workspace:Workspace.save_characterization",
+    "repro.workspace:Workspace.save_design_set",
+)
+
+#: Import-rooted dotted calls that read host identity (DX007).
+HOST_IDENTITY_CALLS: frozenset[str] = frozenset(
+    {
+        "getpass.getuser",
+        "os.getpid",
+        "os.getppid",
+        "os.uname",
+        "platform.machine",
+        "platform.node",
+        "platform.platform",
+        "platform.release",
+        "platform.system",
+        "platform.version",
+        "socket.getfqdn",
+        "socket.gethostname",
+        "threading.get_ident",
+        "threading.get_native_id",
+    }
+)
+
+#: Import-rooted dotted calls that read or change the working directory
+#: (DX008).
+CWD_CALLS: frozenset[str] = frozenset(
+    {
+        "os.chdir",
+        "os.fchdir",
+        "os.getcwd",
+        "os.getcwdb",
+        "pathlib.Path.cwd",
+    }
+)
+
+#: Import-rooted dotted calls that anchor paths to one host's filesystem
+#: (DX006).  Absolute-path string literals are caught separately by the
+#: scanner.
+ABS_PATH_CALLS: frozenset[str] = frozenset(
+    {
+        "os.path.abspath",
+        "os.path.expanduser",
+        "os.path.realpath",
+    }
+)
+
+#: The DX policy table: every sanctioned portability exception.
+DX_ALLOWANCES: tuple[Allowance, ...] = (
+    Allowance(
+        EFFECT_HOST_IDENTITY,
+        "repro.parallel.cache",
+        "PlacedDesignCache._store_disk",
+        "os.getpid names the *temporary* file only; the installed entry "
+        "path and bytes are pure in the key, so peers on any host "
+        "converge on identical entries.",
+    ),
+    Allowance(
+        EFFECT_HOST_IDENTITY,
+        "repro.workspace",
+        "Workspace._writer_tag",
+        "pid + thread id tag temp-file names so racing writers never "
+        "collide; the installed artefact name and bytes never carry the "
+        "tag.",
+    ),
+    Allowance(
+        EFFECT_HOST_IDENTITY,
+        "repro.parallel.sanitize",
+        "CacheSanitizer._record",
+        "The runtime sanitizer journals the violating pid as provenance; "
+        "the journal is diagnostic output, never artefact or key input.",
+    ),
+)

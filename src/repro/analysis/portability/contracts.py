@@ -1,0 +1,397 @@
+"""Frozen wire-schema contracts: fingerprints a fleet can trust.
+
+A distributed fabric has peers that were not started from the same
+checkout: a worker drains shard descriptors written by yesterday's
+submitter, a client polls a server deployed last week, a warm cache
+directory is shared by every version in the fleet.  Each such surface is
+a *wire contract* — and a contract that can drift silently is how
+mixed-version fleets corrupt each other's state.
+
+This module derives each contract's live shape **statically** from the
+shared :class:`~repro.analysis.sanitizer.auditor.ModuleIndex` (the same
+single parse the DT and DX passes use — no imports, no runtime state),
+canonicalises it to JSON, and fingerprints it.  The fingerprints are
+frozen in :data:`FROZEN_CONTRACTS`; ``repro audit --contracts`` (and the
+DX family's DX009 rule) fail whenever a derived fingerprint disagrees
+with its frozen value.  Changing a wire schema is allowed — *silently*
+changing one is not: the same commit must update the frozen registry,
+which makes the change visible in review and in the generated docs
+table.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import Any
+
+from ..sanitizer.auditor import ModuleIndex, _Module
+
+__all__ = [
+    "CONTRACTS",
+    "ContractDrift",
+    "FROZEN_CONTRACTS",
+    "WireContract",
+    "contract_shapes",
+    "fingerprint",
+    "verify_contracts",
+    "wire_contracts_markdown",
+]
+
+
+@dataclass(frozen=True)
+class WireContract:
+    """One frozen wire schema.
+
+    Attributes
+    ----------
+    name:
+        Stable dotted contract name, versioned (``surface.vN``).
+    source:
+        Dotted module the shape is derived from (and the file a drift
+        finding points at).
+    description:
+        What the schema covers and who depends on it.
+    """
+
+    name: str
+    source: str
+    description: str
+
+
+#: Every wire surface the fabric's peers depend on.
+CONTRACTS: tuple[WireContract, ...] = (
+    WireContract(
+        "serve.protocol.v1",
+        "repro.serve.server",
+        "The job server's newline-JSON protocol: the op set, the "
+        "submit/status/result response fields, and the job kind/state "
+        "vocabularies clients schedule against.",
+    ),
+    WireContract(
+        "sidecar.outcome.v1",
+        "repro.parallel.retry",
+        "The `wlNN.outcome.json` sweep-health sidecar: outcome, "
+        "per-shard report and per-attempt record fields that "
+        "`sweep_health()` and operators read back.",
+    ),
+    WireContract(
+        "cache.entry.v2",
+        "repro.parallel.cache",
+        "The placed-design cache's on-disk entry: the payload envelope "
+        "fields, the disk version, and the `PlacedKey` identity fields "
+        "every sharing process hashes.",
+    ),
+    WireContract(
+        "shard.descriptor.v1",
+        "repro.parallel.engine",
+        "The shard unit of work and its plan/result shapes — exactly "
+        "what a cross-host work queue will serialize.",
+    ),
+)
+
+#: The frozen registry: contract name -> fingerprint of the canonical
+#: shape.  Updating a value here is the *acknowledgement* that a wire
+#: schema changed; `repro audit --contracts` fails until it happens.
+FROZEN_CONTRACTS: dict[str, str] = {
+    "serve.protocol.v1": "a2641785bf7ddcd2",
+    "sidecar.outcome.v1": "34caf5ac544583ef",
+    "cache.entry.v2": "2e102209f35a80e8",
+    "shard.descriptor.v1": "ffec9f8147b24d14",
+}
+
+
+@dataclass(frozen=True)
+class ContractDrift:
+    """One contract whose derived shape disagrees with the frozen registry."""
+
+    name: str
+    source: str
+    frozen: str | None
+    derived: str | None
+    detail: str
+
+
+# ----------------------------------------------------------------------
+# Static shape extraction over the shared module index.
+
+
+def _function_node(
+    module: _Module, qualname: str
+) -> ast.FunctionDef | ast.AsyncFunctionDef | None:
+    unit = module.units.get(qualname)
+    return unit.node if unit is not None else None
+
+
+def _return_dict_keys(node: ast.AST | None) -> list[str]:
+    """Sorted union of constant keys over dict literals in return statements."""
+    if node is None:
+        return []
+    keys: set[str] = set()
+    for stmt in ast.walk(node):
+        if not isinstance(stmt, ast.Return) or stmt.value is None:
+            continue
+        for sub in ast.walk(stmt.value):
+            if isinstance(sub, ast.Dict):
+                keys.update(
+                    k.value
+                    for k in sub.keys
+                    if isinstance(k, ast.Constant) and isinstance(k.value, str)
+                )
+    return sorted(keys)
+
+
+def _dict_literal_keys(node: ast.AST | None) -> list[str]:
+    """Sorted union of constant keys over every dict literal in ``node``."""
+    if node is None:
+        return []
+    keys: set[str] = set()
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Dict):
+            keys.update(
+                k.value
+                for k in sub.keys
+                if isinstance(k, ast.Constant) and isinstance(k.value, str)
+            )
+    return sorted(keys)
+
+
+def _compared_constants(node: ast.AST | None, name: str) -> list[str]:
+    """Sorted constants ``name`` is ``==``-compared against in ``node``."""
+    if node is None:
+        return []
+    values: set[str] = set()
+    for sub in ast.walk(node):
+        if not isinstance(sub, ast.Compare) or len(sub.ops) != 1:
+            continue
+        if not isinstance(sub.ops[0], ast.Eq):
+            continue
+        if not (isinstance(sub.left, ast.Name) and sub.left.id == name):
+            continue
+        comparator = sub.comparators[0]
+        if isinstance(comparator, ast.Constant) and isinstance(comparator.value, str):
+            values.add(comparator.value)
+    return sorted(values)
+
+
+def _module_assignments(module: _Module) -> dict[str, ast.expr]:
+    out: dict[str, ast.expr] = {}
+    if module.tree is None:
+        return out
+    for stmt in module.tree.body:
+        targets: list[ast.expr] = []
+        value: ast.expr | None = None
+        if isinstance(stmt, ast.Assign):
+            targets, value = stmt.targets, stmt.value
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            targets, value = [stmt.target], stmt.value
+        for target in targets:
+            if isinstance(target, ast.Name) and value is not None:
+                out[target.id] = value
+    return out
+
+
+def _module_constant(module: _Module, name: str) -> Any:
+    """The constant value assigned to module-level ``name``, if literal.
+
+    Tuples/lists of module-level names (``STATES = (QUEUED, DONE)``)
+    resolve one level deep through sibling literal assignments.
+    """
+    assignments = _module_assignments(module)
+    value = assignments.get(name)
+    if value is None:
+        return None
+    try:
+        return ast.literal_eval(value)
+    except (ValueError, TypeError, SyntaxError):
+        pass
+    if isinstance(value, (ast.Tuple, ast.List)):
+        resolved: list[Any] = []
+        for elt in value.elts:
+            target = (
+                assignments.get(elt.id) if isinstance(elt, ast.Name) else elt
+            )
+            if target is None:
+                return None
+            try:
+                resolved.append(ast.literal_eval(target))
+            except (ValueError, TypeError, SyntaxError):
+                return None
+        return resolved
+    return None
+
+
+def _class_fields(module: _Module, cls: str) -> list[dict[str, str]] | None:
+    info = module.classes.get(cls)
+    if info is None:
+        return None
+    return [
+        {
+            "name": f.name,
+            "type": ast.unparse(f.annotation) if f.annotation is not None else "",
+        }
+        for f in info.fields
+    ]
+
+
+def _shape_serve_protocol(index: ModuleIndex) -> dict[str, Any] | None:
+    server = index.modules.get("repro.serve.server")
+    jobs = index.modules.get("repro.serve.jobs")
+    if server is None or jobs is None:
+        return None
+    return {
+        "ops": _compared_constants(
+            _function_node(server, "JobServer._handle_request"), "op"
+        ),
+        "submit_fields": _return_dict_keys(
+            _function_node(server, "JobServer._op_submit")
+        ),
+        "result_fields": _return_dict_keys(
+            _function_node(server, "JobServer._op_result")
+        ),
+        "status_fields": _return_dict_keys(
+            _function_node(jobs, "JobRecord.status_dict")
+        ),
+        "job_kinds": list(_module_constant(jobs, "JOB_KINDS") or ()),
+        "job_states": list(_module_constant(jobs, "JOB_STATES") or ()),
+        "terminal_states": list(_module_constant(jobs, "TERMINAL_STATES") or ()),
+    }
+
+
+def _shape_sidecar_outcome(index: ModuleIndex) -> dict[str, Any] | None:
+    retry = index.modules.get("repro.parallel.retry")
+    if retry is None:
+        return None
+    return {
+        "outcome_fields": _return_dict_keys(
+            _function_node(retry, "SweepOutcome.as_dict")
+        ),
+        "report_fields": _return_dict_keys(
+            _function_node(retry, "ShardReport.as_dict")
+        ),
+        "attempt_fields": _return_dict_keys(
+            _function_node(retry, "ShardAttempt.as_dict")
+        ),
+    }
+
+
+def _shape_cache_entry(index: ModuleIndex) -> dict[str, Any] | None:
+    cache = index.modules.get("repro.parallel.cache")
+    if cache is None:
+        return None
+    return {
+        "disk_version": _module_constant(cache, "_DISK_VERSION"),
+        "payload_fields": _dict_literal_keys(
+            _function_node(cache, "PlacedDesignCache._store_disk")
+        ),
+        "key_fields": _class_fields(cache, "PlacedKey"),
+    }
+
+
+def _shape_shard_descriptor(index: ModuleIndex) -> dict[str, Any] | None:
+    engine = index.modules.get("repro.parallel.engine")
+    if engine is None:
+        return None
+    return {
+        "shard": _class_fields(engine, "Shard"),
+        "plan": _class_fields(engine, "SweepPlan"),
+        "result": _class_fields(engine, "ShardResult"),
+    }
+
+
+_SHAPE_DERIVERS = {
+    "serve.protocol.v1": _shape_serve_protocol,
+    "sidecar.outcome.v1": _shape_sidecar_outcome,
+    "cache.entry.v2": _shape_cache_entry,
+    "shard.descriptor.v1": _shape_shard_descriptor,
+}
+
+
+def contract_shapes(index: ModuleIndex) -> dict[str, dict[str, Any] | None]:
+    """Every contract's live shape derived from ``index`` (None = absent)."""
+    return {c.name: _SHAPE_DERIVERS[c.name](index) for c in CONTRACTS}
+
+
+def fingerprint(shape: dict[str, Any]) -> str:
+    """Truncated sha256 of the shape's canonical JSON."""
+    canonical = json.dumps(shape, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
+
+
+def verify_contracts(
+    index: ModuleIndex, frozen: dict[str, str] | None = None
+) -> list[ContractDrift]:
+    """Compare each derived contract shape against the frozen registry.
+
+    Returns one :class:`ContractDrift` per disagreement — drifted
+    fingerprints, underivable shapes (the source module left the audited
+    tree) and frozen entries for unknown contracts all count.
+    """
+    registry = FROZEN_CONTRACTS if frozen is None else frozen
+    shapes = contract_shapes(index)
+    drifts: list[ContractDrift] = []
+    for contract in CONTRACTS:
+        expected = registry.get(contract.name)
+        shape = shapes[contract.name]
+        derived = fingerprint(shape) if shape is not None else None
+        if expected is None:
+            drifts.append(
+                ContractDrift(
+                    contract.name,
+                    contract.source,
+                    None,
+                    derived,
+                    "contract has no frozen fingerprint; add it to "
+                    "FROZEN_CONTRACTS",
+                )
+            )
+        elif derived is None:
+            drifts.append(
+                ContractDrift(
+                    contract.name,
+                    contract.source,
+                    expected,
+                    None,
+                    f"source module {contract.source} is not in the audited "
+                    "tree, so the shape cannot be derived",
+                )
+            )
+        elif derived != expected:
+            drifts.append(
+                ContractDrift(
+                    contract.name,
+                    contract.source,
+                    expected,
+                    derived,
+                    f"derived fingerprint {derived} != frozen {expected}; "
+                    "if the schema change is intended, update "
+                    "FROZEN_CONTRACTS in the same commit",
+                )
+            )
+    return drifts
+
+
+def _escape(text: str) -> str:
+    return text.replace("|", "\\|")
+
+
+def wire_contracts_markdown() -> str:
+    """The frozen contract registry as a markdown table.
+
+    Embedded in ``docs/static_analysis.md`` between generated-content
+    markers; ``tests/analysis/portability/test_docs_drift.py`` fails
+    when they diverge.
+    """
+    lines = [
+        "| Contract | Fingerprint | Derived from | Covers |",
+        "|---|---|---|---|",
+    ]
+    for contract in CONTRACTS:
+        frozen = FROZEN_CONTRACTS.get(contract.name, "—")
+        lines.append(
+            f"| `{contract.name}` | `{frozen}` | `{contract.source}` | "
+            f"{_escape(contract.description)} |"
+        )
+    return "\n".join(lines)

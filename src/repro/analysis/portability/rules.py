@@ -1,0 +1,211 @@
+"""The DX rule registry: stable IDs for the location-transparency audit.
+
+Each ``DXnnn`` rule binds one portability hazard to a stable identifier,
+a name and a finding template — the same shape as the ``NLxxx``/
+``WLxxx``/``DTxxx`` families, so suppression
+(``# repro: allow[DXnnn] -- reason``), documentation generation and
+drift testing all work identically.  Pragma hygiene itself stays policed
+by the shared ``DT000`` meta-rule (one pragma grammar, one police).
+
+The family certifies what the distributed sweep fabric (ROADMAP) needs
+before it can exist: every object crossing a process/host boundary is
+pure data (DX001–DX004), every input that influences a cached artefact
+is in its key (DX005), no host identity leaks into artefacts or keys
+(DX006–DX008), and the wire schemas peers depend on cannot drift
+silently (DX009).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "DX_REGISTRY",
+    "DXRule",
+    "dx_rule_for_effect",
+    "dx_rule_table",
+    "dx_rule_table_markdown",
+]
+
+#: Hazard kinds, one per DX rule (mirrors the DT effect constants).
+EFFECT_THREAD_AFFINE_FIELD = "payload.thread_affine"
+EFFECT_HANDLE_FIELD = "payload.handle"
+EFFECT_CALLABLE_FIELD = "payload.callable"
+EFFECT_AMBIENT_FIELD = "payload.ambient_object"
+EFFECT_KEY_INCOMPLETE = "cache.key_incomplete"
+EFFECT_ABS_PATH = "host.absolute_path"
+EFFECT_HOST_IDENTITY = "host.identity"
+EFFECT_CWD = "host.cwd"
+EFFECT_CONTRACT_DRIFT = "wire.contract_drift"
+
+
+@dataclass(frozen=True)
+class DXRule:
+    """One location-transparency rule.
+
+    Attributes
+    ----------
+    rule_id:
+        Stable ``DXnnn`` identifier.
+    name:
+        Short kebab-case rule name.
+    effect:
+        The portability hazard the rule polices.
+    description:
+        What a finding of this rule means.
+    """
+
+    rule_id: str
+    name: str
+    effect: str
+    description: str
+
+
+#: Registry of every DX rule, keyed by rule ID.
+DX_REGISTRY: dict[str, DXRule] = {}
+
+
+def _register(rule: DXRule) -> DXRule:
+    DX_REGISTRY[rule.rule_id] = rule
+    return rule
+
+
+_register(
+    DXRule(
+        "DX001",
+        "thread-affine-field",
+        EFFECT_THREAD_AFFINE_FIELD,
+        "A declared boundary type (a shard descriptor, sweep plan, job "
+        "spec, cache key — anything the fabric serializes) reaches a "
+        "thread-affine object: a lock, event, thread, executor, future "
+        "or queue. Such fields pin the payload to one process and "
+        "cannot cross a host boundary.",
+    )
+)
+_register(
+    DXRule(
+        "DX002",
+        "handle-field",
+        EFFECT_HANDLE_FIELD,
+        "A boundary type reaches an open handle (file object, socket, "
+        "IO stream): the descriptor number is meaningless on any other "
+        "host, so the payload deserializes broken or not at all.",
+    )
+)
+_register(
+    DXRule(
+        "DX003",
+        "callable-field",
+        EFFECT_CALLABLE_FIELD,
+        "A boundary type reaches a callable (function, bound method, "
+        "lambda): callables capture module and closure state that does "
+        "not ship with the payload; remote workers must import "
+        "behaviour, never receive it.",
+    )
+)
+_register(
+    DXRule(
+        "DX004",
+        "ambient-object-field",
+        EFFECT_AMBIENT_FIELD,
+        "A boundary type reaches a process-ambient object (logger, RNG "
+        "generator instance, module, weakref): its state is local to "
+        "the sending process, so the receiving host reconstructs "
+        "something subtly different.",
+    )
+)
+_register(
+    DXRule(
+        "DX005",
+        "incomplete-cache-key",
+        EFFECT_KEY_INCOMPLETE,
+        "An input of a declared cache getter influences the produced "
+        "artefact bytes but never reaches the cache-key construction: "
+        "two workers with different values for that input would share "
+        "one entry and silently serve each other wrong artefacts.",
+    )
+)
+_register(
+    DXRule(
+        "DX006",
+        "absolute-path",
+        EFFECT_ABS_PATH,
+        "Artefact-reachable code embeds an absolute path (a `/...` "
+        "literal, `os.path.abspath`, `realpath`, `expanduser`): the "
+        "path names one host's filesystem, so artefacts or keys built "
+        "from it are not relocatable.",
+    )
+)
+_register(
+    DXRule(
+        "DX007",
+        "host-identity",
+        EFFECT_HOST_IDENTITY,
+        "Artefact-reachable code reads host identity (`gethostname`, "
+        "`platform.*`, `os.getpid`, `os.uname`, `getpass.getuser`, "
+        "thread ids): any such value flowing into artefact bytes or "
+        "cache keys makes equal work hash unequally across the fleet.",
+    )
+)
+_register(
+    DXRule(
+        "DX008",
+        "cwd-dependence",
+        EFFECT_CWD,
+        "Artefact-reachable code depends on the working directory "
+        "(`os.getcwd`, `Path.cwd`, `os.chdir`): workers are launched "
+        "from arbitrary directories, so relative resolution must happen "
+        "at the submitting edge, never inside the fabric.",
+    )
+)
+_register(
+    DXRule(
+        "DX009",
+        "frozen-contract-drift",
+        EFFECT_CONTRACT_DRIFT,
+        "A wire schema (serve protocol, outcome sidecar, cache-entry "
+        "layout, shard descriptor) no longer matches its frozen "
+        "fingerprint: the change may be fine, but it must be "
+        "acknowledged by updating the frozen registry in the same "
+        "commit, or mixed-version fleets corrupt each other's state.",
+    )
+)
+
+_RULE_BY_EFFECT: dict[str, DXRule] = {
+    rule.effect: rule for rule in DX_REGISTRY.values()
+}
+
+
+def dx_rule_for_effect(effect: str) -> DXRule:
+    """The DX rule policing ``effect``; unknown effects raise ``KeyError``."""
+    return _RULE_BY_EFFECT[effect]
+
+
+def dx_rule_table() -> list[tuple[str, str, str, str]]:
+    """``(rule_id, name, effect, description)`` rows, sorted by rule ID."""
+    return [
+        (r.rule_id, r.name, r.effect, r.description)
+        for r in sorted(DX_REGISTRY.values(), key=lambda r: r.rule_id)
+    ]
+
+
+def _escape(text: str) -> str:
+    return text.replace("|", "\\|")
+
+
+def dx_rule_table_markdown() -> str:
+    """The DX rule catalogue as a GitHub-flavoured markdown table.
+
+    Embedded in ``docs/static_analysis.md`` between generated-content
+    markers; ``tests/analysis/portability/test_docs_drift.py`` fails
+    when they diverge.
+    """
+    lines = [
+        "| ID | Name | Effect | Finding |",
+        "|----|------|--------|---------|",
+    ]
+    for rule_id, name, effect, description in dx_rule_table():
+        lines.append(
+            f"| {rule_id} | `{name}` | `{effect}` | {_escape(description)} |"
+        )
+    return "\n".join(lines)

@@ -22,7 +22,7 @@ detector enabled by ``REPRO_SANITIZE=1`` — lives in
 :mod:`repro.parallel.sanitize`.
 """
 
-from .auditor import audit_paths, discover_files
+from .auditor import ModuleIndex, audit_paths, build_module_index, discover_files
 from .effects import (
     ALLOWANCES,
     EFFECT_CATALOG,
@@ -50,8 +50,10 @@ __all__ = [
     "EFFECT_CATALOG",
     "ENTRY_POINTS",
     "EffectSpec",
+    "ModuleIndex",
     "Suppression",
     "audit_paths",
+    "build_module_index",
     "discover_files",
     "dt_rule_table",
     "dt_rule_table_markdown",

@@ -347,6 +347,34 @@ ALLOWANCES: tuple[Allowance, ...] = (
     ),
     Allowance(
         EFFECT_MODULE_STATE,
+        "repro.analysis.portability.rules",
+        "DX_REGISTRY",
+        "DX-rule registry populated at import time and treated as "
+        "frozen thereafter; workers re-import identically.",
+    ),
+    Allowance(
+        EFFECT_MODULE_STATE,
+        "repro.analysis.portability.rules",
+        "_RULE_BY_EFFECT",
+        "Effect-to-rule index derived from DX_REGISTRY at import time; "
+        "frozen thereafter.",
+    ),
+    Allowance(
+        EFFECT_MODULE_STATE,
+        "repro.analysis.portability.contracts",
+        "FROZEN_CONTRACTS",
+        "The frozen wire-schema fingerprint registry: a reviewed "
+        "constant table, written only by commits, never at runtime.",
+    ),
+    Allowance(
+        EFFECT_MODULE_STATE,
+        "repro.analysis.portability.contracts",
+        "_SHAPE_DERIVERS",
+        "Contract-name-to-deriver dispatch built at import time from "
+        "module functions; never mutated.",
+    ),
+    Allowance(
+        EFFECT_MODULE_STATE,
         "repro.kernels.plan",
         "_PLAN_CACHE",
         "Execution-plan memo keyed by netlist content hash; entries are "

@@ -93,6 +93,12 @@ class MetricSpec:
 #: Catalogue of every span the library opens, sorted by name.
 SPAN_CATALOG: tuple[SpanSpec, ...] = (
     SpanSpec(
+        "audit.run",
+        "repro.cli",
+        "One `repro audit` invocation: shared module-index build plus the "
+        "selected DT/DX passes or the wire-contract check.",
+    ),
+    SpanSpec(
         "cache.synthesize",
         "repro.parallel.cache",
         "Placed-design cache miss: one synthesis + placement rebuild of the keyed geometry.",
@@ -173,6 +179,33 @@ SPAN_CATALOG: tuple[SpanSpec, ...] = (
 
 #: Catalogue of every metric the library records, sorted by name.
 METRIC_CATALOG: tuple[MetricSpec, ...] = (
+    MetricSpec(
+        "audit.dx.contracts_checked",
+        COUNTER,
+        "runs",
+        "repro.cli",
+        True,
+        "Wire-contract verification passes run by `repro audit` "
+        "(--contracts or any DX-family run).",
+    ),
+    MetricSpec(
+        "audit.dx.findings",
+        COUNTER,
+        "findings",
+        "repro.cli",
+        True,
+        "DX portability findings reported by `repro audit`; a pure "
+        "function of the audited source tree.",
+    ),
+    MetricSpec(
+        "audit.dx.suppressions",
+        COUNTER,
+        "pragmas",
+        "repro.cli",
+        True,
+        "Justified `# repro: allow[DXnnn]` suppressions honoured by "
+        "`repro audit`; a pure function of the audited source tree.",
+    ),
     MetricSpec(
         "cache.placed.corruptions",
         COUNTER,

@@ -1,0 +1,226 @@
+"""Cache-key completeness (DX005) on seeded getter fixtures.
+
+The ISSUE's acceptance case: a cache getter that *uses* a parameter to
+build the artefact but leaves it out of the key construction must
+produce exactly one DX005 finding; complete keys — including keys built
+by a delegated same-module helper — stay clean.
+"""
+
+from __future__ import annotations
+
+import textwrap
+from pathlib import Path
+
+from repro.analysis.portability import CacheKeyContract, audit_portability
+
+
+def run_key_audit(tmp_path: Path, source: str, contract: CacheKeyContract):
+    pkg = tmp_path / "pkg"
+    pkg.mkdir(exist_ok=True)
+    (pkg / "__init__.py").write_text("")
+    (pkg / "cache.py").write_text(textwrap.dedent(source))
+    return audit_portability(
+        [pkg],
+        boundary_types=(),
+        cache_contracts=(contract,),
+        entry_points=(),
+        allowances=(),
+        check_contracts=False,
+    )
+
+
+CONTRACT = CacheKeyContract(
+    getter="pkg.cache:Cache.get_or_place",
+    key_type="pkg.cache:Key",
+)
+
+
+def test_complete_key_is_clean(tmp_path):
+    report = run_key_audit(
+        tmp_path,
+        """
+        from dataclasses import dataclass
+
+        @dataclass(frozen=True)
+        class Key:
+            serial: int
+            width: int
+            seed: int
+
+        class Cache:
+            def get_or_place(self, serial, width, seed):
+                key = Key(serial=serial, width=width, seed=seed)
+                return self._lookup(key)
+
+            def _lookup(self, key):
+                return key
+        """,
+        CONTRACT,
+    )
+    assert report.clean
+
+
+def test_used_but_unkeyed_parameter_is_dx005(tmp_path):
+    report = run_key_audit(
+        tmp_path,
+        """
+        from dataclasses import dataclass
+
+        @dataclass(frozen=True)
+        class Key:
+            serial: int
+            width: int
+
+        class Cache:
+            def get_or_place(self, serial, width, temperature):
+                key = Key(serial=serial, width=width)
+                return self._build(key, temperature)
+
+            def _build(self, key, temperature):
+                return (key, temperature)
+        """,
+        CONTRACT,
+    )
+    assert [f.rule for f in report.findings] == ["DX005"]
+    (finding,) = report.findings
+    assert "`temperature`" in finding.message
+    assert "share one cache entry" in finding.message
+
+
+def test_key_built_by_delegated_helper_is_clean(tmp_path):
+    report = run_key_audit(
+        tmp_path,
+        """
+        from dataclasses import dataclass
+
+        @dataclass(frozen=True)
+        class Key:
+            serial: int
+            width: int
+
+        def make_key(serial, width):
+            return Key(serial=serial, width=width)
+
+        class Cache:
+            def get_or_place(self, serial, width):
+                key = make_key(serial, width)
+                return key
+        """,
+        CONTRACT,
+    )
+    assert report.clean
+
+
+def test_classmethod_key_constructor_counts(tmp_path):
+    report = run_key_audit(
+        tmp_path,
+        """
+        from dataclasses import dataclass
+
+        @dataclass(frozen=True)
+        class Key:
+            serial: int
+            width: int
+
+            @classmethod
+            def for_device(cls, device, width):
+                return cls(serial=device.serial, width=width)
+
+        class Cache:
+            def get_or_place(self, device, width):
+                key = Key.for_device(device, width)
+                return key
+        """,
+        CONTRACT,
+    )
+    assert report.clean
+
+
+def test_unused_parameter_is_not_flagged(tmp_path):
+    # A parameter the body never touches cannot influence the artefact;
+    # demanding it in the key would force spurious cache splits.
+    report = run_key_audit(
+        tmp_path,
+        """
+        from dataclasses import dataclass
+
+        @dataclass(frozen=True)
+        class Key:
+            serial: int
+
+        class Cache:
+            def get_or_place(self, serial, _reserved):
+                key = Key(serial=serial)
+                return key
+        """,
+        CONTRACT,
+    )
+    assert report.clean
+
+
+def test_exempt_parameter_is_not_flagged(tmp_path):
+    contract = CacheKeyContract(
+        getter="pkg.cache:Cache.get_or_place",
+        key_type="pkg.cache:Key",
+        exempt=("progress",),
+    )
+    report = run_key_audit(
+        tmp_path,
+        """
+        from dataclasses import dataclass
+
+        @dataclass(frozen=True)
+        class Key:
+            serial: int
+
+        class Cache:
+            def get_or_place(self, serial, progress):
+                progress("placing")
+                key = Key(serial=serial)
+                return key
+        """,
+        contract,
+    )
+    assert report.clean
+
+
+def test_getter_without_key_construction_is_flagged(tmp_path):
+    report = run_key_audit(
+        tmp_path,
+        """
+        class Key:
+            pass
+
+        class Cache:
+            def get_or_place(self, serial):
+                return serial
+        """,
+        CONTRACT,
+    )
+    assert [f.rule for f in report.findings] == ["DX005"]
+    assert "never constructs" in report.findings[0].message
+
+
+def test_missing_getter_is_flagged(tmp_path):
+    report = run_key_audit(
+        tmp_path,
+        """
+        class Key:
+            pass
+        """,
+        CONTRACT,
+    )
+    assert [f.rule for f in report.findings] == ["DX005"]
+    assert "not found" in report.findings[0].message
+
+
+def test_real_placed_cache_contract_is_clean():
+    # The shipped contract over the real tree: every influential input
+    # of PlacedDesignCache.get_or_place reaches PlacedKey.for_device.
+    report = audit_portability(
+        ["src/repro/parallel"],
+        boundary_types=(),
+        entry_points=(),
+        check_contracts=False,
+    )
+    assert not [f for f in report.findings if f.rule == "DX005"]

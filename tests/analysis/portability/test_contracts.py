@@ -1,0 +1,113 @@
+"""Frozen wire-schema contracts: derivation, drift detection, DX009.
+
+The acceptance fixture: a fixture tree whose serve protocol dropped an
+op must fingerprint differently and produce exactly one DX009 finding;
+the real tree must verify drift-free against the committed registry.
+"""
+
+from __future__ import annotations
+
+import shutil
+import textwrap
+from pathlib import Path
+
+from repro.analysis.portability import (
+    CONTRACTS,
+    FROZEN_CONTRACTS,
+    audit_portability,
+    contract_shapes,
+    fingerprint,
+    verify_contracts,
+)
+from repro.analysis.sanitizer import build_module_index
+
+REPO_SRC = Path(__file__).resolve().parents[3] / "src" / "repro"
+
+
+def test_real_tree_has_no_drift():
+    index = build_module_index([REPO_SRC])
+    assert verify_contracts(index) == []
+
+
+def test_every_contract_shape_derives_on_real_tree():
+    index = build_module_index([REPO_SRC])
+    shapes = contract_shapes(index)
+    for contract in CONTRACTS:
+        assert shapes[contract.name] is not None, contract.name
+        assert len(fingerprint(shapes[contract.name])) == 16
+
+
+def test_frozen_registry_covers_every_contract_exactly():
+    assert set(FROZEN_CONTRACTS) == {c.name for c in CONTRACTS}
+    for value in FROZEN_CONTRACTS.values():
+        assert len(value) == 16  # real fingerprints, no placeholders
+
+
+def test_serve_protocol_shape_tracks_ops_and_vocabularies():
+    index = build_module_index([REPO_SRC])
+    shape = contract_shapes(index)["serve.protocol.v1"]
+    assert "submit" in shape["ops"] and "shutdown" in shape["ops"]
+    assert shape["job_kinds"] == ["characterize", "fit_area", "optimize", "evaluate"]
+    assert "queued" in shape["job_states"]
+    assert "done" in shape["terminal_states"]
+
+
+def test_tampered_frozen_fingerprint_is_reported_as_drift():
+    index = build_module_index([REPO_SRC])
+    frozen = dict(FROZEN_CONTRACTS)
+    frozen["cache.entry.v2"] = "0" * 16
+    (drift,) = verify_contracts(index, frozen)
+    assert drift.name == "cache.entry.v2"
+    assert drift.frozen == "0" * 16
+    assert drift.derived == FROZEN_CONTRACTS["cache.entry.v2"]
+    assert "update" in drift.detail and "FROZEN_CONTRACTS" in drift.detail
+
+
+def test_missing_frozen_entry_is_drift():
+    index = build_module_index([REPO_SRC])
+    frozen = dict(FROZEN_CONTRACTS)
+    del frozen["shard.descriptor.v1"]
+    (drift,) = verify_contracts(index, frozen)
+    assert drift.name == "shard.descriptor.v1"
+    assert drift.frozen is None
+
+
+def _drifted_serve_tree(tmp_path: Path) -> Path:
+    """A copy of the real tree whose job server dropped the `wait` op."""
+    root = tmp_path / "repro"
+    shutil.copytree(REPO_SRC, root)
+    server = root / "serve" / "server.py"
+    text = server.read_text()
+    assert 'op == "wait"' in text
+    server.write_text(text.replace('op == "wait"', 'op == "hold"'))
+    return root
+
+
+def test_drifted_serve_op_changes_fingerprint_and_fires_dx009(tmp_path):
+    root = _drifted_serve_tree(tmp_path)
+    index = build_module_index([root])
+    shape = contract_shapes(index)["serve.protocol.v1"]
+    assert "wait" not in shape["ops"] and "hold" in shape["ops"]
+
+    (drift,) = verify_contracts(index)
+    assert drift.name == "serve.protocol.v1"
+
+    report = audit_portability(index=index)
+    dx009 = [f for f in report.findings if f.rule == "DX009"]
+    assert len(dx009) == 1
+    assert "serve.protocol.v1" in dx009[0].message
+    assert dx009[0].path.endswith("serve/server.py")
+
+
+def test_absent_source_module_is_drift(tmp_path):
+    pkg = tmp_path / "pkg"
+    pkg.mkdir()
+    (pkg / "__init__.py").write_text("")
+    (pkg / "misc.py").write_text(textwrap.dedent("""
+        def nothing():
+            return None
+    """))
+    index = build_module_index([pkg])
+    drifts = verify_contracts(index)
+    assert {d.name for d in drifts} == {c.name for c in CONTRACTS}
+    assert all(d.derived is None for d in drifts)

@@ -1,0 +1,66 @@
+"""The DX tables in docs/static_analysis.md are generated; keep it so."""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+from repro.analysis.portability import (
+    DX_REGISTRY,
+    FROZEN_CONTRACTS,
+    dx_rule_table_markdown,
+    wire_contracts_markdown,
+)
+
+DOC = Path(__file__).resolve().parents[3] / "docs" / "static_analysis.md"
+
+
+def _generated_block(marker: str) -> str:
+    text = DOC.read_text()
+    begin, end = f"<!-- {marker}:begin", f"<!-- {marker}:end -->"
+    assert begin in text and end in text, f"{marker} markers missing"
+    start = text.index("\n", text.index(begin)) + 1
+    return text[start : text.index(end)].strip()
+
+
+def test_dx_rule_table_matches_registry():
+    assert _generated_block("dx-rule-table") == dx_rule_table_markdown().strip(), (
+        "docs/static_analysis.md DX rule table is stale; regenerate the "
+        "block between the dx-rule-table markers with "
+        "repro.analysis.portability.dx_rule_table_markdown()"
+    )
+
+
+def test_wire_contracts_table_matches_registry():
+    assert _generated_block("wire-contracts") == wire_contracts_markdown().strip(), (
+        "docs/static_analysis.md wire-contract table is stale; regenerate "
+        "the block between the wire-contracts markers with "
+        "repro.analysis.portability.wire_contracts_markdown()"
+    )
+
+
+def test_every_dx_rule_documented_exactly_once():
+    table = _generated_block("dx-rule-table")
+    for rule_id in DX_REGISTRY:
+        assert len(re.findall(rf"\| {rule_id} \|", table)) == 1
+
+
+def test_every_frozen_fingerprint_documented():
+    table = _generated_block("wire-contracts")
+    for name, frozen in FROZEN_CONTRACTS.items():
+        assert f"`{name}`" in table
+        assert f"`{frozen}`" in table
+
+
+def test_doc_mentions_portability_surfaces():
+    text = DOC.read_text()
+    for needle in (
+        "repro audit --family dx",
+        "repro audit --contracts",
+        "Distribution readiness",
+        "location transparency",
+        "FROZEN_CONTRACTS",
+        "build_module_index",
+        "allow[DX007]",
+    ):
+        assert needle in text, f"docs/static_analysis.md lost mention of {needle!r}"

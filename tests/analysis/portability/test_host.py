@@ -1,0 +1,195 @@
+"""Host-dependence rules (DX006–DX008) over artefact-reachable code.
+
+Reachability is rooted at the declared artefact entry points with the
+same conservative call graph the DT audit uses: hazards in unreachable
+code stay silent, hazards behind helper calls are found.
+"""
+
+from __future__ import annotations
+
+import textwrap
+from pathlib import Path
+
+from repro.analysis.portability import audit_portability
+
+
+def run_host_audit(tmp_path: Path, files: dict[str, str], entry_points, allowances=()):
+    pkg = tmp_path / "pkg"
+    pkg.mkdir(exist_ok=True)
+    (pkg / "__init__.py").write_text("")
+    for name, text in files.items():
+        (pkg / name).write_text(textwrap.dedent(text))
+    return audit_portability(
+        [pkg],
+        boundary_types=(),
+        cache_contracts=(),
+        entry_points=tuple(entry_points),
+        allowances=tuple(allowances),
+        check_contracts=False,
+    )
+
+
+def rules_fired(report):
+    return {f.rule for f in report.findings}
+
+
+def test_gethostname_in_artefact_path_is_dx007(tmp_path):
+    report = run_host_audit(
+        tmp_path,
+        {
+            "store.py": """
+            import socket
+
+            def save(payload):
+                return {"host": socket.gethostname(), "payload": payload}
+            """
+        },
+        ["pkg.store:save"],
+    )
+    assert rules_fired(report) == {"DX007"}
+    (finding,) = report.findings
+    assert "socket.gethostname" in finding.message
+
+
+def test_getcwd_in_artefact_path_is_dx008(tmp_path):
+    report = run_host_audit(
+        tmp_path,
+        {
+            "store.py": """
+            import os
+
+            def save(payload):
+                return os.path.join(os.getcwd(), payload)
+            """
+        },
+        ["pkg.store:save"],
+    )
+    assert rules_fired(report) == {"DX008"}
+
+
+def test_abs_path_literal_and_expanduser_are_dx006(tmp_path):
+    report = run_host_audit(
+        tmp_path,
+        {
+            "store.py": """
+            import os.path
+
+            def save(payload):
+                root = "/var/cache/repro"
+                alt = os.path.expanduser("~/repro")
+                return (root, alt, payload)
+            """
+        },
+        ["pkg.store:save"],
+    )
+    assert rules_fired(report) == {"DX006"}
+    assert len(report.findings) >= 2
+    messages = " ".join(f.message for f in report.findings)
+    assert "/var/cache/repro" in messages
+    assert "os.path.expanduser" in messages
+
+
+def test_hazard_behind_helper_call_is_found(tmp_path):
+    report = run_host_audit(
+        tmp_path,
+        {
+            "store.py": """
+            import platform
+
+            def _tag():
+                return platform.node()
+
+            def save(payload):
+                return (_tag(), payload)
+            """
+        },
+        ["pkg.store:save"],
+    )
+    assert rules_fired(report) == {"DX007"}
+    (finding,) = report.findings
+    assert finding.qualname == "_tag"
+
+
+def test_hazard_in_unreachable_code_is_silent(tmp_path):
+    report = run_host_audit(
+        tmp_path,
+        {
+            "store.py": """
+            import socket
+
+            def save(payload):
+                return payload
+
+            def debug_banner():
+                return socket.gethostname()
+            """
+        },
+        ["pkg.store:save"],
+    )
+    assert report.clean
+
+
+def test_pid_in_artefact_path_suppressible_by_pragma(tmp_path):
+    report = run_host_audit(
+        tmp_path,
+        {
+            "store.py": """
+            import os
+
+            def save(payload):
+                tmp = f"out.tmp.{os.getpid()}"  # repro: allow[DX007] -- pid names the temp file only
+                return (tmp, payload)
+            """
+        },
+        ["pkg.store:save"],
+    )
+    assert report.clean
+    (suppression,) = report.suppressions
+    assert suppression.rule == "DX007"
+
+
+def test_allowance_policy_covers_hazard(tmp_path):
+    from repro.analysis.portability.rules import EFFECT_HOST_IDENTITY
+    from repro.analysis.sanitizer import Allowance
+
+    report = run_host_audit(
+        tmp_path,
+        {
+            "store.py": """
+            import os
+
+            def save(payload):
+                return (os.getpid(), payload)
+            """
+        },
+        ["pkg.store:save"],
+        allowances=[
+            Allowance(
+                EFFECT_HOST_IDENTITY,
+                "pkg.store",
+                "save",
+                "pid tags diagnostics only in this fixture",
+            )
+        ],
+    )
+    assert report.clean
+    assert not report.suppressions  # policy, not pragma
+
+
+def test_relative_string_literals_are_not_flagged(tmp_path):
+    report = run_host_audit(
+        tmp_path,
+        {
+            "store.py": """
+            def save(payload):
+                rel = "cache/entries"
+                sep = "/"
+                doc = '''
+                /multi-line doc, not a path literal
+                '''
+                return (rel, sep, doc, payload)
+            """
+        },
+        ["pkg.store:save"],
+    )
+    assert report.clean

@@ -1,0 +1,290 @@
+"""Payload-purity rules (DX001–DX004) on seeded boundary-type fixtures.
+
+Each test writes a small package to ``tmp_path``, declares one of its
+classes a boundary type, and asserts the expected DX rule fires — or
+stays silent for pure payloads.  The positive cases are the ISSUE's
+acceptance fixtures: a shard carrying a lock, a handle, a callable, a
+logger; transitively through nested dataclasses, string annotations,
+unions and base classes.
+"""
+
+from __future__ import annotations
+
+import textwrap
+from pathlib import Path
+
+from repro.analysis.portability import audit_portability
+
+
+def run_purity(tmp_path: Path, files: dict[str, str], boundary_types):
+    pkg = tmp_path / "pkg"
+    pkg.mkdir(exist_ok=True)
+    (pkg / "__init__.py").write_text("")
+    for name, text in files.items():
+        target = pkg / name
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(textwrap.dedent(text))
+    return audit_portability(
+        [pkg],
+        boundary_types=tuple(boundary_types),
+        cache_contracts=(),
+        entry_points=(),
+        allowances=(),
+        check_contracts=False,
+    )
+
+
+def rules_fired(report):
+    return {f.rule for f in report.findings}
+
+
+def test_thread_affine_lock_field_is_dx001(tmp_path):
+    report = run_purity(
+        tmp_path,
+        {
+            "shard.py": """
+            import threading
+            from dataclasses import dataclass
+
+            @dataclass
+            class Shard:
+                li: int
+                guard: threading.Lock
+            """
+        },
+        ["pkg.shard:Shard"],
+    )
+    assert rules_fired(report) == {"DX001"}
+    (finding,) = report.findings
+    assert finding.qualname == "Shard.guard"
+    assert "threading.Lock" in finding.message
+
+
+def test_from_import_lock_resolves_through_import_map(tmp_path):
+    report = run_purity(
+        tmp_path,
+        {
+            "shard.py": """
+            from threading import Event
+            from dataclasses import dataclass
+
+            @dataclass
+            class Shard:
+                done: Event
+            """
+        },
+        ["pkg.shard:Shard"],
+    )
+    assert rules_fired(report) == {"DX001"}
+
+
+def test_open_handle_field_is_dx002(tmp_path):
+    report = run_purity(
+        tmp_path,
+        {
+            "shard.py": """
+            import io
+            import socket
+            from dataclasses import dataclass
+
+            @dataclass
+            class Shard:
+                sink: io.BytesIO
+                peer: socket.socket
+            """
+        },
+        ["pkg.shard:Shard"],
+    )
+    assert rules_fired(report) == {"DX002"}
+    assert len(report.findings) == 2
+
+
+def test_callable_field_is_dx003(tmp_path):
+    report = run_purity(
+        tmp_path,
+        {
+            "shard.py": """
+            from typing import Callable
+            from dataclasses import dataclass
+
+            @dataclass
+            class Shard:
+                hook: Callable[[int], int]
+            """
+        },
+        ["pkg.shard:Shard"],
+    )
+    assert rules_fired(report) == {"DX003"}
+
+
+def test_ambient_logger_field_is_dx004(tmp_path):
+    report = run_purity(
+        tmp_path,
+        {
+            "shard.py": """
+            import logging
+            from dataclasses import dataclass
+
+            @dataclass
+            class Shard:
+                log: logging.Logger
+            """
+        },
+        ["pkg.shard:Shard"],
+    )
+    assert rules_fired(report) == {"DX004"}
+
+
+def test_impurity_found_transitively_through_nested_dataclass(tmp_path):
+    report = run_purity(
+        tmp_path,
+        {
+            "inner.py": """
+            import queue
+            from dataclasses import dataclass
+
+            @dataclass
+            class Mailbox:
+                pending: queue.Queue
+            """,
+            "shard.py": """
+            from dataclasses import dataclass
+            from .inner import Mailbox
+
+            @dataclass
+            class Shard:
+                li: int
+                box: Mailbox
+            """,
+        },
+        ["pkg.shard:Shard"],
+    )
+    assert rules_fired(report) == {"DX001"}
+    (finding,) = report.findings
+    assert finding.module == "pkg.inner"
+    assert finding.qualname == "Mailbox.pending"
+    assert "via Shard -> Mailbox" in finding.message
+
+
+def test_string_forward_reference_annotations_resolve(tmp_path):
+    report = run_purity(
+        tmp_path,
+        {
+            "shard.py": """
+            import threading
+            from dataclasses import dataclass
+
+            @dataclass
+            class Shard:
+                guard: "threading.Lock"
+            """
+        },
+        ["pkg.shard:Shard"],
+    )
+    assert rules_fired(report) == {"DX001"}
+
+
+def test_union_and_optional_annotations_are_walked(tmp_path):
+    report = run_purity(
+        tmp_path,
+        {
+            "shard.py": """
+            import threading
+            from typing import Optional
+            from dataclasses import dataclass
+
+            @dataclass
+            class Shard:
+                a: threading.Lock | None
+                b: Optional[threading.Event]
+            """
+        },
+        ["pkg.shard:Shard"],
+    )
+    assert rules_fired(report) == {"DX001"}
+    assert len(report.findings) == 2
+
+
+def test_impurity_inherited_from_base_class(tmp_path):
+    report = run_purity(
+        tmp_path,
+        {
+            "shard.py": """
+            import threading
+            from dataclasses import dataclass
+
+            @dataclass
+            class Base:
+                guard: threading.RLock
+
+            @dataclass
+            class Shard(Base):
+                li: int
+            """
+        },
+        ["pkg.shard:Shard"],
+    )
+    assert rules_fired(report) == {"DX001"}
+    (finding,) = report.findings
+    assert finding.qualname == "Base.guard"
+
+
+def test_pure_payload_is_clean(tmp_path):
+    report = run_purity(
+        tmp_path,
+        {
+            "shard.py": """
+            from dataclasses import dataclass
+            import numpy as np
+
+            @dataclass
+            class Shard:
+                li: int
+                location: tuple[int, int]
+                stimulus: np.ndarray
+                params: dict[str, float]
+                note: str | None
+            """
+        },
+        ["pkg.shard:Shard"],
+    )
+    assert report.clean
+
+
+def test_pragma_suppresses_purity_finding(tmp_path):
+    report = run_purity(
+        tmp_path,
+        {
+            "shard.py": """
+            import threading
+            from dataclasses import dataclass
+
+            @dataclass
+            class Shard:
+                guard: threading.Lock  # repro: allow[DX001] -- stripped before pickling by __getstate__
+            """
+        },
+        ["pkg.shard:Shard"],
+    )
+    assert report.clean
+    (suppression,) = report.suppressions
+    assert suppression.rule == "DX001"
+    assert "stripped before pickling" in suppression.reason
+
+
+def test_cyclic_type_graph_terminates(tmp_path):
+    report = run_purity(
+        tmp_path,
+        {
+            "shard.py": """
+            from dataclasses import dataclass
+
+            @dataclass
+            class Node:
+                parent: "Node | None"
+                value: int
+            """
+        },
+        ["pkg.shard:Node"],
+    )
+    assert report.clean

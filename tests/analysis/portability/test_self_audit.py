@@ -1,0 +1,152 @@
+"""The library's own source must satisfy its own portability policy.
+
+The in-tree twin of the ``scripts/check.sh`` DX gate: ``repro audit
+--family dx src/repro`` reports zero unsuppressed findings, the shared
+module index makes a combined DT + DX run single-parse without changing
+either report, and the CLI exit codes distinguish clean from drifted.
+"""
+
+from __future__ import annotations
+
+from functools import cache
+from pathlib import Path
+
+from repro.analysis.portability import audit_portability
+from repro.analysis.portability.catalog import ARTEFACT_ENTRY_POINTS
+from repro.analysis.sanitizer import audit_paths, build_module_index
+
+SRC = Path(__file__).resolve().parents[3] / "src" / "repro"
+
+
+@cache
+def _report():
+    return audit_portability([SRC])
+
+
+def test_library_source_is_dx_clean():
+    report = _report()
+    assert report.clean, "\n" + report.to_text()
+
+
+def test_artefact_entry_points_all_resolve():
+    report = _report()
+    assert report.entry_points == ARTEFACT_ENTRY_POINTS
+    assert report.n_reachable >= len(ARTEFACT_ENTRY_POINTS), (
+        f"only {report.n_reachable} reachable functions from "
+        f"{len(ARTEFACT_ENTRY_POINTS)} artefact entry points: an entry "
+        "point no longer resolves"
+    )
+
+
+def test_shared_index_reproduces_both_reports():
+    # The single-parse path check.sh uses must be equivalent to two
+    # standalone runs, byte for byte.
+    index = build_module_index([SRC])
+    assert audit_paths(index=index).to_json() == audit_paths([SRC]).to_json()
+    assert (
+        audit_portability(index=index).to_json() == audit_portability([SRC]).to_json()
+    )
+
+
+def test_dx_report_is_deterministic():
+    assert audit_portability([SRC]).to_json() == audit_portability([SRC]).to_json()
+
+
+def test_disable_skips_a_dx_rule(tmp_path):
+    pkg = tmp_path / "pkg"
+    pkg.mkdir()
+    (pkg / "__init__.py").write_text("")
+    (pkg / "store.py").write_text(
+        "import socket\n\ndef save(x):\n    return (socket.gethostname(), x)\n"
+    )
+    kwargs = dict(
+        boundary_types=(),
+        cache_contracts=(),
+        entry_points=("pkg.store:save",),
+        allowances=(),
+        check_contracts=False,
+    )
+    assert not audit_portability([pkg], **kwargs).clean
+    assert audit_portability([pkg], disabled=frozenset({"DX007"}), **kwargs).clean
+
+
+# ----------------------------------------------------------------------
+# CLI surface.
+
+
+def _run_cli(argv):
+    from repro.cli import main
+
+    return main(["audit", *argv])
+
+
+def test_cli_family_dx_exits_zero_on_clean_tree(capsys):
+    assert _run_cli(["--family", "dx", str(SRC)]) == 0
+    assert "clean" in capsys.readouterr().out
+
+
+def test_cli_contracts_exits_zero_without_drift(capsys):
+    assert _run_cli(["--contracts", str(SRC)]) == 0
+    assert "fingerprints match" in capsys.readouterr().out
+
+
+def test_cli_family_dx_exits_one_on_seeded_hazard(tmp_path, capsys, monkeypatch):
+    pkg = tmp_path / "repro_fixture"
+    pkg.mkdir()
+    (pkg / "__init__.py").write_text("")
+    (pkg / "shard.py").write_text(
+        "import threading\n"
+        "from dataclasses import dataclass\n\n"
+        "@dataclass\n"
+        "class Shard:\n"
+        "    guard: threading.Lock\n"
+    )
+    import repro.analysis.portability.catalog as catalog
+
+    monkeypatch.setattr(
+        catalog, "BOUNDARY_TYPES", ("repro_fixture.shard:Shard",)
+    )
+    # The auditor reads the catalogue at call time through its defaults.
+    import repro.analysis.portability.auditor as auditor
+
+    monkeypatch.setattr(
+        auditor, "BOUNDARY_TYPES", ("repro_fixture.shard:Shard",)
+    )
+    assert _run_cli(["--family", "dx", str(pkg)]) == 1
+    assert "DX001" in capsys.readouterr().out
+
+
+def test_cli_rules_prints_both_families(capsys):
+    assert _run_cli(["--rules"]) == 0
+    out = capsys.readouterr().out
+    assert "DT001" in out and "DX001" in out and "DX009" in out
+
+
+def test_cli_trace_records_audit_telemetry(tmp_path, capsys):
+    import json
+
+    base = tmp_path / "audit_run"
+    assert _run_cli(["--trace", str(base), "--family", "dx", str(SRC)]) == 0
+    capsys.readouterr()
+
+    lines = (base.parent / f"{base.name}.jsonl").read_text().splitlines()
+    names = {json.loads(line)["name"] for line in lines}
+    assert "audit.run" in names
+
+    metrics = json.loads(
+        (base.parent / f"{base.name}.metrics.json").read_text()
+    )
+    counters = metrics.get("counters", metrics)
+    assert counters["audit.dx.findings"] == 0
+    assert counters["audit.dx.contracts_checked"] == 1
+
+
+def test_cli_trace_does_not_change_the_report(tmp_path, capsys):
+    assert _run_cli(["--family", "dx", str(SRC)]) == 0
+    plain = capsys.readouterr().out
+    assert (
+        _run_cli(["--trace", str(tmp_path / "t"), "--family", "dx", str(SRC)])
+        == 0
+    )
+    traced = capsys.readouterr().out
+    assert traced == plain

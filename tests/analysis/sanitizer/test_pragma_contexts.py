@@ -1,0 +1,176 @@
+"""Pragma scanning in multi-line/decorated contexts, and DX-aware DT000.
+
+Pins the anchoring rules precisely: a pragma suppresses only from the
+hazard's own line or the comment-only line directly above it — trailing
+a multi-line call's closing paren or riding a decorator does nothing.
+DT000 (pragma hygiene) now validates rule IDs against the combined
+DT + DX registry: naming a real DX rule is well-formed, naming an
+unknown one is a finding in either family's spelling.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.portability import audit_portability
+
+from .test_auditor import rules_fired, run_audit
+
+
+def test_pragma_on_hazard_line_inside_multiline_call(tmp_path):
+    report = run_audit(
+        tmp_path,
+        {
+            "shard.py": """
+            import random
+
+            def run():
+                return sum((
+                    random.gauss(0.0, 1.0),  # repro: allow[DT001] -- fixture: inner line of a multi-line call
+                    1.0,
+                ))
+            """
+        },
+        ["pkg.shard:run"],
+    )
+    assert report.clean
+    (supp,) = report.suppressions
+    assert supp.rule == "DT001"
+
+
+def test_pragma_on_closing_paren_of_multiline_call_does_not_suppress(tmp_path):
+    # The occurrence anchors to the call's first line; a pragma trailing
+    # the closing paren is on the wrong line and must not suppress.
+    report = run_audit(
+        tmp_path,
+        {
+            "shard.py": """
+            import random
+
+            def run():
+                return random.gauss(
+                    0.0,
+                    1.0,
+                )  # repro: allow[DT001] -- fixture: anchored to the wrong line
+            """
+        },
+        ["pkg.shard:run"],
+    )
+    assert rules_fired(report) == {"DT001"}
+    assert not report.suppressions
+
+
+def test_pragma_comment_line_above_hazard_in_decorated_function(tmp_path):
+    report = run_audit(
+        tmp_path,
+        {
+            "shard.py": """
+            import functools
+            import random
+
+            @functools.lru_cache(maxsize=None)
+            def run():
+                # repro: allow[DT001] -- fixture: hazard inside a decorated function
+                return random.random()
+            """
+        },
+        ["pkg.shard:run"],
+    )
+    assert report.clean
+    assert len(report.suppressions) == 1
+
+
+def test_pragma_on_decorator_line_does_not_reach_the_body(tmp_path):
+    report = run_audit(
+        tmp_path,
+        {
+            "shard.py": """
+            import functools
+            import random
+
+            @functools.lru_cache(maxsize=None)  # repro: allow[DT001] -- fixture: wrong anchor
+            def run():
+                return random.random()
+            """
+        },
+        ["pkg.shard:run"],
+    )
+    assert rules_fired(report) == {"DT001"}
+    assert not report.suppressions
+
+
+# ----------------------------------------------------------------------
+# DT000 over the combined DT + DX ID space.
+
+
+def test_pragma_naming_known_dx_rule_is_well_formed(tmp_path):
+    # DT000 must accept DX IDs: the pragma is for the portability pass,
+    # so the DT family leaves it alone (and does not suppress with it).
+    report = run_audit(
+        tmp_path,
+        {
+            "shard.py": """
+            import random
+
+            def run():
+                return random.random()  # repro: allow[DX007] -- fixture: names a real DX rule
+            """
+        },
+        ["pkg.shard:run"],
+    )
+    assert rules_fired(report) == {"DT001"}  # no DT000, no suppression
+
+
+def test_pragma_naming_unknown_dx_rule_is_dt000(tmp_path):
+    report = run_audit(
+        tmp_path,
+        {
+            "shard.py": """
+            def run():
+                return 1  # repro: allow[DX999] -- no such portability rule
+            """
+        },
+        ["pkg.shard:run"],
+    )
+    assert rules_fired(report) == {"DT000"}
+    assert "DX999" in report.findings[0].message
+
+
+def test_pragma_with_foreign_family_prefix_is_dt000(tmp_path):
+    report = run_audit(
+        tmp_path,
+        {
+            "shard.py": """
+            def run():
+                return 1  # repro: allow[NL001] -- wrong family for source audits
+            """
+        },
+        ["pkg.shard:run"],
+    )
+    assert rules_fired(report) == {"DT000"}
+
+
+def test_one_pragma_suppresses_across_both_families(tmp_path):
+    # A single `allow[DT001,DX007]` line satisfies each family's pass
+    # for its own rule on that line.
+    files = {
+        "shard.py": """
+        import random
+        import socket
+
+        def run():
+            return (random.random(), socket.gethostname())  # repro: allow[DT001,DX007] -- fixture: one line, two families
+        """
+    }
+    dt_report = run_audit(tmp_path, files, ["pkg.shard:run"])
+    assert dt_report.clean
+    assert [s.rule for s in dt_report.suppressions] == ["DT001"]
+
+    dx_report = audit_portability(
+        [tmp_path / "pkg"],
+        boundary_types=(),
+        cache_contracts=(),
+        entry_points=("pkg.shard:run",),
+        allowances=(),
+        check_contracts=False,
+    )
+    assert dx_report.clean
+    assert [s.rule for s in dx_report.suppressions] == ["DX007"]
