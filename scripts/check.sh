@@ -266,3 +266,59 @@ if [ "${failures}" -ne 0 ]; then
     exit 1
 fi
 echo "all gates passed"
+
+# Distributed-fabric smoke bench: every executor topology (serial, pool,
+# file-queue) must produce bit-identical grids, and the worker-kill
+# chaos drill must recover via a lease requeue.
+dist_json="$(mktemp -t bench_distributed.XXXXXX.json)"
+run_gate "bench (distributed fabric smoke)" python benchmarks/bench_distributed.py \
+    --smoke --output "${dist_json}"
+run_gate "bench (distributed fabric schema)" python - "${dist_json}" <<'PY'
+import json, sys
+payload = json.load(open(sys.argv[1]))
+assert payload["schema_version"] == 1
+assert payload["smoke"] is True
+assert set(payload["executors"]) == {"serial", "pool", "file-queue"}
+assert all(e["bit_identical_vs_serial"] for e in payload["executors"].values())
+assert payload["chaos"]["bit_identical_vs_serial"] is True
+assert payload["chaos"]["leases_requeued"] >= 1
+assert payload["chaos"]["status"] == "complete"
+print("distributed fabric bench schema OK")
+PY
+rm -f "${dist_json}"
+
+# File-queue byte-diff gate: a 2-worker file-queue characterisation of a
+# real workspace must archive byte-identical wl*.npz to the default
+# in-process pool run.
+fq_dir="$(mktemp -d -t fq_bytediff.XXXXXX)"
+run_gate "file-queue (2-worker byte-diff vs pool)" env PYTHONPATH=src \
+    FQ_BYTEDIFF_DIR="${fq_dir}" python - <<'PY'
+import os
+from pathlib import Path
+
+from repro.cli_flow import main as flow_main
+
+root = Path(os.environ["FQ_BYTEDIFF_DIR"])
+pool_ws, fq_ws = root / "pool_ws", root / "fq_ws"
+for ws in (pool_ws, fq_ws):
+    assert flow_main(["init", str(ws), "--serial", "7", "--scale", "0.012"]) == 0
+assert flow_main(["characterize", str(pool_ws), "--jobs", "2"]) == 0
+assert flow_main(
+    ["characterize", str(fq_ws), "--executor", "file-queue", "--jobs", "2"]
+) == 0
+pool_npz = sorted((pool_ws / "characterization").glob("wl*.npz"))
+assert pool_npz, "pool run archived nothing"
+mismatches = [
+    p.name for p in pool_npz
+    if (fq_ws / "characterization" / p.name).read_bytes() != p.read_bytes()
+]
+assert not mismatches, f"file-queue archives differ from pool: {mismatches}"
+print(f"file-queue byte-diff OK: {len(pool_npz)} archives identical to pool")
+PY
+rm -rf "${fq_dir}"
+
+# Distributed docs drift: the generated executor/spool/descriptor tables
+# in docs/distributed.md must match their renderers, and the operator
+# guide must keep naming the surfaces it documents.
+run_gate "docs drift (distributed fabric)" env PYTHONPATH=src \
+    python -m pytest -x -q tests/parallel/test_distributed_docs.py

@@ -51,6 +51,7 @@ BOUNDARY_TYPES: tuple[str, ...] = (
     "repro.parallel.retry:ShardAttempt",
     "repro.parallel.retry:ShardReport",
     "repro.parallel.retry:SweepOutcome",
+    "repro.parallel.spool:WorkerOutcome",
     "repro.serve.jobs:JobSpec",
 )
 
@@ -145,6 +146,9 @@ ARTEFACT_ENTRY_POINTS: tuple[str, ...] = (
     "repro.parallel.cache:PlacedDesignCache._store_disk",
     "repro.parallel.cache:PlacedKey.digest",
     "repro.parallel.cache:PlacedKey.for_device",
+    "repro.parallel.spool:write_manifest",
+    "repro.parallel.spool:write_outcome",
+    "repro.parallel.spool:write_result",
     "repro.serve.jobs:JobSpec.canonical_json",
     "repro.serve.jobs:job_id_for",
     "repro.workspace:Workspace.save_area_model",
@@ -212,6 +216,14 @@ DX_ALLOWANCES: tuple[Allowance, ...] = (
         "pid + thread id tag temp-file names so racing writers never "
         "collide; the installed artefact name and bytes never carry the "
         "tag.",
+    ),
+    Allowance(
+        EFFECT_HOST_IDENTITY,
+        "repro.parallel.spool",
+        "_writer_tag",
+        "os.getpid names the *temporary* file only, mirroring the "
+        "workspace writer tag; installed spool entries are named by "
+        "shard index and generation alone.",
     ),
     Allowance(
         EFFECT_HOST_IDENTITY,

@@ -90,6 +90,13 @@ CONTRACTS: tuple[WireContract, ...] = (
         "The shard unit of work and its plan/result shapes — exactly "
         "what a cross-host work queue will serialize.",
     ),
+    WireContract(
+        "spool.queue.v1",
+        "repro.parallel.spool",
+        "The file-queue spool's on-disk protocol: the spool version, the "
+        "manifest/descriptor/plan/result record fields, and the outcome "
+        "sidecar every coordinator and stateless worker exchange.",
+    ),
 )
 
 #: The frozen registry: contract name -> fingerprint of the canonical
@@ -100,6 +107,7 @@ FROZEN_CONTRACTS: dict[str, str] = {
     "sidecar.outcome.v1": "34caf5ac544583ef",
     "cache.entry.v2": "2e102209f35a80e8",
     "shard.descriptor.v1": "ffec9f8147b24d14",
+    "spool.queue.v1": "10135b19285c375b",
 }
 
 
@@ -301,11 +309,34 @@ def _shape_shard_descriptor(index: ModuleIndex) -> dict[str, Any] | None:
     }
 
 
+def _shape_spool_queue(index: ModuleIndex) -> dict[str, Any] | None:
+    spool = index.modules.get("repro.parallel.spool")
+    if spool is None:
+        return None
+    return {
+        "spool_version": _module_constant(spool, "SPOOL_VERSION"),
+        "manifest_fields": _dict_literal_keys(
+            _function_node(spool, "write_manifest")
+        ),
+        "descriptor_fields": _dict_literal_keys(
+            _function_node(spool, "shard_descriptor")
+        ),
+        "plan_fields": _dict_literal_keys(
+            _function_node(spool, "plan_descriptor")
+        ),
+        "result_fields": _dict_literal_keys(
+            _function_node(spool, "result_record")
+        ),
+        "outcome_fields": _class_fields(spool, "WorkerOutcome"),
+    }
+
+
 _SHAPE_DERIVERS = {
     "serve.protocol.v1": _shape_serve_protocol,
     "sidecar.outcome.v1": _shape_sidecar_outcome,
     "cache.entry.v2": _shape_cache_entry,
     "shard.descriptor.v1": _shape_shard_descriptor,
+    "spool.queue.v1": _shape_spool_queue,
 }
 
 

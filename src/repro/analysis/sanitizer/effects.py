@@ -180,6 +180,9 @@ ENTRY_POINTS: tuple[str, ...] = (
     "repro.parallel.engine:_run_shard_in_worker",
     "repro.parallel.engine:run_shard",
     "repro.parallel.engine:run_sweep",
+    "repro.parallel.executors:FileQueueExecutor.run_pass",
+    "repro.parallel.executors:PoolExecutor.run_pass",
+    "repro.parallel.worker:drain_spool",
 )
 
 #: Modules whose on-disk artefacts are shared between concurrent
@@ -187,6 +190,7 @@ ENTRY_POINTS: tuple[str, ...] = (
 SHARED_DISK_MODULES: tuple[str, ...] = (
     "repro.parallel.cache",
     "repro.parallel.sanitize",
+    "repro.parallel.spool",
 )
 
 #: Functions that constitute "holding the advisory lock" for DT007: an
@@ -293,6 +297,24 @@ ALLOWANCES: tuple[Allowance, ...] = (
         "CLI front door: flags fall back to documented environment "
         "variables before the server is booted.",
     ),
+    Allowance(
+        EFFECT_ENV_READ,
+        "repro.parallel.executors",
+        "resolve_executor",
+        "REPRO_EXECUTOR is the shard-topology entry point; callers "
+        "receive the resolved executor object, never the raw "
+        "environment, and the choice never changes archived bytes.",
+    ),
+    Allowance(
+        EFFECT_ENV_READ,
+        "repro.parallel.executors",
+        "FileQueueExecutor._spawn_worker",
+        "worker children inherit the parent environment plus the "
+        "coordinator's package root on PYTHONPATH so an uninstalled "
+        "source checkout spawns an importable fleet; the environment "
+        "shapes process bring-up only, never shard numerics or "
+        "artefact bytes.",
+    ),
     # --- wall_clock: sanctioned latency bookkeeping ---------------------
     Allowance(
         EFFECT_WALL_CLOCK,
@@ -307,6 +329,21 @@ ALLOWANCES: tuple[Allowance, ...] = (
         None,
         "perf_counter reads feed attempt latencies and throughput "
         "metrics only; shard numerics never consume them.",
+    ),
+    Allowance(
+        EFFECT_WALL_CLOCK,
+        "repro.parallel.executors",
+        None,
+        "perf_counter drives pool-harvest timeouts and spool lease-"
+        "staleness detection; which attempt wins is made irrelevant by "
+        "bit-identical re-execution, so no numeric path consumes it.",
+    ),
+    Allowance(
+        EFFECT_WALL_CLOCK,
+        "repro.parallel.worker",
+        None,
+        "perf_counter feeds the latency_s field of outcome sidecars "
+        "only; result records never contain clock reads.",
     ),
     Allowance(
         EFFECT_WALL_CLOCK,

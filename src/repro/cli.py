@@ -435,10 +435,21 @@ def _cache_main(argv: list[str]) -> int:
 
     parser = argparse.ArgumentParser(
         prog="repro-experiment cache",
-        description="Inspect or clear an on-disk placed-design cache.",
+        description="Inspect, verify or clear an on-disk placed-design cache.",
     )
     parser.add_argument(
-        "action", choices=["info", "clear"], help="what to do with the cache"
+        "action",
+        nargs="?",
+        default="info",
+        choices=["info", "verify", "clear"],
+        help="what to do with the cache (default: info)",
+    )
+    parser.add_argument(
+        "--verify",
+        action="store_true",
+        help="shorthand for the 'verify' action: read-only integrity walk "
+        "of the content-addressed store, reporting (not rebuilding) "
+        "checksum mismatches and torn entries",
     )
     where = parser.add_mutually_exclusive_group()
     where.add_argument(
@@ -459,6 +470,8 @@ def _cache_main(argv: list[str]) -> int:
         help="report rendering (default: text)",
     )
     args = parser.parse_args(argv)
+    if args.verify:
+        args.action = "verify"
 
     if args.workspace is not None:
         cache = Workspace(args.workspace).placed_cache()
@@ -477,6 +490,23 @@ def _cache_main(argv: list[str]) -> int:
         removed = cache.clear(disk=True)
         print(f"removed {removed} cache entries from {cache.directory}")
         return 0
+    if args.action == "verify":
+        problems = cache.verify()
+        checked = len(cache.disk_entries())
+        if args.format == "json":
+            print(json.dumps(
+                {"directory": str(cache.directory), "entries": checked,
+                 "problems": problems},
+                indent=2,
+            ))
+        else:
+            for problem in problems:
+                print(f"{problem['entry']}: {problem['problem']}")
+            print(
+                f"verified {checked} entries in {cache.directory}: "
+                f"{len(problems)} problem(s)"
+            )
+        return 1 if problems else 0
     stats = cache.stats().as_dict()
     if args.format == "json":
         print(json.dumps(stats, indent=2))
@@ -699,6 +729,10 @@ def main(argv: list[str] | None = None) -> int:
         from .serve.cli import serve_main
 
         return serve_main(argv[1:])
+    if argv and argv[0] == "worker":
+        from .parallel.worker import worker_main
+
+        return worker_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro-experiment",
         description="Regenerate a figure/table of the IPDPSW'14 over-clocked "

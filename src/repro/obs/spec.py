@@ -156,8 +156,14 @@ SPAN_CATALOG: tuple[SpanSpec, ...] = (
         "result installation.",
     ),
     SpanSpec(
+        "sweep.executor",
+        "repro.parallel.executors",
+        "One distributed first-attempt pass: spool creation, worker fleet lifetime, "
+        "outcome folding and lease requeues.",
+    ),
+    SpanSpec(
         "sweep.pool",
-        "repro.parallel.engine",
+        "repro.parallel.executors",
         "The process-pool pass of a sweep: dispatch and harvest of every shard's first attempt.",
     ),
     SpanSpec(
@@ -270,6 +276,31 @@ METRIC_CATALOG: tuple[MetricSpec, ...] = (
         "repro.characterization.harness",
         True,
         "Characterisation sweeps completed (one per word-length geometry).",
+    ),
+    MetricSpec(
+        "executor.leases.requeued",
+        COUNTER,
+        "leases",
+        "repro.parallel.executors",
+        False,
+        "Stale spool leases reclaimed by the coordinator (worker death or stall) "
+        "and requeued at the next generation.",
+    ),
+    MetricSpec(
+        "executor.shards.dispatched",
+        COUNTER,
+        "shards",
+        "repro.parallel.executors",
+        False,
+        "Shard descriptors enqueued into a file-queue spool by the coordinator.",
+    ),
+    MetricSpec(
+        "executor.workers.spawned",
+        COUNTER,
+        "processes",
+        "repro.parallel.executors",
+        False,
+        "Stateless `repro worker` processes launched by the file-queue coordinator.",
     ),
     MetricSpec(
         "gibbs.draws",

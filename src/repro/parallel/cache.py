@@ -389,6 +389,50 @@ class PlacedDesignCache:
             return []
         return sorted(self.directory.glob("*.pkl"))
 
+    def verify(self) -> list[dict[str, str]]:
+        """Read-only integrity walk of the content-addressed disk tier.
+
+        Checks every entry's envelope version, that its filename matches
+        its key's digest (the content address), and that the payload
+        checksum holds — the same taxonomy :meth:`_load_disk` enforces —
+        but never unlinks, rebuilds or counts corruptions: this is the
+        fleet health check behind ``repro cache verify``, safe to run
+        against a store that live workers are sharing.
+
+        Returns one ``{"entry", "problem"}`` dict per damaged entry
+        (empty list: store is clean).
+        """
+        problems = []
+        for path in self.disk_entries():
+            problem = self._verify_entry(path)
+            if problem is not None:
+                problems.append({"entry": path.name, "problem": problem})
+        return problems
+
+    @staticmethod
+    def _verify_entry(path: Path) -> str | None:
+        try:
+            with path.open("rb") as fh:
+                payload = pickle.load(fh)
+        except OSError:
+            return "unreadable (I/O error)"
+        except (pickle.UnpicklingError, EOFError, AttributeError):
+            return "undecodable envelope (truncated or torn write)"
+        if not isinstance(payload, dict) or payload.get("version") != _DISK_VERSION:
+            version = payload.get("version") if isinstance(payload, dict) else None
+            return f"stale or foreign entry (version {version!r})"
+        key = payload.get("key")
+        if not isinstance(key, PlacedKey):
+            return "missing or malformed key"
+        if key.digest() != path.stem:
+            return "entry name does not match its key digest (misfiled entry)"
+        blob = payload.get("placed")
+        if not isinstance(blob, bytes):
+            return "payload is not bytes"
+        if hashlib.sha256(blob).hexdigest() != payload.get("sha256"):
+            return "checksum mismatch (bit rot or tampering)"
+        return None
+
     def stats(self) -> CacheStats:
         entries = self.disk_entries()
         with self._mutex:

@@ -101,6 +101,11 @@ def _jobs_param(params: dict[str, Any]) -> int | None:
     return None if raw is None else int(raw)
 
 
+def _executor_param(params: dict[str, Any]) -> str | None:
+    raw = params.get("executor")
+    return None if raw is None else str(raw)
+
+
 def _run_stage(
     record: JobRecord,
     ws: Workspace,
@@ -118,6 +123,7 @@ def _run_stage(
             cache=cache,
             faults=_faults_from_params(params),
             progress=progress,
+            executor=_executor_param(params),
         )
         return {
             "paths": [str(p) for p in paths],

@@ -75,14 +75,17 @@ def characterize_workspace(
     cache: PlacedDesignCache | None = None,
     faults: FaultPlan | None = None,
     progress: ProgressFn | None = None,
+    executor: str | None = None,
 ) -> list[Path]:
     """Characterise every configured word-length and archive the sweeps.
 
     Deterministic in the workspace identity (device serial, settings,
-    seed): the ``jobs`` worker count, the ``cache`` temperature and the
-    calling front end never change the archived bytes.  ``cache=None``
-    uses the workspace's own disk-backed cache; a server passes its warm
-    shared cache instead.  Returns the archive paths in sweep order.
+    seed): the ``jobs`` worker count, the ``cache`` temperature, the
+    ``executor`` topology (``pool``, ``serial`` or ``file-queue``) and
+    the calling front end never change the archived bytes.
+    ``cache=None`` uses the workspace's own disk-backed cache; a server
+    passes its warm shared cache instead.  Returns the archive paths in
+    sweep order.
     """
     device = ws.device()
     settings = ws.settings()
@@ -107,6 +110,7 @@ def characterize_workspace(
             cache=placed,
             resilience=resilience,
             faults=faults,
+            executor=executor,
         )
         path = ws.save_characterization(wl, result)
         paths.append(path)

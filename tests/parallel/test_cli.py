@@ -50,6 +50,64 @@ class TestCacheCli:
         assert "no cache directory" in capsys.readouterr().err
 
 
+class TestCacheVerify:
+    def test_clean_cache_verifies(self, populated_cache_dir, capsys):
+        rc = experiment_main(
+            ["cache", "verify", "--dir", str(populated_cache_dir)]
+        )
+        assert rc == 0
+        assert "verified 2 entries" in capsys.readouterr().out
+
+    def test_verify_flag_is_shorthand(self, populated_cache_dir, capsys):
+        rc = experiment_main(
+            ["cache", "--verify", "--dir", str(populated_cache_dir)]
+        )
+        assert rc == 0
+        assert "0 problem(s)" in capsys.readouterr().out
+
+    def test_torn_entry_is_reported_not_rebuilt(self, populated_cache_dir, capsys):
+        victim = sorted(populated_cache_dir.glob("*.pkl"))[0]
+        victim.write_bytes(b"garbage")
+        rc = experiment_main(
+            ["cache", "verify", "--dir", str(populated_cache_dir)]
+        )
+        assert rc == 1
+        out = capsys.readouterr().out
+        assert "1 problem(s)" in out
+        assert victim.name in out
+        # read-only: the damaged entry is still on disk, untouched
+        assert victim.read_bytes() == b"garbage"
+
+    def test_misfiled_entry_is_reported(self, populated_cache_dir, capsys):
+        a, b = sorted(populated_cache_dir.glob("*.pkl"))[:2]
+        misfiled = a.with_name("0" * len(a.stem) + ".pkl")
+        misfiled.write_bytes(b.read_bytes())
+        rc = experiment_main(
+            ["cache", "verify", "--dir", str(populated_cache_dir)]
+        )
+        assert rc == 1
+        assert "does not match its key digest" in capsys.readouterr().out
+
+    def test_json_report(self, populated_cache_dir, capsys):
+        sorted(populated_cache_dir.glob("*.pkl"))[0].write_bytes(b"junk")
+        rc = experiment_main(
+            ["cache", "verify", "--dir", str(populated_cache_dir),
+             "--format", "json"]
+        )
+        assert rc == 1
+        report = json.loads(capsys.readouterr().out)
+        assert report["entries"] == 2
+        assert len(report["problems"]) == 1
+        assert "undecodable envelope" in report["problems"][0]["problem"]
+
+    def test_verify_never_touches_counters_or_files(self, populated_cache_dir):
+        before = sorted(p.name for p in populated_cache_dir.glob("*.pkl"))
+        cache = PlacedDesignCache(populated_cache_dir)
+        assert cache.verify() == []
+        assert cache.stats().corruptions == 0
+        assert sorted(p.name for p in populated_cache_dir.glob("*.pkl")) == before
+
+
 class TestFlowJobs:
     @pytest.fixture()
     def workspace(self, tmp_path):
@@ -80,3 +138,35 @@ class TestFlowJobs:
         rc = experiment_main(["cache", "info", "--workspace", str(workspace)])
         assert rc == 0
         assert "disk_entries" in capsys.readouterr().out
+
+
+class TestFlowExecutorFlag:
+    @pytest.fixture()
+    def workspace(self, tmp_path):
+        ws = tmp_path / "ws"
+        assert flow_main(["init", str(ws), "--serial", "7", "--scale", "0.012"]) == 0
+        return ws
+
+    def test_serial_executor_matches_default(self, tmp_path, capsys):
+        default_ws = tmp_path / "default_ws"
+        serial_ws = tmp_path / "serial_ws"
+        for ws in (default_ws, serial_ws):
+            assert flow_main(
+                ["init", str(ws), "--serial", "7", "--scale", "0.012"]
+            ) == 0
+        assert flow_main(["characterize", str(default_ws)]) == 0
+        assert flow_main(
+            ["characterize", str(serial_ws), "--executor", "serial"]
+        ) == 0
+        default_npz = sorted((default_ws / "characterization").glob("wl*.npz"))
+        serial_npz = sorted((serial_ws / "characterization").glob("wl*.npz"))
+        assert default_npz and len(default_npz) == len(serial_npz)
+        for a, b in zip(default_npz, serial_npz):
+            assert a.read_bytes() == b.read_bytes()
+
+    def test_unknown_env_executor_is_a_config_error(
+        self, workspace, capsys, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_EXECUTOR", "redis")
+        assert flow_main(["characterize", str(workspace)]) == 2
+        assert "unknown shard executor" in capsys.readouterr().err

@@ -1,0 +1,121 @@
+"""Tests for repro.parallel.worker — the stateless spool drainer.
+
+Exercises ``drain_spool`` in-process (no subprocess spawn) against
+hand-built spools: clean drains, error outcomes, the ``--max-shards``
+bound, version refusal, and the result-before-outcome install ordering
+the coordinator relies on.
+"""
+
+import json
+
+import pytest
+
+from repro.characterization import plan_characterization
+from repro.errors import ConfigError
+from repro.parallel import spool
+from repro.parallel.engine import run_shard
+from repro.parallel.cache import PlacedDesignCache
+from repro.parallel.worker import drain_spool, worker_main
+
+
+@pytest.fixture
+def spooled(device, small_char_config, tmp_path):
+    planned = plan_characterization(device, 8, 8, small_char_config(), seed=5)
+    root = tmp_path / "spool"
+    spool.create_spool(
+        root, device, planned.plan, list(planned.shards),
+        cache_dir=str(tmp_path / "cache"), faults=None, kernel="packed",
+    )
+    return root, planned
+
+
+class TestDrainSpool:
+    def test_drains_everything_and_reports(self, spooled, tmp_path):
+        root, planned = spooled
+        spool.request_stop(root)
+        executed = drain_spool(root, worker_id="w7")
+        assert executed == len(planned.shards)
+        assert spool.pending_names(root) == []
+        assert spool.leased_names(root) == []
+        outcomes = spool.read_outcomes(root)
+        assert len(outcomes) == len(planned.shards)
+        assert all(o.outcome == "ok" and o.worker == "w7" for o in outcomes)
+        for index in range(len(planned.shards)):
+            assert spool.read_result(root, index) is not None
+
+    def test_results_match_in_process_execution(self, spooled, tmp_path):
+        root, planned = spooled
+        spool.request_stop(root)
+        drain_spool(root)
+        cache = PlacedDesignCache(str(tmp_path / "cache2"))
+        for index, shard in enumerate(planned.shards):
+            direct = run_shard(
+                spool.load_device(root), planned.plan, shard, cache
+            )
+            spooled_result = spool.read_result(root, index)
+            assert spooled_result.variance.tobytes() == direct.variance.tobytes()
+            assert spooled_result.mean.tobytes() == direct.mean.tobytes()
+            assert (
+                spooled_result.error_rate.tobytes()
+                == direct.error_rate.tobytes()
+            )
+
+    def test_max_shards_bounds_the_drain(self, spooled):
+        root, planned = spooled
+        executed = drain_spool(root, max_shards=2)
+        assert executed == 2
+        remaining = len(planned.shards) - 2
+        assert len(spool.pending_names(root)) == remaining
+
+    def test_corrupt_descriptor_yields_error_outcome(self, spooled):
+        root, planned = spooled
+        name = spool.pending_names(root)[0]
+        target = root / spool.PENDING_DIR / name
+        target.write_text(json.dumps({"li": 0}), "utf-8")
+        spool.request_stop(root)
+        executed = drain_spool(root)
+        assert executed == len(planned.shards) - 1
+        errors = [o for o in spool.read_outcomes(root) if o.outcome == "error"]
+        assert len(errors) == 1
+        assert errors[0].detail  # carries the exception text
+
+    def test_missing_manifest_is_a_config_error(self, tmp_path):
+        with pytest.raises(ConfigError, match="no spool manifest"):
+            drain_spool(tmp_path / "nowhere")
+
+    def test_foreign_version_is_refused(self, spooled):
+        root, _ = spooled
+        manifest = spool.read_manifest(root)
+        manifest["version"] = 99
+        (root / spool.MANIFEST_NAME).write_text(
+            spool.canonical_json(manifest), "utf-8"
+        )
+        with pytest.raises(ConfigError, match="speaks version"):
+            drain_spool(root)
+
+
+class TestWorkerMain:
+    def test_cli_drains_and_prints(self, spooled, capsys):
+        root, planned = spooled
+        spool.request_stop(root)
+        code = worker_main([str(root), "--worker-id", "w3"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert f"executed {len(planned.shards)} shard(s)" in out
+
+    def test_cli_max_shards(self, spooled, capsys):
+        root, _ = spooled
+        assert worker_main([str(root), "--max-shards", "1"]) == 0
+        assert "executed 1 shard(s)" in capsys.readouterr().out
+
+    def test_cli_unusable_spool_exits_2(self, tmp_path, capsys):
+        assert worker_main([str(tmp_path)]) == 2
+        assert "no spool manifest" in capsys.readouterr().err
+
+    def test_repro_cli_dispatches_worker(self, spooled, capsys):
+        from repro.cli import main
+
+        root, _ = spooled
+        spool.request_stop(root)
+        assert main(["worker", str(root), "--worker-id", "w1"]) == 0
+        assert "worker w1" in capsys.readouterr().out

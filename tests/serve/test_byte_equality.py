@@ -127,3 +127,33 @@ class TestServerVsCli:
         cli_meta = (cli_root / "workspace.json").read_bytes()
         srv_meta = (srv_root / "workspace.json").read_bytes()
         assert srv_meta == cli_meta
+
+
+class TestServedExecutorSelection:
+    """The serve layer's ``executor`` param is a pure topology knob."""
+
+    @pytest.mark.slow
+    def test_file_queue_job_bytes_match_cli(self, tmp_path, serve_factory):
+        cli_ws = make_workspace(tmp_path / "cli_ws")
+        assert flow_main(["characterize", str(cli_ws.root)]) == 0
+
+        srv_ws = make_workspace(tmp_path / "srv_ws")
+        _, client = serve_factory()
+        job = client.submit(
+            "tenant-a", "characterize", srv_ws.root,
+            params={"executor": "file-queue", "jobs": 2},
+        )
+        done = client.wait(job["job_id"], timeout_s=300.0)
+        assert done["state"] == DONE
+        assert_same_artefacts(cli_ws.root, srv_ws.root)
+
+    def test_unknown_executor_fails_as_config_error(self, tmp_path, serve_factory):
+        ws = make_workspace(tmp_path / "ws")
+        _, client = serve_factory()
+        job = client.submit(
+            "tenant-a", "characterize", ws.root,
+            params={"executor": "redis"},
+        )
+        done = client.wait(job["job_id"], timeout_s=60.0)
+        assert done["state"] == FAILED
+        assert done["exit_code"] == 2
